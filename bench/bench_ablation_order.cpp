@@ -1,0 +1,66 @@
+// A1: ablation over the approximation order m of Equation 4/5.
+//
+// The paper evaluates m = 2 and m = 4 and derives that complexity grows as
+// O(n^m). This bench sweeps m = 1..8 plus the exact evaluation on the same
+// use-cases, reporting the mean absolute period inaccuracy vs simulation.
+// Expected shape: even orders approach the exact value from above, odd
+// orders from below; beyond m ~ 4 the gain is marginal - the paper's reason
+// for stopping at fourth order.
+#include <iostream>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace procon;
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const platform::System sys = bench::make_workload(opts);
+  const auto use_cases = bench::make_use_cases(opts, sys.app_count());
+
+  std::cout << "=== A1: approximation-order ablation over " << use_cases.size()
+            << " use-cases ===\n\n";
+
+  constexpr int kMaxOrder = 8;
+  std::vector<util::RunningStats> err(kMaxOrder + 2);  // [1..8] + exact at [0]
+  std::vector<util::RunningStats> vs_exact(kMaxOrder + 1);
+
+  for (const auto& uc : use_cases) {
+    const platform::System sub = sys.restrict_to(uc);
+    const bench::SimReference sim = bench::simulate_reference(sub, opts.horizon);
+    bool ok = true;
+    for (const bool c : sim.converged) ok = ok && c;
+    if (!ok) continue;
+
+    const auto exact = prob::ContentionEstimator(
+                           prob::EstimatorOptions{.method = prob::Method::Exact})
+                           .estimate(sub);
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      err[0].add(util::percent_abs_diff(exact[i].estimated_period, sim.average[i]));
+    }
+    for (int m = 1; m <= kMaxOrder; ++m) {
+      const auto est =
+          prob::ContentionEstimator(
+              prob::EstimatorOptions{.method = prob::Method::MthOrder, .order = m})
+              .estimate(sub);
+      for (std::size_t i = 0; i < est.size(); ++i) {
+        err[static_cast<std::size_t>(m)].add(
+            util::percent_abs_diff(est[i].estimated_period, sim.average[i]));
+        vs_exact[static_cast<std::size_t>(m)].add(util::percent_abs_diff(
+            est[i].estimated_period, exact[i].estimated_period));
+      }
+    }
+  }
+
+  util::Table table("Order ablation: period inaccuracy vs simulation and vs exact Eq. 4");
+  table.set_header({"Order m", "vs simulation [%]", "vs exact Eq.4 [%]",
+                    "Complexity"});
+  for (int m = 1; m <= kMaxOrder; ++m) {
+    table.add_row({std::to_string(m),
+                   util::format_double(err[static_cast<std::size_t>(m)].mean(), 2),
+                   util::format_double(vs_exact[static_cast<std::size_t>(m)].mean(), 3),
+                   "O(n^" + std::to_string(m) + ")"});
+  }
+  table.add_row({"exact", util::format_double(err[0].mean(), 2), "0.000",
+                 "O(n^2) via symmetric-poly DP"});
+  bench::emit(table, opts, "ablation_order");
+  return 0;
+}

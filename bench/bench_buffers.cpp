@@ -1,0 +1,75 @@
+// A3 (ablation): buffer-capacity back-pressure, connecting the contention
+// model to the buffer-sizing line of work the paper cites ([16], [20]).
+//
+// Sweeps a uniform per-channel buffer capacity (as a multiple of the
+// minimal feasible capacity) on the standard workload's full-contention
+// use-case and reports (a) the analytic isolation period of the bounded
+// graphs, (b) the contention estimate and (c) the simulated period.
+// Expected shape: small buffers serialise the graphs (long periods);
+// periods improve monotonically with capacity and converge to the
+// unbounded values; the estimator keeps tracking the simulation at every
+// point of the sweep.
+#include <iostream>
+
+#include "harness.h"
+#include "sdf/transform.h"
+
+int main(int argc, char** argv) {
+  using namespace procon;
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const platform::System unbounded = bench::make_workload(opts);
+
+  std::cout << "=== A3 (ablation): throughput vs buffer capacity, all "
+            << opts.apps << " apps concurrent ===\n\n";
+
+  util::Table table("Mean normalised period vs uniform buffer scale");
+  table.set_header({"capacity scale", "isolation", "estimated", "simulated",
+                    "estimate error [%]"});
+
+  // Per-app minimal feasible capacities as the baseline.
+  std::vector<std::vector<std::uint64_t>> base_caps;
+  for (const auto& g : unbounded.apps()) {
+    base_caps.push_back(sdf::minimal_feasible_capacities(g));
+  }
+  // Isolation periods of the *unbounded* graphs normalise everything.
+  std::vector<double> iso;
+  for (const auto& e : prob::ContentionEstimator().estimate(unbounded)) {
+    iso.push_back(e.isolation_period);
+  }
+
+  for (const int scale : {1, 2, 4, 8, 0 /* 0 = unbounded */}) {
+    std::vector<sdf::Graph> apps;
+    for (std::size_t i = 0; i < unbounded.app_count(); ++i) {
+      const sdf::Graph& g = unbounded.app(static_cast<sdf::AppId>(i));
+      if (scale == 0) {
+        apps.push_back(g);
+      } else {
+        auto caps = base_caps[i];
+        for (auto& c : caps) c *= static_cast<std::uint64_t>(scale);
+        apps.push_back(sdf::with_buffer_capacities(g, caps));
+      }
+    }
+    platform::System sys(std::move(apps), unbounded.platform(),
+                         unbounded.mapping());
+
+    const auto est = prob::ContentionEstimator().estimate(sys);
+    const auto sim = bench::simulate_reference(sys, opts.horizon);
+
+    util::RunningStats iso_n, est_n, sim_n, err;
+    for (std::size_t i = 0; i < est.size(); ++i) {
+      iso_n.add(est[i].isolation_period / iso[i]);
+      est_n.add(est[i].estimated_period / iso[i]);
+      if (sim.converged[i]) {
+        sim_n.add(sim.average[i] / iso[i]);
+        err.add(util::percent_abs_diff(est[i].estimated_period, sim.average[i]));
+      }
+    }
+    table.add_row({scale == 0 ? "unbounded" : std::to_string(scale) + "x minimal",
+                   util::format_double(iso_n.mean(), 2),
+                   util::format_double(est_n.mean(), 2),
+                   util::format_double(sim_n.mean(), 2),
+                   util::format_double(err.mean(), 1)});
+  }
+  bench::emit(table, opts, "buffer_sweep");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// M1: google-benchmark micro-benchmarks of the library's kernels: waiting
+// time evaluation (Eq. 4 exact / approximations / composability), HSDF
+// expansion, maximum cycle ratio, state-space execution, full estimation
+// and the discrete-event simulator.
+#include <benchmark/benchmark.h>
+
+#include "analysis/howard.h"
+#include "analysis/latency.h"
+#include "analysis/throughput.h"
+#include "harness.h"
+#include "sdf/repetition.h"
+
+namespace {
+
+using namespace procon;
+
+std::vector<prob::ActorLoad> make_loads(std::size_t n) {
+  util::Rng rng(17);
+  std::vector<prob::ActorLoad> loads(n);
+  for (auto& l : loads) {
+    l.exec_time = rng.uniform_real(10.0, 100.0);
+    l.mean_blocking = l.exec_time / 2.0;
+    l.probability = rng.uniform_real(0.05, 0.5);
+  }
+  return loads;
+}
+
+void BM_WaitingTimeExact(benchmark::State& state) {
+  const auto loads = make_loads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::waiting_time_exact(loads));
+  }
+}
+BENCHMARK(BM_WaitingTimeExact)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_WaitingTimeSecondOrder(benchmark::State& state) {
+  const auto loads = make_loads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::waiting_time_second_order(loads));
+  }
+}
+BENCHMARK(BM_WaitingTimeSecondOrder)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_WaitingTimeCompose(benchmark::State& state) {
+  const auto loads = make_loads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::compose_all(loads).weighted_blocking);
+  }
+}
+BENCHMARK(BM_WaitingTimeCompose)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ComposeDecomposeRoundTrip(benchmark::State& state) {
+  const auto loads = make_loads(16);
+  const prob::Composite total = prob::compose_all(loads);
+  const prob::Composite one = prob::to_composite(loads[7]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::decompose(total, one));
+  }
+}
+BENCHMARK(BM_ComposeDecomposeRoundTrip);
+
+sdf::Graph bench_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::GeneratorOptions gopts;
+  return gen::generate_graph(rng, gopts, "bench");
+}
+
+void BM_HsdfExpansion(benchmark::State& state) {
+  const sdf::Graph g = bench_graph(5).with_self_loops();
+  const auto q = sdf::compute_repetition_vector(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::expand_to_hsdf(g, *q, {}));
+  }
+}
+BENCHMARK(BM_HsdfExpansion);
+
+void BM_MaximumCycleRatio(benchmark::State& state) {
+  const sdf::Graph g = bench_graph(5).with_self_loops();
+  const auto q = sdf::compute_repetition_vector(g);
+  const analysis::Hsdf h = analysis::expand_to_hsdf(g, *q, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::mcr_binary_search(h));
+  }
+}
+BENCHMARK(BM_MaximumCycleRatio);
+
+void BM_MaximumCycleRatioHoward(benchmark::State& state) {
+  const sdf::Graph g = bench_graph(5).with_self_loops();
+  const auto q = sdf::compute_repetition_vector(g);
+  const analysis::Hsdf h = analysis::expand_to_hsdf(g, *q, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::mcr_howard(h));
+  }
+}
+BENCHMARK(BM_MaximumCycleRatioHoward);
+
+void BM_IterationLatency(benchmark::State& state) {
+  const sdf::Graph g = bench_graph(5).with_self_loops();
+  const auto q = sdf::compute_repetition_vector(g);
+  const analysis::Hsdf h = analysis::expand_to_hsdf(g, *q, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::iteration_latency(h));
+  }
+}
+BENCHMARK(BM_IterationLatency);
+
+void BM_StateSpacePeriod(benchmark::State& state) {
+  const sdf::Graph g = bench_graph(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_period_exact(g));
+  }
+}
+BENCHMARK(BM_StateSpacePeriod);
+
+void BM_FullEstimate(benchmark::State& state) {
+  bench::Options opts;
+  opts.apps = static_cast<std::size_t>(state.range(0));
+  const platform::System sys = bench::make_workload(opts);
+  const prob::ContentionEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate(sys));
+  }
+}
+BENCHMARK(BM_FullEstimate)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_SimulateUseCase(benchmark::State& state) {
+  bench::Options opts;
+  opts.apps = static_cast<std::size_t>(state.range(0));
+  const platform::System sys = bench::make_workload(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate(sys, sim::SimOptions{.horizon = 100'000}));
+  }
+}
+BENCHMARK(BM_SimulateUseCase)->Arg(2)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

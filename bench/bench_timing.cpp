@@ -1,0 +1,56 @@
+// E4: reproduces the Section 5 timing claim - "the simulation of all
+// possible use-cases ... took a total of 23 hours ... analysis for all four
+// approaches was completed in only about 10 minutes", i.e. a >= 100x gap,
+// with the estimation (waiting-time) step itself taking negligible time
+// compared to the per-use-case throughput computation.
+//
+// Absolute seconds differ from the paper's 2007-era Pentium 4; the claim
+// under reproduction is the *ratio* between simulation and analysis.
+#include <iostream>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace procon;
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const platform::System sys = bench::make_workload(opts);
+  const auto use_cases = bench::make_use_cases(opts, sys.app_count());
+
+  std::cout << "=== E4: analysis vs simulation wall-clock over "
+            << use_cases.size() << " use-cases ===\n\n";
+
+  // Simulation reference timing.
+  bench::Stopwatch sim_clock;
+  std::size_t sim_apps = 0;
+  for (const auto& uc : use_cases) {
+    const platform::System sub = sys.restrict_to(uc);
+    const auto r = bench::simulate_reference(sub, opts.horizon);
+    sim_apps += r.average.size();
+  }
+  const double sim_seconds = sim_clock.seconds();
+
+  // Analysis timing per technique (estimation + throughput recomputation).
+  util::Table table("Timing: four analysis techniques vs simulation");
+  table.set_header({"Method", "wall-clock [s]", "per use-case [ms]",
+                    "speedup vs simulation"});
+  for (const auto& t : bench::paper_techniques()) {
+    bench::Stopwatch clock;
+    for (const auto& uc : use_cases) {
+      const platform::System sub = sys.restrict_to(uc);
+      (void)bench::estimate_periods(sub, t);
+    }
+    const double s = clock.seconds();
+    table.add_row({t.label, util::format_double(s, 2),
+                   util::format_double(1000.0 * s / static_cast<double>(use_cases.size()), 2),
+                   util::format_double(sim_seconds / std::max(s, 1e-9), 0) + "x"});
+  }
+  table.add_row({"Simulation (reference)", util::format_double(sim_seconds, 2),
+                 util::format_double(1000.0 * sim_seconds /
+                                         static_cast<double>(use_cases.size()), 2),
+                 "1x"});
+  bench::emit(table, opts, "timing");
+
+  std::cout << "simulated " << sim_apps << " application instances at horizon "
+            << opts.horizon << "\n";
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "admission/admission.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/throughput.h"
+#include "sdf/algorithms.h"
+#include "sdf/repetition.h"
+
+namespace procon::admission {
+
+using prob::Composite;
+
+AdmissionController::AdmissionController(platform::Platform platform)
+    : platform_(std::move(platform)) {
+  nodes_.assign(platform_.node_count(), Composite::identity());
+}
+
+std::size_t AdmissionController::admitted_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : apps_) n += a.active ? 1 : 0;
+  return n;
+}
+
+Composite AdmissionController::node_load(platform::NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("node_load: invalid node");
+  return nodes_[node];
+}
+
+std::vector<Composite> AdmissionController::totals_with(
+    const AdmittedApp* candidate) const {
+  std::vector<Composite> totals = nodes_;
+  if (candidate != nullptr) {
+    for (sdf::ActorId a = 0; a < candidate->graph.actor_count(); ++a) {
+      Composite& t = totals[candidate->nodes[a]];
+      t = prob::compose(t, prob::to_composite(candidate->loads[a]));
+    }
+  }
+  return totals;
+}
+
+double AdmissionController::predict_period(
+    const AdmittedApp& app, const std::vector<Composite>& node_totals) const {
+  std::vector<double> response(app.graph.actor_count());
+  for (sdf::ActorId a = 0; a < app.graph.actor_count(); ++a) {
+    const Composite self = prob::to_composite(app.loads[a]);
+    const Composite& total = node_totals[app.nodes[a]];
+    double twait = 0.0;
+    if (prob::can_invert(self)) {
+      twait = prob::decompose(total, self).weighted_blocking;
+    } else {
+      // Saturated actor: the inverse is undefined (paper's caveat); the
+      // whole-node waiting time is a conservative stand-in.
+      twait = total.weighted_blocking;
+    }
+    response[a] = static_cast<double>(app.graph.actor(a).exec_time) + twait;
+  }
+  const auto res = analysis::compute_period(app.graph, response);
+  if (res.deadlocked) {
+    throw sdf::GraphError("predict_period: response-time graph deadlocks");
+  }
+  return res.period;
+}
+
+Decision AdmissionController::request(const sdf::Graph& app,
+                                      const std::vector<platform::NodeId>& nodes,
+                                      const QoS& qos) {
+  if (nodes.size() != app.actor_count()) {
+    throw sdf::GraphError("request: mapping size mismatch");
+  }
+  for (const platform::NodeId n : nodes) {
+    if (n >= platform_.node_count()) {
+      throw sdf::GraphError("request: actor mapped to nonexistent node");
+    }
+  }
+  if (!sdf::is_consistent(app)) throw sdf::GraphError("request: inconsistent graph");
+  if (!sdf::is_deadlock_free(app)) throw sdf::GraphError("request: graph deadlocks");
+
+  AdmittedApp rec;
+  rec.graph = app;
+  rec.nodes = nodes;
+  rec.qos = qos;
+  const auto iso = analysis::compute_period(app);
+  if (iso.deadlocked || iso.period <= 0.0) {
+    throw sdf::GraphError("request: no positive isolation period");
+  }
+  rec.isolation_period = iso.period;
+  const auto q = sdf::compute_repetition_vector(app);
+  rec.loads = prob::derive_loads(app, *q, iso.period);
+
+  Decision decision;
+  const std::vector<Composite> totals = totals_with(&rec);
+
+  // The candidate's own predicted period.
+  decision.predicted_period = predict_period(rec, totals);
+  if (decision.predicted_period > qos.max_period) {
+    decision.reason = "requesting application's predicted period " +
+                      std::to_string(decision.predicted_period) +
+                      " exceeds its QoS bound " + std::to_string(qos.max_period);
+    return decision;
+  }
+
+  // Impact on every admitted peer.
+  for (const auto& peer : apps_) {
+    if (!peer.active) {
+      decision.peer_periods.push_back(0.0);
+      continue;
+    }
+    const double p = predict_period(peer, totals);
+    decision.peer_periods.push_back(p);
+    if (p > peer.qos.max_period) {
+      decision.reason = "admission would push application '" + peer.graph.name() +
+                        "' to period " + std::to_string(p) +
+                        " beyond its QoS bound " + std::to_string(peer.qos.max_period);
+      return decision;
+    }
+  }
+
+  // Commit: incremental O(1)-per-actor composite update.
+  for (sdf::ActorId a = 0; a < rec.graph.actor_count(); ++a) {
+    Composite& t = nodes_[rec.nodes[a]];
+    t = prob::compose(t, prob::to_composite(rec.loads[a]));
+  }
+  rec.active = true;
+  apps_.push_back(std::move(rec));
+  decision.admitted = true;
+  decision.handle = static_cast<AppHandle>(apps_.size() - 1);
+  return decision;
+}
+
+void AdmissionController::remove(AppHandle handle) {
+  if (handle >= apps_.size() || !apps_[handle].active) {
+    throw std::out_of_range("remove: unknown or already-removed application");
+  }
+  AdmittedApp& rec = apps_[handle];
+  bool invertible = true;
+  for (const prob::ActorLoad& l : rec.loads) {
+    invertible = invertible && prob::can_invert(prob::to_composite(l));
+  }
+  if (invertible) {
+    // O(1) per actor: peel each load out of its node composite (Eq. 8/9).
+    for (sdf::ActorId a = 0; a < rec.graph.actor_count(); ++a) {
+      Composite& t = nodes_[rec.nodes[a]];
+      t = prob::decompose(t, prob::to_composite(rec.loads[a]));
+    }
+    rec.active = false;
+  } else {
+    // Saturated actor (P == 1): the inverse is undefined; rebuild all node
+    // composites from the remaining applications (paper's caveat).
+    rec.active = false;
+    nodes_.assign(platform_.node_count(), Composite::identity());
+    for (const AdmittedApp& other : apps_) {
+      if (!other.active) continue;
+      for (sdf::ActorId b = 0; b < other.graph.actor_count(); ++b) {
+        Composite& t = nodes_[other.nodes[b]];
+        t = prob::compose(t, prob::to_composite(other.loads[b]));
+      }
+    }
+  }
+}
+
+double AdmissionController::predicted_period(AppHandle handle) const {
+  if (handle >= apps_.size() || !apps_[handle].active) {
+    throw std::out_of_range("predicted_period: unknown application");
+  }
+  return predict_period(apps_[handle], nodes_);
+}
+
+}  // namespace procon::admission

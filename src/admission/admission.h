@@ -1,0 +1,97 @@
+// Run-time admission control (Section 6: "it is feasible to employ this
+// technique for run-time admission control").
+//
+// The controller keeps one Composite (combined blocking probability and
+// weighted blocking time, Eq. 6/7) per processing node, covering every
+// actor of every admitted application. Admitting or removing an
+// application updates each touched node in O(1) per actor via the
+// composability operators and their inverses (Eq. 8/9) - no re-analysis of
+// the other applications' internals is needed.
+//
+// An admission request is granted iff
+//   * the new application's predicted period meets its own requirement, and
+//   * every already-admitted application's predicted period still meets its
+//     registered requirement.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "prob/compose.h"
+#include "prob/load.h"
+#include "sdf/graph.h"
+
+namespace procon::admission {
+
+/// Opaque handle identifying an admitted application.
+using AppHandle = std::uint32_t;
+
+/// Quality-of-service requirement: the maximum tolerable period (inverse of
+/// the minimum required throughput). Use no_requirement() for best-effort.
+struct QoS {
+  double max_period = 0.0;
+  static QoS no_requirement() noexcept {
+    return QoS{std::numeric_limits<double>::infinity()};
+  }
+};
+
+struct Decision {
+  bool admitted = false;
+  std::string reason;            ///< human-readable explanation when rejected
+  double predicted_period = 0.0; ///< the requesting application's estimate
+  /// Predicted period per already-admitted application (post-admission).
+  std::vector<double> peer_periods;
+  std::optional<AppHandle> handle;  ///< set when admitted
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(platform::Platform platform);
+
+  /// Requests admission of `app` with actor a mapped on `nodes[a]`.
+  /// Consistent, deadlock-free graphs only; throws sdf::GraphError otherwise.
+  Decision request(const sdf::Graph& app, const std::vector<platform::NodeId>& nodes,
+                   const QoS& qos);
+
+  /// Removes an admitted application, releasing its load. Throws
+  /// std::out_of_range for unknown/stale handles.
+  void remove(AppHandle handle);
+
+  [[nodiscard]] std::size_t admitted_count() const noexcept;
+
+  /// Current predicted period of an admitted application (under the
+  /// composability-inverse estimate).
+  [[nodiscard]] double predicted_period(AppHandle handle) const;
+
+  /// Combined blocking probability currently registered on a node.
+  [[nodiscard]] prob::Composite node_load(platform::NodeId node) const;
+
+ private:
+  struct AdmittedApp {
+    bool active = false;
+    sdf::Graph graph;
+    std::vector<platform::NodeId> nodes;
+    std::vector<prob::ActorLoad> loads;
+    double isolation_period = 0.0;
+    QoS qos;
+  };
+
+  /// Predicted period of `app` (graph+nodes+loads) when node composites are
+  /// `node_totals` (which must already include the app's own actors).
+  [[nodiscard]] double predict_period(const AdmittedApp& app,
+                                      const std::vector<prob::Composite>& node_totals) const;
+
+  /// Composites including every active app plus (optionally) a candidate.
+  [[nodiscard]] std::vector<prob::Composite> totals_with(
+      const AdmittedApp* candidate) const;
+
+  platform::Platform platform_;
+  std::vector<AdmittedApp> apps_;       // indexed by handle; inactive = removed
+  std::vector<prob::Composite> nodes_;  // committed composite per node
+};
+
+}  // namespace procon::admission

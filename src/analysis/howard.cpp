@@ -1,0 +1,190 @@
+#include "analysis/howard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace procon::analysis {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Edge {
+  std::uint32_t src, dst;
+  double weight;
+  double tokens;
+};
+
+}  // namespace
+
+McrResult mcr_howard(const Hsdf& h) {
+  McrResult result;
+  const std::size_t n = h.node_count();
+  if (n == 0) return result;
+
+  // Build adjacency; node weight folded onto outgoing edges.
+  std::vector<std::vector<Edge>> out(n);
+  bool any_edge = false;
+  for (const HsdfEdge& e : h.edges) {
+    out[e.src].push_back(Edge{e.src, e.dst, h.nodes[e.src].exec_time,
+                              static_cast<double>(e.tokens)});
+    any_edge = true;
+  }
+  if (!any_edge) return result;
+
+  // Reuse the reference engine's structural checks for cycles/deadlock by
+  // delegating the cheap DFS parts: a zero-token cycle means deadlock; no
+  // cycle at all means an acyclic expansion.
+  {
+    // Zero-token cycle detection (iterative colouring DFS).
+    enum : std::uint8_t { White, Grey, Black };
+    auto dfs_has_cycle = [&](bool zero_only) {
+      std::vector<std::uint8_t> colour(n, White);
+      std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+      for (std::uint32_t root = 0; root < n; ++root) {
+        if (colour[root] != White) continue;
+        stack.emplace_back(root, 0);
+        colour[root] = Grey;
+        while (!stack.empty()) {
+          auto& [v, pos] = stack.back();
+          if (pos < out[v].size()) {
+            const Edge& e = out[v][pos++];
+            if (zero_only && e.tokens != 0.0) continue;
+            if (colour[e.dst] == Grey) return true;
+            if (colour[e.dst] == White) {
+              colour[e.dst] = Grey;
+              stack.emplace_back(e.dst, 0);
+            }
+          } else {
+            colour[v] = Black;
+            stack.pop_back();
+          }
+        }
+      }
+      return false;
+    };
+    if (!dfs_has_cycle(false)) return result;
+    result.has_cycle = true;
+    if (dfs_has_cycle(true)) {
+      result.deadlocked = true;
+      return result;
+    }
+  }
+
+  // Policy: chosen out-edge index per node. A node with no out-edge can
+  // never lie on a cycle; it adopts ratio -inf and is skipped.
+  constexpr double kNegInf = -1e300;
+  std::vector<int> policy(n, -1);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!out[v].empty()) policy[v] = 0;
+  }
+
+  std::vector<double> ratio(n, kNegInf);  // cycle ratio reachable via policy
+  std::vector<double> dist(n, 0.0);       // relative potential
+
+  const std::size_t max_rounds = 2 * n + 64;  // generous safety cap
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // --- policy evaluation -------------------------------------------------
+    // Follow the policy's functional graph; every walk ends in a cycle.
+    std::vector<std::uint32_t> visit_mark(n, UINT32_MAX);
+    std::vector<std::uint8_t> evaluated(n, 0);
+    std::fill(ratio.begin(), ratio.end(), kNegInf);
+    std::fill(dist.begin(), dist.end(), 0.0);
+
+    for (std::uint32_t start = 0; start < n; ++start) {
+      if (evaluated[start] || policy[start] < 0) continue;
+      // Walk until we hit an evaluated node or revisit this walk.
+      std::vector<std::uint32_t> path;
+      std::uint32_t v = start;
+      while (v != UINT32_MAX && !evaluated[v] && visit_mark[v] != start &&
+             policy[v] >= 0) {
+        visit_mark[v] = start;
+        path.push_back(v);
+        v = out[v][static_cast<std::size_t>(policy[v])].dst;
+      }
+      if (v != UINT32_MAX && policy[v] >= 0 && !evaluated[v] &&
+          visit_mark[v] == start) {
+        // Found a fresh cycle starting at v: compute its ratio.
+        double w_sum = 0.0, t_sum = 0.0;
+        std::uint32_t u = v;
+        do {
+          const Edge& e = out[u][static_cast<std::size_t>(policy[u])];
+          w_sum += e.weight;
+          t_sum += e.tokens;
+          u = e.dst;
+        } while (u != v);
+        const double lambda = t_sum > 0.0 ? w_sum / t_sum : kNegInf;
+        // Assign ratio and potentials around the cycle: fix dist(v) = 0 and
+        // propagate backwards along the cycle direction.
+        ratio[v] = lambda;
+        dist[v] = 0.0;
+        evaluated[v] = 1;
+        // Walk the cycle once more, computing dist for each node from its
+        // successor: dist(u) = w - lambda * t + dist(next).
+        // Collect cycle nodes in order first.
+        std::vector<std::uint32_t> cyc;
+        u = v;
+        do {
+          cyc.push_back(u);
+          u = out[u][static_cast<std::size_t>(policy[u])].dst;
+        } while (u != v);
+        for (std::size_t i = cyc.size(); i-- > 1;) {
+          const std::uint32_t node = cyc[i];
+          const Edge& e = out[node][static_cast<std::size_t>(policy[node])];
+          ratio[node] = lambda;
+          dist[node] = e.weight - lambda * e.tokens + dist[e.dst];
+          evaluated[node] = 1;
+        }
+      }
+      // Unwind the path (tail nodes draining into the evaluated region).
+      for (std::size_t i = path.size(); i-- > 0;) {
+        const std::uint32_t node = path[i];
+        if (evaluated[node]) continue;
+        const Edge& e = out[node][static_cast<std::size_t>(policy[node])];
+        ratio[node] = ratio[e.dst];
+        dist[node] = e.weight - ratio[node] * e.tokens + dist[e.dst];
+        evaluated[node] = 1;
+      }
+    }
+
+    // --- policy improvement ------------------------------------------------
+    bool changed = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (std::size_t k = 0; k < out[v].size(); ++k) {
+        const Edge& e = out[v][k];
+        if (policy[v] == static_cast<int>(k)) continue;
+        if (ratio[e.dst] == kNegInf) continue;
+        // First criterion: a strictly better cycle becomes reachable.
+        if (ratio[e.dst] > ratio[v] + kEps) {
+          policy[v] = static_cast<int>(k);
+          changed = true;
+          continue;
+        }
+        // Second criterion: same ratio, strictly better potential.
+        if (std::abs(ratio[e.dst] - ratio[v]) <= kEps) {
+          const double cand = e.weight - ratio[v] * e.tokens + dist[e.dst];
+          if (cand > dist[v] + kEps * std::max(1.0, std::abs(dist[v]))) {
+            policy[v] = static_cast<int>(k);
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  double best = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (ratio[v] != kNegInf) best = std::max(best, ratio[v]);
+  }
+  result.ratio = best;
+  return result;
+}
+
+}  // namespace procon::analysis
+
+namespace procon::analysis {
+
+McrResult maximum_cycle_ratio(const Hsdf& h) { return mcr_howard(h); }
+
+}  // namespace procon::analysis

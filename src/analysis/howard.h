@@ -1,0 +1,24 @@
+// Howard's policy-iteration algorithm for the maximum cycle ratio.
+//
+// Dasdan's experimental study ([4], cited by the paper for MCM analysis)
+// identifies Howard's algorithm as the fastest MCR solver in practice. It
+// maintains a policy (one chosen out-edge per node), evaluates the ratio of
+// the unique cycle each policy component contains, and greedily switches
+// edges that improve the reachable ratio until a fixpoint.
+//
+// This engine is an order of magnitude faster than the Lawler parametric
+// search on the expansions this library produces (see bench_micro) and is
+// cross-validated against it on thousands of random graphs in the tests.
+// mcr_binary_search remains the default reference implementation.
+#pragma once
+
+#include "analysis/mcr.h"
+
+namespace procon::analysis {
+
+/// Maximum cycle ratio via Howard's policy iteration. Semantics identical
+/// to mcr_binary_search: detects deadlock (zero-token cycles) and acyclic
+/// graphs the same way.
+[[nodiscard]] McrResult mcr_howard(const Hsdf& h);
+
+}  // namespace procon::analysis

@@ -1,0 +1,110 @@
+#include "analysis/hsdf.h"
+
+#include <map>
+#include <sstream>
+
+namespace procon::analysis {
+namespace {
+
+// ceil(a/b) for b > 0, correct for negative a.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && ((a < 0) == (b < 0))) ? q + 1 : q;
+}
+
+}  // namespace
+
+Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                    std::span<const double> exec_times) {
+  if (q.size() != g.actor_count()) {
+    throw sdf::GraphError("expand_to_hsdf: repetition vector size mismatch");
+  }
+  if (!exec_times.empty() && exec_times.size() != g.actor_count()) {
+    throw sdf::GraphError("expand_to_hsdf: exec_times size mismatch");
+  }
+
+  Hsdf h;
+  // node_base[a] = index of the first firing-node of actor a.
+  std::vector<std::uint32_t> node_base(g.actor_count(), 0);
+  for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
+    node_base[a] = static_cast<std::uint32_t>(h.nodes.size());
+    const double tau = exec_times.empty()
+                           ? static_cast<double>(g.actor(a).exec_time)
+                           : exec_times[a];
+    for (std::uint32_t k = 0; k < q[a]; ++k) {
+      h.nodes.push_back(HsdfNode{a, k, tau});
+    }
+  }
+
+  // For each channel, map every consumed token of every consumer firing to
+  // the producer firing that creates it; keep the min iteration distance
+  // per (producer firing, consumer firing) pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> best;
+  for (const sdf::Channel& ch : g.channels()) {
+    const auto p = static_cast<std::int64_t>(ch.prod_rate);
+    const auto c = static_cast<std::int64_t>(ch.cons_rate);
+    const auto d = static_cast<std::int64_t>(ch.initial_tokens);
+    const auto qu = static_cast<std::int64_t>(q[ch.src]);
+    const auto qv = static_cast<std::int64_t>(q[ch.dst]);
+
+    for (std::int64_t j = 1; j <= qv; ++j) {        // consumer firing (1-based)
+      for (std::int64_t t = (j - 1) * c + 1; t <= j * c; ++t) {  // token index
+        // Producer firing number (1-based from execution start); <= 0 means
+        // the token is (an ancestor of) an initial token.
+        std::int64_t f = ceil_div(t - d, p);
+        std::int64_t delay = 0;
+        if (f < 1) {
+          // Shift whole iterations until the firing index is positive.
+          const std::int64_t m = ceil_div(1 - f, qu);
+          f += m * qu;
+          delay = m;
+        }
+        // Within one iteration f cannot exceed qu (token conservation), but
+        // guard for robustness on unusual token distributions.
+        while (f > qu) {
+          f -= qu;
+          delay -= 1;
+        }
+        if (delay < 0) {
+          // A dependency on a *future* iteration cannot occur in a
+          // consistent graph; it indicates more initial tokens than one
+          // iteration consumes, i.e. no constraint for this pair.
+          continue;
+        }
+        const std::uint32_t src_node =
+            node_base[ch.src] + static_cast<std::uint32_t>(f - 1);
+        const std::uint32_t dst_node =
+            node_base[ch.dst] + static_cast<std::uint32_t>(j - 1);
+        const auto key = std::make_pair(src_node, dst_node);
+        const auto it = best.find(key);
+        const auto udelay = static_cast<std::uint64_t>(delay);
+        if (it == best.end() || udelay < it->second) best[key] = udelay;
+      }
+    }
+  }
+
+  h.edges.reserve(best.size());
+  for (const auto& [key, tokens] : best) {
+    h.edges.push_back(HsdfEdge{key.first, key.second, tokens});
+  }
+  return h;
+}
+
+std::string hsdf_to_dot(const Hsdf& h) {
+  std::ostringstream os;
+  os << "digraph hsdf {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < h.nodes.size(); ++i) {
+    const HsdfNode& n = h.nodes[i];
+    os << "  n" << i << " [label=\"a" << n.source_actor << "." << n.firing << "\\n("
+       << n.exec_time << ")\"];\n";
+  }
+  for (const HsdfEdge& e : h.edges) {
+    os << "  n" << e.src << " -> n" << e.dst;
+    if (e.tokens > 0) os << " [label=\"" << e.tokens << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace procon::analysis

@@ -1,0 +1,63 @@
+// SDF -> HSDF (homogeneous SDF) expansion.
+//
+// Each actor a is replaced by q[a] vertices (one per firing in an
+// iteration); each channel induces precedence edges between producing and
+// consuming firings, annotated with an iteration distance ("tokens" in the
+// homogeneous graph). This is the classical unfolding of Sriram &
+// Bhattacharyya used by the throughput analyses the paper builds on ([2],
+// [4], [14]).
+//
+// The expansion here keeps, for every (producer firing, consumer firing)
+// pair, only the edge with the minimum iteration distance - the binding
+// constraint - so the result has at most q[src]*q[dst] edges per channel.
+//
+// Execution times are carried as doubles because the contention estimator
+// annotates actors with fractional expected response times.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.h"
+#include "sdf/repetition.h"
+
+namespace procon::analysis {
+
+/// One firing of a source actor within an iteration.
+struct HsdfNode {
+  sdf::ActorId source_actor = sdf::kInvalidActor;
+  std::uint32_t firing = 0;  ///< 0-based firing index within the iteration
+  double exec_time = 0.0;
+};
+
+/// Precedence edge: dst's firing in iteration n depends on src's firing in
+/// iteration n - tokens.
+struct HsdfEdge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t tokens = 0;
+};
+
+/// A homogeneous SDF graph (all rates 1).
+struct Hsdf {
+  std::vector<HsdfNode> nodes;
+  std::vector<HsdfEdge> edges;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges.size(); }
+};
+
+/// Expands `g` (with repetition vector `q`) into an HSDF. If `exec_times`
+/// is non-empty it overrides the graph's integral actor times (one entry
+/// per actor); otherwise the graph's own times are used.
+///
+/// Throws sdf::GraphError if q does not match the graph.
+[[nodiscard]] Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                                  std::span<const double> exec_times = {});
+
+/// Graphviz DOT rendering of an HSDF (debug aid).
+[[nodiscard]] std::string hsdf_to_dot(const Hsdf& h);
+
+}  // namespace procon::analysis

@@ -1,0 +1,44 @@
+// Single-iteration latency analysis.
+//
+// Besides throughput, the SDF literature the paper builds on analyses
+// latency ([16]): the time one iteration takes end-to-end. Under
+// self-timed execution with all inputs available, the iteration latency is
+// the longest (execution-time-weighted) path through the intra-iteration
+// precedence DAG - the HSDF expansion restricted to zero-token edges.
+//
+// Latency and period differ exactly when the graph pipelines: a graph with
+// period 10 may still take 100 time units from an iteration's first firing
+// to its last.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/hsdf.h"
+#include "sdf/graph.h"
+
+namespace procon::analysis {
+
+struct LatencyResult {
+  /// Longest weighted path through one iteration (time units).
+  double latency = 0.0;
+  /// HSDF nodes on the critical path, in execution order.
+  std::vector<std::uint32_t> path;
+};
+
+/// Longest path over the zero-token edges of an HSDF (a DAG for any
+/// deadlock-free expansion). Throws sdf::GraphError if the zero-token
+/// subgraph contains a cycle (the graph deadlocks).
+[[nodiscard]] LatencyResult iteration_latency(const Hsdf& h);
+
+/// Convenience: expands `g` (with optional execution-time overrides, no
+/// auto-concurrency) and reports the latency plus the actors on the
+/// critical path (deduplicated, in path order).
+struct GraphLatencyResult {
+  double latency = 0.0;
+  std::vector<sdf::ActorId> critical_actors;
+};
+[[nodiscard]] GraphLatencyResult compute_latency(const sdf::Graph& g,
+                                                 std::span<const double> exec_times = {});
+
+}  // namespace procon::analysis

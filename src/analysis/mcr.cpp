@@ -1,0 +1,230 @@
+#include "analysis/mcr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procon::analysis {
+namespace {
+
+struct EdgeView {
+  std::uint32_t src, dst;
+  double weight;     // execution time of src node
+  double tokens;     // iteration distance
+};
+
+std::vector<EdgeView> make_edges(const Hsdf& h) {
+  std::vector<EdgeView> edges;
+  edges.reserve(h.edges.size());
+  for (const HsdfEdge& e : h.edges) {
+    edges.push_back(EdgeView{e.src, e.dst, h.nodes[e.src].exec_time,
+                             static_cast<double>(e.tokens)});
+  }
+  return edges;
+}
+
+/// True if the directed graph restricted to `edges` contains a cycle.
+bool has_cycle(std::size_t n, const std::vector<EdgeView>& edges,
+               bool zero_token_only) {
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (const EdgeView& e : edges) {
+    if (zero_token_only && e.tokens != 0.0) continue;
+    adj[e.src].push_back(e.dst);
+  }
+  // Iterative colouring DFS.
+  enum : std::uint8_t { White, Grey, Black };
+  std::vector<std::uint8_t> colour(n, White);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (colour[root] != White) continue;
+    stack.emplace_back(root, 0);
+    colour[root] = Grey;
+    while (!stack.empty()) {
+      auto& [v, pos] = stack.back();
+      if (pos < adj[v].size()) {
+        const std::uint32_t w = adj[v][pos++];
+        if (colour[w] == Grey) return true;
+        if (colour[w] == White) {
+          colour[w] = Grey;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        colour[v] = Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+/// Bellman-Ford style check: does a cycle with positive total
+/// (weight - lambda * tokens) exist?
+bool positive_cycle_exists(std::size_t n, const std::vector<EdgeView>& edges,
+                           double lambda) {
+  // Longest-path relaxation from an implicit super-source (dist 0 at all
+  // nodes); any further relaxation after n rounds implies a positive cycle.
+  std::vector<double> dist(n, 0.0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const EdgeView& e : edges) {
+      const double cand = dist[e.src] + e.weight - lambda * e.tokens;
+      if (cand > dist[e.dst] + 1e-15) {
+        dist[e.dst] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+McrResult mcr_binary_search(const Hsdf& h, const McrOptions& opts) {
+  McrResult result;
+  const std::size_t n = h.node_count();
+  if (n == 0) return result;
+  const std::vector<EdgeView> edges = make_edges(h);
+
+  if (!has_cycle(n, edges, /*zero_token_only=*/false)) {
+    return result;  // acyclic: has_cycle stays false
+  }
+  result.has_cycle = true;
+
+  if (has_cycle(n, edges, /*zero_token_only=*/true)) {
+    result.deadlocked = true;
+    return result;
+  }
+
+  double lo = 0.0;
+  double hi = 1.0;
+  for (const HsdfNode& node : h.nodes) hi += std::max(node.exec_time, 0.0);
+  // All cycles have token sum >= 1, so ratio <= total node weight < hi.
+
+  if (!positive_cycle_exists(n, edges, 0.0)) {
+    // All cycle weights are <= 0 (e.g. all-zero execution times).
+    result.ratio = 0.0;
+    return result;
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (positive_cycle_exists(n, edges, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= opts.relative_tolerance * std::max(1.0, hi)) break;
+  }
+  result.ratio = 0.5 * (lo + hi);
+  return result;
+}
+
+CriticalCycleResult mcr_with_critical_cycle(const Hsdf& h, const McrOptions& opts) {
+  CriticalCycleResult result;
+  result.mcr = mcr_binary_search(h, opts);
+  if (!result.mcr.has_cycle || result.mcr.deadlocked) return result;
+
+  const std::size_t n = h.node_count();
+  const std::vector<EdgeView> edges = make_edges(h);
+  // Slightly below lambda* every critical cycle has (numerically) positive
+  // reduced weight; Bellman-Ford with predecessor tracking exposes one.
+  const double lambda =
+      result.mcr.ratio - 1e-7 * std::max(1.0, result.mcr.ratio) - 1e-12;
+  std::vector<double> dist(n, 0.0);
+  std::vector<std::uint32_t> pred(n, UINT32_MAX);
+  std::uint32_t touched = UINT32_MAX;
+  for (std::size_t round = 0; round <= n; ++round) {
+    touched = UINT32_MAX;
+    for (const EdgeView& e : edges) {
+      const double cand = dist[e.src] + e.weight - lambda * e.tokens;
+      if (cand > dist[e.dst] + 1e-12) {
+        dist[e.dst] = cand;
+        pred[e.dst] = e.src;
+        touched = e.dst;
+      }
+    }
+    if (touched == UINT32_MAX) break;
+  }
+  if (touched == UINT32_MAX) return result;  // numerically flat: no cycle found
+
+  // Walk predecessors n steps to guarantee landing on the cycle, then
+  // extract it.
+  std::uint32_t v = touched;
+  for (std::size_t i = 0; i < n; ++i) v = pred[v];
+  std::vector<bool> on(n, false);
+  std::vector<std::uint32_t> walk;
+  std::uint32_t w = v;
+  while (!on[w]) {
+    on[w] = true;
+    walk.push_back(w);
+    w = pred[w];
+  }
+  // `walk` lists the cycle in predecessor (backward) order starting at the
+  // repeated node w; edges run walk[i+1] -> walk[i], so the forward cycle
+  // is the w-suffix of the walk, reversed.
+  const auto pos = std::find(walk.begin(), walk.end(), w);
+  std::vector<std::uint32_t> cycle(pos, walk.end());
+  std::reverse(cycle.begin(), cycle.end());
+  result.cycle = std::move(cycle);
+  return result;
+}
+
+McrResult mcr_enumerate(const Hsdf& h, std::size_t max_nodes) {
+  if (h.node_count() > max_nodes) {
+    throw std::invalid_argument("mcr_enumerate: graph too large for enumeration");
+  }
+  McrResult result;
+  const std::size_t n = h.node_count();
+  if (n == 0) return result;
+
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> adj(n);
+  for (const HsdfEdge& e : h.edges) adj[e.src].emplace_back(e.dst, e.tokens);
+
+  std::vector<bool> on_path(n, false);
+  double best = -1.0;
+  bool any_cycle = false;
+  bool deadlock = false;
+
+  // DFS rooted at `start`, visiting only nodes >= start so each simple cycle
+  // is found exactly once (at its minimum node).
+  struct StackFrame {
+    std::uint32_t node;
+    std::size_t next_edge;
+    double weight_sum;     // node weights along the path including `node`
+    std::uint64_t tokens;  // edge tokens along the path into `node`
+  };
+  for (std::uint32_t start = 0; start < n; ++start) {
+    std::vector<StackFrame> stack;
+    stack.push_back({start, 0, h.nodes[start].exec_time, 0});
+    on_path[start] = true;
+    while (!stack.empty()) {
+      StackFrame& f = stack.back();
+      if (f.next_edge < adj[f.node].size()) {
+        const auto [to, tok] = adj[f.node][f.next_edge++];
+        if (to == start) {
+          any_cycle = true;
+          const std::uint64_t cycle_tokens = f.tokens + tok;
+          if (cycle_tokens == 0) {
+            deadlock = true;
+          } else {
+            best = std::max(best, f.weight_sum / static_cast<double>(cycle_tokens));
+          }
+        } else if (to > start && !on_path[to]) {
+          on_path[to] = true;
+          stack.push_back({to, 0, f.weight_sum + h.nodes[to].exec_time,
+                           f.tokens + tok});
+        }
+      } else {
+        on_path[f.node] = false;
+        stack.pop_back();
+      }
+    }
+  }
+
+  result.has_cycle = any_cycle;
+  result.deadlocked = deadlock;
+  if (any_cycle && !deadlock) result.ratio = std::max(best, 0.0);
+  return result;
+}
+
+}  // namespace procon::analysis

@@ -1,0 +1,150 @@
+#include "analysis/state_space.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace procon::analysis {
+namespace {
+
+using sdf::ActorId;
+using sdf::ChannelId;
+using sdf::Graph;
+using sdf::Time;
+
+/// Canonical execution state: token distribution plus, per actor, the
+/// remaining execution time of its ongoing firing (-1 if idle). Times are
+/// stored relative to "now" so recurring configurations compare equal.
+struct State {
+  std::vector<std::uint64_t> tokens;
+  std::vector<Time> remaining;
+
+  auto operator<=>(const State&) const = default;
+};
+
+}  // namespace
+
+StateSpaceResult self_timed_period(const Graph& g, const StateSpaceOptions& opts) {
+  StateSpaceResult result;
+  const auto q_opt = sdf::compute_repetition_vector(g);
+  if (!q_opt) {
+    result.deadlocked = true;
+    return result;
+  }
+  const sdf::RepetitionVector& q = *q_opt;
+  const std::size_t n = g.actor_count();
+
+  const std::uint64_t max_firings =
+      opts.max_firings ? opts.max_firings : 1'000'000ULL + 10'000ULL * n;
+
+  State st;
+  st.tokens.resize(g.channel_count());
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    st.tokens[c] = g.channel(c).initial_tokens;
+  }
+  st.remaining.assign(n, -1);
+
+  std::vector<std::uint64_t> completions(n, 0);
+  auto iterations_done = [&]() -> std::uint64_t {
+    std::uint64_t iters = ~0ULL;
+    for (std::size_t a = 0; a < n; ++a) {
+      iters = std::min(iters, completions[a] / q[a]);
+    }
+    return iters;
+  };
+
+  auto can_start = [&](ActorId a) {
+    if (st.remaining[a] >= 0) return false;  // no auto-concurrency
+    for (const ChannelId cid : g.in_channels(a)) {
+      if (st.tokens[cid] < g.channel(cid).cons_rate) return false;
+    }
+    return true;
+  };
+
+  Time now = 0;
+  std::uint64_t fired = 0;
+  // Visited states -> (time, iterations completed).
+  std::map<State, std::pair<Time, std::uint64_t>> seen;
+
+  while (fired < max_firings) {
+    // Phase 1: start every enabled firing (consume tokens at start). A
+    // started actor may enable others only by *finishing*, and consumption
+    // only removes tokens, so one sweep per actor suffices; zero-time actors
+    // are completed immediately in phase 2 below.
+    for (ActorId a = 0; a < n; ++a) {
+      if (can_start(a)) {
+        for (const ChannelId cid : g.in_channels(a)) {
+          st.tokens[cid] -= g.channel(cid).cons_rate;
+        }
+        st.remaining[a] = g.actor(a).exec_time;
+      }
+    }
+
+    // Phase 2: complete zero-remaining firings at the current instant,
+    // which may enable further same-instant starts. Loop until stable.
+    bool instant_progress = true;
+    while (instant_progress) {
+      instant_progress = false;
+      for (ActorId a = 0; a < n; ++a) {
+        if (st.remaining[a] == 0) {
+          for (const ChannelId cid : g.out_channels(a)) {
+            st.tokens[cid] += g.channel(cid).prod_rate;
+          }
+          st.remaining[a] = -1;
+          ++completions[a];
+          ++fired;
+          instant_progress = true;
+        }
+      }
+      for (ActorId a = 0; a < n; ++a) {
+        if (can_start(a)) {
+          for (const ChannelId cid : g.in_channels(a)) {
+            st.tokens[cid] -= g.channel(cid).cons_rate;
+          }
+          st.remaining[a] = g.actor(a).exec_time;
+          instant_progress = true;
+        }
+      }
+    }
+
+    // Quiescent at `now`: record / check recurrence.
+    const std::uint64_t iters = iterations_done();
+    const auto [it, inserted] = seen.try_emplace(st, now, iters);
+    if (!inserted) {
+      const auto [prev_time, prev_iters] = it->second;
+      const std::uint64_t diters = iters - prev_iters;
+      const Time dtime = now - prev_time;
+      if (diters == 0) {
+        // State recurred without progress: livelock/deadlock.
+        result.deadlocked = true;
+        return result;
+      }
+      result.converged = true;
+      result.period = util::Rational(dtime, static_cast<std::int64_t>(diters));
+      result.transient_end = prev_time;
+      result.iterations_in_cycle = diters;
+      result.cycle_duration = dtime;
+      return result;
+    }
+
+    // Phase 3: advance time to the next completion.
+    Time step = sdf::kTimeInfinity;
+    for (ActorId a = 0; a < n; ++a) {
+      if (st.remaining[a] > 0) step = std::min(step, st.remaining[a]);
+    }
+    if (step == sdf::kTimeInfinity) {
+      // Nothing executing and nothing could start: deadlock.
+      result.deadlocked = true;
+      return result;
+    }
+    now += step;
+    for (ActorId a = 0; a < n; ++a) {
+      if (st.remaining[a] > 0) st.remaining[a] -= step;
+    }
+  }
+
+  // Cap reached without recurrence.
+  return result;
+}
+
+}  // namespace procon::analysis

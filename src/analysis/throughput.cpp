@@ -1,0 +1,50 @@
+#include "analysis/throughput.h"
+
+#include <algorithm>
+
+namespace procon::analysis {
+
+PeriodResult compute_period(const sdf::Graph& g, std::span<const double> exec_times) {
+  const sdf::Graph closed = g.with_self_loops();
+  const auto q = sdf::compute_repetition_vector(closed);
+  if (!q) throw sdf::GraphError("compute_period: inconsistent graph");
+  const Hsdf h = expand_to_hsdf(closed, *q, exec_times);
+  const McrResult mcr = maximum_cycle_ratio(h);
+  PeriodResult out;
+  out.deadlocked = mcr.deadlocked;
+  out.period = mcr.deadlocked ? 0.0 : mcr.ratio;
+  return out;
+}
+
+BottleneckReport find_bottleneck(const sdf::Graph& g,
+                                 std::span<const double> exec_times) {
+  const sdf::Graph closed = g.with_self_loops();
+  const auto q = sdf::compute_repetition_vector(closed);
+  if (!q) throw sdf::GraphError("find_bottleneck: inconsistent graph");
+  const Hsdf h = expand_to_hsdf(closed, *q, exec_times);
+  const CriticalCycleResult cc = mcr_with_critical_cycle(h);
+  BottleneckReport report;
+  report.deadlocked = cc.mcr.deadlocked;
+  report.period = cc.mcr.deadlocked ? 0.0 : cc.mcr.ratio;
+  std::vector<bool> seen(g.actor_count(), false);
+  for (const std::uint32_t node : cc.cycle) {
+    const sdf::ActorId a = h.nodes[node].source_actor;
+    if (!seen[a]) {
+      seen[a] = true;
+      report.actors.push_back(a);
+    }
+  }
+  std::sort(report.actors.begin(), report.actors.end());
+  return report;
+}
+
+util::Rational compute_period_exact(const sdf::Graph& g) {
+  const sdf::Graph closed = g.with_self_loops();
+  const StateSpaceResult r = self_timed_period(closed);
+  if (r.deadlocked || !r.converged) {
+    throw sdf::GraphError("compute_period_exact: graph deadlocks or did not converge");
+  }
+  return r.period;
+}
+
+}  // namespace procon::analysis

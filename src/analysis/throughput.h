@@ -1,0 +1,52 @@
+// High-level single-application period / throughput API (Definition 3).
+//
+// Per(A) is the average time one iteration of application A takes under
+// self-timed execution with dedicated resources. The contention estimator
+// perturbs actor execution times with fractional waiting times, so the
+// default engine is HSDF expansion + maximum cycle ratio, which is exact
+// for real-valued times; the state-space engine provides exact rational
+// results for integer graphs (and cross-validates the MCR path in tests).
+#pragma once
+
+#include <span>
+
+#include "analysis/mcr.h"
+#include "analysis/state_space.h"
+#include "sdf/graph.h"
+
+namespace procon::analysis {
+
+struct PeriodResult {
+  bool deadlocked = false;
+  /// Time units per graph iteration; 0 for acyclic graphs (infinite
+  /// pipelining under self-timed execution).
+  double period = 0.0;
+
+  [[nodiscard]] double throughput() const noexcept {
+    return period > 0.0 ? 1.0 / period : 0.0;
+  }
+};
+
+/// Computes Per(g) via HSDF + MCR. `exec_times`, if non-empty, overrides
+/// actor execution times (one entry per actor; fractional values allowed).
+/// Auto-concurrency is disabled by inserting self-loops, matching the
+/// paper's operational model. Throws sdf::GraphError on inconsistent graphs.
+[[nodiscard]] PeriodResult compute_period(const sdf::Graph& g,
+                                          std::span<const double> exec_times = {});
+
+/// Exact rational period of an integer-time graph via state-space
+/// execution. Throws sdf::GraphError on inconsistent graphs.
+[[nodiscard]] util::Rational compute_period_exact(const sdf::Graph& g);
+
+/// Which actors limit the throughput: the (deduplicated, id-ordered) actors
+/// on the critical cycle of the HSDF expansion, plus the period they
+/// enforce. Speeding up any other actor cannot improve the period.
+struct BottleneckReport {
+  bool deadlocked = false;
+  double period = 0.0;
+  std::vector<sdf::ActorId> actors;
+};
+[[nodiscard]] BottleneckReport find_bottleneck(const sdf::Graph& g,
+                                               std::span<const double> exec_times = {});
+
+}  // namespace procon::analysis

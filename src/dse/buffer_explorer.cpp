@@ -1,0 +1,76 @@
+#include "dse/buffer_explorer.h"
+
+#include <algorithm>
+
+#include "analysis/throughput.h"
+
+namespace procon::dse {
+namespace {
+
+double bounded_period(const sdf::Graph& g,
+                      const std::vector<std::uint64_t>& caps) {
+  const sdf::Graph bounded = sdf::with_buffer_capacities(g, caps);
+  const auto r = analysis::compute_period(bounded);
+  if (r.deadlocked) {
+    throw sdf::GraphError("explore_buffer_tradeoff: bounded graph deadlocks");
+  }
+  return r.period;
+}
+
+std::uint64_t total_of(const std::vector<std::uint64_t>& caps) {
+  std::uint64_t t = 0;
+  for (const auto c : caps) t += c;
+  return t;
+}
+
+}  // namespace
+
+std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
+                                                 const BufferExplorerOptions& options) {
+  const double unbounded = analysis::compute_period(g).period;
+  std::vector<std::uint64_t> caps = sdf::minimal_feasible_capacities(g);
+
+  std::vector<BufferPoint> frontier;
+  double current = bounded_period(g, caps);
+  frontier.push_back(BufferPoint{caps, total_of(caps), current});
+
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    if (current <= unbounded * (1.0 + options.convergence)) break;
+
+    // Greedy: grow each channel by one production quantum, keep the best.
+    double best_period = current;
+    sdf::ChannelId best_channel = sdf::kInvalidChannel;
+    std::uint64_t best_increment = 0;
+    for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
+      if (g.channel(c).is_self_loop()) continue;
+      const std::uint64_t increment = g.channel(c).prod_rate;
+      caps[c] += increment;
+      const double candidate = bounded_period(g, caps);
+      caps[c] -= increment;
+      if (candidate < best_period - 1e-12) {
+        best_period = candidate;
+        best_channel = c;
+        best_increment = increment;
+      }
+    }
+    if (best_channel == sdf::kInvalidChannel) {
+      // No single increment helps: grow every channel once (plateaus can
+      // need simultaneous growth); if that does not help either, stop.
+      auto grown = caps;
+      for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
+        if (!g.channel(c).is_self_loop()) grown[c] += g.channel(c).prod_rate;
+      }
+      const double candidate = bounded_period(g, grown);
+      if (candidate >= current - 1e-12) break;
+      caps = std::move(grown);
+      current = candidate;
+    } else {
+      caps[best_channel] += best_increment;
+      current = best_period;
+    }
+    frontier.push_back(BufferPoint{caps, total_of(caps), current});
+  }
+  return frontier;
+}
+
+}  // namespace procon::dse

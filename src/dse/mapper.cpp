@@ -1,0 +1,95 @@
+#include "dse/mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procon::dse {
+
+double evaluate_mapping(std::span<const sdf::Graph> apps,
+                        const platform::Platform& platform,
+                        const platform::Mapping& mapping,
+                        const prob::EstimatorOptions& estimator) {
+  platform::System sys(std::vector<sdf::Graph>(apps.begin(), apps.end()),
+                       platform, mapping);
+  const prob::ContentionEstimator est(estimator);
+  double worst = 0.0;
+  for (const auto& e : est.estimate(sys)) {
+    worst = std::max(worst, e.normalised_period());
+  }
+  return worst;
+}
+
+MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
+                              const platform::Platform& platform,
+                              const platform::Mapping& start,
+                              const MapperOptions& options) {
+  if (platform.node_count() < 2) {
+    // Nothing to move; the start mapping is the only candidate.
+    MapperResult r{start, evaluate_mapping(apps, platform, start, options.estimator),
+                   0.0, 1, 0};
+    r.initial_score = r.score;
+    return r;
+  }
+  if (!start.is_complete()) {
+    throw std::invalid_argument("optimise_mapping: start mapping incomplete");
+  }
+
+  util::Rng rng(options.seed);
+  MapperResult result;
+  result.mapping = start;
+  result.score = evaluate_mapping(apps, platform, start, options.estimator);
+  result.initial_score = result.score;
+  result.evaluations = 1;
+
+  platform::Mapping current = start;
+  double current_score = result.score;
+  double temperature = options.initial_temperature;
+
+  // Pre-compute the actor universe for uniform move selection.
+  struct Slot {
+    sdf::AppId app;
+    sdf::ActorId actor;
+  };
+  std::vector<Slot> slots;
+  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    for (sdf::ActorId a = 0; a < apps[i].actor_count(); ++a) {
+      slots.push_back({i, a});
+    }
+  }
+  if (slots.empty()) return result;
+
+  for (std::size_t step = 0; step < options.iterations; ++step) {
+    // Move: reassign one uniformly chosen actor to another node.
+    const Slot slot = slots[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1))];
+    const platform::NodeId old_node = current.node_of(slot.app, slot.actor);
+    platform::NodeId new_node = static_cast<platform::NodeId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(platform.node_count()) - 2));
+    if (new_node >= old_node) ++new_node;
+
+    current.assign(slot.app, slot.actor, new_node);
+    const double candidate_score =
+        evaluate_mapping(apps, platform, current, options.estimator);
+    ++result.evaluations;
+
+    const double delta = candidate_score - current_score;
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform01() < std::exp(-delta / temperature));
+    if (accept) {
+      current_score = candidate_score;
+      ++result.accepted_moves;
+      if (candidate_score < result.score) {
+        result.score = candidate_score;
+        result.mapping = current;
+      }
+    } else {
+      current.assign(slot.app, slot.actor, old_node);  // undo
+    }
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace procon::dse

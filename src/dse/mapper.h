@@ -1,0 +1,52 @@
+// Mapping design-space exploration driven by the probabilistic estimator.
+//
+// The paper's speed argument (minutes of analysis vs hours of simulation)
+// is what makes automatic mapping exploration practical: a candidate
+// mapping can be scored analytically in microseconds. This module provides
+// a simulated-annealing mapper that minimises the worst estimated slowdown
+// (max over applications of estimated period / isolation period) by moving
+// one actor to another node per step.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "platform/system.h"
+#include "prob/estimator.h"
+#include "util/rng.h"
+
+namespace procon::dse {
+
+struct MapperOptions {
+  std::size_t iterations = 2000;   ///< annealing steps
+  double initial_temperature = 1.0;
+  double cooling = 0.995;          ///< geometric temperature decay per step
+  std::uint64_t seed = 1;
+  prob::EstimatorOptions estimator;  ///< scoring method (2nd order default)
+};
+
+struct MapperResult {
+  platform::Mapping mapping;
+  double score = 0.0;         ///< worst estimated slowdown of `mapping`
+  double initial_score = 0.0; ///< score of the starting mapping
+  std::size_t evaluations = 0;
+  std::size_t accepted_moves = 0;
+};
+
+/// Scores one complete mapping: max over applications of the estimated
+/// normalised period (>= 1; lower is better). Throws sdf::GraphError on
+/// invalid systems.
+[[nodiscard]] double evaluate_mapping(std::span<const sdf::Graph> apps,
+                                      const platform::Platform& platform,
+                                      const platform::Mapping& mapping,
+                                      const prob::EstimatorOptions& estimator = {});
+
+/// Simulated annealing from `start` (use Mapping::by_index / random /
+/// load_balanced to seed it). Deterministic for a fixed options.seed.
+[[nodiscard]] MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
+                                            const platform::Platform& platform,
+                                            const platform::Mapping& start,
+                                            const MapperOptions& options = {});
+
+}  // namespace procon::dse

@@ -1,0 +1,70 @@
+#include "gen/use_cases.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace procon::gen {
+
+using platform::UseCase;
+
+std::vector<UseCase> use_cases_of_size(std::size_t app_count, std::size_t cardinality) {
+  std::vector<UseCase> out;
+  if (cardinality == 0 || cardinality > app_count) return out;
+  // Standard combination enumeration in lexicographic order.
+  std::vector<sdf::AppId> idx(cardinality);
+  for (std::size_t i = 0; i < cardinality; ++i) idx[i] = static_cast<sdf::AppId>(i);
+  while (true) {
+    out.push_back(idx);
+    // Advance.
+    std::size_t i = cardinality;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + app_count - cardinality) break;
+      if (i == 0) return out;
+    }
+    ++idx[i];
+    for (std::size_t j = i + 1; j < cardinality; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+std::vector<UseCase> all_use_cases(std::size_t app_count) {
+  if (app_count > 20) {
+    throw std::invalid_argument("all_use_cases: too many applications (max 20)");
+  }
+  std::vector<UseCase> out;
+  out.reserve((1ULL << app_count) - 1);
+  for (std::size_t k = 1; k <= app_count; ++k) {
+    auto of_size = use_cases_of_size(app_count, k);
+    out.insert(out.end(), of_size.begin(), of_size.end());
+  }
+  return out;
+}
+
+std::vector<UseCase> sample_use_cases(std::size_t app_count, std::size_t per_size,
+                                      util::Rng& rng) {
+  std::vector<UseCase> out;
+  for (std::size_t k = 1; k <= app_count; ++k) {
+    // If few enough combinations exist, take them all.
+    auto all = use_cases_of_size(app_count, k);
+    if (all.size() <= per_size) {
+      out.insert(out.end(), all.begin(), all.end());
+      continue;
+    }
+    std::set<UseCase> chosen;
+    while (chosen.size() < per_size) {
+      // Floyd-style sample of k distinct app ids.
+      UseCase uc;
+      std::vector<sdf::AppId> pool(app_count);
+      for (std::size_t i = 0; i < app_count; ++i) pool[i] = static_cast<sdf::AppId>(i);
+      rng.shuffle(pool);
+      uc.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
+      std::sort(uc.begin(), uc.end());
+      chosen.insert(std::move(uc));
+    }
+    out.insert(out.end(), chosen.begin(), chosen.end());
+  }
+  return out;
+}
+
+}  // namespace procon::gen

@@ -1,0 +1,62 @@
+#include "platform/heterogeneous.h"
+
+#include <stdexcept>
+
+namespace procon::platform {
+
+HeterogeneousTiming::HeterogeneousTiming(std::span<const sdf::Graph> apps,
+                                         std::size_t type_count)
+    : type_count_(type_count) {
+  if (type_count_ == 0) {
+    throw std::invalid_argument("HeterogeneousTiming: need at least one type");
+  }
+  times_.reserve(apps.size());
+  for (const sdf::Graph& g : apps) {
+    times_.emplace_back(g.actor_count(), std::vector<sdf::Time>(type_count_, kUnset));
+  }
+}
+
+void HeterogeneousTiming::set(sdf::AppId app, sdf::ActorId actor, NodeType type,
+                              sdf::Time time) {
+  if (app >= times_.size() || actor >= times_[app].size() || type >= type_count_) {
+    throw std::out_of_range("HeterogeneousTiming::set: invalid index");
+  }
+  if (time < 0) throw sdf::GraphError("HeterogeneousTiming: negative time");
+  times_[app][actor][type] = time;
+}
+
+sdf::Time HeterogeneousTiming::get(sdf::AppId app, sdf::ActorId actor, NodeType type,
+                                   sdf::Time base) const {
+  if (app >= times_.size() || actor >= times_[app].size() || type >= type_count_) {
+    throw std::out_of_range("HeterogeneousTiming::get: invalid index");
+  }
+  const sdf::Time t = times_[app][actor][type];
+  return t == kUnset ? base : t;
+}
+
+System HeterogeneousTiming::apply(const System& sys) const {
+  if (sys.app_count() != times_.size()) {
+    throw sdf::GraphError("HeterogeneousTiming::apply: application count mismatch");
+  }
+  if (sys.platform().type_count() > type_count_) {
+    throw sdf::GraphError("HeterogeneousTiming::apply: platform uses unknown types");
+  }
+  std::vector<sdf::Graph> apps;
+  apps.reserve(sys.app_count());
+  for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
+    const sdf::Graph& g = sys.app(i);
+    if (g.actor_count() != times_[i].size()) {
+      throw sdf::GraphError("HeterogeneousTiming::apply: actor count mismatch");
+    }
+    std::vector<sdf::Time> effective(g.actor_count());
+    for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
+      const NodeId node = sys.mapping().node_of(i, a);
+      const NodeType type = sys.platform().node(node).type;
+      effective[a] = get(i, a, type, g.actor(a).exec_time);
+    }
+    apps.push_back(g.with_exec_times(effective));
+  }
+  return System(std::move(apps), sys.platform(), sys.mapping());
+}
+
+}  // namespace procon::platform

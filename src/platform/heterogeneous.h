@@ -1,0 +1,49 @@
+// Heterogeneous execution times.
+//
+// The paper targets "non-preemptive heterogeneous multi-processor
+// platforms": the same task takes different time on a RISC host, a DSP or
+// a dedicated accelerator. A HeterogeneousTiming table records, per actor
+// and node *type*, the execution time on that type; apply() materialises a
+// System whose graphs carry the execution times implied by the current
+// mapping, after which every analysis (estimator, WCRT, simulator) works
+// unchanged - the mapping decides the times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "platform/system.h"
+#include "sdf/graph.h"
+
+namespace procon::platform {
+
+class HeterogeneousTiming {
+ public:
+  /// Table for `apps` over `type_count` node types; every entry defaults to
+  /// "use the graph's own execution time".
+  HeterogeneousTiming(std::span<const sdf::Graph> apps, std::size_t type_count);
+
+  /// Sets the execution time of (app, actor) on nodes of `type`.
+  /// Throws std::out_of_range / sdf::GraphError on invalid arguments.
+  void set(sdf::AppId app, sdf::ActorId actor, NodeType type, sdf::Time time);
+
+  /// Time of (app, actor) on `type`; falls back to `base` when unset.
+  [[nodiscard]] sdf::Time get(sdf::AppId app, sdf::ActorId actor, NodeType type,
+                              sdf::Time base) const;
+
+  [[nodiscard]] std::size_t type_count() const noexcept { return type_count_; }
+
+  /// Returns a copy of `sys` whose application graphs carry the execution
+  /// times this table implies under sys.mapping(). Unset entries keep the
+  /// graph's base time. Throws sdf::GraphError if the system's shape does
+  /// not match the table.
+  [[nodiscard]] System apply(const System& sys) const;
+
+ private:
+  static constexpr sdf::Time kUnset = -1;
+  std::size_t type_count_;
+  // times_[app][actor][type]; kUnset = fall back to the graph's time.
+  std::vector<std::vector<std::vector<sdf::Time>>> times_;
+};
+
+}  // namespace procon::platform

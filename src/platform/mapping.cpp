@@ -1,0 +1,111 @@
+#include "platform/mapping.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sdf/repetition.h"
+
+namespace procon::platform {
+
+Mapping::Mapping(std::span<const sdf::Graph> apps) {
+  node_of_.reserve(apps.size());
+  for (const sdf::Graph& g : apps) {
+    node_of_.emplace_back(g.actor_count(), kInvalidNode);
+  }
+}
+
+void Mapping::assign(sdf::AppId app, sdf::ActorId actor, NodeId node) {
+  if (app >= node_of_.size() || actor >= node_of_[app].size()) {
+    throw std::out_of_range("Mapping::assign: invalid actor");
+  }
+  node_of_[app][actor] = node;
+}
+
+NodeId Mapping::node_of(sdf::AppId app, sdf::ActorId actor) const {
+  if (app >= node_of_.size() || actor >= node_of_[app].size()) {
+    throw std::out_of_range("Mapping::node_of: invalid actor");
+  }
+  return node_of_[app][actor];
+}
+
+std::vector<GlobalActor> Mapping::actors_on(NodeId node) const {
+  std::vector<GlobalActor> out;
+  for (sdf::AppId app = 0; app < node_of_.size(); ++app) {
+    for (sdf::ActorId a = 0; a < node_of_[app].size(); ++a) {
+      if (node_of_[app][a] == node) out.push_back(GlobalActor{app, a});
+    }
+  }
+  return out;
+}
+
+bool Mapping::is_complete() const noexcept {
+  for (const auto& app : node_of_) {
+    for (const NodeId n : app) {
+      if (n == kInvalidNode) return false;
+    }
+  }
+  return true;
+}
+
+Mapping Mapping::by_index(std::span<const sdf::Graph> apps, const Platform& platform) {
+  Mapping m(apps);
+  for (sdf::AppId app = 0; app < apps.size(); ++app) {
+    for (sdf::ActorId a = 0; a < apps[app].actor_count(); ++a) {
+      if (a >= platform.node_count()) {
+        throw std::out_of_range("Mapping::by_index: not enough nodes");
+      }
+      m.assign(app, a, static_cast<NodeId>(a));
+    }
+  }
+  return m;
+}
+
+Mapping Mapping::random(std::span<const sdf::Graph> apps, const Platform& platform,
+                        util::Rng& rng) {
+  if (platform.node_count() == 0) {
+    throw std::invalid_argument("Mapping::random: empty platform");
+  }
+  Mapping m(apps);
+  for (sdf::AppId app = 0; app < apps.size(); ++app) {
+    for (sdf::ActorId a = 0; a < apps[app].actor_count(); ++a) {
+      m.assign(app, a, static_cast<NodeId>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(platform.node_count()) - 1)));
+    }
+  }
+  return m;
+}
+
+Mapping Mapping::load_balanced(std::span<const sdf::Graph> apps,
+                               const Platform& platform) {
+  if (platform.node_count() == 0) {
+    throw std::invalid_argument("Mapping::load_balanced: empty platform");
+  }
+  struct Item {
+    sdf::AppId app;
+    sdf::ActorId actor;
+    double work;
+  };
+  std::vector<Item> items;
+  for (sdf::AppId app = 0; app < apps.size(); ++app) {
+    const auto q = sdf::compute_repetition_vector(apps[app]);
+    for (sdf::ActorId a = 0; a < apps[app].actor_count(); ++a) {
+      const double reps = q ? static_cast<double>((*q)[a]) : 1.0;
+      items.push_back(
+          {app, a, reps * static_cast<double>(apps[app].actor(a).exec_time)});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& x, const Item& y) { return x.work > y.work; });
+
+  Mapping m(apps);
+  std::vector<double> load(platform.node_count(), 0.0);
+  for (const Item& it : items) {
+    const auto best = static_cast<NodeId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    m.assign(it.app, it.actor, best);
+    load[best] += it.work;
+  }
+  return m;
+}
+
+}  // namespace procon::platform

@@ -1,0 +1,63 @@
+// Actor-to-node mapping.
+//
+// A Mapping assigns every actor of every application to a processing node.
+// The paper's experimental setup maps actor j of each application onto node
+// j ("index" strategy), so contention arises between applications, not
+// within one application. Random and load-balanced strategies are provided
+// for design-space exploration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "platform/platform.h"
+#include "sdf/graph.h"
+#include "util/rng.h"
+
+namespace procon::platform {
+
+/// Globally identifies an actor: (application index, actor id).
+struct GlobalActor {
+  sdf::AppId app = 0;
+  sdf::ActorId actor = sdf::kInvalidActor;
+
+  friend bool operator==(const GlobalActor&, const GlobalActor&) = default;
+};
+
+class Mapping {
+ public:
+  Mapping() = default;
+
+  /// Pre-sizes the mapping for the given applications (all unmapped).
+  explicit Mapping(std::span<const sdf::Graph> apps);
+
+  /// Assigns one actor.
+  void assign(sdf::AppId app, sdf::ActorId actor, NodeId node);
+
+  [[nodiscard]] NodeId node_of(sdf::AppId app, sdf::ActorId actor) const;
+  [[nodiscard]] std::size_t app_count() const noexcept { return node_of_.size(); }
+
+  /// All actors mapped on `node`, over all applications.
+  [[nodiscard]] std::vector<GlobalActor> actors_on(NodeId node) const;
+
+  /// True if every actor has a node.
+  [[nodiscard]] bool is_complete() const noexcept;
+
+  /// Paper strategy: actor j of every application -> node j. Requires the
+  /// platform to have at least max_j(actor_count) nodes.
+  static Mapping by_index(std::span<const sdf::Graph> apps, const Platform& platform);
+
+  /// Uniformly random node per actor.
+  static Mapping random(std::span<const sdf::Graph> apps, const Platform& platform,
+                        util::Rng& rng);
+
+  /// Greedy load balancing: actors (largest q*tau first) onto the node with
+  /// the least accumulated utilisation estimate.
+  static Mapping load_balanced(std::span<const sdf::Graph> apps,
+                               const Platform& platform);
+
+ private:
+  std::vector<std::vector<NodeId>> node_of_;  // [app][actor]
+};
+
+}  // namespace procon::platform

@@ -1,0 +1,66 @@
+#include "platform/system.h"
+
+#include <stdexcept>
+
+#include "sdf/algorithms.h"
+#include "sdf/repetition.h"
+
+namespace procon::platform {
+
+System::System(std::vector<sdf::Graph> apps, Platform platform, Mapping mapping)
+    : apps_(std::move(apps)), platform_(std::move(platform)), mapping_(std::move(mapping)) {}
+
+const sdf::Graph& System::app(sdf::AppId id) const {
+  if (id >= apps_.size()) throw std::out_of_range("System::app: invalid id");
+  return apps_[id];
+}
+
+System System::restrict_to(const UseCase& use_case) const {
+  std::vector<sdf::Graph> apps;
+  apps.reserve(use_case.size());
+  for (const sdf::AppId id : use_case) {
+    apps.push_back(app(id));  // bounds-checked
+  }
+  Mapping m(apps);
+  for (sdf::AppId newid = 0; newid < use_case.size(); ++newid) {
+    const sdf::AppId oldid = use_case[newid];
+    for (sdf::ActorId a = 0; a < apps[newid].actor_count(); ++a) {
+      m.assign(newid, a, mapping_.node_of(oldid, a));
+    }
+  }
+  return System(std::move(apps), platform_, std::move(m));
+}
+
+UseCase System::full_use_case() const {
+  UseCase uc(apps_.size());
+  for (sdf::AppId i = 0; i < apps_.size(); ++i) uc[i] = i;
+  return uc;
+}
+
+void System::validate() const {
+  if (!mapping_.is_complete()) {
+    throw sdf::GraphError("System: mapping is incomplete");
+  }
+  if (mapping_.app_count() != apps_.size()) {
+    throw sdf::GraphError("System: mapping/application count mismatch");
+  }
+  for (sdf::AppId id = 0; id < apps_.size(); ++id) {
+    const sdf::Graph& g = apps_[id];
+    if (g.actor_count() == 0) {
+      throw sdf::GraphError("System: application '" + g.name() + "' is empty");
+    }
+    if (!sdf::is_consistent(g)) {
+      throw sdf::GraphError("System: application '" + g.name() + "' is inconsistent");
+    }
+    if (!sdf::is_deadlock_free(g)) {
+      throw sdf::GraphError("System: application '" + g.name() + "' deadlocks");
+    }
+    for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
+      if (mapping_.node_of(id, a) >= platform_.node_count()) {
+        throw sdf::GraphError("System: actor mapped to nonexistent node");
+      }
+    }
+  }
+}
+
+}  // namespace procon::platform

@@ -1,0 +1,46 @@
+// A System bundles applications, platform and mapping - the unit every
+// analysis and the simulator operate on. A UseCase selects the subset of
+// applications that run concurrently (the paper's central notion).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "platform/mapping.h"
+#include "platform/platform.h"
+#include "sdf/graph.h"
+
+namespace procon::platform {
+
+/// A use-case: indices of concurrently active applications (sorted, unique).
+using UseCase = std::vector<sdf::AppId>;
+
+class System {
+ public:
+  System() = default;
+  System(std::vector<sdf::Graph> apps, Platform platform, Mapping mapping);
+
+  [[nodiscard]] std::span<const sdf::Graph> apps() const noexcept { return apps_; }
+  [[nodiscard]] const sdf::Graph& app(sdf::AppId id) const;
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+  [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+  [[nodiscard]] const Mapping& mapping() const noexcept { return mapping_; }
+
+  /// Restriction of this system to a use-case: keeps only the selected
+  /// applications (re-indexed 0..k-1) and their mapping entries.
+  [[nodiscard]] System restrict_to(const UseCase& use_case) const;
+
+  /// The use-case containing every application.
+  [[nodiscard]] UseCase full_use_case() const;
+
+  /// Validation: mapping complete, every app consistent & deadlock-free.
+  /// Throws sdf::GraphError with a descriptive message on violation.
+  void validate() const;
+
+ private:
+  std::vector<sdf::Graph> apps_;
+  Platform platform_;
+  Mapping mapping_;
+};
+
+}  // namespace procon::platform

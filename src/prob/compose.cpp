@@ -1,0 +1,56 @@
+#include "prob/compose.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace procon::prob {
+
+Composite to_composite(const ActorLoad& load) noexcept {
+  return Composite{load.probability, load.weighted_blocking()};
+}
+
+double compose_probability(double pa, double pb) noexcept {
+  return pa + pb - pa * pb;
+}
+
+Composite compose(const Composite& a, const Composite& b) noexcept {
+  Composite out;
+  out.probability = compose_probability(a.probability, b.probability);
+  // Eq. 7: muP_ab = muP_a (1 + P_b/2) + muP_b (1 + P_a/2).
+  out.weighted_blocking = a.weighted_blocking * (1.0 + b.probability / 2.0) +
+                          b.weighted_blocking * (1.0 + a.probability / 2.0);
+  return out;
+}
+
+Composite compose_all(std::span<const ActorLoad> loads) noexcept {
+  Composite acc = Composite::identity();
+  for (const ActorLoad& l : loads) acc = compose(acc, to_composite(l));
+  return acc;
+}
+
+bool can_invert(const Composite& b, double eps) noexcept {
+  return std::abs(1.0 - b.probability) > eps;
+}
+
+double decompose_probability(double p_total, double pb) {
+  if (std::abs(1.0 - pb) <= 1e-9) {
+    throw std::domain_error("decompose_probability: P_b == 1 is not invertible");
+  }
+  return (p_total - pb) / (1.0 - pb);  // Eq. 8
+}
+
+Composite decompose(const Composite& total, const Composite& b) {
+  if (!can_invert(b)) {
+    throw std::domain_error("decompose: P_b == 1 is not invertible");
+  }
+  Composite rest;
+  rest.probability = decompose_probability(total.probability, b.probability);
+  // Eq. 9: muP_rest = (muP_total - muP_b (1 + P_rest/2)) / (1 + P_b/2).
+  rest.weighted_blocking =
+      (total.weighted_blocking -
+       b.weighted_blocking * (1.0 + rest.probability / 2.0)) /
+      (1.0 + b.probability / 2.0);
+  return rest;
+}
+
+}  // namespace procon::prob

@@ -1,0 +1,187 @@
+#include "prob/estimator.h"
+
+#include <stdexcept>
+
+#include "analysis/throughput.h"
+#include "prob/monte_carlo.h"
+#include "util/rng.h"
+
+namespace procon::prob {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::Exact: return "Probabilistic Exact";
+    case Method::SecondOrder: return "Probabilistic Second Order";
+    case Method::FourthOrder: return "Probabilistic Fourth Order";
+    case Method::MthOrder: return "Probabilistic M-th Order";
+    case Method::Composability: return "Composability-based";
+    case Method::CompositionInverse: return "Composability-based (inverse)";
+    case Method::MonteCarlo: return "Monte-Carlo sampling";
+  }
+  return "?";
+}
+
+ContentionEstimator::ContentionEstimator(EstimatorOptions opts) : opts_(opts) {
+  if (opts_.order < 1) throw std::invalid_argument("estimator order must be >= 1");
+  if (opts_.iterations < 1) {
+    throw std::invalid_argument("estimator iterations must be >= 1");
+  }
+}
+
+namespace {
+
+/// One actor instance on a node, with its load.
+struct NodeEntry {
+  platform::GlobalActor who;
+  ActorLoad load;
+};
+
+double waiting_for(const std::vector<NodeEntry>& entries, std::size_t self,
+                   const EstimatorOptions& opts) {
+  // Collect the other actors' loads.
+  std::vector<ActorLoad> others;
+  others.reserve(entries.size() - 1);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != self) others.push_back(entries[i].load);
+  }
+  switch (opts.method) {
+    case Method::Exact: return waiting_time_exact(others);
+    case Method::SecondOrder: return waiting_time_second_order(others);
+    case Method::FourthOrder: return waiting_time_fourth_order(others);
+    case Method::MthOrder: return waiting_time_approx(others, opts.order);
+    case Method::Composability: return compose_all(others).weighted_blocking;
+    case Method::MonteCarlo: {
+      // Per-slot deterministic stream: the estimate is reproducible and
+      // independent of evaluation order.
+      const auto& who = entries[self].who;
+      util::Rng rng(opts.mc_seed ^ (0x9E3779B97F4A7C15ULL * (who.app + 1)) ^
+                    (0xBF58476D1CE4E5B9ULL * (who.actor + 1)));
+      return waiting_time_monte_carlo(others, rng, opts.mc_trials);
+    }
+    case Method::CompositionInverse: break;  // handled by caller (node-level)
+  }
+  throw std::logic_error("waiting_for: unhandled method");
+}
+
+}  // namespace
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::System& sys) const {
+  return estimate(sys, {});
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::System& sys, std::span<const sdf::ExecTimeModel> models) const {
+  const auto apps = sys.apps();
+  if (!models.empty() && models.size() != apps.size()) {
+    throw sdf::GraphError("estimate: execution-time model count mismatch");
+  }
+  std::vector<AppEstimate> out(apps.size());
+  std::vector<sdf::RepetitionVector> qs(apps.size());
+  // Mean execution time per actor (equals the graph's fixed times for the
+  // deterministic model).
+  std::vector<std::vector<double>> means(apps.size());
+
+  // Step 1: isolation periods and repetition vectors.
+  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    qs[i] = sdf::compute_repetition_vector(apps[i])
+                .value_or(sdf::RepetitionVector{});
+    if (qs[i].empty()) {
+      throw sdf::GraphError("estimate: application '" + apps[i].name() +
+                            "' is inconsistent");
+    }
+    if (!models.empty()) {
+      if (models[i].size() != apps[i].actor_count()) {
+        throw sdf::GraphError("estimate: execution-time model size mismatch");
+      }
+      means[i].reserve(apps[i].actor_count());
+      for (const auto& dist : models[i]) means[i].push_back(dist.mean());
+    }
+    const auto iso = analysis::compute_period(apps[i], means[i]);
+    if (iso.deadlocked || iso.period <= 0.0) {
+      throw sdf::GraphError("estimate: application '" + apps[i].name() +
+                            "' has no positive isolation period");
+    }
+    out[i].isolation_period = iso.period;
+    out[i].estimated_period = iso.period;  // starting point for iteration
+    out[i].actors.resize(apps[i].actor_count());
+  }
+
+  for (int pass = 0; pass < opts_.iterations; ++pass) {
+    // Step 2: per-actor loads from the current period estimates.
+    std::vector<std::vector<ActorLoad>> loads(apps.size());
+    for (sdf::AppId i = 0; i < apps.size(); ++i) {
+      loads[i] = models.empty()
+                     ? derive_loads(apps[i], qs[i], out[i].estimated_period)
+                     : derive_loads_stochastic(apps[i], qs[i],
+                                               out[i].estimated_period, models[i]);
+    }
+
+    // Step 3: group by node.
+    std::vector<std::vector<NodeEntry>> per_node(sys.platform().node_count());
+    for (sdf::AppId i = 0; i < apps.size(); ++i) {
+      for (sdf::ActorId a = 0; a < apps[i].actor_count(); ++a) {
+        const platform::NodeId node = sys.mapping().node_of(i, a);
+        per_node[node].push_back(NodeEntry{{i, a}, loads[i][a]});
+      }
+    }
+
+    // Step 4: waiting and response times.
+    std::vector<std::vector<double>> response(apps.size());
+    for (sdf::AppId i = 0; i < apps.size(); ++i) {
+      response[i].resize(apps[i].actor_count(), 0.0);
+    }
+    for (const auto& entries : per_node) {
+      if (entries.empty()) continue;
+
+      // Node-level composite for the inverse method: one O(n) fold, then an
+      // O(1) removal per actor (falls back to a direct fold if some other
+      // actor saturates P == 1, the paper's non-invertible case).
+      Composite node_total = Composite::identity();
+      if (opts_.method == Method::CompositionInverse) {
+        for (const NodeEntry& e : entries) {
+          node_total = compose(node_total, to_composite(e.load));
+        }
+      }
+
+      for (std::size_t s = 0; s < entries.size(); ++s) {
+        const NodeEntry& e = entries[s];
+        double twait = 0.0;
+        if (opts_.method == Method::CompositionInverse) {
+          const Composite self = to_composite(e.load);
+          if (can_invert(self)) {
+            twait = decompose(node_total, self).weighted_blocking;
+          } else {
+            std::vector<ActorLoad> others;
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+              if (i != s) others.push_back(entries[i].load);
+            }
+            twait = compose_all(others).weighted_blocking;
+          }
+        } else {
+          twait = waiting_for(entries, s, opts_);
+        }
+        const double mean_exec =
+            means[e.who.app].empty()
+                ? static_cast<double>(apps[e.who.app].actor(e.who.actor).exec_time)
+                : means[e.who.app][e.who.actor];
+        out[e.who.app].actors[e.who.actor].waiting_time = twait;
+        response[e.who.app][e.who.actor] = mean_exec + twait;
+        out[e.who.app].actors[e.who.actor].response_time =
+            response[e.who.app][e.who.actor];
+      }
+    }
+
+    // Step 5: periods of the response-time graphs.
+    for (sdf::AppId i = 0; i < apps.size(); ++i) {
+      const auto res = analysis::compute_period(apps[i], response[i]);
+      if (res.deadlocked) {
+        throw sdf::GraphError("estimate: response-time graph deadlocks");
+      }
+      out[i].estimated_period = res.period;
+    }
+  }
+  return out;
+}
+
+}  // namespace procon::prob

@@ -1,0 +1,32 @@
+#include "prob/monte_carlo.h"
+
+#include <vector>
+
+namespace procon::prob {
+
+double waiting_time_monte_carlo(std::span<const ActorLoad> others, util::Rng& rng,
+                                std::size_t trials) {
+  if (others.empty() || trials == 0) return 0.0;
+  double total = 0.0;
+  std::vector<std::size_t> blockers;
+  blockers.reserve(others.size());
+  for (std::size_t t = 0; t < trials; ++t) {
+    blockers.clear();
+    for (std::size_t i = 0; i < others.size(); ++i) {
+      if (rng.bernoulli(others[i].probability)) blockers.push_back(i);
+    }
+    if (blockers.empty()) continue;
+    // One blocker is in service (uniform choice, uniform residual); the
+    // others wait in the queue with their full execution time.
+    const std::size_t serving = blockers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(blockers.size()) - 1))];
+    double wait = rng.uniform_real(0.0, others[serving].exec_time);
+    for (const std::size_t i : blockers) {
+      if (i != serving) wait += others[i].exec_time;
+    }
+    total += wait;
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace procon::prob

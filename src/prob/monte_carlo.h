@@ -1,0 +1,28 @@
+// Monte-Carlo evaluation of the expected waiting time.
+//
+// Samples the paper's own probabilistic model directly: every other actor
+// independently blocks the node with probability P(a); among the blockers,
+// each is equally likely to be the one in service (uniformly distributed
+// residual time in [0, tau]) while the rest are fully queued (Section 3.2's
+// case analysis, generalised). The sample mean converges to the exact
+// Equation 4 value - the tests exploit this as an independent validation of
+// both the closed form and its O(n^2) implementation.
+//
+// As an estimation technique it is also available through
+// Method::MonteCarlo in the ContentionEstimator: slower than the closed
+// forms but trivially extensible to alternative service disciplines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "prob/load.h"
+#include "util/rng.h"
+
+namespace procon::prob {
+
+/// Sample-mean waiting time over `trials` independent arrival experiments.
+[[nodiscard]] double waiting_time_monte_carlo(std::span<const ActorLoad> others,
+                                              util::Rng& rng, std::size_t trials);
+
+}  // namespace procon::prob

@@ -1,0 +1,83 @@
+#include "prob/waiting_time.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/symmetric_poly.h"
+
+namespace procon::prob {
+namespace {
+
+/// Shared core: evaluates the series truncated at inner degree `max_j`
+/// (max_j = n-1 gives the exact Eq. 4).
+double waiting_time_series(std::span<const ActorLoad> others, std::size_t max_j) {
+  const std::size_t n = others.size();
+  if (n == 0) return 0.0;
+
+  std::vector<double> probs(n);
+  for (std::size_t i = 0; i < n; ++i) probs[i] = others[i].probability;
+  const std::vector<double> e = util::elementary_symmetric(probs);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Elementary symmetric polynomials of the probabilities excluding i.
+    const std::vector<double> ei =
+        util::elementary_symmetric_remove_one(e, probs[i]);
+    double series = 1.0;
+    double sign = 1.0;
+    const std::size_t limit = std::min(max_j, n - 1);
+    for (std::size_t j = 1; j <= limit; ++j) {
+      series += sign * ei[j] / static_cast<double>(j + 1);
+      sign = -sign;
+    }
+    total += others[i].weighted_blocking() * series;
+  }
+  return total;
+}
+
+}  // namespace
+
+double waiting_time_exact(std::span<const ActorLoad> others) {
+  return others.empty() ? 0.0 : waiting_time_series(others, others.size() - 1);
+}
+
+double waiting_time_approx(std::span<const ActorLoad> others, int order) {
+  if (order < 1) throw std::invalid_argument("waiting_time_approx: order must be >= 1");
+  return waiting_time_series(others, static_cast<std::size_t>(order - 1));
+}
+
+double waiting_time_exact_bruteforce(std::span<const ActorLoad> others,
+                                     std::size_t max_actors) {
+  const std::size_t n = others.size();
+  if (n > max_actors) {
+    throw std::invalid_argument("waiting_time_exact_bruteforce: too many actors");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inner sum: over subset sizes j of the other n-1 actors, the e_j term
+    // enumerated explicitly as all j-subsets.
+    double series = 1.0;
+    // Enumerate all subsets of indices != i.
+    std::vector<std::size_t> rest;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != i) rest.push_back(k);
+    }
+    const std::size_t m = rest.size();
+    for (std::size_t mask = 1; mask < (1ULL << m); ++mask) {
+      double prod = 1.0;
+      std::size_t j = 0;
+      for (std::size_t b = 0; b < m; ++b) {
+        if (mask & (1ULL << b)) {
+          prod *= others[rest[b]].probability;
+          ++j;
+        }
+      }
+      const double sign = (j % 2 == 1) ? 1.0 : -1.0;
+      series += sign * prod / static_cast<double>(j + 1);
+    }
+    total += others[i].weighted_blocking() * series;
+  }
+  return total;
+}
+
+}  // namespace procon::prob

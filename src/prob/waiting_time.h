@@ -1,0 +1,48 @@
+// Expected waiting-time evaluation (Equations 3, 4 and 5 of the paper).
+//
+// Given the set of *other* actors sharing a node (each summarised as an
+// ActorLoad), these functions return the expected time a newly arriving
+// actor waits before the node becomes free.
+//
+// Equation 4:
+//   t_wait = sum_i mu_i P_i * ( 1 + sum_{j=1}^{n-1} (-1)^{j+1}/(j+1)
+//                                   e_j(P_1..P_{i-1}, P_{i+1}..P_n) )
+// where e_j is the j-th elementary symmetric polynomial. The naive
+// evaluation is O(n * n^n); here all e_j families are obtained by one
+// O(n^2) DP plus an O(n) leave-one-out division per actor (see
+// util/symmetric_poly.h), which computes the *identical* value in O(n^2).
+//
+// The m-th order approximation truncates the inner sum at j <= m-1
+// (Eq. 5 is the case m = 2); the paper evaluates m = 2 and m = 4.
+#pragma once
+
+#include <span>
+
+#include "prob/load.h"
+
+namespace procon::prob {
+
+/// Exact expected waiting time (Eq. 4) over the given other-actor loads.
+/// Empty input yields 0.
+[[nodiscard]] double waiting_time_exact(std::span<const ActorLoad> others);
+
+/// m-th order approximation (Eq. 5 generalised). `order` >= 1; order == 1
+/// keeps only the leading mu*P terms, order == 2 reproduces Eq. 5, and
+/// order >= n is identical to the exact formula.
+[[nodiscard]] double waiting_time_approx(std::span<const ActorLoad> others, int order);
+
+/// Convenience wrappers for the two orders the paper evaluates.
+[[nodiscard]] inline double waiting_time_second_order(std::span<const ActorLoad> o) {
+  return waiting_time_approx(o, 2);
+}
+[[nodiscard]] inline double waiting_time_fourth_order(std::span<const ActorLoad> o) {
+  return waiting_time_approx(o, 4);
+}
+
+/// Reference implementation of Eq. 4 by explicit subset enumeration
+/// (O(n * 2^n)); exists to cross-validate the DP in tests. Throws
+/// std::invalid_argument beyond `max_actors`.
+[[nodiscard]] double waiting_time_exact_bruteforce(std::span<const ActorLoad> others,
+                                                   std::size_t max_actors = 20);
+
+}  // namespace procon::prob

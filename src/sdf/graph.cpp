@@ -1,0 +1,102 @@
+#include "sdf/graph.h"
+
+#include <algorithm>
+
+namespace procon::sdf {
+
+ActorId Graph::add_actor(std::string name, Time exec_time) {
+  if (exec_time < 0) throw GraphError("actor execution time must be >= 0");
+  const auto id = static_cast<ActorId>(actors_.size());
+  actors_.push_back(Actor{std::move(name), exec_time});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+ChannelId Graph::add_channel(ActorId src, ActorId dst, std::uint32_t prod_rate,
+                             std::uint32_t cons_rate, std::uint64_t initial_tokens) {
+  check_actor(src);
+  check_actor(dst);
+  if (prod_rate == 0 || cons_rate == 0) {
+    throw GraphError("channel rates must be >= 1");
+  }
+  const auto id = static_cast<ChannelId>(channels_.size());
+  channels_.push_back(Channel{src, dst, prod_rate, cons_rate, initial_tokens});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+void Graph::check_actor(ActorId a) const {
+  if (a >= actors_.size()) throw GraphError("invalid actor id");
+}
+
+const Actor& Graph::actor(ActorId a) const {
+  check_actor(a);
+  return actors_[a];
+}
+
+Actor& Graph::actor(ActorId a) {
+  check_actor(a);
+  return actors_[a];
+}
+
+const Channel& Graph::channel(ChannelId c) const {
+  if (c >= channels_.size()) throw GraphError("invalid channel id");
+  return channels_[c];
+}
+
+std::span<const ChannelId> Graph::out_channels(ActorId a) const {
+  check_actor(a);
+  return out_[a];
+}
+
+std::span<const ChannelId> Graph::in_channels(ActorId a) const {
+  check_actor(a);
+  return in_[a];
+}
+
+ActorId Graph::find_actor(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) return static_cast<ActorId>(i);
+  }
+  return kInvalidActor;
+}
+
+Time Graph::total_exec_time() const noexcept {
+  Time sum = 0;
+  for (const auto& a : actors_) sum += a.exec_time;
+  return sum;
+}
+
+Graph Graph::with_exec_times(std::span<const Time> new_times) const {
+  if (new_times.size() != actors_.size()) {
+    throw GraphError("with_exec_times: size mismatch");
+  }
+  Graph g = *this;
+  for (std::size_t i = 0; i < new_times.size(); ++i) {
+    if (new_times[i] < 0) throw GraphError("with_exec_times: negative time");
+    g.actors_[i].exec_time = new_times[i];
+  }
+  return g;
+}
+
+bool Graph::has_self_loop(ActorId a) const {
+  check_actor(a);
+  return std::any_of(out_[a].begin(), out_[a].end(), [&](ChannelId c) {
+    const Channel& ch = channels_[c];
+    return ch.dst == a && ch.prod_rate == ch.cons_rate && ch.initial_tokens >= 1;
+  });
+}
+
+Graph Graph::with_self_loops() const {
+  Graph g = *this;
+  for (ActorId a = 0; a < g.actor_count(); ++a) {
+    if (!g.has_self_loop(a)) {
+      g.add_channel(a, a, 1, 1, 1);
+    }
+  }
+  return g;
+}
+
+}  // namespace procon::sdf

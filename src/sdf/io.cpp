@@ -1,0 +1,131 @@
+#include "sdf/io.h"
+
+#include <optional>
+#include <sstream>
+
+namespace procon::sdf {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ParseError("line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "graph " << (g.name().empty() ? "unnamed" : g.name()) << '\n';
+  for (const Actor& a : g.actors()) {
+    os << "actor " << a.name << ' ' << a.exec_time << '\n';
+  }
+  for (const Channel& c : g.channels()) {
+    os << "channel " << g.actor(c.src).name << ' ' << g.actor(c.dst).name << ' '
+       << c.prod_rate << ' ' << c.cons_rate << ' ' << c.initial_tokens << '\n';
+  }
+  os << "end\n";
+}
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+namespace {
+
+// Reads one graph starting at the current stream position. Returns nullopt
+// if the stream is exhausted before a "graph" keyword is found.
+std::optional<Graph> read_one(std::istream& is, std::size_t& line_no) {
+  std::string line;
+  std::optional<Graph> g;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "graph") {
+      std::string name;
+      if (!(ls >> name)) fail(line_no, "graph requires a name");
+      g.emplace(name);
+    } else if (keyword == "actor") {
+      if (!g) fail(line_no, "actor before graph");
+      std::string name;
+      Time tau = 0;
+      if (!(ls >> name >> tau)) fail(line_no, "actor requires <name> <exec_time>");
+      if (g->find_actor(name) != kInvalidActor) fail(line_no, "duplicate actor " + name);
+      try {
+        g->add_actor(name, tau);
+      } catch (const GraphError& e) {
+        fail(line_no, e.what());
+      }
+    } else if (keyword == "channel") {
+      if (!g) fail(line_no, "channel before graph");
+      std::string src, dst;
+      std::int64_t prod = 0, cons = 0, tokens = 0;
+      if (!(ls >> src >> dst >> prod >> cons >> tokens)) {
+        fail(line_no, "channel requires <src> <dst> <prod> <cons> <tokens>");
+      }
+      const ActorId s = g->find_actor(src);
+      const ActorId d = g->find_actor(dst);
+      if (s == kInvalidActor) fail(line_no, "unknown actor " + src);
+      if (d == kInvalidActor) fail(line_no, "unknown actor " + dst);
+      if (prod <= 0 || cons <= 0 || tokens < 0) fail(line_no, "invalid channel parameters");
+      try {
+        g->add_channel(s, d, static_cast<std::uint32_t>(prod),
+                       static_cast<std::uint32_t>(cons),
+                       static_cast<std::uint64_t>(tokens));
+      } catch (const GraphError& e) {
+        fail(line_no, e.what());
+      }
+    } else if (keyword == "end") {
+      if (!g) fail(line_no, "end before graph");
+      return g;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (g) fail(line_no, "unexpected end of input (missing 'end')");
+  return std::nullopt;
+}
+
+}  // namespace
+
+Graph read_graph(std::istream& is) {
+  std::size_t line_no = 0;
+  auto g = read_one(is, line_no);
+  if (!g) throw ParseError("no graph found in input");
+  return *std::move(g);
+}
+
+Graph graph_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+std::vector<Graph> read_graphs(std::istream& is) {
+  std::vector<Graph> graphs;
+  std::size_t line_no = 0;
+  while (auto g = read_one(is, line_no)) {
+    graphs.push_back(*std::move(g));
+  }
+  return graphs;
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << (g.name().empty() ? "sdf" : g.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t i = 0; i < g.actor_count(); ++i) {
+    const Actor& a = g.actor(static_cast<ActorId>(i));
+    os << "  a" << i << " [label=\"" << a.name << "\\n(" << a.exec_time << ")\"];\n";
+  }
+  for (const Channel& c : g.channels()) {
+    os << "  a" << c.src << " -> a" << c.dst << " [label=\"" << c.prod_rate << "/"
+       << c.cons_rate;
+    if (c.initial_tokens > 0) os << " [" << c.initial_tokens << "]";
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace procon::sdf

@@ -1,0 +1,44 @@
+// Text serialisation for SDF graphs.
+//
+// A line-oriented format (one graph per stream) mirroring what SDF3's XML
+// carries, without XML machinery:
+//
+//     graph <name>
+//     actor <name> <exec_time>
+//     channel <src_name> <dst_name> <prod_rate> <cons_rate> <initial_tokens>
+//     end
+//
+// Blank lines and lines starting with '#' are ignored. Also provides
+// Graphviz DOT export for visual inspection of generated graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.h"
+
+namespace procon::sdf {
+
+/// Thrown on parse errors, with a 1-based line number in the message.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialises one graph in the line format above.
+void write_graph(std::ostream& os, const Graph& g);
+[[nodiscard]] std::string to_text(const Graph& g);
+
+/// Parses exactly one graph; throws ParseError on malformed input.
+[[nodiscard]] Graph read_graph(std::istream& is);
+[[nodiscard]] Graph graph_from_text(const std::string& text);
+
+/// Parses a stream containing any number of graphs.
+[[nodiscard]] std::vector<Graph> read_graphs(std::istream& is);
+
+/// Graphviz DOT rendering: actors as nodes "name (tau)", channels as edges
+/// labelled "prod/cons [tokens]".
+[[nodiscard]] std::string to_dot(const Graph& g);
+
+}  // namespace procon::sdf

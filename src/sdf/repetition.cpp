@@ -1,0 +1,93 @@
+#include "sdf/repetition.h"
+
+#include <queue>
+
+#include "util/rational.h"
+
+namespace procon::sdf {
+
+using util::Rational;
+
+std::optional<RepetitionVector> compute_repetition_vector(const Graph& g) {
+  const std::size_t n = g.actor_count();
+  std::vector<Rational> ratio(n, Rational(0));  // 0 = unvisited
+  std::vector<int> component(n, -1);
+  int ncomp = 0;
+
+  // BFS over the undirected structure, propagating firing-rate ratios.
+  for (ActorId start = 0; start < n; ++start) {
+    if (component[start] != -1) continue;
+    const int comp = ncomp++;
+    component[start] = comp;
+    ratio[start] = Rational(1);
+    std::queue<ActorId> work;
+    work.push(start);
+    while (!work.empty()) {
+      const ActorId a = work.front();
+      work.pop();
+      auto relax = [&](ActorId b, const Rational& expected) -> bool {
+        if (component[b] == -1) {
+          component[b] = comp;
+          ratio[b] = expected;
+          work.push(b);
+          return true;
+        }
+        return ratio[b] == expected;
+      };
+      for (const ChannelId cid : g.out_channels(a)) {
+        const Channel& c = g.channel(cid);
+        // q[a]*prod == q[dst]*cons  =>  q[dst] = q[a]*prod/cons.
+        const Rational expected =
+            ratio[a] * Rational(c.prod_rate) / Rational(c.cons_rate);
+        if (!relax(c.dst, expected)) return std::nullopt;
+      }
+      for (const ChannelId cid : g.in_channels(a)) {
+        const Channel& c = g.channel(cid);
+        const Rational expected =
+            ratio[a] * Rational(c.cons_rate) / Rational(c.prod_rate);
+        if (!relax(c.src, expected)) return std::nullopt;
+      }
+    }
+  }
+
+  // Scale each component to the smallest positive integer vector.
+  std::vector<std::int64_t> den_lcm(static_cast<std::size_t>(ncomp), 1);
+  for (ActorId a = 0; a < n; ++a) {
+    auto& l = den_lcm[static_cast<std::size_t>(component[a])];
+    l = util::lcm64(l, ratio[a].den());
+  }
+  std::vector<std::int64_t> num_gcd(static_cast<std::size_t>(ncomp), 0);
+  std::vector<std::int64_t> scaled(n, 0);
+  for (ActorId a = 0; a < n; ++a) {
+    const auto comp = static_cast<std::size_t>(component[a]);
+    const Rational v = ratio[a] * Rational(den_lcm[comp]);
+    scaled[a] = v.num();  // v.den() == 1 by construction
+    num_gcd[comp] = util::gcd64(num_gcd[comp], scaled[a]);
+  }
+  RepetitionVector q(n, 0);
+  for (ActorId a = 0; a < n; ++a) {
+    const auto comp = static_cast<std::size_t>(component[a]);
+    q[a] = static_cast<std::uint64_t>(scaled[a] / num_gcd[comp]);
+  }
+  return q;
+}
+
+bool is_consistent(const Graph& g) {
+  return compute_repetition_vector(g).has_value();
+}
+
+std::uint64_t repetition_sum(const RepetitionVector& q) {
+  std::uint64_t s = 0;
+  for (const auto v : q) s += v;
+  return s;
+}
+
+Time iteration_workload(const Graph& g, const RepetitionVector& q) {
+  Time w = 0;
+  for (ActorId a = 0; a < g.actor_count(); ++a) {
+    w += g.actor(a).exec_time * static_cast<Time>(q[a]);
+  }
+  return w;
+}
+
+}  // namespace procon::sdf

@@ -1,0 +1,97 @@
+#include "sdf/transform.h"
+
+#include <algorithm>
+
+#include "sdf/algorithms.h"
+#include "util/rational.h"
+
+namespace procon::sdf {
+
+Graph with_buffer_capacities(const Graph& g,
+                             std::span<const std::uint64_t> capacities) {
+  if (capacities.size() != g.channel_count()) {
+    throw GraphError("with_buffer_capacities: size mismatch");
+  }
+  Graph out = g;
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    const std::uint64_t cap = capacities[c];
+    if (cap == 0) continue;  // unbounded
+    const Channel& ch = g.channel(c);
+    if (cap < ch.initial_tokens) {
+      throw GraphError("with_buffer_capacities: capacity below initial tokens");
+    }
+    if (ch.is_self_loop()) continue;  // a self-loop is its own bound
+    // Space channel: the producer consumes `prod` slots per firing, the
+    // consumer frees `cons` slots per firing; initially cap - d slots free.
+    out.add_channel(ch.dst, ch.src, ch.cons_rate, ch.prod_rate,
+                    cap - ch.initial_tokens);
+  }
+  return out;
+}
+
+Graph with_uniform_buffer_capacity(const Graph& g, std::uint64_t capacity) {
+  std::vector<std::uint64_t> caps(g.channel_count(), capacity);
+  // Never bound below the initial token count.
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    caps[c] = std::max<std::uint64_t>(capacity, g.channel(c).initial_tokens);
+  }
+  return with_buffer_capacities(g, caps);
+}
+
+Graph reversed(const Graph& g) {
+  Graph out(g.name() + "-reversed");
+  for (const Actor& a : g.actors()) out.add_actor(a.name, a.exec_time);
+  for (const Channel& ch : g.channels()) {
+    out.add_channel(ch.dst, ch.src, ch.cons_rate, ch.prod_rate, ch.initial_tokens);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> minimal_feasible_capacities(const Graph& g) {
+  std::vector<std::uint64_t> caps(g.channel_count(), 0);
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    const auto gcd = static_cast<std::uint64_t>(
+        util::gcd64(ch.prod_rate, ch.cons_rate));
+    const std::uint64_t bound = ch.prod_rate + ch.cons_rate - gcd;
+    caps[c] = std::max<std::uint64_t>(bound, ch.initial_tokens);
+  }
+
+  // The local bound ignores cycle interactions (the exact problem is
+  // NP-hard, [16]); repair by growing buffers that abstract execution
+  // reports as starved, one production quantum at a time.
+  for (std::uint32_t guard = 0;; ++guard) {
+    if (guard > 100'000) {
+      throw GraphError("minimal_feasible_capacities: repair did not converge");
+    }
+    const Graph bounded = with_buffer_capacities(g, caps);
+    const DeadlockDiagnosis diag = diagnose_deadlock(bounded);
+    if (diag.deadlock_free) return caps;
+
+    // Space channels were appended after the original ones, in channel
+    // order, skipping unbounded channels and self-loops; rebuild that
+    // mapping to translate starved space channels back to originals.
+    std::vector<ChannelId> space_to_original;
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+      if (caps[c] > 0 && !g.channel(c).is_self_loop()) {
+        space_to_original.push_back(c);
+      }
+    }
+    bool grew = false;
+    for (const ChannelId starved : diag.starved_channels) {
+      if (starved >= g.channel_count()) {
+        const ChannelId orig =
+            space_to_original[starved - static_cast<ChannelId>(g.channel_count())];
+        caps[orig] += g.channel(orig).prod_rate;
+        grew = true;
+        break;
+      }
+    }
+    if (!grew) {
+      // No space channel is the blocker: the unbounded graph deadlocks.
+      throw GraphError("minimal_feasible_capacities: graph deadlocks unbounded");
+    }
+  }
+}
+
+}  // namespace procon::sdf

@@ -1,0 +1,47 @@
+// Structural graph transformations.
+//
+// * Buffer capacities: bounded FIFOs are modelled by a reverse channel
+//   carrying "free space" tokens (Stuijk et al. [16]; Wiggers et al. [20]):
+//   a producer claims space before writing, a consumer releases it. The
+//   transformed graph's throughput analysis then accounts for back-pressure,
+//   and the simulator executes it unchanged.
+// * Reversal: flips every channel (the paper's Section 3.1 thought
+//   experiment reverses a cycle to show the estimate's insensitivity to
+//   inter-graph dependencies).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sdf/graph.h"
+
+namespace procon::sdf {
+
+/// Returns a copy of `g` where channel i is bounded to `capacities[i]`
+/// tokens (0 = unbounded, channel left untouched). Each bounded channel
+/// gains a reverse "space" channel with capacity - initial_tokens free
+/// slots. Throws GraphError if a capacity is smaller than the channel's
+/// initial tokens, or on size mismatch.
+[[nodiscard]] Graph with_buffer_capacities(const Graph& g,
+                                           std::span<const std::uint64_t> capacities);
+
+/// Bounds every channel to the same capacity (convenience).
+[[nodiscard]] Graph with_uniform_buffer_capacity(const Graph& g,
+                                                 std::uint64_t capacity);
+
+/// Returns the channel-reversed graph: every channel src->dst becomes
+/// dst->src with production/consumption rates swapped and the same token
+/// count. Actor set and execution times are unchanged. The reverse of a
+/// consistent graph is consistent with the same repetition vector.
+[[nodiscard]] Graph reversed(const Graph& g);
+
+/// Per-channel capacities under which the graph still completes an
+/// iteration: starts from the per-channel lower bound
+/// max(initial_tokens, prod + cons - gcd(prod, cons)) and then grows
+/// starved buffers (reported by abstract-execution deadlock diagnosis)
+/// until the bounded graph is live. A small feasibility baseline - not the
+/// throughput-optimal buffers of [16] - useful as the floor of buffer
+/// sweeps. Throws GraphError if `g` itself deadlocks.
+[[nodiscard]] std::vector<std::uint64_t> minimal_feasible_capacities(const Graph& g);
+
+}  // namespace procon::sdf

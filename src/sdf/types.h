@@ -1,0 +1,23 @@
+// Fundamental identifier and time types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace procon::sdf {
+
+/// Index of an actor within its Graph.
+using ActorId = std::uint32_t;
+/// Index of a channel within its Graph.
+using ChannelId = std::uint32_t;
+/// Index of an application (graph) within a System.
+using AppId = std::uint32_t;
+
+/// Discrete time in abstract "time units" (the paper's cycles).
+using Time = std::int64_t;
+
+inline constexpr ActorId kInvalidActor = std::numeric_limits<ActorId>::max();
+inline constexpr ChannelId kInvalidChannel = std::numeric_limits<ChannelId>::max();
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+}  // namespace procon::sdf

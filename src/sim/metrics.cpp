@@ -1,0 +1,31 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace procon::sim {
+
+void finalise_app_metrics(AppSimResult& app, double warmup_fraction,
+                          std::uint64_t min_iterations) {
+  app.iterations = app.iteration_times.size();
+  app.converged = false;
+  app.average_period = 0.0;
+  app.worst_period = 0.0;
+  if (app.iteration_times.size() < 2) return;
+
+  const auto n = app.iteration_times.size();
+  auto first = static_cast<std::size_t>(warmup_fraction * static_cast<double>(n));
+  if (first >= n - 1) first = n - 2;  // keep at least one gap
+
+  const std::uint64_t kept_gaps = n - 1 - first;
+  app.average_period =
+      static_cast<double>(app.iteration_times.back() - app.iteration_times[first]) /
+      static_cast<double>(kept_gaps);
+  sdf::Time worst = 0;
+  for (std::size_t i = first + 1; i < n; ++i) {
+    worst = std::max(worst, app.iteration_times[i] - app.iteration_times[i - 1]);
+  }
+  app.worst_period = static_cast<double>(worst);
+  app.converged = kept_gaps + 1 >= min_iterations;
+}
+
+}  // namespace procon::sim

@@ -1,0 +1,158 @@
+#include "sim/trace_export.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace procon::sim {
+namespace {
+
+/// VCD identifier for signal index i: short printable ASCII code.
+std::string vcd_id(std::size_t i) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + i % 94);
+    i /= 94;
+  } while (i > 0);
+  return id;
+}
+
+std::string binary16(std::uint32_t v) {
+  std::string s(16, '0');
+  for (int b = 0; b < 16; ++b) {
+    if (v & (1u << b)) s[static_cast<std::size_t>(15 - b)] = '1';
+  }
+  return s;
+}
+
+/// Global actor index (1-based for VCD values; 0 = idle).
+std::uint32_t actor_code(const platform::System& sys, std::uint32_t app,
+                         std::uint32_t actor) {
+  std::uint32_t base = 1;
+  for (std::uint32_t i = 0; i < app; ++i) {
+    base += static_cast<std::uint32_t>(sys.app(i).actor_count());
+  }
+  return base + actor;
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const platform::System& sys,
+               const SimResult& result, const std::string& timescale) {
+  os << "$date procon trace $end\n";
+  os << "$version procon simulator $end\n";
+  os << "$timescale " << timescale << " $end\n";
+  os << "$scope module platform $end\n";
+  const std::size_t nodes = sys.platform().node_count();
+  for (std::size_t n = 0; n < nodes; ++n) {
+    os << "$var wire 16 " << vcd_id(n) << ' ' << sys.platform().node(
+        static_cast<platform::NodeId>(n)).name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Change list: (time, node, value).
+  struct Change {
+    sdf::Time time;
+    std::uint32_t node;
+    std::uint32_t value;
+  };
+  std::vector<Change> changes;
+  changes.reserve(2 * result.trace.size() + nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    changes.push_back({0, static_cast<std::uint32_t>(n), 0});
+  }
+  for (const TraceEvent& e : result.trace) {
+    changes.push_back({e.start, e.node, actor_code(sys, e.app, e.actor)});
+    changes.push_back({e.end, e.node, 0});
+  }
+  // Stable ordering: by time; at equal times idle transitions (value 0)
+  // first so a back-to-back firing overwrites the idle marker.
+  std::stable_sort(changes.begin(), changes.end(), [](const Change& a, const Change& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.value < b.value;
+  });
+
+  sdf::Time now = -1;
+  std::vector<std::uint32_t> last(nodes, UINT32_MAX);
+  for (const Change& c : changes) {
+    // Firings in flight at the horizon would change past it; the dump ends
+    // at the horizon, so their completion is clipped away.
+    if (c.time > result.horizon) continue;
+    if (last[c.node] == c.value) continue;
+    if (c.time != now) {
+      os << '#' << c.time << '\n';
+      now = c.time;
+    }
+    os << 'b' << binary16(c.value) << ' ' << vcd_id(c.node) << '\n';
+    last[c.node] = c.value;
+  }
+  os << '#' << result.horizon << '\n';
+}
+
+std::string to_vcd(const platform::System& sys, const SimResult& result,
+                   const std::string& timescale) {
+  std::ostringstream os;
+  write_vcd(os, sys, result, timescale);
+  return os.str();
+}
+
+std::string render_gantt(const platform::System& sys, const SimResult& result,
+                         sdf::Time from, sdf::Time to, std::size_t width) {
+  if (to <= from || width == 0) {
+    throw std::invalid_argument("render_gantt: empty window");
+  }
+  const std::size_t nodes = sys.platform().node_count();
+  const double scale = static_cast<double>(to - from) / static_cast<double>(width);
+
+  // cells[node][col]: 0 = idle, code = single occupant, UINT32_MAX = mixed.
+  std::vector<std::vector<std::uint32_t>> cells(nodes,
+                                                std::vector<std::uint32_t>(width, 0));
+  for (const TraceEvent& e : result.trace) {
+    if (e.end <= from || e.start >= to) continue;
+    const auto lo = static_cast<std::size_t>(
+        std::max<double>(0.0, static_cast<double>(e.start - from) / scale));
+    const auto hi = std::min<std::size_t>(
+        width - 1,
+        static_cast<std::size_t>(static_cast<double>(e.end - 1 - from) / scale));
+    const std::uint32_t code = actor_code(sys, e.app, e.actor);
+    for (std::size_t col = lo; col <= hi && col < width; ++col) {
+      auto& cell = cells[e.node][col];
+      if (cell == 0) cell = code;
+      else if (cell != code) cell = UINT32_MAX;
+    }
+  }
+
+  auto glyph = [&](std::uint32_t code) -> char {
+    if (code == 0) return '.';
+    if (code == UINT32_MAX) return '*';
+    // Decode app / actor from the code.
+    std::uint32_t rest = code - 1;
+    std::uint32_t app = 0;
+    while (app < sys.app_count() && rest >= sys.app(app).actor_count()) {
+      rest -= static_cast<std::uint32_t>(sys.app(app).actor_count());
+      ++app;
+    }
+    // Letter per application, case alternating by actor parity for a hint
+    // of structure: A/a, B/b, ...
+    const char base = static_cast<char>('A' + app % 26);
+    return (rest % 2 == 0) ? base : static_cast<char>(base + ('a' - 'A'));
+  };
+
+  std::ostringstream os;
+  os << "time " << from << " .. " << to << " (" << scale << " units/col)\n";
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const std::string& name =
+        sys.platform().node(static_cast<platform::NodeId>(n)).name;
+    os << name;
+    os << std::string(name.size() < 8 ? 8 - name.size() : 1, ' ');
+    os << '|';
+    for (std::size_t col = 0; col < width; ++col) os << glyph(cells[n][col]);
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace procon::sim

@@ -1,0 +1,37 @@
+// Trace exporters: VCD waveforms and ASCII Gantt charts.
+//
+// The simulator's service-interval trace can be rendered as
+//  * a Value Change Dump (IEEE 1364 VCD) with one multi-bit signal per
+//    processing node whose value identifies the executing actor (0 = idle),
+//    viewable in any waveform viewer (GTKWave etc.); or
+//  * a fixed-width ASCII Gantt chart for quick terminal inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/system.h"
+#include "sim/metrics.h"
+
+namespace procon::sim {
+
+/// Writes a VCD document for `result.trace`. Each node becomes one 16-bit
+/// signal named after the platform node; its value during a service
+/// interval is 1 + the global index of the executing actor, 0 when idle.
+/// Requires the trace to have been collected (SimOptions::collect_trace);
+/// an empty trace yields a valid VCD with constant-idle signals.
+void write_vcd(std::ostream& os, const platform::System& sys, const SimResult& result,
+               const std::string& timescale = "1ns");
+
+[[nodiscard]] std::string to_vcd(const platform::System& sys, const SimResult& result,
+                                 const std::string& timescale = "1ns");
+
+/// Renders an ASCII Gantt chart of [from, to) with `width` columns. One row
+/// per node; each column shows the actor occupying the node at that time
+/// slice (letter per application, lower-case cycling by actor id), '.' for
+/// idle and '*' when several firings fall into one column.
+[[nodiscard]] std::string render_gantt(const platform::System& sys,
+                                       const SimResult& result, sdf::Time from,
+                                       sdf::Time to, std::size_t width = 80);
+
+}  // namespace procon::sim

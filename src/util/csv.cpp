@@ -1,0 +1,46 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace procon::util {
+namespace {
+
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+}
+
+void CsvWriter::write_row(std::span<const std::string> cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> cells) {
+  write_row(std::span<const std::string>(cells.begin(), cells.size()));
+}
+
+void CsvWriter::write_numeric_row(const std::string& label,
+                                  std::span<const double> values, int precision) {
+  out_ << escape(label);
+  for (const double v : values) out_ << ',' << format_double(v, precision);
+  out_ << '\n';
+}
+
+}  // namespace procon::util

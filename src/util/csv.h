@@ -1,0 +1,29 @@
+// Minimal CSV writer used by the benchmark harnesses to dump plot data
+// (one file per paper figure) alongside the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace procon::util {
+
+/// Writes rows of string cells to a CSV file. Throws std::runtime_error if
+/// the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(std::span<const std::string> cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+  /// Convenience for numeric series: label followed by values.
+  void write_numeric_row(const std::string& label, std::span<const double> values,
+                         int precision = 6);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace procon::util

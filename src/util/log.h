@@ -1,0 +1,43 @@
+// Lightweight leveled logging to stderr.
+//
+// Default level is Warn so library users see nothing unless they opt in;
+// benches raise it to Info for progress reporting on long sweeps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace procon::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line "[LEVEL] message" to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+/// Stream-style helpers: PROCON_LOG(Info) << "x=" << x;
+#define PROCON_LOG(level) ::procon::util::detail::LogLine(::procon::util::LogLevel::level)
+
+}  // namespace procon::util

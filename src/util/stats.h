@@ -1,0 +1,51 @@
+// Small statistics helpers used by the benchmark harnesses and the
+// simulator's metric collection: running summaries, mean absolute
+// percentage differences (the paper's inaccuracy metric), and quantiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace procon::util {
+
+/// Incremental summary of a sample: count / mean / min / max / variance.
+/// Uses Welford's algorithm so it is numerically stable for long runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& o) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The paper's inaccuracy metric: |estimate - reference| / reference, in
+/// percent. Returns 0 when the reference is 0 and the estimate is too;
+/// otherwise a reference of 0 yields +inf (flagged upstream).
+[[nodiscard]] double percent_abs_diff(double estimate, double reference) noexcept;
+
+/// Mean of percent_abs_diff over paired samples. Requires equal sizes.
+[[nodiscard]] double mean_percent_abs_diff(std::span<const double> estimates,
+                                           std::span<const double> references);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation; copies and sorts.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Fixed-width human formatting: "12.34" style with the given precision.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+}  // namespace procon::util

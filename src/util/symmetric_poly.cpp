@@ -1,0 +1,36 @@
+#include "util/symmetric_poly.h"
+
+namespace procon::util {
+
+std::vector<double> elementary_symmetric(std::span<const double> xs) {
+  std::vector<double> e(xs.size() + 1, 0.0);
+  e[0] = 1.0;
+  std::size_t used = 0;
+  for (const double x : xs) {
+    ++used;
+    // Iterate downwards so each x contributes at most once per degree.
+    for (std::size_t j = used; j >= 1; --j) {
+      e[j] += x * e[j - 1];
+    }
+  }
+  return e;
+}
+
+std::vector<double> elementary_symmetric_remove_one(std::span<const double> e,
+                                                    double removed) {
+  // e has n+1 entries; the reduced family has n entries e'_0..e'_{n-1}.
+  std::vector<double> out(e.size() - 1, 0.0);
+  if (out.empty()) return out;
+  out[0] = 1.0;
+  for (std::size_t j = 1; j < out.size(); ++j) {
+    out[j] = e[j] - removed * out[j - 1];
+  }
+  return out;
+}
+
+double elementary_symmetric_single(std::span<const double> xs, std::size_t j) {
+  if (j > xs.size()) return 0.0;
+  return elementary_symmetric(xs)[j];
+}
+
+}  // namespace procon::util

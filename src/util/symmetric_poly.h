@@ -1,0 +1,34 @@
+// Elementary symmetric polynomials.
+//
+// Equation 4 of the paper sums, for each actor, terms of the form
+//   (-1)^{j+1}/(j+1) * e_j(P_1 .. P_{i-1}, P_{i+1} .. P_n)
+// where e_j is the j-th elementary symmetric polynomial of the *other*
+// actors' blocking probabilities. Evaluated naively this is O(n^n); the
+// standard Newton-style DP below evaluates all e_0..e_n in O(n^2) once,
+// and each leave-one-out family in O(n) by polynomial division, giving the
+// mathematically exact value of Eq. 4 at polynomial cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace procon::util {
+
+/// Returns e_0..e_n for the n given values: result[j] = e_j(x_1..x_n).
+/// e_0 is always 1. O(n^2) time, O(n) space.
+[[nodiscard]] std::vector<double> elementary_symmetric(std::span<const double> xs);
+
+/// Given e = e_0..e_n of (x_1..x_n), returns e'_0..e'_{n-1} of the multiset
+/// with one occurrence of `removed` deleted. This is synthetic division of
+/// the generating polynomial prod(1 + x_i t) by (1 + removed * t): O(n).
+///
+/// Numerically stable forward recurrence: e'_j = e_j - removed * e'_{j-1}.
+[[nodiscard]] std::vector<double> elementary_symmetric_remove_one(
+    std::span<const double> e, double removed);
+
+/// Directly computes e_j(xs) for a single j via the full DP (helper mainly
+/// for tests; prefer elementary_symmetric for all orders at once).
+[[nodiscard]] double elementary_symmetric_single(std::span<const double> xs,
+                                                 std::size_t j);
+
+}  // namespace procon::util

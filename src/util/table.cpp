@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace procon::util {
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (const std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  os << hline();
+  if (!header_.empty()) {
+    os << render_row(header_);
+    os << hline();
+  }
+  for (const auto& r : rows_) os << render_row(r);
+  os << hline();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+}  // namespace procon::util

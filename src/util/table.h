@@ -1,0 +1,44 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// The paper's tables/figures are reproduced as aligned text tables on
+// stdout (plus CSV files for plotting); this keeps the harness output
+// directly comparable with the rows the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace procon::util {
+
+/// A simple column-aligned text table with a title, header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header; resets nothing else.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row. Rows may be ragged; rendering pads them.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Renders the table with box-drawing separators.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (header + rows, comma-separated, quotes where needed).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace procon::util

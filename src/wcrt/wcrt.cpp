@@ -1,0 +1,95 @@
+#include "wcrt/wcrt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/throughput.h"
+
+namespace procon::wcrt {
+
+double wcrt_round_robin(double own_exec, const std::vector<double>& other_execs) {
+  double wait = 0.0;
+  for (const double t : other_execs) wait += t;
+  return own_exec + wait;
+}
+
+double wcrt_tdma(double own_exec, double own_slot,
+                 const std::vector<double>& other_slots) {
+  if (own_slot <= 0.0) throw std::invalid_argument("wcrt_tdma: slot must be > 0");
+  double wheel_rest = 0.0;  // W - s(a)
+  for (const double s : other_slots) wheel_rest += s;
+  const double slots_needed = std::ceil(own_exec / own_slot);
+  return own_exec + slots_needed * wheel_rest;
+}
+
+std::vector<AppBound> worst_case_bounds(const platform::System& sys,
+                                        const WcrtOptions& opts) {
+  const auto apps = sys.apps();
+  std::vector<AppBound> out(apps.size());
+
+  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    const auto iso = analysis::compute_period(apps[i]);
+    if (iso.deadlocked || iso.period <= 0.0) {
+      throw sdf::GraphError("worst_case_bounds: application '" + apps[i].name() +
+                            "' has no positive isolation period");
+    }
+    out[i].isolation_period = iso.period;
+    out[i].actors.resize(apps[i].actor_count());
+  }
+
+  // Group actor execution times (and TDMA slots) per node.
+  struct Entry {
+    platform::GlobalActor who;
+    double exec;
+    double slot;
+  };
+  std::vector<std::vector<Entry>> per_node(sys.platform().node_count());
+  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    for (sdf::ActorId a = 0; a < apps[i].actor_count(); ++a) {
+      const auto exec = static_cast<double>(apps[i].actor(a).exec_time);
+      const double slot =
+          opts.tdma_slot > 0 ? static_cast<double>(opts.tdma_slot) : exec;
+      per_node[sys.mapping().node_of(i, a)].push_back(Entry{{i, a}, exec, slot});
+    }
+  }
+
+  std::vector<std::vector<double>> response(apps.size());
+  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    response[i].resize(apps[i].actor_count(), 0.0);
+  }
+  for (const auto& entries : per_node) {
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+      const Entry& e = entries[s];
+      std::vector<double> others;
+      others.reserve(entries.size() - 1);
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        if (k == s) continue;
+        others.push_back(opts.policy == Policy::TdmaPreemptive ? entries[k].slot
+                                                               : entries[k].exec);
+      }
+      double r = 0.0;
+      switch (opts.policy) {
+        case Policy::RoundRobinNonPreemptive:
+          r = wcrt_round_robin(e.exec, others);
+          break;
+        case Policy::TdmaPreemptive:
+          r = wcrt_tdma(e.exec, e.slot, others);
+          break;
+      }
+      out[e.who.app].actors[e.who.actor].response_time = r;
+      out[e.who.app].actors[e.who.actor].waiting_time = r - e.exec;
+      response[e.who.app][e.who.actor] = r;
+    }
+  }
+
+  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    const auto res = analysis::compute_period(apps[i], response[i]);
+    if (res.deadlocked) {
+      throw sdf::GraphError("worst_case_bounds: response-time graph deadlocks");
+    }
+    out[i].worst_case_period = res.period;
+  }
+  return out;
+}
+
+}  // namespace procon::wcrt

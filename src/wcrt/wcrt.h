@@ -1,0 +1,66 @@
+// Worst-case response time (WCRT) baselines - the state of the art the
+// paper compares against ("Analyzed Worst Case").
+//
+// Round-robin, non-preemptive (Hoes [6]): when an actor arrives at a node
+// it may, in the worst case, find every other actor mapped there queued
+// ahead of it, so
+//     WCRT(a) = tau(a) + sum_{b != a on node(a)} tau(b).
+//
+// TDMA, preemptive (Bekooij et al. [3]): each actor owns a slot of length
+// s(a) on a wheel of length W = sum of slots on the node. Worst case the
+// actor arrives just after its slot ends and needs ceil(tau/s) slots:
+//     WCRT(a) = tau(a) + ceil(tau(a)/s(a)) * (W - s(a)).
+// With the default "fair" configuration s(a) = tau(a) this reduces to
+// W = sum tau, equal to the round-robin bound.
+//
+// Both analyses plug the per-actor WCRT into the same period-recomputation
+// pipeline as the probabilistic estimator, yielding a conservative period
+// bound per application.
+#pragma once
+
+#include <vector>
+
+#include "platform/system.h"
+#include "sdf/types.h"
+
+namespace procon::wcrt {
+
+enum class Policy {
+  RoundRobinNonPreemptive,  ///< Hoes [6]
+  TdmaPreemptive,           ///< Bekooij et al. [3]
+};
+
+struct WcrtOptions {
+  Policy policy = Policy::RoundRobinNonPreemptive;
+  /// TDMA slot length; 0 means "slot = actor execution time" (fair wheel).
+  sdf::Time tdma_slot = 0;
+};
+
+struct ActorBound {
+  double waiting_time = 0.0;
+  double response_time = 0.0;
+};
+
+struct AppBound {
+  double isolation_period = 0.0;
+  double worst_case_period = 0.0;
+  std::vector<ActorBound> actors;
+
+  [[nodiscard]] double normalised_period() const noexcept {
+    return isolation_period > 0.0 ? worst_case_period / isolation_period : 0.0;
+  }
+};
+
+/// Computes per-application worst-case period bounds for all applications
+/// of `sys` running concurrently.
+[[nodiscard]] std::vector<AppBound> worst_case_bounds(const platform::System& sys,
+                                                      const WcrtOptions& opts = {});
+
+/// The raw per-actor WCRT for one actor given the execution times of the
+/// other actors on its node (exposed for tests / direct use).
+[[nodiscard]] double wcrt_round_robin(double own_exec,
+                                      const std::vector<double>& other_execs);
+[[nodiscard]] double wcrt_tdma(double own_exec, double own_slot,
+                               const std::vector<double>& other_slots);
+
+}  // namespace procon::wcrt

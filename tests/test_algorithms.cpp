@@ -1,0 +1,129 @@
+#include "sdf/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.h"
+
+namespace procon::sdf {
+namespace {
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  const Graph g = procon::testing::fig2_graph_a();
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 1u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, ChainHasOneComponentPerActor) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  const auto c = g.add_actor("c", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, c, 1, 1, 0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 3u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, TwoCyclesBridged) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  const auto c = g.add_actor("c", 1);
+  const auto d = g.add_actor("d", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 1);
+  g.add_channel(b, c, 1, 1, 0);  // bridge
+  g.add_channel(c, d, 1, 1, 0);
+  g.add_channel(d, c, 1, 1, 1);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count, 2u);
+  EXPECT_EQ(r.component_of[0], r.component_of[1]);
+  EXPECT_EQ(r.component_of[2], r.component_of[3]);
+  EXPECT_NE(r.component_of[0], r.component_of[2]);
+  // Reverse topological numbering: the sink component {c, d} comes first.
+  EXPECT_LT(r.component_of[2], r.component_of[0]);
+}
+
+TEST(Scc, EmptyGraphNotStronglyConnected) {
+  Graph g;
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, SingleActorIsStronglyConnected) {
+  Graph g;
+  g.add_actor("a", 1);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Deadlock, PaperGraphsAreFree) {
+  EXPECT_TRUE(is_deadlock_free(procon::testing::fig2_graph_a()));
+  EXPECT_TRUE(is_deadlock_free(procon::testing::fig2_graph_b()));
+  EXPECT_TRUE(is_deadlock_free(procon::testing::fig2_graph_b_reversed()));
+}
+
+TEST(Deadlock, TokenlessCycleDeadlocks) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 0);
+  EXPECT_FALSE(is_deadlock_free(g));
+  const DeadlockDiagnosis diag = diagnose_deadlock(g);
+  EXPECT_FALSE(diag.deadlock_free);
+  EXPECT_EQ(diag.starved_actors.size(), 2u);
+  EXPECT_FALSE(diag.starved_channels.empty());
+}
+
+TEST(Deadlock, InsufficientTokensDeadlock) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 2, 0);   // b needs 2 per firing; q = [2, 1]
+  g.add_channel(b, a, 2, 1, 1);   // only one token: a fires once, then stuck
+  EXPECT_FALSE(is_deadlock_free(g));
+}
+
+TEST(Deadlock, ExactlyEnoughTokens) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 2, 0);
+  g.add_channel(b, a, 2, 1, 2);
+  EXPECT_TRUE(is_deadlock_free(g));
+}
+
+TEST(Deadlock, InconsistentGraphReportedNotFree) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 1, 0);
+  g.add_channel(b, a, 2, 1, 0);
+  EXPECT_FALSE(is_deadlock_free(g));
+}
+
+TEST(Deadlock, DiagnosisIdentifiesStarvedChannel) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  const auto c = g.add_actor("c", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  const auto cb = g.add_channel(c, b, 1, 1, 0);  // b also needs c's token
+  g.add_channel(b, a, 1, 1, 1);
+  g.add_channel(b, c, 1, 1, 0);  // c never gets a token first
+  const DeadlockDiagnosis diag = diagnose_deadlock(g);
+  EXPECT_FALSE(diag.deadlock_free);
+  EXPECT_NE(std::find(diag.starved_channels.begin(), diag.starved_channels.end(), cb),
+            diag.starved_channels.end());
+}
+
+TEST(Deadlock, SelfLoopWithTokenIsFine) {
+  Graph g = procon::testing::fig2_graph_a().with_self_loops();
+  EXPECT_TRUE(is_deadlock_free(g));
+}
+
+}  // namespace
+}  // namespace procon::sdf

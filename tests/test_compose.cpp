@@ -1,0 +1,188 @@
+#include "prob/compose.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prob/waiting_time.h"
+#include "util/rng.h"
+
+namespace procon::prob {
+namespace {
+
+ActorLoad make_load(double tau, double p) {
+  ActorLoad l;
+  l.exec_time = tau;
+  l.probability = p;
+  l.mean_blocking = tau / 2.0;
+  return l;
+}
+
+TEST(Compose, ProbabilityFormulaEq6) {
+  EXPECT_DOUBLE_EQ(compose_probability(0.5, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(compose_probability(0.0, 0.3), 0.3);
+  EXPECT_DOUBLE_EQ(compose_probability(1.0, 0.3), 1.0);
+}
+
+TEST(Compose, IdentityElement) {
+  const Composite id = Composite::identity();
+  const Composite x = to_composite(make_load(80.0, 0.4));
+  const Composite l = compose(id, x);
+  const Composite r = compose(x, id);
+  EXPECT_DOUBLE_EQ(l.probability, x.probability);
+  EXPECT_DOUBLE_EQ(l.weighted_blocking, x.weighted_blocking);
+  EXPECT_DOUBLE_EQ(r.probability, x.probability);
+  EXPECT_DOUBLE_EQ(r.weighted_blocking, x.weighted_blocking);
+}
+
+TEST(Compose, MatchesEq7TwoActors) {
+  const ActorLoad a = make_load(100.0, 1.0 / 3.0);
+  const ActorLoad b = make_load(50.0, 1.0 / 3.0);
+  const Composite ab = compose(to_composite(a), to_composite(b));
+  // Eq. 7 expanded by hand.
+  const double muPa = 50.0 / 3.0;
+  const double muPb = 25.0 / 3.0;
+  EXPECT_NEAR(ab.weighted_blocking,
+              muPa * (1.0 + 1.0 / 6.0) + muPb * (1.0 + 1.0 / 6.0), 1e-12);
+  EXPECT_NEAR(ab.probability, 1.0 / 3.0 + 1.0 / 3.0 - 1.0 / 9.0, 1e-12);
+}
+
+TEST(Compose, CommutativeExactly) {
+  const Composite x = to_composite(make_load(80.0, 0.4));
+  const Composite y = to_composite(make_load(30.0, 0.7));
+  const Composite xy = compose(x, y);
+  const Composite yx = compose(y, x);
+  EXPECT_DOUBLE_EQ(xy.probability, yx.probability);
+  EXPECT_DOUBLE_EQ(xy.weighted_blocking, yx.weighted_blocking);
+}
+
+TEST(Compose, ProbabilityAssociativeExactly) {
+  // (+) is exactly associative (the paper proves it); check numerically.
+  const double pa = 0.3, pb = 0.5, pc = 0.8;
+  const double left = compose_probability(compose_probability(pa, pb), pc);
+  const double right = compose_probability(pa, compose_probability(pb, pc));
+  EXPECT_NEAR(left, right, 1e-15);
+}
+
+TEST(Compose, WaitingAssociativeToSecondOrder) {
+  // (x) is associative only to second order: the discrepancy between the
+  // two association orders must be bounded by third-order products.
+  const Composite a = to_composite(make_load(100.0, 0.2));
+  const Composite b = to_composite(make_load(60.0, 0.25));
+  const Composite c = to_composite(make_load(40.0, 0.15));
+  const Composite left = compose(compose(a, b), c);
+  const Composite right = compose(a, compose(b, c));
+  EXPECT_NEAR(left.probability, right.probability, 1e-12);  // (+) exact
+  const double third_order_scale =
+      (a.weighted_blocking + b.weighted_blocking + c.weighted_blocking) *
+      (a.probability * b.probability + a.probability * c.probability +
+       b.probability * c.probability);
+  EXPECT_LE(std::abs(left.weighted_blocking - right.weighted_blocking),
+            third_order_scale);
+}
+
+TEST(Compose, ComposeAllMatchesSecondOrderWaitingForTwo) {
+  // With <= 2 other actors, Eq. 7 equals the second-order waiting time
+  // (that is exactly how Section 4.2 derives it).
+  const std::vector<ActorLoad> loads{make_load(100.0, 1.0 / 3.0),
+                                     make_load(50.0, 1.0 / 3.0)};
+  EXPECT_NEAR(compose_all(loads).weighted_blocking,
+              waiting_time_second_order(loads), 1e-12);
+}
+
+TEST(Decompose, ProbabilityRoundTrip) {
+  const double pa = 0.35, pb = 0.6;
+  const double pab = compose_probability(pa, pb);
+  EXPECT_NEAR(decompose_probability(pab, pb), pa, 1e-12);
+  EXPECT_NEAR(decompose_probability(pab, pa), pb, 1e-12);
+}
+
+TEST(Decompose, SaturatedProbabilityThrows) {
+  EXPECT_THROW((void)decompose_probability(1.0, 1.0), std::domain_error);
+  const Composite saturated{1.0, 10.0};
+  const Composite total{1.0, 20.0};
+  EXPECT_FALSE(can_invert(saturated));
+  EXPECT_THROW((void)decompose(total, saturated), std::domain_error);
+}
+
+TEST(Decompose, FullRoundTrip) {
+  const Composite rest{0.55, 12.5};
+  const Composite b = to_composite(make_load(70.0, 0.3));
+  const Composite total = compose(rest, b);
+  const Composite recovered = decompose(total, b);
+  EXPECT_NEAR(recovered.probability, rest.probability, 1e-12);
+  EXPECT_NEAR(recovered.weighted_blocking, rest.weighted_blocking, 1e-12);
+}
+
+// Property sweeps over random load sets.
+class ComposeProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<ActorLoad> random_loads(util::Rng& rng, std::size_t min_n = 1,
+                                      std::size_t max_n = 10) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(min_n), static_cast<std::int64_t>(max_n)));
+    std::vector<ActorLoad> loads;
+    for (std::size_t i = 0; i < n; ++i) {
+      loads.push_back(make_load(rng.uniform_real(1.0, 100.0),
+                                rng.uniform_real(0.01, 0.9)));
+    }
+    return loads;
+  }
+};
+
+TEST_P(ComposeProperty, ProbabilityIsUnionOfIndependentEvents) {
+  // P(fold) must equal 1 - prod(1 - P_i): the probability that at least one
+  // independent actor blocks.
+  util::Rng rng(GetParam());
+  const auto loads = random_loads(rng);
+  const Composite all = compose_all(loads);
+  double complement = 1.0;
+  for (const auto& l : loads) complement *= 1.0 - l.probability;
+  EXPECT_NEAR(all.probability, 1.0 - complement, 1e-10) << "seed=" << GetParam();
+}
+
+TEST_P(ComposeProperty, DecomposeInvertsComposeExactly) {
+  // Removing the most recently folded element is an exact inverse.
+  util::Rng rng(GetParam() + 500);
+  auto loads = random_loads(rng, 2, 10);
+  const Composite without_last =
+      compose_all(std::span<const ActorLoad>(loads.data(), loads.size() - 1));
+  const Composite with_last = compose_all(loads);
+  const Composite recovered = decompose(with_last, to_composite(loads.back()));
+  EXPECT_NEAR(recovered.probability, without_last.probability, 1e-9);
+  EXPECT_NEAR(recovered.weighted_blocking, without_last.weighted_blocking, 1e-9);
+}
+
+TEST_P(ComposeProperty, FoldOrderIndependenceWithinSecondOrder) {
+  // Different fold orders agree up to third-order terms; with moderate
+  // probabilities the relative discrepancy stays small.
+  util::Rng rng(GetParam() + 1500);
+  auto loads = random_loads(rng, 2, 8);
+  for (auto& l : loads) l.probability = std::min(l.probability, 0.4);
+  const Composite forward = compose_all(loads);
+  std::vector<ActorLoad> reversed(loads.rbegin(), loads.rend());
+  const Composite backward = compose_all(reversed);
+  EXPECT_NEAR(forward.probability, backward.probability, 1e-10);
+  EXPECT_NEAR(forward.weighted_blocking, backward.weighted_blocking,
+              0.15 * std::max(1.0, forward.weighted_blocking))
+      << "seed=" << GetParam();
+}
+
+TEST_P(ComposeProperty, CompositeWaitingCloseToSecondOrderFormula) {
+  // The composability estimate tracks the second-order approximation (the
+  // paper observes they nearly coincide in Fig. 6).
+  util::Rng rng(GetParam() + 2500);
+  auto loads = random_loads(rng, 1, 6);
+  for (auto& l : loads) l.probability = std::min(l.probability, 0.35);
+  const double composed = compose_all(loads).weighted_blocking;
+  const double second = waiting_time_second_order(loads);
+  EXPECT_NEAR(composed, second, 0.25 * std::max(1.0, second))
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComposeProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace procon::prob

@@ -1,0 +1,129 @@
+#include "gen/graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.h"
+#include "sdf/algorithms.h"
+#include "sdf/repetition.h"
+
+namespace procon::gen {
+namespace {
+
+TEST(Generator, RespectsActorCountRange) {
+  util::Rng rng(1);
+  GeneratorOptions opts;
+  opts.min_actors = 8;
+  opts.max_actors = 10;
+  for (int i = 0; i < 20; ++i) {
+    const sdf::Graph g = generate_graph(rng, opts, "g");
+    EXPECT_GE(g.actor_count(), 8u);
+    EXPECT_LE(g.actor_count(), 10u);
+  }
+}
+
+TEST(Generator, RespectsExecTimeRange) {
+  util::Rng rng(2);
+  GeneratorOptions opts;
+  opts.min_exec_time = 10;
+  opts.max_exec_time = 100;
+  const sdf::Graph g = generate_graph(rng, opts, "g");
+  for (const sdf::Actor& a : g.actors()) {
+    EXPECT_GE(a.exec_time, 10);
+    EXPECT_LE(a.exec_time, 100);
+  }
+}
+
+TEST(Generator, RepetitionBounded) {
+  util::Rng rng(3);
+  GeneratorOptions opts;
+  opts.max_repetition = 4;
+  const sdf::Graph g = generate_graph(rng, opts, "g");
+  const auto q = sdf::compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  for (const auto v : *q) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 4u);
+  }
+}
+
+TEST(Generator, InvalidOptionsThrow) {
+  util::Rng rng(4);
+  GeneratorOptions bad;
+  bad.min_actors = 1;  // below the minimum of 2
+  EXPECT_THROW((void)generate_graph(rng, bad, "g"), std::invalid_argument);
+  GeneratorOptions bad2;
+  bad2.min_exec_time = 5;
+  bad2.max_exec_time = 2;
+  EXPECT_THROW((void)generate_graph(rng, bad2, "g"), std::invalid_argument);
+}
+
+TEST(Generator, NamesAreSequentialLetters) {
+  util::Rng rng(5);
+  const auto graphs = generate_graphs(rng, GeneratorOptions{}, 3);
+  ASSERT_EQ(graphs.size(), 3u);
+  EXPECT_EQ(graphs[0].name(), "A");
+  EXPECT_EQ(graphs[1].name(), "B");
+  EXPECT_EQ(graphs[2].name(), "C");
+}
+
+TEST(Generator, PaperWorkloadIsTenGraphs) {
+  const auto graphs = paper_workload(42);
+  ASSERT_EQ(graphs.size(), 10u);
+  for (const auto& g : graphs) {
+    EXPECT_GE(g.actor_count(), 8u);
+    EXPECT_LE(g.actor_count(), 10u);
+  }
+  EXPECT_EQ(graphs[9].name(), "J");
+}
+
+TEST(Generator, PaperWorkloadDeterministic) {
+  const auto g1 = paper_workload(7);
+  const auto g2 = paper_workload(7);
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    ASSERT_EQ(g1[i].actor_count(), g2[i].actor_count());
+    for (sdf::ActorId a = 0; a < g1[i].actor_count(); ++a) {
+      EXPECT_EQ(g1[i].actor(a).exec_time, g2[i].actor(a).exec_time);
+    }
+  }
+}
+
+TEST(Generator, ExtraTokensIncreasePipelining) {
+  util::Rng rng1(11), rng2(11);
+  GeneratorOptions base;
+  GeneratorOptions pipelined = base;
+  pipelined.extra_token_iterations = 2;
+  const sdf::Graph g1 = generate_graph(rng1, base, "g");
+  const sdf::Graph g2 = generate_graph(rng2, pipelined, "g");
+  // Same structure, strictly more tokens somewhere.
+  std::uint64_t t1 = 0, t2 = 0;
+  for (const auto& c : g1.channels()) t1 += c.initial_tokens;
+  for (const auto& c : g2.channels()) t2 += c.initial_tokens;
+  EXPECT_GT(t2, t1);
+  // More tokens can only lower (or keep) the analytic period.
+  const double p1 = analysis::compute_period(g1).period;
+  const double p2 = analysis::compute_period(g2).period;
+  EXPECT_LE(p2, p1 + 1e-6);
+}
+
+// The central generator property sweep: every generated graph satisfies the
+// evaluation section's requirements (consistent, strongly connected,
+// deadlock-free, analysable).
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, ValidGraphEveryTime) {
+  util::Rng rng(GetParam());
+  const sdf::Graph g = generate_graph(rng, GeneratorOptions{}, "g");
+  EXPECT_TRUE(sdf::is_consistent(g)) << "seed=" << GetParam();
+  EXPECT_TRUE(sdf::is_strongly_connected(g)) << "seed=" << GetParam();
+  EXPECT_TRUE(sdf::is_deadlock_free(g)) << "seed=" << GetParam();
+  const auto period = analysis::compute_period(g);
+  EXPECT_FALSE(period.deadlocked) << "seed=" << GetParam();
+  EXPECT_GT(period.period, 0.0) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace procon::gen

@@ -1,0 +1,121 @@
+#include "sdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace procon::sdf {
+namespace {
+
+TEST(Graph, AddActorsAndChannels) {
+  Graph g("g");
+  const ActorId a = g.add_actor("a", 10);
+  const ActorId b = g.add_actor("b", 20);
+  const ChannelId c = g.add_channel(a, b, 2, 3, 4);
+  EXPECT_EQ(g.actor_count(), 2u);
+  EXPECT_EQ(g.channel_count(), 1u);
+  EXPECT_EQ(g.actor(a).name, "a");
+  EXPECT_EQ(g.actor(b).exec_time, 20);
+  EXPECT_EQ(g.channel(c).prod_rate, 2u);
+  EXPECT_EQ(g.channel(c).cons_rate, 3u);
+  EXPECT_EQ(g.channel(c).initial_tokens, 4u);
+}
+
+TEST(Graph, RejectsNegativeExecTime) {
+  Graph g;
+  EXPECT_THROW(g.add_actor("a", -1), GraphError);
+}
+
+TEST(Graph, RejectsZeroRates) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  EXPECT_THROW(g.add_channel(a, a, 0, 1, 0), GraphError);
+  EXPECT_THROW(g.add_channel(a, a, 1, 0, 0), GraphError);
+}
+
+TEST(Graph, RejectsInvalidEndpoints) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  EXPECT_THROW(g.add_channel(a, 99, 1, 1, 0), GraphError);
+  EXPECT_THROW(g.add_channel(99, a, 1, 1, 0), GraphError);
+}
+
+TEST(Graph, InvalidIdQueriesThrow) {
+  Graph g;
+  EXPECT_THROW((void)g.actor(0), GraphError);
+  EXPECT_THROW((void)g.channel(0), GraphError);
+  EXPECT_THROW((void)g.out_channels(0), GraphError);
+}
+
+TEST(Graph, AdjacencyLists) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  const ChannelId ab = g.add_channel(a, b, 1, 1, 0);
+  const ChannelId ba = g.add_channel(b, a, 1, 1, 1);
+  ASSERT_EQ(g.out_channels(a).size(), 1u);
+  EXPECT_EQ(g.out_channels(a)[0], ab);
+  ASSERT_EQ(g.in_channels(a).size(), 1u);
+  EXPECT_EQ(g.in_channels(a)[0], ba);
+}
+
+TEST(Graph, SelfLoopAppearsInBothLists) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ChannelId c = g.add_channel(a, a, 1, 1, 1);
+  ASSERT_EQ(g.out_channels(a).size(), 1u);
+  ASSERT_EQ(g.in_channels(a).size(), 1u);
+  EXPECT_EQ(g.out_channels(a)[0], c);
+  EXPECT_TRUE(g.channel(c).is_self_loop());
+}
+
+TEST(Graph, FindActor) {
+  Graph g;
+  g.add_actor("alpha", 1);
+  const ActorId beta = g.add_actor("beta", 1);
+  EXPECT_EQ(g.find_actor("beta"), beta);
+  EXPECT_EQ(g.find_actor("gamma"), kInvalidActor);
+}
+
+TEST(Graph, TotalExecTime) {
+  const Graph g = procon::testing::fig2_graph_a();
+  EXPECT_EQ(g.total_exec_time(), 250);
+}
+
+TEST(Graph, WithExecTimes) {
+  const Graph g = procon::testing::fig2_graph_a();
+  const std::vector<Time> times{1, 2, 3};
+  const Graph g2 = g.with_exec_times(times);
+  EXPECT_EQ(g2.actor(0).exec_time, 1);
+  EXPECT_EQ(g2.actor(2).exec_time, 3);
+  // Original untouched; structure preserved.
+  EXPECT_EQ(g.actor(0).exec_time, 100);
+  EXPECT_EQ(g2.channel_count(), g.channel_count());
+}
+
+TEST(Graph, WithExecTimesValidates) {
+  const Graph g = procon::testing::fig2_graph_a();
+  EXPECT_THROW((void)g.with_exec_times(std::vector<Time>{1}), GraphError);
+  EXPECT_THROW((void)g.with_exec_times(std::vector<Time>{1, -2, 3}), GraphError);
+}
+
+TEST(Graph, WithSelfLoops) {
+  const Graph g = procon::testing::fig2_graph_a();
+  const Graph closed = g.with_self_loops();
+  EXPECT_EQ(closed.channel_count(), g.channel_count() + g.actor_count());
+  for (ActorId a = 0; a < closed.actor_count(); ++a) {
+    EXPECT_TRUE(closed.has_self_loop(a));
+  }
+  // Idempotent.
+  EXPECT_EQ(closed.with_self_loops().channel_count(), closed.channel_count());
+}
+
+TEST(Graph, HasSelfLoopRequiresToken) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  g.add_channel(a, a, 1, 1, 0);  // tokenless self-edge: deadlock, not a guard
+  EXPECT_FALSE(g.has_self_loop(a));
+}
+
+}  // namespace
+}  // namespace procon::sdf

@@ -1,0 +1,149 @@
+#include "platform/heterogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "prob/estimator.h"
+#include "sim/simulator.h"
+
+namespace procon::platform {
+namespace {
+
+using procon::testing::fig2_graph_a;
+using procon::testing::fig2_graph_b;
+
+constexpr NodeType kRisc = 0;
+constexpr NodeType kDsp = 1;
+
+/// Two-type platform: nodes 0..1 RISC, node 2 DSP.
+Platform mixed_platform() {
+  Platform p;
+  p.add_node("risc0", kRisc);
+  p.add_node("risc1", kRisc);
+  p.add_node("dsp0", kDsp);
+  return p;
+}
+
+System mixed_system() {
+  std::vector<sdf::Graph> apps{fig2_graph_a(), fig2_graph_b()};
+  Platform plat = mixed_platform();
+  Mapping map = Mapping::by_index(apps, plat);
+  return System(std::move(apps), std::move(plat), std::move(map));
+}
+
+TEST(PlatformTypes, DefaultTypeIsZero) {
+  const Platform p = Platform::homogeneous(3);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(p.node(n).type, 0u);
+  }
+  EXPECT_EQ(p.type_count(), 1u);
+}
+
+TEST(PlatformTypes, TypeCountTracksMaxType) {
+  EXPECT_EQ(mixed_platform().type_count(), 2u);
+  Platform p;
+  EXPECT_EQ(p.type_count(), 0u);
+  p.add_node("x", 5);
+  EXPECT_EQ(p.type_count(), 6u);
+}
+
+TEST(HeterogeneousTiming, DefaultsToGraphTimes) {
+  const System sys = mixed_system();
+  const HeterogeneousTiming timing(sys.apps(), 2);
+  const System applied = timing.apply(sys);
+  for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
+    for (sdf::ActorId a = 0; a < sys.app(i).actor_count(); ++a) {
+      EXPECT_EQ(applied.app(i).actor(a).exec_time, sys.app(i).actor(a).exec_time);
+    }
+  }
+}
+
+TEST(HeterogeneousTiming, AppliesTypeSpecificTimes) {
+  const System sys = mixed_system();
+  HeterogeneousTiming timing(sys.apps(), 2);
+  // a2 and b2 live on the DSP (node 2): both run 4x faster there.
+  timing.set(0, 2, kDsp, 25);
+  timing.set(1, 2, kDsp, 25);
+  // A DSP time for an actor NOT mapped to a DSP must not leak.
+  timing.set(0, 0, kDsp, 1);
+  const System applied = timing.apply(sys);
+  EXPECT_EQ(applied.app(0).actor(2).exec_time, 25);
+  EXPECT_EQ(applied.app(1).actor(2).exec_time, 25);
+  EXPECT_EQ(applied.app(0).actor(0).exec_time, 100);  // still on RISC
+}
+
+TEST(HeterogeneousTiming, FasterNodeImprovesEstimatedPeriod) {
+  const System sys = mixed_system();
+  HeterogeneousTiming timing(sys.apps(), 2);
+  timing.set(0, 2, kDsp, 25);
+  timing.set(1, 2, kDsp, 25);
+  const System fast = timing.apply(sys);
+
+  const auto base = prob::ContentionEstimator().estimate(sys);
+  const auto accel = prob::ContentionEstimator().estimate(fast);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LT(accel[i].isolation_period, base[i].isolation_period);
+    EXPECT_LT(accel[i].estimated_period, base[i].estimated_period);
+  }
+  // And the whole pipeline still simulates.
+  const auto sim = sim::simulate(fast, sim::SimOptions{.horizon = 60'000});
+  ASSERT_TRUE(sim.apps[0].converged);
+  EXPECT_LT(sim.apps[0].average_period, 300.0);
+}
+
+TEST(HeterogeneousTiming, GetFallsBackToBase) {
+  const System sys = mixed_system();
+  HeterogeneousTiming timing(sys.apps(), 2);
+  EXPECT_EQ(timing.get(0, 0, kDsp, 123), 123);
+  timing.set(0, 0, kDsp, 7);
+  EXPECT_EQ(timing.get(0, 0, kDsp, 123), 7);
+  EXPECT_EQ(timing.get(0, 0, kRisc, 123), 123);  // other type untouched
+}
+
+TEST(HeterogeneousTiming, ValidationErrors) {
+  const System sys = mixed_system();
+  EXPECT_THROW(HeterogeneousTiming(sys.apps(), 0), std::invalid_argument);
+  HeterogeneousTiming timing(sys.apps(), 2);
+  EXPECT_THROW(timing.set(9, 0, 0, 1), std::out_of_range);
+  EXPECT_THROW(timing.set(0, 9, 0, 1), std::out_of_range);
+  EXPECT_THROW(timing.set(0, 0, 9, 1), std::out_of_range);
+  EXPECT_THROW(timing.set(0, 0, 0, -1), sdf::GraphError);
+  EXPECT_THROW((void)timing.get(0, 0, 9, 1), std::out_of_range);
+
+  // Platform with more types than the table knows.
+  Platform plat;
+  plat.add_node("exotic", 7);
+  std::vector<sdf::Graph> apps{procon::testing::two_actor_cycle(1, 1)};
+  Mapping m(apps);
+  m.assign(0, 0, 0);
+  m.assign(0, 1, 0);
+  const System exotic(std::move(apps), std::move(plat), std::move(m));
+  HeterogeneousTiming small(exotic.apps(), 2);
+  EXPECT_THROW((void)small.apply(exotic), sdf::GraphError);
+}
+
+TEST(HeterogeneousTiming, RemappingChangesEffectiveTimes) {
+  // The same timing table yields different graphs under different mappings:
+  // the actor inherits the time of whatever node type it lands on.
+  std::vector<sdf::Graph> apps{procon::testing::two_actor_cycle(100, 100)};
+  Platform plat;
+  plat.add_node("risc", kRisc);
+  plat.add_node("dsp", kDsp);
+  HeterogeneousTiming timing(apps, 2);
+  timing.set(0, 0, kDsp, 10);
+
+  Mapping on_risc(apps);
+  on_risc.assign(0, 0, 0);
+  on_risc.assign(0, 1, 0);
+  Mapping on_dsp(apps);
+  on_dsp.assign(0, 0, 1);
+  on_dsp.assign(0, 1, 0);
+
+  const System sys_risc(std::vector<sdf::Graph>(apps), plat, on_risc);
+  const System sys_dsp(std::vector<sdf::Graph>(apps), plat, on_dsp);
+  EXPECT_EQ(timing.apply(sys_risc).app(0).actor(0).exec_time, 100);
+  EXPECT_EQ(timing.apply(sys_dsp).app(0).actor(0).exec_time, 10);
+}
+
+}  // namespace
+}  // namespace procon::platform

@@ -1,0 +1,110 @@
+#include "sdf/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.h"
+
+namespace procon::sdf {
+namespace {
+
+TEST(Io, RoundTripPaperGraph) {
+  const Graph g = procon::testing::fig2_graph_a();
+  const Graph g2 = graph_from_text(to_text(g));
+  EXPECT_EQ(g2.name(), g.name());
+  ASSERT_EQ(g2.actor_count(), g.actor_count());
+  ASSERT_EQ(g2.channel_count(), g.channel_count());
+  for (ActorId a = 0; a < g.actor_count(); ++a) {
+    EXPECT_EQ(g2.actor(a).name, g.actor(a).name);
+    EXPECT_EQ(g2.actor(a).exec_time, g.actor(a).exec_time);
+  }
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    EXPECT_EQ(g2.channel(c).src, g.channel(c).src);
+    EXPECT_EQ(g2.channel(c).dst, g.channel(c).dst);
+    EXPECT_EQ(g2.channel(c).prod_rate, g.channel(c).prod_rate);
+    EXPECT_EQ(g2.channel(c).cons_rate, g.channel(c).cons_rate);
+    EXPECT_EQ(g2.channel(c).initial_tokens, g.channel(c).initial_tokens);
+  }
+}
+
+TEST(Io, ParsesCommentsAndBlankLines) {
+  const std::string text = R"(# a comment
+graph demo
+
+actor x 5
+# another comment
+actor y 7
+channel x y 1 1 0
+channel y x 1 1 1
+end
+)";
+  const Graph g = graph_from_text(text);
+  EXPECT_EQ(g.name(), "demo");
+  EXPECT_EQ(g.actor_count(), 2u);
+  EXPECT_EQ(g.channel_count(), 2u);
+}
+
+TEST(Io, MultipleGraphs) {
+  std::ostringstream os;
+  write_graph(os, procon::testing::fig2_graph_a());
+  write_graph(os, procon::testing::fig2_graph_b());
+  std::istringstream is(os.str());
+  const auto graphs = read_graphs(is);
+  ASSERT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs[0].name(), "A");
+  EXPECT_EQ(graphs[1].name(), "B");
+}
+
+TEST(Io, ErrorUnknownActor) {
+  const std::string text = "graph g\nactor a 1\nchannel a zz 1 1 0\nend\n";
+  EXPECT_THROW(graph_from_text(text), ParseError);
+}
+
+TEST(Io, ErrorDuplicateActor) {
+  const std::string text = "graph g\nactor a 1\nactor a 2\nend\n";
+  EXPECT_THROW(graph_from_text(text), ParseError);
+}
+
+TEST(Io, ErrorMissingEnd) {
+  const std::string text = "graph g\nactor a 1\n";
+  EXPECT_THROW(graph_from_text(text), ParseError);
+}
+
+TEST(Io, ErrorActorBeforeGraph) {
+  EXPECT_THROW(graph_from_text("actor a 1\nend\n"), ParseError);
+}
+
+TEST(Io, ErrorBadChannelParams) {
+  const std::string text = "graph g\nactor a 1\nchannel a a 0 1 0\nend\n";
+  EXPECT_THROW(graph_from_text(text), ParseError);
+}
+
+TEST(Io, ErrorUnknownKeyword) {
+  EXPECT_THROW(graph_from_text("graph g\nfrobnicate\nend\n"), ParseError);
+}
+
+TEST(Io, ErrorEmptyInput) {
+  EXPECT_THROW(graph_from_text(""), ParseError);
+}
+
+TEST(Io, ErrorMentionsLineNumber) {
+  const std::string text = "graph g\nactor a 1\nchannel a b 1 1 0\nend\n";
+  try {
+    (void)graph_from_text(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Io, DotContainsActorsAndRates) {
+  const std::string dot = to_dot(procon::testing::fig2_graph_a());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("a0"), std::string::npos);
+  EXPECT_NE(dot.find("2/1"), std::string::npos);
+  EXPECT_NE(dot.find("[1]"), std::string::npos);  // initial token annotation
+}
+
+}  // namespace
+}  // namespace procon::sdf

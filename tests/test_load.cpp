@@ -1,0 +1,83 @@
+#include "prob/load.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "sdf/repetition.h"
+
+namespace procon::prob {
+namespace {
+
+TEST(BlockingProbability, PaperValues) {
+  // P(a0) = 100 * 1 / 300 = 1/3 (Definition 4).
+  EXPECT_NEAR(blocking_probability(100.0, 1, 300.0), 1.0 / 3.0, 1e-12);
+  // a1 fires twice: P = 50 * 2 / 300 = 1/3.
+  EXPECT_NEAR(blocking_probability(50.0, 2, 300.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BlockingProbability, ClampsToOne) {
+  EXPECT_DOUBLE_EQ(blocking_probability(400.0, 2, 300.0), 1.0);
+}
+
+TEST(BlockingProbability, ZeroExecTime) {
+  EXPECT_DOUBLE_EQ(blocking_probability(0.0, 3, 300.0), 0.0);
+}
+
+TEST(BlockingProbability, DegeneratePeriod) {
+  EXPECT_DOUBLE_EQ(blocking_probability(10.0, 1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(blocking_probability(0.0, 1, 0.0), 0.0);
+}
+
+TEST(MeanBlockingTime, HalfExecTime) {
+  // Definition 5 / Eq. 2: mu = tau / 2 for constant execution times.
+  EXPECT_DOUBLE_EQ(mean_blocking_time(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(mean_blocking_time(0.0), 0.0);
+}
+
+TEST(DeriveLoads, PaperGraphA) {
+  const sdf::Graph g = procon::testing::fig2_graph_a();
+  const auto q = sdf::compute_repetition_vector(g);
+  const auto loads = derive_loads(g, *q, 300.0);
+  ASSERT_EQ(loads.size(), 3u);
+  for (const ActorLoad& l : loads) {
+    EXPECT_NEAR(l.probability, 1.0 / 3.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(loads[0].mean_blocking, 50.0);  // mu(a0)
+  EXPECT_DOUBLE_EQ(loads[1].mean_blocking, 25.0);  // mu(a1)
+  EXPECT_DOUBLE_EQ(loads[2].mean_blocking, 50.0);  // mu(a2)
+}
+
+TEST(DeriveLoads, PaperGraphB) {
+  const sdf::Graph g = procon::testing::fig2_graph_b();
+  const auto q = sdf::compute_repetition_vector(g);
+  const auto loads = derive_loads(g, *q, 300.0);
+  EXPECT_DOUBLE_EQ(loads[0].mean_blocking, 25.0);  // mu(b0) = 50/2
+  EXPECT_DOUBLE_EQ(loads[1].mean_blocking, 50.0);
+  EXPECT_DOUBLE_EQ(loads[2].mean_blocking, 50.0);
+  for (const ActorLoad& l : loads) {
+    EXPECT_NEAR(l.probability, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(DeriveLoads, WeightedBlocking) {
+  ActorLoad l;
+  l.probability = 1.0 / 3.0;
+  l.mean_blocking = 50.0;
+  EXPECT_NEAR(l.weighted_blocking(), 50.0 / 3.0, 1e-12);
+}
+
+TEST(DeriveLoads, SizeMismatchThrows) {
+  const sdf::Graph g = procon::testing::fig2_graph_a();
+  sdf::RepetitionVector bad{1, 2};
+  EXPECT_THROW((void)derive_loads(g, bad, 300.0), sdf::GraphError);
+}
+
+TEST(DeriveLoads, NonPositivePeriodThrows) {
+  const sdf::Graph g = procon::testing::fig2_graph_a();
+  const auto q = sdf::compute_repetition_vector(g);
+  EXPECT_THROW((void)derive_loads(g, *q, 0.0), sdf::GraphError);
+  EXPECT_THROW((void)derive_loads(g, *q, -5.0), sdf::GraphError);
+}
+
+}  // namespace
+}  // namespace procon::prob

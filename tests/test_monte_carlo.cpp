@@ -1,0 +1,113 @@
+#include "prob/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.h"
+#include "prob/estimator.h"
+#include "prob/waiting_time.h"
+
+namespace procon::prob {
+namespace {
+
+ActorLoad make_load(double tau, double p) {
+  ActorLoad l;
+  l.exec_time = tau;
+  l.probability = p;
+  l.mean_blocking = tau / 2.0;
+  return l;
+}
+
+TEST(MonteCarlo, EmptyAndZeroTrials) {
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(waiting_time_monte_carlo({}, rng, 1000), 0.0);
+  const std::vector<ActorLoad> one{make_load(10.0, 0.5)};
+  EXPECT_DOUBLE_EQ(waiting_time_monte_carlo(one, rng, 0), 0.0);
+}
+
+TEST(MonteCarlo, SingleBlockerMatchesClosedForm) {
+  // E[wait] = P * tau/2 = 50/3 for the Section 3 example.
+  const std::vector<ActorLoad> others{make_load(100.0, 1.0 / 3.0)};
+  util::Rng rng(2);
+  const double mc = waiting_time_monte_carlo(others, rng, 400'000);
+  EXPECT_NEAR(mc, 50.0 / 3.0, 0.15);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const std::vector<ActorLoad> others{make_load(10.0, 0.3), make_load(20.0, 0.6)};
+  util::Rng a(5), b(5);
+  EXPECT_DOUBLE_EQ(waiting_time_monte_carlo(others, a, 10'000),
+                   waiting_time_monte_carlo(others, b, 10'000));
+}
+
+TEST(MonteCarlo, ZeroProbabilityNeverWaits) {
+  const std::vector<ActorLoad> others{make_load(50.0, 0.0), make_load(70.0, 0.0)};
+  util::Rng rng(3);
+  EXPECT_DOUBLE_EQ(waiting_time_monte_carlo(others, rng, 10'000), 0.0);
+}
+
+TEST(MonteCarlo, CertainBlockersAlwaysWaitAtLeastResidual) {
+  // Both always blocking: wait >= the smaller residual; also wait <= sum of
+  // both full times.
+  const std::vector<ActorLoad> others{make_load(10.0, 1.0), make_load(10.0, 1.0)};
+  util::Rng rng(4);
+  const double mc = waiting_time_monte_carlo(others, rng, 50'000);
+  // Expected: serving residual 5 plus the queued full 10 = 15.
+  EXPECT_NEAR(mc, 15.0, 0.2);
+}
+
+// The central validation: the Monte-Carlo sample mean of the paper's own
+// queue model converges to the closed-form Eq. 4 value, independently
+// confirming both the formula and the symmetric-polynomial implementation.
+class MonteCarloConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonteCarloConvergence, SampleMeanMatchesEquation4) {
+  util::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  std::vector<ActorLoad> others;
+  for (std::size_t i = 0; i < n; ++i) {
+    others.push_back(make_load(rng.uniform_real(5.0, 100.0),
+                               rng.uniform_real(0.05, 0.85)));
+  }
+  const double exact = waiting_time_exact(others);
+  util::Rng mc_rng(GetParam() + 1);
+  const double mc = waiting_time_monte_carlo(others, mc_rng, 300'000);
+  // Loose 5-sigma-style bound: waits are bounded by sum(tau), so the
+  // standard error at 300k samples is far below 1% of the scale.
+  double scale = 0.0;
+  for (const auto& l : others) scale += l.exec_time;
+  EXPECT_NEAR(mc, exact, 0.02 * scale + 0.05) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonteCarloConvergence,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(MonteCarloEstimator, MatchesExactMethodOnPaperExample) {
+  // With one other actor per node the queue model is the single-blocker
+  // case; 200k samples land within a fraction of a time unit of Eq. 4.
+  const auto sys = procon::testing::fig2_system();
+  const auto exact = ContentionEstimator(
+                         EstimatorOptions{.method = Method::Exact})
+                         .estimate(sys);
+  EstimatorOptions mc_opts{.method = Method::MonteCarlo};
+  mc_opts.mc_trials = 200'000;
+  const auto mc = ContentionEstimator(mc_opts).estimate(sys);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(mc[i].estimated_period, exact[i].estimated_period,
+                0.01 * exact[i].estimated_period);
+  }
+}
+
+TEST(MonteCarloEstimator, Reproducible) {
+  const auto sys = procon::testing::fig2_system();
+  const EstimatorOptions opts{.method = Method::MonteCarlo};
+  const auto a = ContentionEstimator(opts).estimate(sys);
+  const auto b = ContentionEstimator(opts).estimate(sys);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].estimated_period, b[i].estimated_period);
+  }
+}
+
+}  // namespace
+}  // namespace procon::prob

@@ -1,0 +1,152 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace procon::util {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, NormalisesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalisesSign) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), RationalError);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(3, 4) - Rational(1, 4), Rational(1, 2));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), RationalError);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(5, 10), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeilTrunc) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).trunc(), 3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).trunc(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(2, 3).reciprocal(), Rational(3, 2));
+  EXPECT_THROW((void)Rational(0).reciprocal(), RationalError);
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+  EXPECT_EQ(Rational(3, 2).abs(), Rational(3, 2));
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(1, 3).to_string(), "1/3");
+  std::ostringstream os;
+  os << Rational(-2, 6);
+  EXPECT_EQ(os.str(), "-1/3");
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(INT64_MAX, 1);
+  EXPECT_THROW(big * Rational(2), RationalError);
+  EXPECT_THROW(big + big, RationalError);
+}
+
+TEST(Rational, CrossReductionDelaysOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow thanks to cross-reduction.
+  const Rational a(1LL << 40, 3);
+  const Rational b(3, 1LL << 40);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Gcd64, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(1, 1), 1);
+}
+
+TEST(Lcm64, Basics) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 5), 0);
+  EXPECT_EQ(lcm64(7, 7), 7);
+}
+
+// Property: arithmetic identities hold over a spread of values.
+class RationalProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RationalProperty, AdditiveInverse) {
+  const auto [n, d] = GetParam();
+  const Rational r(n, d);
+  EXPECT_EQ(r + (-r), Rational(0));
+}
+
+TEST_P(RationalProperty, MultiplicativeRoundTrip) {
+  const auto [n, d] = GetParam();
+  const Rational r(n, d);
+  if (!r.is_zero()) {
+    EXPECT_EQ(r * r.reciprocal(), Rational(1));
+  }
+}
+
+TEST_P(RationalProperty, FloorCeilBracket) {
+  const auto [n, d] = GetParam();
+  const Rational r(n, d);
+  EXPECT_LE(Rational(r.floor()), r);
+  EXPECT_GE(Rational(r.ceil()), r);
+  EXPECT_LE(r.ceil() - r.floor(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RationalProperty,
+                         ::testing::Values(std::pair{1, 3}, std::pair{-5, 7},
+                                           std::pair{0, 9}, std::pair{22, 7},
+                                           std::pair{-100, 3}, std::pair{17, 17},
+                                           std::pair{1000001, 999}));
+
+}  // namespace
+}  // namespace procon::util

@@ -1,0 +1,134 @@
+#include "sdf/repetition.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace procon::sdf {
+namespace {
+
+TEST(Repetition, PaperGraphA) {
+  const auto q = compute_repetition_vector(procon::testing::fig2_graph_a());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 1u);
+  EXPECT_EQ((*q)[1], 2u);
+  EXPECT_EQ((*q)[2], 1u);
+}
+
+TEST(Repetition, PaperGraphB) {
+  const auto q = compute_repetition_vector(procon::testing::fig2_graph_b());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 2u);
+  EXPECT_EQ((*q)[1], 1u);
+  EXPECT_EQ((*q)[2], 1u);
+}
+
+TEST(Repetition, Figure1Graph) {
+  // The introduction's example (Figure 1): rates chosen so the balance
+  // equations have the canonical solution below.
+  Graph g("fig1");
+  const auto a = g.add_actor("A", 5);
+  const auto b = g.add_actor("B", 7);
+  const auto c = g.add_actor("C", 6);
+  const auto d = g.add_actor("D", 10);
+  g.add_channel(a, b, 2, 1, 0);   // q[A]*2 == q[B]*1
+  g.add_channel(b, c, 3, 3, 0);   // q[B] == q[C]
+  g.add_channel(c, d, 1, 4, 0);   // q[C]*1 == q[D]*4
+  g.add_channel(d, a, 2, 1, 2);   // q[D]*2 == q[A]*1
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 2u);  // A
+  EXPECT_EQ((*q)[1], 4u);  // B
+  EXPECT_EQ((*q)[2], 4u);  // C
+  EXPECT_EQ((*q)[3], 1u);  // D
+}
+
+TEST(Repetition, HomogeneousGraphAllOnes) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 1);
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 1u);
+  EXPECT_EQ((*q)[1], 1u);
+}
+
+TEST(Repetition, InconsistentGraphRejected) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 1, 0);  // wants q[b] = 2 q[a]
+  g.add_channel(b, a, 2, 1, 0);  // wants q[a] = 2 q[b]  -> contradiction
+  EXPECT_FALSE(compute_repetition_vector(g).has_value());
+  EXPECT_FALSE(is_consistent(g));
+}
+
+TEST(Repetition, SelfLoopMismatchInconsistent) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  g.add_channel(a, a, 2, 1, 1);  // q[a]*2 == q[a]*1 impossible
+  EXPECT_FALSE(is_consistent(g));
+}
+
+TEST(Repetition, IsolatedActorsGetOne) {
+  Graph g;
+  g.add_actor("a", 1);
+  g.add_actor("b", 1);
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 1u);
+  EXPECT_EQ((*q)[1], 1u);
+}
+
+TEST(Repetition, ComponentsNormalisedIndependently) {
+  Graph g;
+  // Component 1: a -> b with 3:1 (q = [1, 3]).
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 3, 1, 0);
+  // Component 2: c -> d with 1:2 (q = [2, 1]).
+  const auto c = g.add_actor("c", 1);
+  const auto d = g.add_actor("d", 1);
+  g.add_channel(c, d, 1, 2, 0);
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 1u);
+  EXPECT_EQ((*q)[1], 3u);
+  EXPECT_EQ((*q)[2], 2u);
+  EXPECT_EQ((*q)[3], 1u);
+}
+
+TEST(Repetition, MinimalityCoprime) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 6, 4, 0);   // q[a]*6 == q[b]*4 -> q = [2, 3]
+  g.add_channel(b, a, 4, 6, 12);
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], 2u);
+  EXPECT_EQ((*q)[1], 3u);
+}
+
+TEST(Repetition, BalanceEquationsHold) {
+  const Graph g = procon::testing::fig2_graph_a();
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  for (const Channel& c : g.channels()) {
+    EXPECT_EQ((*q)[c.src] * c.prod_rate, (*q)[c.dst] * c.cons_rate);
+  }
+}
+
+TEST(Repetition, RepetitionSumAndWorkload) {
+  const Graph g = procon::testing::fig2_graph_a();
+  const auto q = compute_repetition_vector(g);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(repetition_sum(*q), 4u);
+  // 1*100 + 2*50 + 1*100 = 300 (equals Per(A): the graph is sequential).
+  EXPECT_EQ(iteration_workload(g, *q), 300);
+}
+
+}  // namespace
+}  // namespace procon::sdf

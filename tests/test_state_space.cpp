@@ -1,0 +1,134 @@
+#include "analysis/state_space.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.h"
+#include "gen/graph_generator.h"
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace procon::analysis {
+namespace {
+
+using procon::testing::fig2_graph_a;
+using procon::testing::fig2_graph_b;
+using sdf::Graph;
+using util::Rational;
+
+TEST(StateSpace, PaperGraphAExactly300) {
+  const StateSpaceResult r = self_timed_period(fig2_graph_a().with_self_loops());
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.period, Rational(300));
+}
+
+TEST(StateSpace, PaperGraphBExactly300) {
+  const StateSpaceResult r = self_timed_period(fig2_graph_b().with_self_loops());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.period, Rational(300));
+}
+
+TEST(StateSpace, SequentialTwoActorCycle) {
+  const StateSpaceResult r =
+      self_timed_period(procon::testing::two_actor_cycle(30, 70).with_self_loops());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.period, Rational(100));
+}
+
+TEST(StateSpace, FractionalPeriod) {
+  // Ring of three, two tokens: steady state completes 2 iterations per 13
+  // time units -> period 13/2.
+  Graph g;
+  const auto a = g.add_actor("a", 5);
+  const auto b = g.add_actor("b", 4);
+  const auto c = g.add_actor("c", 4);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, c, 1, 1, 0);
+  g.add_channel(c, a, 1, 1, 2);
+  const StateSpaceResult r = self_timed_period(g.with_self_loops());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.period, Rational(13, 2));
+  EXPECT_GE(r.iterations_in_cycle, 2u);
+}
+
+TEST(StateSpace, DeadlockDetected) {
+  Graph g;
+  const auto x = g.add_actor("x", 1);
+  const auto y = g.add_actor("y", 1);
+  g.add_channel(x, y, 1, 1, 0);
+  g.add_channel(y, x, 1, 1, 0);
+  const StateSpaceResult r = self_timed_period(g);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(StateSpace, InconsistentGraphDeadlocked) {
+  Graph g;
+  const auto x = g.add_actor("x", 1);
+  const auto y = g.add_actor("y", 1);
+  g.add_channel(x, y, 2, 1, 0);
+  g.add_channel(y, x, 2, 1, 0);
+  const StateSpaceResult r = self_timed_period(g);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(StateSpace, TransientThenPeriodic) {
+  // A big token head start creates a transient before steady state.
+  Graph g;
+  const auto x = g.add_actor("x", 2);
+  const auto y = g.add_actor("y", 5);
+  g.add_channel(x, y, 1, 1, 4);  // x is 4 firings ahead
+  g.add_channel(y, x, 1, 1, 0);
+  const StateSpaceResult r = self_timed_period(g.with_self_loops());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.period, Rational(5));  // bottleneck actor y
+}
+
+TEST(StateSpace, MaxFiringsCapReturnsUnconverged) {
+  const StateSpaceOptions opts{.max_firings = 2};
+  const StateSpaceResult r =
+      self_timed_period(fig2_graph_a().with_self_loops(), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(ComputePeriodExact, MatchesStateSpace) {
+  EXPECT_EQ(compute_period_exact(fig2_graph_a()), Rational(300));
+  EXPECT_EQ(compute_period_exact(fig2_graph_b()), Rational(300));
+}
+
+TEST(ComputePeriodExact, ThrowsOnDeadlock) {
+  Graph g;
+  const auto x = g.add_actor("x", 1);
+  const auto y = g.add_actor("y", 1);
+  g.add_channel(x, y, 1, 1, 0);
+  g.add_channel(y, x, 1, 1, 0);
+  EXPECT_THROW((void)compute_period_exact(g), sdf::GraphError);
+}
+
+// The central cross-validation property: the MCR engine (used for the
+// fractional response-time graphs) and the exact state-space engine agree
+// on every randomly generated integer graph.
+class EngineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineAgreement, McrEqualsStateSpace) {
+  util::Rng rng(GetParam());
+  gen::GeneratorOptions opts;
+  opts.min_actors = 4;
+  opts.max_actors = 8;
+  opts.max_repetition = 3;
+  opts.min_exec_time = 1;
+  opts.max_exec_time = 40;
+  const Graph g = gen::generate_graph(rng, opts, "rnd");
+  const Rational exact = compute_period_exact(g);
+  const PeriodResult mcr = compute_period(g);
+  ASSERT_FALSE(mcr.deadlocked);
+  EXPECT_NEAR(mcr.period, exact.to_double(), 1e-6 * std::max(1.0, exact.to_double()))
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace procon::analysis

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace procon::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 0.37 * i - 20.0;
+    all.add(v);
+    (i < 41 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentAbsDiff, Basics) {
+  EXPECT_DOUBLE_EQ(percent_abs_diff(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_abs_diff(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_abs_diff(100.0, 100.0), 0.0);
+}
+
+TEST(PercentAbsDiff, ZeroReference) {
+  EXPECT_DOUBLE_EQ(percent_abs_diff(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(percent_abs_diff(1.0, 0.0)));
+}
+
+TEST(PercentAbsDiff, NegativeReference) {
+  EXPECT_DOUBLE_EQ(percent_abs_diff(-110.0, -100.0), 10.0);
+}
+
+TEST(MeanPercentAbsDiff, PairedSamples) {
+  const std::vector<double> est{110.0, 95.0};
+  const std::vector<double> ref{100.0, 100.0};
+  EXPECT_DOUBLE_EQ(mean_percent_abs_diff(est, ref), 7.5);
+}
+
+TEST(MeanPercentAbsDiff, SizeMismatchThrows) {
+  const std::vector<double> est{1.0};
+  const std::vector<double> ref{1.0, 2.0};
+  EXPECT_THROW((void)mean_percent_abs_diff(est, ref), std::invalid_argument);
+}
+
+TEST(MeanPercentAbsDiff, Empty) {
+  EXPECT_DOUBLE_EQ(mean_percent_abs_diff({}, {}), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace procon::util

@@ -1,0 +1,168 @@
+// Stress and cross-module consistency tests: randomised admission
+// controller workouts against ground truth, serialisation round-trips on
+// generated graphs, and end-to-end sanity of arbitration variants.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "admission/admission.h"
+#include "analysis/throughput.h"
+#include "gen/graph_generator.h"
+#include "helpers.h"
+#include "prob/compose.h"
+#include "prob/estimator.h"
+#include "sdf/io.h"
+#include "sim/simulator.h"
+
+namespace procon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Admission controller under a random admit/remove sequence: after every
+// operation the per-node composites must match a from-scratch rebuild over
+// the currently active applications (within floating-point tolerance; the
+// controller uses the exact inverse of its own fold order only when the
+// removal order is LIFO, so interleaved removals accumulate only the
+// second-order association error).
+class AdmissionStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdmissionStress, CompositesMatchRebuild) {
+  util::Rng rng(GetParam());
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 3;
+  gopts.max_actors = 5;
+  constexpr std::size_t kNodes = 4;
+  admission::AdmissionController ctrl(platform::Platform::homogeneous(kNodes));
+
+  struct Live {
+    admission::AppHandle handle;
+    sdf::Graph graph;
+    std::vector<platform::NodeId> nodes;
+    double isolation = 0.0;
+  };
+  std::vector<Live> live;
+  // Running peak of each node's true combined waiting time: the residue
+  // left by non-LIFO removals scales with the load that passed through.
+  std::vector<double> peak(kNodes, 0.0);
+
+  for (int op = 0; op < 40; ++op) {
+    const bool remove = !live.empty() && rng.bernoulli(0.4);
+    if (remove) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      ctrl.remove(live[idx].handle);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      Live rec;
+      rec.graph = gen::generate_graph(rng, gopts, "app" + std::to_string(op));
+      rec.nodes.resize(rec.graph.actor_count());
+      for (sdf::ActorId a = 0; a < rec.graph.actor_count(); ++a) {
+        rec.nodes[a] = static_cast<platform::NodeId>(
+            rng.uniform_int(0, kNodes - 1));
+      }
+      const auto d =
+          ctrl.request(rec.graph, rec.nodes, admission::QoS::no_requirement());
+      ASSERT_TRUE(d.admitted);
+      rec.handle = *d.handle;
+      rec.isolation = analysis::compute_period(rec.graph).period;
+      live.push_back(std::move(rec));
+    }
+
+    EXPECT_EQ(ctrl.admitted_count(), live.size());
+
+    // Ground truth: rebuild node composites from the active set.
+    std::vector<prob::Composite> truth(kNodes, prob::Composite::identity());
+    for (const Live& rec : live) {
+      const auto q = sdf::compute_repetition_vector(rec.graph);
+      const auto loads = prob::derive_loads(rec.graph, *q, rec.isolation);
+      for (sdf::ActorId a = 0; a < rec.graph.actor_count(); ++a) {
+        truth[rec.nodes[a]] =
+            prob::compose(truth[rec.nodes[a]], prob::to_composite(loads[a]));
+      }
+    }
+    for (platform::NodeId n = 0; n < kNodes; ++n) {
+      const prob::Composite got = ctrl.node_load(n);
+      // (+) has an exact inverse: probabilities must match tightly no
+      // matter the removal order.
+      EXPECT_NEAR(got.probability, truth[n].probability, 1e-6)
+          << "op=" << op << " node=" << n << " seed=" << GetParam();
+      // (x) is associative only to second order: non-LIFO removals leave
+      // third-order residue (the paper's documented approximation). The
+      // drift is bounded by a fraction of the current value plus a
+      // fraction of the historical peak load that passed through the node.
+      peak[n] = std::max(peak[n], truth[n].weighted_blocking);
+      EXPECT_NEAR(got.weighted_blocking, truth[n].weighted_blocking,
+                  0.15 * std::abs(truth[n].weighted_blocking) + 0.10 * peak[n] + 0.5)
+          << "op=" << op << " node=" << n << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionStress, ::testing::Values(10, 20, 30));
+
+// ---------------------------------------------------------------------------
+// Serialisation round trip on generated graphs: structure and analysis
+// results must survive write -> parse exactly.
+class IoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoRoundTrip, GeneratedGraphsSurvive) {
+  util::Rng rng(GetParam());
+  const sdf::Graph g = gen::generate_graph(rng, gen::GeneratorOptions{}, "g");
+  const sdf::Graph back = sdf::graph_from_text(sdf::to_text(g));
+  ASSERT_EQ(back.actor_count(), g.actor_count());
+  ASSERT_EQ(back.channel_count(), g.channel_count());
+  for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
+    EXPECT_EQ(back.channel(c).src, g.channel(c).src);
+    EXPECT_EQ(back.channel(c).dst, g.channel(c).dst);
+    EXPECT_EQ(back.channel(c).prod_rate, g.channel(c).prod_rate);
+    EXPECT_EQ(back.channel(c).cons_rate, g.channel(c).cons_rate);
+    EXPECT_EQ(back.channel(c).initial_tokens, g.channel(c).initial_tokens);
+  }
+  EXPECT_EQ(analysis::compute_period_exact(back),
+            analysis::compute_period_exact(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTrip, ::testing::Range<std::uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// Arbitration sanity on random workloads: every policy converges and no
+// policy beats the isolation period.
+class ArbitrationSanity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArbitrationSanity, AllPoliciesRespectIsolationBound) {
+  util::Rng rng(GetParam());
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 4;
+  gopts.max_actors = 6;
+  auto apps = gen::generate_graphs(rng, gopts, 3);
+  std::size_t max_actors = 0;
+  for (const auto& g : apps) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(apps, plat);
+  const platform::System sys(std::move(apps), std::move(plat), std::move(map));
+
+  std::vector<double> iso;
+  for (const auto& e : prob::ContentionEstimator().estimate(sys)) {
+    iso.push_back(e.isolation_period);
+  }
+
+  for (const auto arb : {sim::Arbitration::Fcfs, sim::Arbitration::RoundRobin,
+                         sim::Arbitration::Tdma}) {
+    sim::SimOptions opts{.horizon = 200'000};
+    opts.arbitration = arb;
+    const auto r = sim::simulate(sys, opts);
+    for (std::size_t i = 0; i < r.apps.size(); ++i) {
+      ASSERT_TRUE(r.apps[i].converged)
+          << "seed=" << GetParam() << " arb=" << static_cast<int>(arb);
+      EXPECT_GE(r.apps[i].average_period, iso[i] * (1.0 - 1e-6))
+          << "seed=" << GetParam() << " app=" << i;
+      EXPECT_GE(r.apps[i].worst_period, r.apps[i].average_period * (1.0 - 1e-9));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbitrationSanity, ::testing::Values(5, 15, 25));
+
+}  // namespace
+}  // namespace procon

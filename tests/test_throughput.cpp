@@ -1,0 +1,99 @@
+#include "analysis/throughput.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace procon::analysis {
+namespace {
+
+using procon::testing::fig2_graph_a;
+using sdf::Graph;
+
+TEST(ComputePeriod, PaperGraphs) {
+  EXPECT_NEAR(compute_period(fig2_graph_a()).period, 300.0, 1e-6);
+  EXPECT_NEAR(compute_period(procon::testing::fig2_graph_b()).period, 300.0, 1e-6);
+}
+
+TEST(ComputePeriod, ThroughputIsInverse) {
+  const PeriodResult r = compute_period(fig2_graph_a());
+  EXPECT_NEAR(r.throughput(), 1.0 / 300.0, 1e-12);
+}
+
+TEST(ComputePeriod, ResponseTimeOverrideMatchesPaperSection31) {
+  // Response times of Fig. 3 for graph A: [108.33, 66.67, 116.67]
+  // -> new period 358.33 (the paper rounds to 359).
+  const Graph g = fig2_graph_a();
+  const std::vector<double> response{100.0 + 25.0 / 3.0, 50.0 + 50.0 / 3.0,
+                                     100.0 + 50.0 / 3.0};
+  const PeriodResult r = compute_period(g, response);
+  EXPECT_NEAR(r.period, 1075.0 / 3.0, 1e-6);  // 358.333...
+}
+
+TEST(ComputePeriod, InconsistentThrows) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 1, 0);
+  g.add_channel(b, a, 2, 1, 0);
+  EXPECT_THROW((void)compute_period(g), sdf::GraphError);
+}
+
+TEST(ComputePeriod, DeadlockedFlagSet) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 0);
+  const PeriodResult r = compute_period(g);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.throughput(), 0.0);
+}
+
+TEST(ComputePeriod, SingleActor) {
+  Graph g;
+  g.add_actor("solo", 42);
+  const PeriodResult r = compute_period(g);
+  // Only the implicit self-loop constrains it: one firing per 42 units.
+  EXPECT_NEAR(r.period, 42.0, 1e-9);
+}
+
+TEST(Bottleneck, SequentialGraphBlamesWholeCycle) {
+  const auto report = find_bottleneck(fig2_graph_a());
+  EXPECT_NEAR(report.period, 300.0, 1e-6);
+  // Fully sequential: every actor is on the critical cycle.
+  EXPECT_EQ(report.actors, (std::vector<sdf::ActorId>{0, 1, 2}));
+}
+
+TEST(Bottleneck, SlowActorSingledOut) {
+  Graph g;
+  const auto x = g.add_actor("slow", 1000);
+  const auto y = g.add_actor("fast", 1);
+  g.add_channel(x, y, 1, 1, 0);
+  g.add_channel(y, x, 1, 1, 4);
+  const auto report = find_bottleneck(g);
+  EXPECT_NEAR(report.period, 1000.0, 1e-6);
+  EXPECT_EQ(report.actors, (std::vector<sdf::ActorId>{x}));
+}
+
+TEST(Bottleneck, RespondsToExecTimeOverride) {
+  Graph g;
+  const auto x = g.add_actor("x", 10);
+  const auto y = g.add_actor("y", 10);
+  g.add_channel(x, y, 1, 1, 0);
+  g.add_channel(y, x, 1, 1, 4);
+  // Override makes y dominant.
+  const std::vector<double> times{10.0, 500.0};
+  const auto report = find_bottleneck(g, times);
+  EXPECT_NEAR(report.period, 500.0, 1e-6);
+  EXPECT_EQ(report.actors, (std::vector<sdf::ActorId>{y}));
+}
+
+TEST(ComputePeriod, ScalesLinearlyWithExecTimes) {
+  const Graph g = fig2_graph_a();
+  const std::vector<double> doubled{200.0, 100.0, 200.0};
+  EXPECT_NEAR(compute_period(g, doubled).period, 600.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace procon::analysis

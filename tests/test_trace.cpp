@@ -1,0 +1,136 @@
+// Simulator trace tests, including the key non-preemptive correctness
+// invariant: on FCFS and round-robin nodes no two service intervals may
+// overlap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "gen/graph_generator.h"
+#include "helpers.h"
+#include "sim/simulator.h"
+
+namespace procon::sim {
+namespace {
+
+using procon::testing::fig2_system;
+
+TEST(Trace, EmptyByDefault) {
+  const auto r = simulate(fig2_system(), SimOptions{.horizon = 10'000});
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Trace, CollectsOneEventPerFiring) {
+  SimOptions opts{.horizon = 30'000};
+  opts.collect_trace = true;
+  const auto r = simulate(fig2_system(), opts);
+  std::uint64_t firings = 0;
+  for (const auto& app : r.apps) {
+    for (const auto& a : app.actors) firings += a.firings;
+  }
+  // Every completed firing has a trace event; events for firings still in
+  // flight at the horizon may exceed the completion count slightly.
+  EXPECT_GE(r.trace.size(), firings);
+  EXPECT_LE(r.trace.size(), firings + 6);  // at most one in flight per actor
+}
+
+TEST(Trace, EventsWellFormed) {
+  SimOptions opts{.horizon = 30'000};
+  opts.collect_trace = true;
+  const auto r = simulate(fig2_system(), opts);
+  for (const auto& e : r.trace) {
+    EXPECT_LE(e.start, e.end);
+    EXPECT_GE(e.start, 0);
+    EXPECT_LT(e.node, 3u);
+    EXPECT_LT(e.app, 2u);
+    EXPECT_LT(e.actor, 3u);
+  }
+}
+
+void expect_no_node_overlap(const SimResult& r) {
+  std::map<std::uint32_t, std::vector<std::pair<sdf::Time, sdf::Time>>> per_node;
+  for (const auto& e : r.trace) {
+    per_node[e.node].emplace_back(e.start, e.end);
+  }
+  for (auto& [node, intervals] : per_node) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_LE(intervals[i - 1].second, intervals[i].first)
+          << "overlap on node " << node << ": [" << intervals[i - 1].first << ","
+          << intervals[i - 1].second << ") vs [" << intervals[i].first << ","
+          << intervals[i].second << ")";
+    }
+  }
+}
+
+TEST(Trace, NonPreemptiveNodesNeverOverlapFcfs) {
+  SimOptions opts{.horizon = 50'000};
+  opts.collect_trace = true;
+  expect_no_node_overlap(simulate(fig2_system(), opts));
+}
+
+TEST(Trace, NonPreemptiveNodesNeverOverlapRoundRobin) {
+  SimOptions opts{.horizon = 50'000};
+  opts.arbitration = Arbitration::RoundRobin;
+  opts.collect_trace = true;
+  expect_no_node_overlap(simulate(fig2_system(), opts));
+}
+
+// Property sweep: the invariant holds on random workloads, including with
+// stochastic execution times.
+class TraceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceProperty, NoOverlapOnRandomWorkloads) {
+  util::Rng rng(GetParam());
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 4;
+  gopts.max_actors = 6;
+  auto apps = gen::generate_graphs(rng, gopts, 3);
+  std::size_t max_actors = 0;
+  for (const auto& g : apps) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(apps, plat);
+  const platform::System sys(std::move(apps), std::move(plat), std::move(map));
+
+  SimOptions opts{.horizon = 50'000};
+  opts.collect_trace = true;
+  expect_no_node_overlap(simulate(sys, opts));
+
+  // Same with sampled execution times.
+  std::vector<sdf::ExecTimeModel> models;
+  for (const auto& g : sys.apps()) {
+    sdf::ExecTimeModel m;
+    for (const auto& a : g.actors()) {
+      m.push_back(sdf::ExecTimeDistribution::uniform(
+          std::max<sdf::Time>(1, a.exec_time / 2), a.exec_time * 2));
+    }
+    models.push_back(std::move(m));
+  }
+  opts.exec_models = &models;
+  expect_no_node_overlap(simulate(sys, opts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Trace, BusyTimeMatchesTraceSum) {
+  SimOptions opts{.horizon = 50'000};
+  opts.collect_trace = true;
+  const auto r = simulate(fig2_system(), opts);
+  // Utilisation derived from the trace must match the reported utilisation
+  // (clipping at the horizon explains small differences).
+  std::vector<double> busy(r.node_utilisation.size(), 0.0);
+  for (const auto& e : r.trace) {
+    const auto end = std::min(e.end, r.horizon);
+    const auto start = std::min(e.start, r.horizon);
+    busy[e.node] += static_cast<double>(end - start);
+  }
+  for (std::size_t n = 0; n < busy.size(); ++n) {
+    EXPECT_NEAR(busy[n] / static_cast<double>(r.horizon), r.node_utilisation[n],
+                0.01)
+        << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace procon::sim

@@ -1,0 +1,116 @@
+#include "sim/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.h"
+#include "sim/simulator.h"
+
+namespace procon::sim {
+namespace {
+
+using procon::testing::fig2_system;
+
+SimResult traced_run(sdf::Time horizon = 5'000) {
+  SimOptions opts{.horizon = horizon};
+  opts.collect_trace = true;
+  return simulate(fig2_system(), opts);
+}
+
+TEST(Vcd, HeaderAndSignals) {
+  const auto sys = fig2_system();
+  const std::string vcd = to_vcd(sys, traced_run());
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // One signal per node.
+  EXPECT_NE(vcd.find("Proc0"), std::string::npos);
+  EXPECT_NE(vcd.find("Proc1"), std::string::npos);
+  EXPECT_NE(vcd.find("Proc2"), std::string::npos);
+}
+
+TEST(Vcd, EmptyTraceStillValid) {
+  const auto sys = fig2_system();
+  const auto r = simulate(sys, SimOptions{.horizon = 5'000});  // no trace
+  const std::string vcd = to_vcd(sys, r);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // Initial idle values and final timestamp exist.
+  EXPECT_NE(vcd.find("b0000000000000000"), std::string::npos);
+  EXPECT_NE(vcd.find("#5000"), std::string::npos);
+}
+
+TEST(Vcd, TimestampsMonotone) {
+  const auto sys = fig2_system();
+  const std::string vcd = to_vcd(sys, traced_run());
+  std::istringstream is(vcd);
+  std::string line;
+  long long last = -1;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '#') {
+      const long long t = std::stoll(line.substr(1));
+      EXPECT_GE(t, last);
+      last = t;
+    }
+  }
+  EXPECT_GE(last, 0);
+}
+
+TEST(Vcd, ValueChangesParseable) {
+  const auto sys = fig2_system();
+  const std::string vcd = to_vcd(sys, traced_run());
+  std::istringstream is(vcd);
+  std::string line;
+  std::size_t changes = 0;
+  bool in_body = false;
+  while (std::getline(is, line)) {
+    if (line.find("$enddefinitions") != std::string::npos) {
+      in_body = true;
+      continue;
+    }
+    if (!in_body || line.empty()) continue;
+    if (line[0] == 'b') {
+      // "b<16 bits> <id>"
+      ASSERT_GE(line.size(), 18u);
+      for (std::size_t i = 1; i <= 16; ++i) {
+        ASSERT_TRUE(line[i] == '0' || line[i] == '1') << line;
+      }
+      ++changes;
+    }
+  }
+  EXPECT_GT(changes, 10u);  // plenty of activity in 5000 time units
+}
+
+TEST(Gantt, ShowsActivityAndIdle) {
+  const auto sys = fig2_system();
+  const auto r = traced_run();
+  const std::string gantt = render_gantt(sys, r, 0, 1200, 60);
+  // Three node rows plus a header line.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 4);
+  EXPECT_NE(gantt.find("Proc0"), std::string::npos);
+  // Both applications (letters A and B, any case) appear somewhere.
+  const bool has_a = gantt.find('A') != std::string::npos ||
+                     gantt.find('a') != std::string::npos;
+  const bool has_b = gantt.find('B') != std::string::npos ||
+                     gantt.find('b') != std::string::npos;
+  EXPECT_TRUE(has_a);
+  EXPECT_TRUE(has_b);
+}
+
+TEST(Gantt, EmptyWindowThrows) {
+  const auto sys = fig2_system();
+  const auto r = traced_run();
+  EXPECT_THROW((void)render_gantt(sys, r, 100, 100, 60), std::invalid_argument);
+  EXPECT_THROW((void)render_gantt(sys, r, 0, 100, 0), std::invalid_argument);
+}
+
+TEST(Gantt, IdleOnlyWindowRendersDots) {
+  const auto sys = fig2_system();
+  SimResult empty;
+  empty.horizon = 100;
+  const std::string gantt = render_gantt(sys, empty, 0, 100, 20);
+  EXPECT_NE(gantt.find("...."), std::string::npos);
+  EXPECT_EQ(gantt.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procon::sim

@@ -1,0 +1,85 @@
+#include "gen/use_cases.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace procon::gen {
+namespace {
+
+TEST(UseCases, CountIsTwoToTheNMinusOne) {
+  EXPECT_EQ(all_use_cases(1).size(), 1u);
+  EXPECT_EQ(all_use_cases(3).size(), 7u);
+  EXPECT_EQ(all_use_cases(10).size(), 1023u);  // the paper's "over a thousand"
+}
+
+TEST(UseCases, AllUnique) {
+  const auto ucs = all_use_cases(6);
+  std::set<platform::UseCase> s(ucs.begin(), ucs.end());
+  EXPECT_EQ(s.size(), ucs.size());
+}
+
+TEST(UseCases, SortedByCardinality) {
+  const auto ucs = all_use_cases(4);
+  std::size_t last = 1;
+  for (const auto& uc : ucs) {
+    EXPECT_GE(uc.size(), last);
+    last = uc.size();
+  }
+  EXPECT_EQ(ucs.front().size(), 1u);
+  EXPECT_EQ(ucs.back().size(), 4u);
+}
+
+TEST(UseCases, ElementsSortedAndUnique) {
+  for (const auto& uc : all_use_cases(5)) {
+    for (std::size_t i = 1; i < uc.size(); ++i) {
+      EXPECT_LT(uc[i - 1], uc[i]);
+    }
+    for (const auto id : uc) {
+      EXPECT_LT(id, 5u);
+    }
+  }
+}
+
+TEST(UseCases, OfSizeMatchesBinomial) {
+  EXPECT_EQ(use_cases_of_size(5, 2).size(), 10u);
+  EXPECT_EQ(use_cases_of_size(5, 5).size(), 1u);
+  EXPECT_EQ(use_cases_of_size(5, 0).size(), 0u);
+  EXPECT_EQ(use_cases_of_size(5, 6).size(), 0u);
+}
+
+TEST(UseCases, TooManyAppsThrows) {
+  EXPECT_THROW((void)all_use_cases(21), std::invalid_argument);
+}
+
+TEST(UseCases, SampleRespectsPerSizeCap) {
+  util::Rng rng(3);
+  const auto sample = sample_use_cases(10, 5, rng);
+  std::vector<std::size_t> count(11, 0);
+  for (const auto& uc : sample) ++count[uc.size()];
+  for (std::size_t k = 1; k <= 10; ++k) {
+    const std::size_t expected = std::min<std::size_t>(
+        5, use_cases_of_size(10, k).size());
+    EXPECT_EQ(count[k], expected) << "cardinality " << k;
+  }
+}
+
+TEST(UseCases, SampleTakesAllWhenFew) {
+  util::Rng rng(4);
+  // With per_size larger than any binomial coefficient, sampling reduces to
+  // full enumeration.
+  const auto sample = sample_use_cases(4, 100, rng);
+  EXPECT_EQ(sample.size(), all_use_cases(4).size());
+}
+
+TEST(UseCases, SampleUniqueWithinCardinality) {
+  util::Rng rng(5);
+  const auto sample = sample_use_cases(8, 10, rng);
+  std::set<platform::UseCase> seen;
+  for (const auto& uc : sample) {
+    EXPECT_TRUE(seen.insert(uc).second) << "duplicate use-case";
+  }
+}
+
+}  // namespace
+}  // namespace procon::gen

@@ -1,0 +1,188 @@
+#include "prob/waiting_time.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace procon::prob {
+namespace {
+
+ActorLoad make_load(double tau, double p) {
+  ActorLoad l;
+  l.exec_time = tau;
+  l.probability = p;
+  l.mean_blocking = tau / 2.0;
+  return l;
+}
+
+TEST(WaitingTime, EmptyNodeNoWaiting) {
+  EXPECT_DOUBLE_EQ(waiting_time_exact({}), 0.0);
+  EXPECT_DOUBLE_EQ(waiting_time_second_order({}), 0.0);
+}
+
+TEST(WaitingTime, SingleBlocker) {
+  // Section 3's opening example: b0 waits mu(a0) * P(a0) = 50/3 ~ 17.
+  const std::vector<ActorLoad> others{make_load(100.0, 1.0 / 3.0)};
+  const double expected = 50.0 / 3.0;
+  EXPECT_NEAR(waiting_time_exact(others), expected, 1e-12);
+  // All orders coincide with a single blocker.
+  EXPECT_NEAR(waiting_time_second_order(others), expected, 1e-12);
+  EXPECT_NEAR(waiting_time_fourth_order(others), expected, 1e-12);
+  EXPECT_NEAR(waiting_time_approx(others, 1), expected, 1e-12);
+}
+
+TEST(WaitingTime, TwoBlockersMatchesSection32) {
+  // t_wait(c) = muA PA (1 + PB/2) + muB PB (1 + PA/2).
+  const ActorLoad a = make_load(80.0, 0.4);   // mu = 40
+  const ActorLoad b = make_load(60.0, 0.25);  // mu = 30
+  const double expected = 40.0 * 0.4 * (1.0 + 0.25 / 2.0) +
+                          30.0 * 0.25 * (1.0 + 0.4 / 2.0);
+  const std::vector<ActorLoad> others{a, b};
+  EXPECT_NEAR(waiting_time_exact(others), expected, 1e-12);
+  // With two actors the series ends at j = 1, so 2nd order is exact.
+  EXPECT_NEAR(waiting_time_second_order(others), expected, 1e-12);
+}
+
+TEST(WaitingTime, ThreeBlockersMatchesEquation3) {
+  const ActorLoad a = make_load(100.0, 0.3);
+  const ActorLoad b = make_load(50.0, 0.2);
+  const ActorLoad c = make_load(80.0, 0.5);
+  auto term = [](const ActorLoad& x, const ActorLoad& y, const ActorLoad& z) {
+    return x.mean_blocking * x.probability *
+           (1.0 + 0.5 * (y.probability + z.probability) -
+            (1.0 / 3.0) * y.probability * z.probability);
+  };
+  const double expected = term(a, b, c) + term(b, a, c) + term(c, a, b);
+  const std::vector<ActorLoad> others{a, b, c};
+  EXPECT_NEAR(waiting_time_exact(others), expected, 1e-12);
+  // Third order captures the full series for three actors.
+  EXPECT_NEAR(waiting_time_approx(others, 3), expected, 1e-12);
+}
+
+TEST(WaitingTime, SecondOrderFormulaEq5) {
+  // Eq. 5: sum_i mu_i P_i (1 + 1/2 sum_{j != i} P_j).
+  const std::vector<ActorLoad> others{make_load(10.0, 0.1), make_load(20.0, 0.2),
+                                      make_load(30.0, 0.3), make_load(40.0, 0.4)};
+  double expected = 0.0;
+  for (std::size_t i = 0; i < others.size(); ++i) {
+    double psum = 0.0;
+    for (std::size_t j = 0; j < others.size(); ++j) {
+      if (j != i) psum += others[j].probability;
+    }
+    expected += others[i].weighted_blocking() * (1.0 + 0.5 * psum);
+  }
+  EXPECT_NEAR(waiting_time_second_order(others), expected, 1e-12);
+}
+
+TEST(WaitingTime, InvalidOrderThrows) {
+  const std::vector<ActorLoad> others{make_load(1.0, 0.5)};
+  EXPECT_THROW((void)waiting_time_approx(others, 0), std::invalid_argument);
+}
+
+TEST(WaitingTime, BruteForceGuard) {
+  const std::vector<ActorLoad> big(25, make_load(1.0, 0.1));
+  EXPECT_THROW((void)waiting_time_exact_bruteforce(big), std::invalid_argument);
+}
+
+TEST(WaitingTime, OrderBeyondCountEqualsExact) {
+  const std::vector<ActorLoad> others{make_load(10.0, 0.3), make_load(20.0, 0.6),
+                                      make_load(15.0, 0.2)};
+  EXPECT_NEAR(waiting_time_approx(others, 10), waiting_time_exact(others), 1e-12);
+}
+
+TEST(WaitingTime, ZeroProbabilityActorIsInvisible) {
+  const std::vector<ActorLoad> with{make_load(10.0, 0.4), make_load(99.0, 0.0)};
+  const std::vector<ActorLoad> without{make_load(10.0, 0.4)};
+  EXPECT_NEAR(waiting_time_exact(with), waiting_time_exact(without), 1e-12);
+}
+
+// -------- property-based sweeps ------------------------------------------
+
+class WaitingTimeProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<ActorLoad> random_loads(util::Rng& rng, std::size_t max_n = 10) {
+    const auto n = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_n)));
+    std::vector<ActorLoad> loads;
+    for (std::size_t i = 0; i < n; ++i) {
+      loads.push_back(make_load(rng.uniform_real(1.0, 100.0),
+                                rng.uniform_real(0.01, 0.95)));
+    }
+    return loads;
+  }
+};
+
+TEST_P(WaitingTimeProperty, DpMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  const auto loads = random_loads(rng);
+  const double dp = waiting_time_exact(loads);
+  const double bf = waiting_time_exact_bruteforce(loads);
+  EXPECT_NEAR(dp, bf, 1e-9 * std::max(1.0, std::abs(bf))) << "seed=" << GetParam();
+}
+
+TEST_P(WaitingTimeProperty, SecondOrderIsMoreConservativeThanExact) {
+  // The paper observes the 2nd-order estimate is always more conservative
+  // (larger) than higher orders: truncating after the positive j=1 term
+  // omits the negative j=2 correction.
+  util::Rng rng(GetParam() + 1000);
+  const auto loads = random_loads(rng);
+  EXPECT_GE(waiting_time_second_order(loads) + 1e-12, waiting_time_exact(loads));
+}
+
+TEST_P(WaitingTimeProperty, AlternatingTruncationBracketsExact) {
+  // Truncations after a positive term over-estimate; after a negative term
+  // under-estimate (alternating-series bracket around Eq. 4).
+  util::Rng rng(GetParam() + 2000);
+  const auto loads = random_loads(rng);
+  const double exact = waiting_time_exact(loads);
+  const double even = waiting_time_approx(loads, 2);  // ends on +e1 term
+  const double odd = waiting_time_approx(loads, 3);   // ends on -e2 term
+  EXPECT_GE(even + 1e-12, exact);
+  EXPECT_LE(odd - 1e-12, exact);
+}
+
+TEST_P(WaitingTimeProperty, ConservativeOrdering2nd4thExact) {
+  // Paper (Section 5): "the second order estimate is always more
+  // conservative than the fourth order estimate". Both even orders
+  // over-estimate; the pointwise truncation error is C(k,m)/(k+1) which
+  // shrinks as m grows: 2nd >= 4th >= exact.
+  util::Rng rng(GetParam() + 5000);
+  const auto loads = random_loads(rng);
+  const double second = waiting_time_second_order(loads);
+  const double fourth = waiting_time_fourth_order(loads);
+  const double exact = waiting_time_exact(loads);
+  EXPECT_GE(second + 1e-12, fourth);
+  EXPECT_GE(fourth + 1e-12, exact);
+}
+
+TEST_P(WaitingTimeProperty, MonotoneInAddedLoad) {
+  // Adding one more contender can only increase the expected waiting time.
+  util::Rng rng(GetParam() + 3000);
+  auto loads = random_loads(rng, 8);
+  const double before = waiting_time_exact(loads);
+  loads.push_back(make_load(rng.uniform_real(1.0, 100.0),
+                            rng.uniform_real(0.05, 0.9)));
+  EXPECT_GE(waiting_time_exact(loads) + 1e-12, before);
+}
+
+TEST_P(WaitingTimeProperty, WaitingNonNegative) {
+  // The exact value and every *even*-order truncation are non-negative
+  // (even orders over-estimate the non-negative exact value; order 1 is a
+  // sum of non-negative terms). Odd orders >= 3 may undershoot below zero
+  // at extreme loads - a documented artefact of the truncation.
+  util::Rng rng(GetParam() + 4000);
+  const auto loads = random_loads(rng);
+  EXPECT_GE(waiting_time_exact(loads), 0.0);
+  for (const int order : {1, 2, 4, 6}) {
+    EXPECT_GE(waiting_time_approx(loads, order), 0.0) << "order " << order;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaitingTimeProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace procon::prob

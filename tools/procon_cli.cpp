@@ -1,0 +1,263 @@
+// procon - command-line front end to the library.
+//
+// Subcommands:
+//   generate [--seed S] [--count N] [--min-actors A] [--max-actors B]
+//       Emit random consistent strongly-connected SDFGs (text format) on
+//       stdout.
+//   period <file>
+//       Per graph: consistency, repetition sum, deadlock-freedom, exact and
+//       MCR periods, bottleneck actors.
+//   estimate <file> [--method exact|second|fourth|compose|inverse]
+//            [--order M] [--iterations K]
+//       Treat each graph in the file as one application, map actor j of
+//       every application onto node j, and print contention estimates plus
+//       the round-robin worst-case bound.
+//   simulate <file> [--horizon N] [--arbitration fcfs|rr|tdma]
+//       Reference discrete-event simulation of the same system.
+//   dot <file>
+//       Graphviz DOT for every graph on stdout.
+//   selftest
+//       End-to-end smoke test (used by CTest); exits non-zero on failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/throughput.h"
+#include "gen/graph_generator.h"
+#include "platform/system.h"
+#include "prob/estimator.h"
+#include "sdf/algorithms.h"
+#include "sdf/io.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "wcrt/wcrt.h"
+
+namespace {
+
+using namespace procon;
+
+int usage(int code) {
+  std::cout <<
+      "procon - probabilistic contention analysis for SDF applications\n"
+      "usage:\n"
+      "  procon generate [--seed S] [--count N] [--min-actors A] [--max-actors B]\n"
+      "  procon period   <file>\n"
+      "  procon estimate <file> [--method exact|second|fourth|compose|inverse]\n"
+      "                  [--order M] [--iterations K]\n"
+      "  procon simulate <file> [--horizon N] [--arbitration fcfs|rr|tdma]\n"
+      "  procon dot      <file>\n"
+      "  procon selftest\n";
+  return code;
+}
+
+std::vector<sdf::Graph> load_graphs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  auto graphs = sdf::read_graphs(in);
+  if (graphs.empty()) throw std::runtime_error("no graphs in " + path);
+  return graphs;
+}
+
+platform::System make_system(std::vector<sdf::Graph> apps) {
+  std::size_t max_actors = 0;
+  for (const auto& g : apps) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(apps, plat);
+  return platform::System(std::move(apps), std::move(plat), std::move(map));
+}
+
+/// Simple flag scanner over argv[2..]: returns the value after `flag`.
+std::string flag_value(int argc, char** argv, const std::string& flag,
+                       const std::string& fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_generate(int argc, char** argv) {
+  util::Rng rng(std::stoull(flag_value(argc, argv, "--seed", "2007")));
+  gen::GeneratorOptions opts;
+  opts.min_actors = static_cast<std::uint32_t>(
+      std::stoul(flag_value(argc, argv, "--min-actors", "8")));
+  opts.max_actors = static_cast<std::uint32_t>(
+      std::stoul(flag_value(argc, argv, "--max-actors", "10")));
+  const auto count = std::stoull(flag_value(argc, argv, "--count", "1"));
+  for (const auto& g : gen::generate_graphs(rng, opts, count)) {
+    sdf::write_graph(std::cout, g);
+  }
+  return 0;
+}
+
+int cmd_period(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  util::Table table("Throughput analysis");
+  table.set_header({"graph", "actors", "rep.sum", "consistent", "deadlock-free",
+                    "period (exact)", "period (MCR)", "bottleneck"});
+  for (const auto& g : load_graphs(argv[2])) {
+    const bool consistent = sdf::is_consistent(g);
+    const bool live = consistent && sdf::is_deadlock_free(g);
+    std::string exact = "-", mcr = "-", bottleneck = "-";
+    std::string repsum = "-";
+    if (consistent) {
+      const auto q = sdf::compute_repetition_vector(g);
+      repsum = std::to_string(sdf::repetition_sum(*q));
+    }
+    if (live) {
+      exact = analysis::compute_period_exact(g).to_string();
+      const auto r = analysis::compute_period(g);
+      mcr = util::format_double(r.period, 3);
+      const auto b = analysis::find_bottleneck(g);
+      bottleneck.clear();
+      for (const auto a : b.actors) {
+        if (!bottleneck.empty()) bottleneck += ",";
+        bottleneck += g.actor(a).name;
+      }
+    }
+    table.add_row({g.name(), std::to_string(g.actor_count()), repsum,
+                   consistent ? "yes" : "no", live ? "yes" : "no", exact, mcr,
+                   bottleneck});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+prob::EstimatorOptions parse_estimator(int argc, char** argv) {
+  prob::EstimatorOptions opts;
+  const std::string m = flag_value(argc, argv, "--method", "second");
+  if (m == "exact") opts.method = prob::Method::Exact;
+  else if (m == "second") opts.method = prob::Method::SecondOrder;
+  else if (m == "fourth") opts.method = prob::Method::FourthOrder;
+  else if (m == "compose") opts.method = prob::Method::Composability;
+  else if (m == "inverse") opts.method = prob::Method::CompositionInverse;
+  else if (m == "mth") opts.method = prob::Method::MthOrder;
+  else throw std::runtime_error("unknown method " + m);
+  opts.order = std::stoi(flag_value(argc, argv, "--order", "2"));
+  opts.iterations = std::stoi(flag_value(argc, argv, "--iterations", "1"));
+  return opts;
+}
+
+int cmd_estimate(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  const platform::System sys = make_system(load_graphs(argv[2]));
+  const prob::EstimatorOptions eopts = parse_estimator(argc, argv);
+  const auto est = prob::ContentionEstimator(eopts).estimate(sys);
+  const auto wc = wcrt::worst_case_bounds(sys);
+  util::Table table("Contention estimates (" + prob::method_name(eopts.method) +
+                    "), actor j -> node j");
+  table.set_header({"app", "isolation", "estimated", "normalised", "throughput",
+                    "worst-case bound"});
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    table.add_row({sys.app(static_cast<sdf::AppId>(i)).name(),
+                   util::format_double(est[i].isolation_period, 2),
+                   util::format_double(est[i].estimated_period, 2),
+                   util::format_double(est[i].normalised_period(), 2),
+                   util::format_double(est[i].estimated_throughput(), 6),
+                   util::format_double(wc[i].worst_case_period, 2)});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  const platform::System sys = make_system(load_graphs(argv[2]));
+  sim::SimOptions sopts;
+  sopts.horizon = std::stoll(flag_value(argc, argv, "--horizon", "500000"));
+  const std::string arb = flag_value(argc, argv, "--arbitration", "fcfs");
+  if (arb == "fcfs") sopts.arbitration = sim::Arbitration::Fcfs;
+  else if (arb == "rr") sopts.arbitration = sim::Arbitration::RoundRobin;
+  else if (arb == "tdma") sopts.arbitration = sim::Arbitration::Tdma;
+  else throw std::runtime_error("unknown arbitration " + arb);
+  const auto r = sim::simulate(sys, sopts);
+  util::Table table("Simulation (" + arb + ", horizon " +
+                    std::to_string(sopts.horizon) + ")");
+  table.set_header({"app", "iterations", "avg period", "worst period",
+                    "converged"});
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    table.add_row({sys.app(static_cast<sdf::AppId>(i)).name(),
+                   std::to_string(r.apps[i].iterations),
+                   util::format_double(r.apps[i].average_period, 2),
+                   util::format_double(r.apps[i].worst_period, 2),
+                   r.apps[i].converged ? "yes" : "no"});
+  }
+  std::cout << table.render();
+  std::cout << "node utilisation:";
+  for (const double u : r.node_utilisation) {
+    std::cout << ' ' << util::format_double(u, 3);
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  for (const auto& g : load_graphs(argv[2])) {
+    std::cout << sdf::to_dot(g);
+  }
+  return 0;
+}
+
+#define CLI_CHECK(cond)                                           \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::cerr << "selftest FAILED at " << __LINE__ << ": "      \
+                << #cond << "\n";                                 \
+      return 1;                                                   \
+    }                                                             \
+  } while (0)
+
+int cmd_selftest() {
+  // generate -> serialise -> parse -> analyse -> estimate -> simulate.
+  util::Rng rng(99);
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 5;
+  gopts.max_actors = 7;
+  const auto graphs = gen::generate_graphs(rng, gopts, 3);
+  std::stringstream stream;
+  for (const auto& g : graphs) sdf::write_graph(stream, g);
+  const auto parsed = sdf::read_graphs(stream);
+  CLI_CHECK(parsed.size() == graphs.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    CLI_CHECK(sdf::is_consistent(parsed[i]));
+    CLI_CHECK(sdf::is_strongly_connected(parsed[i]));
+    CLI_CHECK(sdf::is_deadlock_free(parsed[i]));
+    const double original = analysis::compute_period(graphs[i]).period;
+    const double roundtrip = analysis::compute_period(parsed[i]).period;
+    CLI_CHECK(std::abs(original - roundtrip) < 1e-9);
+  }
+  const platform::System sys = make_system(parsed);
+  const auto est = prob::ContentionEstimator().estimate(sys);
+  const auto simres = sim::simulate(sys, sim::SimOptions{.horizon = 200'000});
+  CLI_CHECK(est.size() == simres.apps.size());
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    CLI_CHECK(est[i].estimated_period >= est[i].isolation_period - 1e-9);
+    CLI_CHECK(simres.apps[i].converged);
+  }
+  std::cout << "selftest OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(0);
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "period") return cmd_period(argc, argv);
+    if (cmd == "estimate") return cmd_estimate(argc, argv);
+    if (cmd == "simulate") return cmd_simulate(argc, argv);
+    if (cmd == "dot") return cmd_dot(argc, argv);
+    if (cmd == "selftest") return cmd_selftest();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << '\n';
+  return usage(2);
+}
