@@ -3,9 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "analysis/throughput.h"
 #include "sdf/algorithms.h"
-#include "sdf/repetition.h"
 
 namespace procon::admission {
 
@@ -55,7 +53,7 @@ double AdmissionController::predict_period(
     }
     response[a] = static_cast<double>(app.graph.actor(a).exec_time) + twait;
   }
-  const auto res = analysis::compute_period(app.graph, response);
+  const auto res = app.engine->recompute(response);
   if (res.deadlocked) {
     throw sdf::GraphError("predict_period: response-time graph deadlocks");
   }
@@ -80,13 +78,13 @@ Decision AdmissionController::request(const sdf::Graph& app,
   rec.graph = app;
   rec.nodes = nodes;
   rec.qos = qos;
-  const auto iso = analysis::compute_period(app);
+  rec.engine = std::make_shared<analysis::ThroughputEngine>(app);
+  const auto iso = rec.engine->recompute();
   if (iso.deadlocked || iso.period <= 0.0) {
     throw sdf::GraphError("request: no positive isolation period");
   }
   rec.isolation_period = iso.period;
-  const auto q = sdf::compute_repetition_vector(app);
-  rec.loads = prob::derive_loads(app, *q, iso.period);
+  rec.loads = prob::derive_loads(app, rec.engine->repetition_vector(), iso.period);
 
   Decision decision;
   const std::vector<Composite> totals = totals_with(&rec);

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/engine.h"
 #include "platform/platform.h"
 #include "prob/compose.h"
 #include "prob/load.h"
@@ -64,7 +66,9 @@ class AdmissionController {
   [[nodiscard]] std::size_t admitted_count() const noexcept;
 
   /// Current predicted period of an admitted application (under the
-  /// composability-inverse estimate).
+  /// composability-inverse estimate). NOTE: although const, this (like
+  /// request()) updates the queried application's cached analysis engine —
+  /// the controller is not safe for concurrent use, even for const queries.
   [[nodiscard]] double predicted_period(AppHandle handle) const;
 
   /// Combined blocking probability currently registered on a node.
@@ -78,6 +82,12 @@ class AdmissionController {
     std::vector<prob::ActorLoad> loads;
     double isolation_period = 0.0;
     QoS qos;
+    /// Cached per-graph analysis state: an admitted application's structure
+    /// never changes, so every what-if period prediction (its own and each
+    /// peer's, on every later request) is a warm-started weight rewrite.
+    /// Mutated through const predictions and shared by controller copies —
+    /// see the thread-safety note on predicted_period().
+    std::shared_ptr<analysis::ThroughputEngine> engine;
   };
 
   /// Predicted period of `app` (graph+nodes+loads) when node composites are

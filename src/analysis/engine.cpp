@@ -1,0 +1,76 @@
+#include "analysis/engine.h"
+
+#include "analysis/hsdf.h"
+
+namespace procon::analysis {
+
+ThroughputEngine::ThroughputEngine(const sdf::Graph& g, const EngineOptions& opts) {
+  actor_count_ = g.actor_count();
+
+  const sdf::Graph* closed = &g;
+  sdf::Graph closed_storage;
+  if (!opts.assume_closed) {
+    closed_storage = g.with_self_loops();
+    closed = &closed_storage;
+  }
+
+  if (opts.repetition != nullptr) {
+    if (opts.repetition->size() != closed->actor_count()) {
+      throw sdf::GraphError("ThroughputEngine: repetition vector size mismatch");
+    }
+    // Enforce the documented contract: the supplied vector must actually
+    // solve the balance equations, or the expansion would be silently wrong.
+    for (const std::uint64_t qa : *opts.repetition) {
+      if (qa == 0) {
+        throw sdf::GraphError("ThroughputEngine: repetition vector has zero entry");
+      }
+    }
+    for (const sdf::Channel& ch : closed->channels()) {
+      if ((*opts.repetition)[ch.src] * ch.prod_rate !=
+          (*opts.repetition)[ch.dst] * ch.cons_rate) {
+        throw sdf::GraphError(
+            "ThroughputEngine: repetition vector violates balance equations");
+      }
+    }
+    q_ = *opts.repetition;
+  } else {
+    auto q = sdf::compute_repetition_vector(*closed);
+    if (!q) throw sdf::GraphError("ThroughputEngine: inconsistent graph");
+    q_ = std::move(*q);
+  }
+
+  const Hsdf h = expand_to_hsdf(*closed, q_);
+  node_actor_.reserve(h.node_count());
+  for (const HsdfNode& node : h.nodes) node_actor_.push_back(node.source_actor);
+
+  default_times_.reserve(actor_count_);
+  for (sdf::ActorId a = 0; a < actor_count_; ++a) {
+    default_times_.push_back(static_cast<double>(g.actor(a).exec_time));
+  }
+  node_weight_.resize(h.node_count());
+
+  solver_.build(h);
+}
+
+PeriodResult ThroughputEngine::recompute(std::span<const double> exec_times) {
+  if (!exec_times.empty() && exec_times.size() != actor_count_) {
+    throw sdf::GraphError("ThroughputEngine::recompute: exec_times size mismatch");
+  }
+  PeriodResult out;
+  if (solver_.deadlocked()) {
+    out.deadlocked = true;
+    return out;
+  }
+  if (!solver_.has_cycle()) return out;  // acyclic expansion: period 0
+
+  const std::span<const double> times =
+      exec_times.empty() ? std::span<const double>(default_times_) : exec_times;
+  for (std::size_t v = 0; v < node_weight_.size(); ++v) {
+    node_weight_[v] = times[node_actor_[v]];
+  }
+  solver_.set_node_weights(node_weight_);
+  out.period = solver_.solve();
+  return out;
+}
+
+}  // namespace procon::analysis

@@ -2,169 +2,225 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace procon::analysis {
 namespace {
 
 constexpr double kEps = 1e-9;
-
-struct Edge {
-  std::uint32_t src, dst;
-  double weight;
-  double tokens;
-};
+constexpr double kNegInf = -1e300;
 
 }  // namespace
 
-McrResult mcr_howard(const Hsdf& h) {
-  McrResult result;
-  const std::size_t n = h.node_count();
-  if (n == 0) return result;
+void HowardSolver::build(const Hsdf& h) {
+  n_ = h.node_count();
+  has_cycle_ = false;
+  deadlocked_ = false;
+  warm_ = false;
 
-  // Build adjacency; node weight folded onto outgoing edges.
-  std::vector<std::vector<Edge>> out(n);
-  bool any_edge = false;
-  for (const HsdfEdge& e : h.edges) {
-    out[e.src].push_back(Edge{e.src, e.dst, h.nodes[e.src].exec_time,
-                              static_cast<double>(e.tokens)});
-    any_edge = true;
-  }
-  if (!any_edge) return result;
-
-  // Reuse the reference engine's structural checks for cycles/deadlock by
-  // delegating the cheap DFS parts: a zero-token cycle means deadlock; no
-  // cycle at all means an acyclic expansion.
+  // Counting sort of edges by source into CSR arrays.
+  offset_.assign(n_ + 1, 0);
+  for (const HsdfEdge& e : h.edges) ++offset_[e.src + 1];
+  for (std::size_t v = 0; v < n_; ++v) offset_[v + 1] += offset_[v];
+  dst_.resize(h.edges.size());
+  tokens_.resize(h.edges.size());
   {
-    // Zero-token cycle detection (iterative colouring DFS).
-    enum : std::uint8_t { White, Grey, Black };
-    auto dfs_has_cycle = [&](bool zero_only) {
-      std::vector<std::uint8_t> colour(n, White);
-      std::vector<std::pair<std::uint32_t, std::size_t>> stack;
-      for (std::uint32_t root = 0; root < n; ++root) {
-        if (colour[root] != White) continue;
-        stack.emplace_back(root, 0);
-        colour[root] = Grey;
-        while (!stack.empty()) {
-          auto& [v, pos] = stack.back();
-          if (pos < out[v].size()) {
-            const Edge& e = out[v][pos++];
-            if (zero_only && e.tokens != 0.0) continue;
-            if (colour[e.dst] == Grey) return true;
-            if (colour[e.dst] == White) {
-              colour[e.dst] = Grey;
-              stack.emplace_back(e.dst, 0);
-            }
-          } else {
-            colour[v] = Black;
-            stack.pop_back();
-          }
-        }
-      }
-      return false;
-    };
-    if (!dfs_has_cycle(false)) return result;
-    result.has_cycle = true;
-    if (dfs_has_cycle(true)) {
-      result.deadlocked = true;
-      return result;
+    std::vector<std::uint32_t> cursor(offset_.begin(), offset_.end() - 1);
+    for (const HsdfEdge& e : h.edges) {
+      const std::uint32_t slot = cursor[e.src]++;
+      dst_[slot] = e.dst;
+      tokens_[slot] = static_cast<double>(e.tokens);
     }
   }
 
-  // Policy: chosen out-edge index per node. A node with no out-edge can
-  // never lie on a cycle; it adopts ratio -inf and is skipped.
-  constexpr double kNegInf = -1e300;
-  std::vector<int> policy(n, -1);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    if (!out[v].empty()) policy[v] = 0;
+  weight_.assign(n_, 0.0);
+  for (std::size_t v = 0; v < n_; ++v) weight_[v] = h.nodes[v].exec_time;
+
+  alive_.assign(n_, 1);
+  if (dst_.empty()) {
+    std::fill(alive_.begin(), alive_.end(), std::uint8_t{0});
+    return;
   }
 
-  std::vector<double> ratio(n, kNegInf);  // cycle ratio reachable via policy
-  std::vector<double> dist(n, 0.0);       // relative potential
+  // Trim nodes that cannot reach a cycle (iteratively peel nodes whose
+  // every out-edge leads to an already-dead node). Policy walks are then
+  // guaranteed to end in a cycle: without this, a walk draining into a sink
+  // leaves its tail at ratio -inf, the improvement step skips edges into
+  // that tail, and a real cycle behind it is never discovered.
+  {
+    std::vector<std::uint32_t> live_out(n_);
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      live_out[v] = offset_[v + 1] - offset_[v];
+    }
+    std::vector<std::uint32_t> roffset(n_ + 1, 0);
+    std::vector<std::uint32_t> rsrc(dst_.size());
+    for (const std::uint32_t d : dst_) ++roffset[d + 1];
+    for (std::size_t v = 0; v < n_; ++v) roffset[v + 1] += roffset[v];
+    {
+      std::vector<std::uint32_t> cursor(roffset.begin(), roffset.end() - 1);
+      for (std::uint32_t v = 0; v < n_; ++v) {
+        for (std::uint32_t e = offset_[v]; e < offset_[v + 1]; ++e) {
+          rsrc[cursor[dst_[e]]++] = v;
+        }
+      }
+    }
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (live_out[v] == 0) stack.push_back(v);
+    }
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      alive_[u] = 0;
+      for (std::uint32_t r = roffset[u]; r < roffset[u + 1]; ++r) {
+        const std::uint32_t w = rsrc[r];
+        if (alive_[w] && --live_out[w] == 0) stack.push_back(w);
+      }
+    }
+  }
 
-  const std::size_t max_rounds = 2 * n + 64;  // generous safety cap
+  // One-time structural checks: any cycle at all, then zero-token cycles
+  // (deadlock). Iterative colouring DFS over the CSR arrays.
+  enum : std::uint8_t { White, Grey, Black };
+  auto dfs_has_cycle = [&](bool zero_only) {
+    std::vector<std::uint8_t> colour(n_, White);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+    for (std::uint32_t root = 0; root < n_; ++root) {
+      if (colour[root] != White) continue;
+      stack.emplace_back(root, offset_[root]);
+      colour[root] = Grey;
+      while (!stack.empty()) {
+        auto& [v, pos] = stack.back();
+        if (pos < offset_[v + 1]) {
+          const std::uint32_t e = pos++;
+          if (zero_only && tokens_[e] != 0.0) continue;
+          const std::uint32_t w = dst_[e];
+          if (colour[w] == Grey) return true;
+          if (colour[w] == White) {
+            colour[w] = Grey;
+            stack.emplace_back(w, offset_[w]);
+          }
+        } else {
+          colour[v] = Black;
+          stack.pop_back();
+        }
+      }
+    }
+    return false;
+  };
+  has_cycle_ = dfs_has_cycle(false);
+  if (has_cycle_) deadlocked_ = dfs_has_cycle(true);
+}
+
+void HowardSolver::set_node_weights(std::span<const double> weights) {
+  if (weights.size() != n_) {
+    throw std::invalid_argument("HowardSolver: node weight size mismatch");
+  }
+  std::copy(weights.begin(), weights.end(), weight_.begin());
+}
+
+double HowardSolver::solve() {
+  if (!has_cycle_ || deadlocked_) {
+    throw std::logic_error("HowardSolver::solve: no finite cycle ratio exists");
+  }
+
+  if (!warm_) {
+    // Cold start: first cycle-reaching out-edge per node. Trimmed nodes
+    // (no path to any cycle) keep policy -1 and adopt ratio -inf.
+    policy_.assign(n_, -1);
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      for (std::uint32_t e = offset_[v]; e < offset_[v + 1]; ++e) {
+        if (alive_[dst_[e]]) {
+          policy_[v] = e;
+          break;
+        }
+      }
+    }
+    ratio_.assign(n_, kNegInf);
+    dist_.assign(n_, 0.0);
+    warm_ = true;
+  }
+
+  visit_mark_.assign(n_, UINT32_MAX);
+  evaluated_.assign(n_, 0);
+
+  const std::size_t max_rounds = 2 * n_ + 64;  // generous safety cap
   for (std::size_t round = 0; round < max_rounds; ++round) {
     // --- policy evaluation -------------------------------------------------
     // Follow the policy's functional graph; every walk ends in a cycle.
-    std::vector<std::uint32_t> visit_mark(n, UINT32_MAX);
-    std::vector<std::uint8_t> evaluated(n, 0);
-    std::fill(ratio.begin(), ratio.end(), kNegInf);
-    std::fill(dist.begin(), dist.end(), 0.0);
+    std::fill(visit_mark_.begin(), visit_mark_.end(), UINT32_MAX);
+    std::fill(evaluated_.begin(), evaluated_.end(), 0);
+    std::fill(ratio_.begin(), ratio_.end(), kNegInf);
+    std::fill(dist_.begin(), dist_.end(), 0.0);
 
-    for (std::uint32_t start = 0; start < n; ++start) {
-      if (evaluated[start] || policy[start] < 0) continue;
+    for (std::uint32_t start = 0; start < n_; ++start) {
+      if (evaluated_[start] || policy_[start] < 0) continue;
       // Walk until we hit an evaluated node or revisit this walk.
-      std::vector<std::uint32_t> path;
+      path_.clear();
       std::uint32_t v = start;
-      while (v != UINT32_MAX && !evaluated[v] && visit_mark[v] != start &&
-             policy[v] >= 0) {
-        visit_mark[v] = start;
-        path.push_back(v);
-        v = out[v][static_cast<std::size_t>(policy[v])].dst;
+      while (!evaluated_[v] && visit_mark_[v] != start && policy_[v] >= 0) {
+        visit_mark_[v] = start;
+        path_.push_back(v);
+        v = dst_[static_cast<std::size_t>(policy_[v])];
       }
-      if (v != UINT32_MAX && policy[v] >= 0 && !evaluated[v] &&
-          visit_mark[v] == start) {
-        // Found a fresh cycle starting at v: compute its ratio.
+      if (policy_[v] >= 0 && !evaluated_[v] && visit_mark_[v] == start) {
+        // Found a fresh cycle starting at v: compute its ratio and collect
+        // the cycle nodes in traversal order.
         double w_sum = 0.0, t_sum = 0.0;
+        cyc_.clear();
         std::uint32_t u = v;
         do {
-          const Edge& e = out[u][static_cast<std::size_t>(policy[u])];
-          w_sum += e.weight;
-          t_sum += e.tokens;
-          u = e.dst;
+          const auto e = static_cast<std::size_t>(policy_[u]);
+          cyc_.push_back(u);
+          w_sum += weight_[u];
+          t_sum += tokens_[e];
+          u = dst_[e];
         } while (u != v);
         const double lambda = t_sum > 0.0 ? w_sum / t_sum : kNegInf;
-        // Assign ratio and potentials around the cycle: fix dist(v) = 0 and
-        // propagate backwards along the cycle direction.
-        ratio[v] = lambda;
-        dist[v] = 0.0;
-        evaluated[v] = 1;
-        // Walk the cycle once more, computing dist for each node from its
-        // successor: dist(u) = w - lambda * t + dist(next).
-        // Collect cycle nodes in order first.
-        std::vector<std::uint32_t> cyc;
-        u = v;
-        do {
-          cyc.push_back(u);
-          u = out[u][static_cast<std::size_t>(policy[u])].dst;
-        } while (u != v);
-        for (std::size_t i = cyc.size(); i-- > 1;) {
-          const std::uint32_t node = cyc[i];
-          const Edge& e = out[node][static_cast<std::size_t>(policy[node])];
-          ratio[node] = lambda;
-          dist[node] = e.weight - lambda * e.tokens + dist[e.dst];
-          evaluated[node] = 1;
+        // Fix dist(v) = 0 and propagate backwards along the cycle:
+        // dist(u) = w - lambda * t + dist(next).
+        ratio_[v] = lambda;
+        dist_[v] = 0.0;
+        evaluated_[v] = 1;
+        for (std::size_t i = cyc_.size(); i-- > 1;) {
+          const std::uint32_t node = cyc_[i];
+          const auto e = static_cast<std::size_t>(policy_[node]);
+          ratio_[node] = lambda;
+          dist_[node] = weight_[node] - lambda * tokens_[e] + dist_[dst_[e]];
+          evaluated_[node] = 1;
         }
       }
       // Unwind the path (tail nodes draining into the evaluated region).
-      for (std::size_t i = path.size(); i-- > 0;) {
-        const std::uint32_t node = path[i];
-        if (evaluated[node]) continue;
-        const Edge& e = out[node][static_cast<std::size_t>(policy[node])];
-        ratio[node] = ratio[e.dst];
-        dist[node] = e.weight - ratio[node] * e.tokens + dist[e.dst];
-        evaluated[node] = 1;
+      for (std::size_t i = path_.size(); i-- > 0;) {
+        const std::uint32_t node = path_[i];
+        if (evaluated_[node]) continue;
+        const auto e = static_cast<std::size_t>(policy_[node]);
+        ratio_[node] = ratio_[dst_[e]];
+        dist_[node] = weight_[node] - ratio_[node] * tokens_[e] + dist_[dst_[e]];
+        evaluated_[node] = 1;
       }
     }
 
     // --- policy improvement ------------------------------------------------
     bool changed = false;
-    for (std::uint32_t v = 0; v < n; ++v) {
-      for (std::size_t k = 0; k < out[v].size(); ++k) {
-        const Edge& e = out[v][k];
-        if (policy[v] == static_cast<int>(k)) continue;
-        if (ratio[e.dst] == kNegInf) continue;
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      for (std::uint32_t e = offset_[v]; e < offset_[v + 1]; ++e) {
+        if (policy_[v] == static_cast<std::int64_t>(e)) continue;
+        const std::uint32_t d = dst_[e];
+        if (!alive_[d] || ratio_[d] == kNegInf) continue;
         // First criterion: a strictly better cycle becomes reachable.
-        if (ratio[e.dst] > ratio[v] + kEps) {
-          policy[v] = static_cast<int>(k);
+        if (ratio_[d] > ratio_[v] + kEps) {
+          policy_[v] = e;
           changed = true;
           continue;
         }
         // Second criterion: same ratio, strictly better potential.
-        if (std::abs(ratio[e.dst] - ratio[v]) <= kEps) {
-          const double cand = e.weight - ratio[v] * e.tokens + dist[e.dst];
-          if (cand > dist[v] + kEps * std::max(1.0, std::abs(dist[v]))) {
-            policy[v] = static_cast<int>(k);
+        if (std::abs(ratio_[d] - ratio_[v]) <= kEps) {
+          const double cand = weight_[v] - ratio_[v] * tokens_[e] + dist_[d];
+          if (cand > dist_[v] + kEps * std::max(1.0, std::abs(dist_[v]))) {
+            policy_[v] = e;
             changed = true;
           }
         }
@@ -174,16 +230,27 @@ McrResult mcr_howard(const Hsdf& h) {
   }
 
   double best = 0.0;
-  for (std::uint32_t v = 0; v < n; ++v) {
-    if (ratio[v] != kNegInf) best = std::max(best, ratio[v]);
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (ratio_[v] != kNegInf) best = std::max(best, ratio_[v]);
   }
-  result.ratio = best;
-  return result;
+  return best;
 }
 
-}  // namespace procon::analysis
+McrResult mcr_howard(const Hsdf& h) {
+  McrResult result;
+  if (h.node_count() == 0 || h.edges.empty()) return result;
 
-namespace procon::analysis {
+  HowardSolver solver;
+  solver.build(h);
+  if (!solver.has_cycle()) return result;
+  result.has_cycle = true;
+  if (solver.deadlocked()) {
+    result.deadlocked = true;
+    return result;
+  }
+  result.ratio = solver.solve();
+  return result;
+}
 
 McrResult maximum_cycle_ratio(const Hsdf& h) { return mcr_howard(h); }
 

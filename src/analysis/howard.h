@@ -6,6 +6,14 @@
 // the unique cycle each policy component contains, and greedily switches
 // edges that improve the reachable ratio until a fixpoint.
 //
+// The solver below keeps the graph in CSR form (offset/edge arrays instead
+// of per-node vectors) and retains its policy and potentials between calls:
+// when only the node weights change — the repeated-analysis pattern of the
+// contention estimator, the DSE loops and admission control — re-solving
+// warm-starts from the previous policy and typically converges in one or
+// two improvement rounds instead of a full cold start. ThroughputEngine
+// (analysis/engine.h) builds on exactly this property.
+//
 // This engine is an order of magnitude faster than the Lawler parametric
 // search on the expansions this library produces (see bench_micro) and is
 // cross-validated against it on thousands of random graphs in the tests.
@@ -15,6 +23,67 @@
 #include "analysis/mcr.h"
 
 namespace procon::analysis {
+
+/// Reusable Howard solver over a fixed edge topology with mutable node
+/// weights. Usage:
+///   HowardSolver s;
+///   s.build(h);                  // once per structure: CSR + DFS checks
+///   if (s.has_cycle() && !s.deadlocked()) {
+///     s.set_node_weights(w);     // per analysis: new execution times
+///     double lambda = s.solve(); // warm-starts after the first call
+///   }
+class HowardSolver {
+ public:
+  /// Builds the CSR topology from `h` (edge weights are NOT taken from the
+  /// HSDF here; call set_node_weights) and runs the one-time structural
+  /// checks: cycle existence and zero-token (deadlock) cycles. Resets any
+  /// previous policy.
+  void build(const Hsdf& h);
+
+  /// True if the graph contains at least one directed cycle.
+  [[nodiscard]] bool has_cycle() const noexcept { return has_cycle_; }
+  /// True if a zero-token cycle exists (period unbounded / deadlock).
+  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// Replaces the per-node weight (the execution time folded onto every
+  /// outgoing edge). Size must equal node_count().
+  void set_node_weights(std::span<const double> weights);
+
+  /// Maximum cycle ratio under the current weights. Requires has_cycle() &&
+  /// !deadlocked(). The first call cold-starts the policy; later calls
+  /// warm-start from the previous policy and potentials.
+  [[nodiscard]] double solve();
+
+  /// Discards the warm-start state (the next solve() cold-starts).
+  void reset() noexcept { warm_ = false; }
+
+ private:
+  // --- fixed topology (CSR) ---
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> offset_;  // n_ + 1 entries; out-edges of v are
+                                       // [offset_[v], offset_[v+1])
+  std::vector<std::uint32_t> dst_;     // edge target node
+  std::vector<double> tokens_;         // edge token count
+  std::vector<std::uint8_t> alive_;    // node can reach a cycle
+  bool has_cycle_ = false;
+  bool deadlocked_ = false;
+
+  // --- mutable weights ---
+  std::vector<double> weight_;  // per node, folded onto its out-edges
+
+  // --- persistent policy state (the warm start) ---
+  bool warm_ = false;
+  std::vector<std::int64_t> policy_;  // global edge index, -1 if no out-edge
+  std::vector<double> ratio_;
+  std::vector<double> dist_;
+
+  // --- scratch reused across solves (avoids per-call allocation) ---
+  std::vector<std::uint32_t> visit_mark_;
+  std::vector<std::uint8_t> evaluated_;
+  std::vector<std::uint32_t> path_;
+  std::vector<std::uint32_t> cyc_;
+};
 
 /// Maximum cycle ratio via Howard's policy iteration. Semantics identical
 /// to mcr_binary_search: detects deadlock (zero-token cycles) and acyclic

@@ -1,6 +1,6 @@
 #include "analysis/hsdf.h"
 
-#include <map>
+#include <algorithm>
 #include <sstream>
 
 namespace procon::analysis {
@@ -11,6 +11,13 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   const std::int64_t q = a / b;
   return (a % b != 0 && ((a < 0) == (b < 0))) ? q + 1 : q;
 }
+
+// Candidate precedence edge before per-pair deduplication. Packing
+// (src, dst) into one 64-bit key makes the sort a single-word compare.
+struct RawEdge {
+  std::uint64_t key;     // src << 32 | dst
+  std::uint64_t tokens;  // iteration distance
+};
 
 }  // namespace
 
@@ -38,8 +45,17 @@ Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
 
   // For each channel, map every consumed token of every consumer firing to
   // the producer firing that creates it; keep the min iteration distance
-  // per (producer firing, consumer firing) pair.
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> best;
+  // per (producer firing, consumer firing) pair. Candidates are collected
+  // flat and deduplicated by one sort + scan — far cheaper than a node-based
+  // map on the hot repeated-analysis path.
+  std::vector<RawEdge> raw;
+  {
+    std::size_t upper = 0;  // one candidate per consumed token
+    for (const sdf::Channel& ch : g.channels()) {
+      upper += static_cast<std::size_t>(q[ch.dst]) * ch.cons_rate;
+    }
+    raw.reserve(upper);
+  }
   for (const sdf::Channel& ch : g.channels()) {
     const auto p = static_cast<std::int64_t>(ch.prod_rate);
     const auto c = static_cast<std::int64_t>(ch.cons_rate);
@@ -75,17 +91,24 @@ Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
             node_base[ch.src] + static_cast<std::uint32_t>(f - 1);
         const std::uint32_t dst_node =
             node_base[ch.dst] + static_cast<std::uint32_t>(j - 1);
-        const auto key = std::make_pair(src_node, dst_node);
-        const auto it = best.find(key);
-        const auto udelay = static_cast<std::uint64_t>(delay);
-        if (it == best.end() || udelay < it->second) best[key] = udelay;
+        raw.push_back(RawEdge{(static_cast<std::uint64_t>(src_node) << 32) |
+                                  dst_node,
+                              static_cast<std::uint64_t>(delay)});
       }
     }
   }
 
-  h.edges.reserve(best.size());
-  for (const auto& [key, tokens] : best) {
-    h.edges.push_back(HsdfEdge{key.first, key.second, tokens});
+  // Sort by (src, dst) then tokens; the first entry of each (src, dst) run
+  // carries the minimum iteration distance — the binding constraint.
+  std::sort(raw.begin(), raw.end(), [](const RawEdge& a, const RawEdge& b) {
+    return a.key != b.key ? a.key < b.key : a.tokens < b.tokens;
+  });
+  h.edges.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i > 0 && raw[i].key == raw[i - 1].key) continue;
+    h.edges.push_back(HsdfEdge{static_cast<std::uint32_t>(raw[i].key >> 32),
+                               static_cast<std::uint32_t>(raw[i].key),
+                               raw[i].tokens});
   }
   return h;
 }

@@ -1,7 +1,7 @@
 #include "analysis/state_space.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace procon::analysis {
@@ -19,7 +19,27 @@ struct State {
   std::vector<std::uint64_t> tokens;
   std::vector<Time> remaining;
 
-  auto operator<=>(const State&) const = default;
+  bool operator==(const State&) const = default;
+};
+
+/// splitmix64 finaliser-based fold over the packed state words. Long runs
+/// can visit hundreds of thousands of states; hashing beats the former
+/// std::map's O(log n) lexicographic vector comparisons per lookup.
+struct StateHash {
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+  std::size_t operator()(const State& s) const noexcept {
+    std::uint64_t acc = 0x2545F4914F6CDD1DULL;
+    for (const std::uint64_t t : s.tokens) acc = mix(acc ^ t);
+    for (const Time r : s.remaining) {
+      acc = mix(acc ^ static_cast<std::uint64_t>(r));
+    }
+    return static_cast<std::size_t>(acc);
+  }
 };
 
 }  // namespace
@@ -64,7 +84,8 @@ StateSpaceResult self_timed_period(const Graph& g, const StateSpaceOptions& opts
   Time now = 0;
   std::uint64_t fired = 0;
   // Visited states -> (time, iterations completed).
-  std::map<State, std::pair<Time, std::uint64_t>> seen;
+  std::unordered_map<State, std::pair<Time, std::uint64_t>, StateHash> seen;
+  seen.reserve(1024);
 
   while (fired < max_firings) {
     // Phase 1: start every enabled firing (consume tokens at start). A

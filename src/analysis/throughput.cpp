@@ -2,18 +2,15 @@
 
 #include <algorithm>
 
+#include "analysis/engine.h"
+
 namespace procon::analysis {
 
 PeriodResult compute_period(const sdf::Graph& g, std::span<const double> exec_times) {
-  const sdf::Graph closed = g.with_self_loops();
-  const auto q = sdf::compute_repetition_vector(closed);
-  if (!q) throw sdf::GraphError("compute_period: inconsistent graph");
-  const Hsdf h = expand_to_hsdf(closed, *q, exec_times);
-  const McrResult mcr = maximum_cycle_ratio(h);
-  PeriodResult out;
-  out.deadlocked = mcr.deadlocked;
-  out.period = mcr.deadlocked ? 0.0 : mcr.ratio;
-  return out;
+  // One-shot use of the reusable engine: fresh and cached analyses share a
+  // single code path, so ThroughputEngine::recompute is exactly equivalent.
+  ThroughputEngine engine(g);
+  return engine.recompute(exec_times);
 }
 
 BottleneckReport find_bottleneck(const sdf::Graph& g,

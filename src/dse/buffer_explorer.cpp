@@ -2,20 +2,10 @@
 
 #include <algorithm>
 
-#include "analysis/throughput.h"
+#include "analysis/engine.h"
 
 namespace procon::dse {
 namespace {
-
-double bounded_period(const sdf::Graph& g,
-                      const std::vector<std::uint64_t>& caps) {
-  const sdf::Graph bounded = sdf::with_buffer_capacities(g, caps);
-  const auto r = analysis::compute_period(bounded);
-  if (r.deadlocked) {
-    throw sdf::GraphError("explore_buffer_tradeoff: bounded graph deadlocks");
-  }
-  return r.period;
-}
 
 std::uint64_t total_of(const std::vector<std::uint64_t>& caps) {
   std::uint64_t t = 0;
@@ -27,11 +17,39 @@ std::uint64_t total_of(const std::vector<std::uint64_t>& caps) {
 
 std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
                                                  const BufferExplorerOptions& options) {
-  const double unbounded = analysis::compute_period(g).period;
+  // Hoisted once for the whole exploration: the self-loop closure and its
+  // repetition vector. Bounding a channel appends a reverse "space" channel
+  // whose rates are the forward rates swapped, so every bounded variant
+  // shares the closed graph's actors and repetition vector; only the
+  // channel set differs per candidate. Each candidate therefore skips the
+  // closure copy and the balance-equation solve, and all period analyses go
+  // through ThroughputEngine rather than the from-scratch compute_period.
+  const sdf::Graph closed = g.with_self_loops();
+  const auto q = sdf::compute_repetition_vector(closed);
+  if (!q) throw sdf::GraphError("explore_buffer_tradeoff: inconsistent graph");
+  const analysis::EngineOptions eng_opts{.assume_closed = true,
+                                         .repetition = &*q};
+
+  // Capacity vectors index the original graph's channels; the closure keeps
+  // those ids and appends its self-loops, which stay unbounded (capacity 0).
+  std::vector<std::uint64_t> padded(closed.channel_count(), 0);
+  auto bounded_period = [&](const std::vector<std::uint64_t>& caps) {
+    std::copy(caps.begin(), caps.end(), padded.begin());
+    analysis::ThroughputEngine engine(sdf::with_buffer_capacities(closed, padded),
+                                      eng_opts);
+    const auto r = engine.recompute();
+    if (r.deadlocked) {
+      throw sdf::GraphError("explore_buffer_tradeoff: bounded graph deadlocks");
+    }
+    return r.period;
+  };
+
+  const double unbounded =
+      analysis::ThroughputEngine(closed, eng_opts).recompute().period;
   std::vector<std::uint64_t> caps = sdf::minimal_feasible_capacities(g);
 
   std::vector<BufferPoint> frontier;
-  double current = bounded_period(g, caps);
+  double current = bounded_period(caps);
   frontier.push_back(BufferPoint{caps, total_of(caps), current});
 
   for (std::size_t step = 0; step < options.max_steps; ++step) {
@@ -45,7 +63,7 @@ std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
       if (g.channel(c).is_self_loop()) continue;
       const std::uint64_t increment = g.channel(c).prod_rate;
       caps[c] += increment;
-      const double candidate = bounded_period(g, caps);
+      const double candidate = bounded_period(caps);
       caps[c] -= increment;
       if (candidate < best_period - 1e-12) {
         best_period = candidate;
@@ -60,7 +78,7 @@ std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
       for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
         if (!g.channel(c).is_self_loop()) grown[c] += g.channel(c).prod_rate;
       }
-      const double candidate = bounded_period(g, grown);
+      const double candidate = bounded_period(grown);
       if (candidate >= current - 1e-12) break;
       caps = std::move(grown);
       current = candidate;

@@ -4,7 +4,32 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/engine.h"
+
 namespace procon::dse {
+namespace {
+
+/// Builds one ThroughputEngine per application; the annealing loop scores
+/// thousands of candidate mappings over the same graphs, so all
+/// structure-dependent analysis is paid once here.
+std::vector<analysis::ThroughputEngine> make_engines(
+    std::span<const sdf::Graph> apps) {
+  std::vector<analysis::ThroughputEngine> engines;
+  engines.reserve(apps.size());
+  for (const sdf::Graph& g : apps) engines.emplace_back(g);
+  return engines;
+}
+
+double score_system(const platform::System& sys, const prob::ContentionEstimator& est,
+                    std::span<analysis::ThroughputEngine> engines) {
+  double worst = 0.0;
+  for (const auto& e : est.estimate(sys, {}, engines)) {
+    worst = std::max(worst, e.normalised_period());
+  }
+  return worst;
+}
+
+}  // namespace
 
 double evaluate_mapping(std::span<const sdf::Graph> apps,
                         const platform::Platform& platform,
@@ -13,11 +38,8 @@ double evaluate_mapping(std::span<const sdf::Graph> apps,
   platform::System sys(std::vector<sdf::Graph>(apps.begin(), apps.end()),
                        platform, mapping);
   const prob::ContentionEstimator est(estimator);
-  double worst = 0.0;
-  for (const auto& e : est.estimate(sys)) {
-    worst = std::max(worst, e.normalised_period());
-  }
-  return worst;
+  auto engines = make_engines(apps);
+  return score_system(sys, est, engines);
 }
 
 MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
@@ -36,9 +58,17 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
   }
 
   util::Rng rng(options.seed);
+  // Hoisted out of the annealing loop: the estimator, one engine per
+  // application (all structure-dependent analysis), and the system itself
+  // (its graph copies); each candidate only rebinds the mapping.
+  const prob::ContentionEstimator est(options.estimator);
+  auto engines = make_engines(apps);
+  platform::System sys(std::vector<sdf::Graph>(apps.begin(), apps.end()),
+                       platform, start);
+
   MapperResult result;
   result.mapping = start;
-  result.score = evaluate_mapping(apps, platform, start, options.estimator);
+  result.score = score_system(sys, est, engines);
   result.initial_score = result.score;
   result.evaluations = 1;
 
@@ -69,8 +99,8 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
     if (new_node >= old_node) ++new_node;
 
     current.assign(slot.app, slot.actor, new_node);
-    const double candidate_score =
-        evaluate_mapping(apps, platform, current, options.estimator);
+    sys.set_mapping(current);
+    const double candidate_score = score_system(sys, est, engines);
     ++result.evaluations;
 
     const double delta = candidate_score - current_score;

@@ -10,6 +10,13 @@ namespace procon::platform {
 System::System(std::vector<sdf::Graph> apps, Platform platform, Mapping mapping)
     : apps_(std::move(apps)), platform_(std::move(platform)), mapping_(std::move(mapping)) {}
 
+void System::set_mapping(Mapping mapping) {
+  if (mapping.app_count() != apps_.size()) {
+    throw sdf::GraphError("System::set_mapping: mapping/application count mismatch");
+  }
+  mapping_ = std::move(mapping);
+}
+
 const sdf::Graph& System::app(sdf::AppId id) const {
   if (id >= apps_.size()) throw std::out_of_range("System::app: invalid id");
   return apps_[id];

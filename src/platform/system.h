@@ -26,6 +26,12 @@ class System {
   [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
   [[nodiscard]] const Mapping& mapping() const noexcept { return mapping_; }
 
+  /// Replaces the actor-to-node mapping, keeping applications and platform.
+  /// Lets mapping explorers rebind the same system per candidate instead of
+  /// re-copying every application graph. Throws sdf::GraphError if the
+  /// mapping's application count does not match.
+  void set_mapping(Mapping mapping);
+
   /// Restriction of this system to a use-case: keeps only the selected
   /// applications (re-indexed 0..k-1) and their mapping entries.
   [[nodiscard]] System restrict_to(const UseCase& use_case) const;

@@ -2,7 +2,6 @@
 
 #include <stdexcept>
 
-#include "analysis/throughput.h"
 #include "prob/monte_carlo.h"
 #include "util/rng.h"
 
@@ -36,14 +35,12 @@ struct NodeEntry {
   ActorLoad load;
 };
 
-double waiting_for(const std::vector<NodeEntry>& entries, std::size_t self,
-                   const EstimatorOptions& opts) {
-  // Collect the other actors' loads.
-  std::vector<ActorLoad> others;
-  others.reserve(entries.size() - 1);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (i != self) others.push_back(entries[i].load);
-  }
+/// Waiting time of `who` given the loads of the other actors on its node.
+/// `others` is a caller-owned scratch buffer filled per actor — the hot
+/// estimation loop reuses one allocation instead of re-allocating per actor
+/// per node per pass.
+double waiting_for(const std::vector<ActorLoad>& others,
+                   const platform::GlobalActor& who, const EstimatorOptions& opts) {
   switch (opts.method) {
     case Method::Exact: return waiting_time_exact(others);
     case Method::SecondOrder: return waiting_time_second_order(others);
@@ -53,7 +50,6 @@ double waiting_for(const std::vector<NodeEntry>& entries, std::size_t self,
     case Method::MonteCarlo: {
       // Per-slot deterministic stream: the estimate is reproducible and
       // independent of evaluation order.
-      const auto& who = entries[self].who;
       util::Rng rng(opts.mc_seed ^ (0x9E3779B97F4A7C15ULL * (who.app + 1)) ^
                     (0xBF58476D1CE4E5B9ULL * (who.actor + 1)));
       return waiting_time_monte_carlo(others, rng, opts.mc_trials);
@@ -61,6 +57,15 @@ double waiting_for(const std::vector<NodeEntry>& entries, std::size_t self,
     case Method::CompositionInverse: break;  // handled by caller (node-level)
   }
   throw std::logic_error("waiting_for: unhandled method");
+}
+
+/// Fills `others` with every load except entries[self].
+void collect_others(const std::vector<NodeEntry>& entries, std::size_t self,
+                    std::vector<ActorLoad>& others) {
+  others.clear();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != self) others.push_back(entries[i].load);
+  }
 }
 
 }  // namespace
@@ -72,23 +77,42 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
 
 std::vector<AppEstimate> ContentionEstimator::estimate(
     const platform::System& sys, std::span<const sdf::ExecTimeModel> models) const {
+  // One-shot call: build the per-application engines locally. Each engine
+  // caches every structure-dependent analysis step; the Step-5 loop below
+  // then only rewrites execution times per pass.
+  std::vector<analysis::ThroughputEngine> engines;
+  engines.reserve(sys.app_count());
+  for (const sdf::Graph& app : sys.apps()) {
+    try {
+      engines.emplace_back(app);
+    } catch (const sdf::GraphError&) {
+      throw sdf::GraphError("estimate: application '" + app.name() +
+                            "' is inconsistent");
+    }
+  }
+  return estimate(sys, models, engines);
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
+    std::span<analysis::ThroughputEngine> engines) const {
   const auto apps = sys.apps();
   if (!models.empty() && models.size() != apps.size()) {
     throw sdf::GraphError("estimate: execution-time model count mismatch");
   }
+  if (engines.size() != apps.size()) {
+    throw sdf::GraphError("estimate: engine count mismatch");
+  }
   std::vector<AppEstimate> out(apps.size());
-  std::vector<sdf::RepetitionVector> qs(apps.size());
   // Mean execution time per actor (equals the graph's fixed times for the
   // deterministic model).
   std::vector<std::vector<double>> means(apps.size());
 
-  // Step 1: isolation periods and repetition vectors.
+  // Step 1: isolation periods (repetition vectors are cached in the engines).
   for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    qs[i] = sdf::compute_repetition_vector(apps[i])
-                .value_or(sdf::RepetitionVector{});
-    if (qs[i].empty()) {
-      throw sdf::GraphError("estimate: application '" + apps[i].name() +
-                            "' is inconsistent");
+    if (engines[i].actor_count() != apps[i].actor_count()) {
+      throw sdf::GraphError("estimate: engine does not match application '" +
+                            apps[i].name() + "'");
     }
     if (!models.empty()) {
       if (models[i].size() != apps[i].actor_count()) {
@@ -97,7 +121,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
       means[i].reserve(apps[i].actor_count());
       for (const auto& dist : models[i]) means[i].push_back(dist.mean());
     }
-    const auto iso = analysis::compute_period(apps[i], means[i]);
+    const auto iso = engines[i].recompute(means[i]);
     if (iso.deadlocked || iso.period <= 0.0) {
       throw sdf::GraphError("estimate: application '" + apps[i].name() +
                             "' has no positive isolation period");
@@ -107,13 +131,15 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
     out[i].actors.resize(apps[i].actor_count());
   }
 
+  std::vector<ActorLoad> others;  // scratch, reused across actors and passes
   for (int pass = 0; pass < opts_.iterations; ++pass) {
     // Step 2: per-actor loads from the current period estimates.
     std::vector<std::vector<ActorLoad>> loads(apps.size());
     for (sdf::AppId i = 0; i < apps.size(); ++i) {
+      const sdf::RepetitionVector& q = engines[i].repetition_vector();
       loads[i] = models.empty()
-                     ? derive_loads(apps[i], qs[i], out[i].estimated_period)
-                     : derive_loads_stochastic(apps[i], qs[i],
+                     ? derive_loads(apps[i], q, out[i].estimated_period)
+                     : derive_loads_stochastic(apps[i], q,
                                                out[i].estimated_period, models[i]);
     }
 
@@ -152,14 +178,12 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
           if (can_invert(self)) {
             twait = decompose(node_total, self).weighted_blocking;
           } else {
-            std::vector<ActorLoad> others;
-            for (std::size_t i = 0; i < entries.size(); ++i) {
-              if (i != s) others.push_back(entries[i].load);
-            }
+            collect_others(entries, s, others);
             twait = compose_all(others).weighted_blocking;
           }
         } else {
-          twait = waiting_for(entries, s, opts_);
+          collect_others(entries, s, others);
+          twait = waiting_for(others, e.who, opts_);
         }
         const double mean_exec =
             means[e.who.app].empty()
@@ -172,9 +196,10 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
       }
     }
 
-    // Step 5: periods of the response-time graphs.
+    // Step 5: periods of the response-time graphs — a warm-started weight
+    // rewrite on the cached structure, not a fresh analysis.
     for (sdf::AppId i = 0; i < apps.size(); ++i) {
-      const auto res = analysis::compute_period(apps[i], response[i]);
+      const auto res = engines[i].recompute(response[i]);
       if (res.deadlocked) {
         throw sdf::GraphError("estimate: response-time graph deadlocks");
       }

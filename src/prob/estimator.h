@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/engine.h"
 #include "platform/system.h"
 #include "prob/compose.h"
 #include "prob/load.h"
@@ -90,6 +91,17 @@ class ContentionEstimator {
   [[nodiscard]] std::vector<AppEstimate> estimate(
       const platform::System& sys,
       std::span<const sdf::ExecTimeModel> models) const;
+
+  /// Same algorithm, but all period analyses go through caller-owned
+  /// ThroughputEngines (one per application of `sys`, in order). Callers
+  /// that score the same applications many times — the mapping explorer,
+  /// admission what-ifs — build the engines once and amortise every
+  /// structure-dependent step across calls; each recompute then only
+  /// rewrites execution times and warm-starts Howard. The engines must have
+  /// been built from exactly the applications of `sys`.
+  [[nodiscard]] std::vector<AppEstimate> estimate(
+      const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
+      std::span<analysis::ThroughputEngine> engines) const;
 
   [[nodiscard]] const EstimatorOptions& options() const noexcept { return opts_; }
 

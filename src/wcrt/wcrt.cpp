@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "analysis/throughput.h"
+#include "analysis/engine.h"
 
 namespace procon::wcrt {
 
@@ -27,8 +27,13 @@ std::vector<AppBound> worst_case_bounds(const platform::System& sys,
   const auto apps = sys.apps();
   std::vector<AppBound> out(apps.size());
 
+  // One engine per application: the isolation and worst-case periods below
+  // are two weight assignments over the same cached structure.
+  std::vector<analysis::ThroughputEngine> engines;
+  engines.reserve(apps.size());
   for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    const auto iso = analysis::compute_period(apps[i]);
+    engines.emplace_back(apps[i]);
+    const auto iso = engines[i].recompute();
     if (iso.deadlocked || iso.period <= 0.0) {
       throw sdf::GraphError("worst_case_bounds: application '" + apps[i].name() +
                             "' has no positive isolation period");
@@ -83,7 +88,7 @@ std::vector<AppBound> worst_case_bounds(const platform::System& sys,
   }
 
   for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    const auto res = analysis::compute_period(apps[i], response[i]);
+    const auto res = engines[i].recompute(response[i]);
     if (res.deadlocked) {
       throw sdf::GraphError("worst_case_bounds: response-time graph deadlocks");
     }
