@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffers.dir/bench/bench_buffers.cpp.o"
+  "CMakeFiles/bench_buffers.dir/bench/bench_buffers.cpp.o.d"
+  "bench_buffers"
+  "bench_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example.dir/bench/bench_example.cpp.o"
+  "CMakeFiles/bench_example.dir/bench/bench_example.cpp.o.d"
+  "bench_example"
+  "bench_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stochastic.dir/bench/bench_stochastic.cpp.o"
+  "CMakeFiles/bench_stochastic.dir/bench/bench_stochastic.cpp.o.d"
+  "bench_stochastic"
+  "bench_stochastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

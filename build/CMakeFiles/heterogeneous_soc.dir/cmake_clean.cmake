@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_soc.dir/examples/heterogeneous_soc.cpp.o"
+  "CMakeFiles/heterogeneous_soc.dir/examples/heterogeneous_soc.cpp.o.d"
+  "heterogeneous_soc"
+  "heterogeneous_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_device.dir/examples/media_device.cpp.o"
+  "CMakeFiles/media_device.dir/examples/media_device.cpp.o.d"
+  "media_device"
+  "media_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admission/admission.cpp" "CMakeFiles/procon.dir/src/admission/admission.cpp.o" "gcc" "CMakeFiles/procon.dir/src/admission/admission.cpp.o.d"
+  "/root/repo/src/analysis/engine.cpp" "CMakeFiles/procon.dir/src/analysis/engine.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/engine.cpp.o.d"
+  "/root/repo/src/analysis/howard.cpp" "CMakeFiles/procon.dir/src/analysis/howard.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/howard.cpp.o.d"
+  "/root/repo/src/analysis/hsdf.cpp" "CMakeFiles/procon.dir/src/analysis/hsdf.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/hsdf.cpp.o.d"
+  "/root/repo/src/analysis/latency.cpp" "CMakeFiles/procon.dir/src/analysis/latency.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/latency.cpp.o.d"
+  "/root/repo/src/analysis/mcr.cpp" "CMakeFiles/procon.dir/src/analysis/mcr.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/mcr.cpp.o.d"
+  "/root/repo/src/analysis/state_space.cpp" "CMakeFiles/procon.dir/src/analysis/state_space.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/state_space.cpp.o.d"
+  "/root/repo/src/analysis/throughput.cpp" "CMakeFiles/procon.dir/src/analysis/throughput.cpp.o" "gcc" "CMakeFiles/procon.dir/src/analysis/throughput.cpp.o.d"
+  "/root/repo/src/dse/buffer_explorer.cpp" "CMakeFiles/procon.dir/src/dse/buffer_explorer.cpp.o" "gcc" "CMakeFiles/procon.dir/src/dse/buffer_explorer.cpp.o.d"
+  "/root/repo/src/dse/mapper.cpp" "CMakeFiles/procon.dir/src/dse/mapper.cpp.o" "gcc" "CMakeFiles/procon.dir/src/dse/mapper.cpp.o.d"
+  "/root/repo/src/gen/graph_generator.cpp" "CMakeFiles/procon.dir/src/gen/graph_generator.cpp.o" "gcc" "CMakeFiles/procon.dir/src/gen/graph_generator.cpp.o.d"
+  "/root/repo/src/gen/use_cases.cpp" "CMakeFiles/procon.dir/src/gen/use_cases.cpp.o" "gcc" "CMakeFiles/procon.dir/src/gen/use_cases.cpp.o.d"
+  "/root/repo/src/platform/heterogeneous.cpp" "CMakeFiles/procon.dir/src/platform/heterogeneous.cpp.o" "gcc" "CMakeFiles/procon.dir/src/platform/heterogeneous.cpp.o.d"
+  "/root/repo/src/platform/mapping.cpp" "CMakeFiles/procon.dir/src/platform/mapping.cpp.o" "gcc" "CMakeFiles/procon.dir/src/platform/mapping.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "CMakeFiles/procon.dir/src/platform/platform.cpp.o" "gcc" "CMakeFiles/procon.dir/src/platform/platform.cpp.o.d"
+  "/root/repo/src/platform/system.cpp" "CMakeFiles/procon.dir/src/platform/system.cpp.o" "gcc" "CMakeFiles/procon.dir/src/platform/system.cpp.o.d"
+  "/root/repo/src/prob/compose.cpp" "CMakeFiles/procon.dir/src/prob/compose.cpp.o" "gcc" "CMakeFiles/procon.dir/src/prob/compose.cpp.o.d"
+  "/root/repo/src/prob/estimator.cpp" "CMakeFiles/procon.dir/src/prob/estimator.cpp.o" "gcc" "CMakeFiles/procon.dir/src/prob/estimator.cpp.o.d"
+  "/root/repo/src/prob/load.cpp" "CMakeFiles/procon.dir/src/prob/load.cpp.o" "gcc" "CMakeFiles/procon.dir/src/prob/load.cpp.o.d"
+  "/root/repo/src/prob/monte_carlo.cpp" "CMakeFiles/procon.dir/src/prob/monte_carlo.cpp.o" "gcc" "CMakeFiles/procon.dir/src/prob/monte_carlo.cpp.o.d"
+  "/root/repo/src/prob/waiting_time.cpp" "CMakeFiles/procon.dir/src/prob/waiting_time.cpp.o" "gcc" "CMakeFiles/procon.dir/src/prob/waiting_time.cpp.o.d"
+  "/root/repo/src/sdf/algorithms.cpp" "CMakeFiles/procon.dir/src/sdf/algorithms.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sdf/algorithms.cpp.o.d"
+  "/root/repo/src/sdf/exec_time.cpp" "CMakeFiles/procon.dir/src/sdf/exec_time.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sdf/exec_time.cpp.o.d"
+  "/root/repo/src/sdf/graph.cpp" "CMakeFiles/procon.dir/src/sdf/graph.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sdf/graph.cpp.o.d"
+  "/root/repo/src/sdf/io.cpp" "CMakeFiles/procon.dir/src/sdf/io.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sdf/io.cpp.o.d"
+  "/root/repo/src/sdf/repetition.cpp" "CMakeFiles/procon.dir/src/sdf/repetition.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sdf/repetition.cpp.o.d"
+  "/root/repo/src/sdf/transform.cpp" "CMakeFiles/procon.dir/src/sdf/transform.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sdf/transform.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/procon.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/procon.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "CMakeFiles/procon.dir/src/sim/trace_export.cpp.o" "gcc" "CMakeFiles/procon.dir/src/sim/trace_export.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/procon.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/procon.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "CMakeFiles/procon.dir/src/util/rational.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/rational.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/procon.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/procon.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/symmetric_poly.cpp" "CMakeFiles/procon.dir/src/util/symmetric_poly.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/symmetric_poly.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/procon.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/procon.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/wcrt/wcrt.cpp" "CMakeFiles/procon.dir/src/wcrt/wcrt.cpp.o" "gcc" "CMakeFiles/procon.dir/src/wcrt/wcrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

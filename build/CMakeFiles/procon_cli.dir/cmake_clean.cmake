@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procon_cli.dir/tools/procon_cli.cpp.o"
+  "CMakeFiles/procon_cli.dir/tools/procon_cli.cpp.o.d"
+  "procon_cli"
+  "procon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_explorer.dir/tests/test_buffer_explorer.cpp.o"
+  "CMakeFiles/test_buffer_explorer.dir/tests/test_buffer_explorer.cpp.o.d"
+  "test_buffer_explorer"
+  "test_buffer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

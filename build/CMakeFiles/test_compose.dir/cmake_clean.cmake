@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compose.dir/tests/test_compose.cpp.o"
+  "CMakeFiles/test_compose.dir/tests/test_compose.cpp.o.d"
+  "test_compose"
+  "test_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_time.dir/tests/test_exec_time.cpp.o"
+  "CMakeFiles/test_exec_time.dir/tests/test_exec_time.cpp.o.d"
+  "test_exec_time"
+  "test_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heterogeneous.dir/tests/test_heterogeneous.cpp.o"
+  "CMakeFiles/test_heterogeneous.dir/tests/test_heterogeneous.cpp.o.d"
+  "test_heterogeneous"
+  "test_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_howard.dir/tests/test_howard.cpp.o"
+  "CMakeFiles/test_howard.dir/tests/test_howard.cpp.o.d"
+  "test_howard"
+  "test_howard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_howard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsdf.dir/tests/test_hsdf.cpp.o"
+  "CMakeFiles/test_hsdf.dir/tests/test_hsdf.cpp.o.d"
+  "test_hsdf"
+  "test_hsdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

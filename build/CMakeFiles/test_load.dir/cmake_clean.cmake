@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load.dir/tests/test_load.cpp.o"
+  "CMakeFiles/test_load.dir/tests/test_load.cpp.o.d"
+  "test_load"
+  "test_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

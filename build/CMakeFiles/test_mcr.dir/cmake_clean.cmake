@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcr.dir/tests/test_mcr.cpp.o"
+  "CMakeFiles/test_mcr.dir/tests/test_mcr.cpp.o.d"
+  "test_mcr"
+  "test_mcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

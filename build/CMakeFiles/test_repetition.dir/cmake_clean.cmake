@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repetition.dir/tests/test_repetition.cpp.o"
+  "CMakeFiles/test_repetition.dir/tests/test_repetition.cpp.o.d"
+  "test_repetition"
+  "test_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

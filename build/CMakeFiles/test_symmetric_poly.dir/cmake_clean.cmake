@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetric_poly.dir/tests/test_symmetric_poly.cpp.o"
+  "CMakeFiles/test_symmetric_poly.dir/tests/test_symmetric_poly.cpp.o.d"
+  "test_symmetric_poly"
+  "test_symmetric_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetric_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

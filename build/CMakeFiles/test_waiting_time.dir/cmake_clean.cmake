@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waiting_time.dir/tests/test_waiting_time.cpp.o"
+  "CMakeFiles/test_waiting_time.dir/tests/test_waiting_time.cpp.o.d"
+  "test_waiting_time"
+  "test_waiting_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waiting_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

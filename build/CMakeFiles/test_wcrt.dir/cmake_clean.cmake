@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcrt.dir/tests/test_wcrt.cpp.o"
+  "CMakeFiles/test_wcrt.dir/tests/test_wcrt.cpp.o.d"
+  "test_wcrt"
+  "test_wcrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
