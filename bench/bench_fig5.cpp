@@ -23,16 +23,21 @@ int main(int argc, char** argv) {
   std::cout << "=== E1 / Figure 5: normalised periods, all " << opts.apps
             << " applications concurrent ===\n\n";
 
+  // One session for every technique below.
+  api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
+  const platform::UseCase full = sys.full_use_case();
+
   // Isolation periods ("Original").
   std::vector<double> original;
-  for (const auto& e : prob::ContentionEstimator().estimate(sys)) {
+  const auto baseline = wb.contention();
+  for (const auto& e : *baseline) {
     original.push_back(e.isolation_period);
   }
 
   // Analytic techniques.
   std::vector<std::vector<double>> estimates;  // [technique][app]
   for (const auto& t : bench::paper_techniques()) {
-    estimates.push_back(bench::estimate_periods(sys, t));
+    estimates.push_back(bench::estimate_periods(wb, full, t));
   }
 
   // Simulation reference.

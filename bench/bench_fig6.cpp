@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
   const bench::Options opts = bench::parse_options(argc, argv);
   const platform::System sys = bench::make_workload(opts);
   const auto use_cases = bench::make_use_cases(opts, sys.app_count());
+  // One session for every use-case and technique: the per-application
+  // engines are built once instead of once per (use-case, technique).
+  api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
 
   std::cout << "=== E3 / Figure 6: period inaccuracy vs number of concurrent "
                "applications ===\n\n";
@@ -25,13 +28,13 @@ int main(int argc, char** argv) {
       techniques.size(), std::vector<util::RunningStats>(sys.app_count() + 1));
 
   for (const auto& uc : use_cases) {
-    const platform::System sub = sys.restrict_to(uc);
-    const bench::SimReference sim = bench::simulate_reference(sub, opts.horizon);
+    const bench::SimReference sim =
+        bench::simulate_reference(sys.restrict_to(uc), opts.horizon);
     bool ok = true;
     for (const bool c : sim.converged) ok = ok && c;
     if (!ok) continue;
     for (std::size_t t = 0; t < techniques.size(); ++t) {
-      const auto est = bench::estimate_periods(sub, techniques[t]);
+      const auto est = bench::estimate_periods(wb, uc, techniques[t]);
       for (std::size_t i = 0; i < est.size(); ++i) {
         err[t][uc.size()].add(util::percent_abs_diff(est[i], sim.average[i]));
       }

@@ -31,10 +31,13 @@ int main(int argc, char** argv) {
   std::vector<util::RunningStats> period_err(techniques.size());
   std::size_t skipped = 0;
 
+  // One session: engine structure is paid once, not per (use-case, technique).
+  api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
+
   bench::Stopwatch total;
   for (const auto& uc : use_cases) {
-    const platform::System sub = sys.restrict_to(uc);
-    const bench::SimReference sim = bench::simulate_reference(sub, opts.horizon);
+    const bench::SimReference sim =
+        bench::simulate_reference(sys.restrict_to(uc), opts.horizon);
     bool ok = true;
     for (const bool c : sim.converged) ok = ok && c;
     if (!ok) {
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
       continue;
     }
     for (std::size_t t = 0; t < techniques.size(); ++t) {
-      const auto est = bench::estimate_periods(sub, techniques[t]);
+      const auto est = bench::estimate_periods(wb, uc, techniques[t]);
       for (std::size_t i = 0; i < est.size(); ++i) {
         period_err[t].add(util::percent_abs_diff(est[i], sim.average[i]));
         throughput_err[t].add(

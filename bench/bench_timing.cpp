@@ -29,15 +29,16 @@ int main(int argc, char** argv) {
   }
   const double sim_seconds = sim_clock.seconds();
 
-  // Analysis timing per technique (estimation + throughput recomputation).
+  // Analysis timing per technique (estimation + throughput recomputation),
+  // through one session whose engines are cached across every use-case.
+  api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
   util::Table table("Timing: four analysis techniques vs simulation");
   table.set_header({"Method", "wall-clock [s]", "per use-case [ms]",
                     "speedup vs simulation"});
   for (const auto& t : bench::paper_techniques()) {
     bench::Stopwatch clock;
     for (const auto& uc : use_cases) {
-      const platform::System sub = sys.restrict_to(uc);
-      (void)bench::estimate_periods(sub, t);
+      (void)bench::estimate_periods(wb, uc, t);
     }
     const double s = clock.seconds();
     table.add_row({t.label, util::format_double(s, 2),

@@ -1,0 +1,152 @@
+// Workbench sharding and incremental-DSE speedups.
+//
+// Two comparisons on the paper workload, both with bitwise identity checks
+// (the parallel / incremental paths must return the same bits as the
+// serial / per-candidate references):
+//
+//  1. use-case sweep: Workbench::sweep_use_cases with 1 thread vs one
+//     worker per hardware thread, over the --per-size sampled (or --full
+//     enumerated) use-case list;
+//  2. buffer exploration: explore_buffer_tradeoff engine-per-candidate
+//     (incremental = false) vs the incremental reverse-channel patch, per
+//     application, plus a mapper determinism probe (1 thread == N threads).
+//
+// Emits BENCH_workbench.json so the perf trajectory is tracked per PR.
+//
+// Flags: the common harness set (--seed, --apps, --per-size, --full, ...).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "api/workbench.h"
+#include "harness.h"
+
+namespace {
+
+using namespace procon;
+
+bool same_estimates(const std::vector<api::UseCaseResult>& a,
+                    const std::vector<api::UseCaseResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].estimates.size() != b[i].estimates.size()) return false;
+    for (std::size_t j = 0; j < a[i].estimates.size(); ++j) {
+      if (a[i].estimates[j].estimated_period != b[i].estimates[j].estimated_period ||
+          a[i].estimates[j].isolation_period != b[i].estimates[j].isolation_period) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_frontier(const std::vector<dse::BufferPoint>& a,
+                   const std::vector<dse::BufferPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].capacities != b[i].capacities || a[i].period != b[i].period) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const platform::System sys = bench::make_workload(opts);
+  const auto use_cases = bench::make_use_cases(opts, sys.app_count());
+
+  // --- 1. use-case sweep: 1 thread vs hardware threads ----------------------
+  // At least 4 workers even on small machines, so the determinism checks
+  // always exercise genuinely concurrent scheduling.
+  const std::size_t kThreads = std::max<std::size_t>(
+      4, std::thread::hardware_concurrency());
+  api::Workbench serial(sys, api::WorkbenchOptions{.threads = 1});
+  api::Workbench parallel(sys, api::WorkbenchOptions{.threads = kThreads});
+
+  // Warm both sessions (engine clones, pool) outside the timed region.
+  (void)serial.sweep_use_cases(std::span(use_cases.data(), 1));
+  (void)parallel.sweep_use_cases(std::span(use_cases.data(), 1));
+
+  const auto swept_serial = serial.sweep_use_cases(use_cases);
+  const auto swept_parallel = parallel.sweep_use_cases(use_cases);
+  const bool sweep_identical = same_estimates(*swept_serial, *swept_parallel);
+  const double sweep_speedup =
+      swept_parallel.provenance.wall_ms > 0.0
+          ? swept_serial.provenance.wall_ms / swept_parallel.provenance.wall_ms
+          : 0.0;
+
+  // --- 2. buffer exploration: per-candidate vs incremental ------------------
+  double percand_ms = 0.0, incremental_ms = 0.0;
+  bool buffers_identical = true;
+  for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
+    dse::BufferExplorerOptions bopts;
+    bopts.incremental = false;
+    bench::Stopwatch percand_watch;
+    const auto reference = dse::explore_buffer_tradeoff(sys.app(i), bopts);
+    percand_ms += 1000.0 * percand_watch.seconds();
+
+    bopts.incremental = true;
+    bench::Stopwatch inc_watch;
+    const auto incremental = dse::explore_buffer_tradeoff(sys.app(i), bopts);
+    incremental_ms += 1000.0 * inc_watch.seconds();
+
+    buffers_identical = buffers_identical && same_frontier(reference, incremental);
+  }
+  const double buffer_speedup = incremental_ms > 0.0 ? percand_ms / incremental_ms : 0.0;
+
+  // --- 3. mapper determinism probe ------------------------------------------
+  dse::MapperOptions mopts;
+  mopts.iterations = 300;
+  mopts.seed = opts.seed;
+  const auto mapped_serial = serial.optimise_mapping(mopts);
+  const auto mapped_parallel = parallel.optimise_mapping(mopts);
+  bool mapper_deterministic =
+      mapped_serial->score == mapped_parallel->score &&
+      mapped_serial->accepted_moves == mapped_parallel->accepted_moves &&
+      mapped_serial->evaluations == mapped_parallel->evaluations;
+  if (mapper_deterministic) {
+    for (sdf::AppId i = 0; i < sys.app_count() && mapper_deterministic; ++i) {
+      for (sdf::ActorId a = 0; a < sys.app(i).actor_count(); ++a) {
+        if (mapped_serial->mapping.node_of(i, a) !=
+            mapped_parallel->mapping.node_of(i, a)) {
+          mapper_deterministic = false;
+          break;
+        }
+      }
+    }
+  }
+
+  char json[768];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"workbench\",\"seed\":%llu,\"apps\":%zu,"
+      "\"use_cases\":%zu,\"threads\":%zu,"
+      "\"sweep_serial_ms\":%.3f,\"sweep_parallel_ms\":%.3f,"
+      "\"sweep_speedup\":%.2f,\"sweep_identical\":%s,"
+      "\"buffer_percandidate_ms\":%.3f,\"buffer_incremental_ms\":%.3f,"
+      "\"buffer_speedup\":%.2f,\"buffer_identical\":%s,"
+      "\"mapper_deterministic\":%s}",
+      static_cast<unsigned long long>(opts.seed), sys.app_count(),
+      use_cases.size(), parallel.thread_count(),
+      swept_serial.provenance.wall_ms, swept_parallel.provenance.wall_ms,
+      sweep_speedup, sweep_identical ? "true" : "false", percand_ms,
+      incremental_ms, buffer_speedup, buffers_identical ? "true" : "false",
+      mapper_deterministic ? "true" : "false");
+
+  std::cout << json << "\n";
+  std::ofstream out("BENCH_workbench.json");
+  out << json << "\n";
+
+  if (!sweep_identical || !buffers_identical || !mapper_deterministic) {
+    std::cerr << "FAIL: parallel/incremental paths disagree with references\n";
+    return 1;
+  }
+  return 0;
+}

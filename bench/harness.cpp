@@ -93,6 +93,19 @@ std::vector<double> estimate_periods(const platform::System& sys,
   return periods;
 }
 
+std::vector<double> estimate_periods(api::Workbench& wb, const platform::UseCase& uc,
+                                     const Technique& technique) {
+  std::vector<double> periods;
+  if (technique.is_wcrt) {
+    const auto report = wb.wcrt(uc);
+    for (const auto& b : *report) periods.push_back(b.worst_case_period);
+  } else {
+    const auto report = wb.contention(uc, technique.estimator);
+    for (const auto& e : *report) periods.push_back(e.estimated_period);
+  }
+  return periods;
+}
+
 SimReference simulate_reference(const platform::System& sys, sdf::Time horizon) {
   const sim::SimResult r = sim::simulate(sys, sim::SimOptions{.horizon = horizon});
   SimReference ref;

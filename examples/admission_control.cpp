@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "admission/admission.h"
+#include "api/workbench.h"
 #include "gen/graph_generator.h"
 #include "util/rng.h"
 
@@ -89,5 +90,25 @@ int main() {
   const auto d5 = controller.request(game, spread_mapping(game, kNodes),
                                      admission::QoS{2500.0});
   report("game", d5);
+
+  // Cross-check: the controller's O(1)-per-actor composability updates
+  // approximate what a full session-level analysis of the currently
+  // admitted set computes. Snapshot the live set into a Workbench and
+  // compare.
+  if (d3.admitted && d5.admitted) {
+    api::Workbench bench(controller.snapshot_system(),
+                         api::WorkbenchOptions{.threads = 1});
+    const auto est = bench.contention(
+        prob::EstimatorOptions{.method = prob::Method::CompositionInverse});
+    std::cout << "\nfull-session cross-check (composability-inverse estimate):\n";
+    std::cout << "  photo_viewer: controller "
+              << static_cast<long>(controller.predicted_period(*d3.handle))
+              << " vs workbench "
+              << static_cast<long>((*est)[0].estimated_period) << "\n";
+    std::cout << "  game:         controller "
+              << static_cast<long>(controller.predicted_period(*d5.handle))
+              << " vs workbench "
+              << static_cast<long>((*est)[1].estimated_period) << "\n";
+  }
   return 0;
 }

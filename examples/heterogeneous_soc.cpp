@@ -11,11 +11,9 @@
 #include <iostream>
 #include <vector>
 
-#include "dse/buffer_explorer.h"
-#include "dse/mapper.h"
+#include "api/workbench.h"
 #include "gen/graph_generator.h"
 #include "platform/heterogeneous.h"
-#include "sim/simulator.h"
 #include "sim/trace_export.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -48,58 +46,57 @@ int main() {
 
   // Mapping exploration: score = worst estimated slowdown of the
   // *heterogeneous* system, so the mapper weighs "fast but contended DSP"
-  // against "slow but private core" automatically.
-  auto score = [&](const platform::Mapping& m) {
-    platform::System sys(std::vector<sdf::Graph>(apps), plat, m);
-    return dse::evaluate_mapping(timing.apply(sys).apps(), plat, m);
-  };
+  // against "slow but private core" automatically. The session is opened on
+  // the heterogeneous-applied graphs; candidate scoring shards across its
+  // thread pool (speculative annealing, deterministic for any pool size).
   platform::Mapping start = platform::Mapping::load_balanced(apps, plat);
+  platform::System base(std::vector<sdf::Graph>(apps), plat, start);
+  api::Workbench explorer(timing.apply(base));
   dse::MapperOptions mopts;
   mopts.iterations = 600;
-  // Anneal on the heterogeneous-applied graphs: wrap by re-applying timing
-  // inside the evaluation via a System rebuild each step.
-  platform::System base(std::vector<sdf::Graph>(apps), plat, start);
-  const platform::System het_start = timing.apply(base);
-  const dse::MapperResult mapped =
-      dse::optimise_mapping(het_start.apps(), plat, start, mopts);
-  std::cout << "mapping exploration: score " << util::format_double(mapped.initial_score, 2)
-            << " -> " << util::format_double(mapped.score, 2) << " after "
-            << mapped.evaluations << " analytic evaluations\n\n";
+  const auto mapped = explorer.optimise_mapping(mopts);
+  std::cout << "mapping exploration: score "
+            << util::format_double(mapped->initial_score, 2) << " -> "
+            << util::format_double(mapped->score, 2) << " after "
+            << mapped->evaluations << " trajectory evaluations ("
+            << mapped.provenance.evaluations << " scored on "
+            << mapped.provenance.threads << " thread(s))\n\n";
 
-  // Materialise the chosen heterogeneous system.
-  platform::System chosen_base(std::vector<sdf::Graph>(apps), plat, mapped.mapping);
-  const platform::System chosen = timing.apply(chosen_base);
-  (void)score;
+  // Materialise the chosen heterogeneous system as its own session.
+  platform::System chosen_base(std::vector<sdf::Graph>(apps), plat, mapped->mapping);
+  api::Workbench bench(timing.apply(chosen_base));
+  const platform::System& chosen = bench.system();
 
-  // Buffer sizing for each application on its own Pareto frontier.
+  // Buffer sizing for each application on its own Pareto frontier (the
+  // incremental explorer patches one reverse channel per candidate).
   util::Table buffers("Buffer sizing (per application, analytic)");
   buffers.set_header({"app", "frontier points", "min-buffer period",
                       "full-speed period", "tokens at full speed"});
-  for (sdf::AppId i = 0; i < chosen.app_count(); ++i) {
-    const auto frontier = dse::explore_buffer_tradeoff(chosen.app(i));
-    buffers.add_row({chosen.app(i).name(), std::to_string(frontier.size()),
-                     util::format_double(frontier.front().period, 1),
-                     util::format_double(frontier.back().period, 1),
-                     std::to_string(frontier.back().total_tokens)});
+  for (sdf::AppId i = 0; i < bench.app_count(); ++i) {
+    const auto frontier = bench.buffer_frontier(i);
+    buffers.add_row({chosen.app(i).name(), std::to_string(frontier->size()),
+                     util::format_double(frontier->front().period, 1),
+                     util::format_double(frontier->back().period, 1),
+                     std::to_string(frontier->back().total_tokens)});
   }
   std::cout << buffers.render() << '\n';
 
   // Validate with the simulator and show the schedule.
   sim::SimOptions sopts{.horizon = 200'000};
   sopts.collect_trace = true;
-  const auto result = sim::simulate(chosen, sopts);
+  const auto result = bench.simulate(sopts);
   util::Table periods("Validation: estimate vs simulation");
   periods.set_header({"app", "estimated", "simulated"});
-  const auto est = prob::ContentionEstimator().estimate(chosen);
-  for (sdf::AppId i = 0; i < chosen.app_count(); ++i) {
+  const auto est = bench.contention();
+  for (sdf::AppId i = 0; i < bench.app_count(); ++i) {
     periods.add_row({chosen.app(i).name(),
-                     util::format_double(est[i].estimated_period, 1),
-                     util::format_double(result.apps[i].average_period, 1)});
+                     util::format_double((*est)[i].estimated_period, 1),
+                     util::format_double(result->apps[i].average_period, 1)});
   }
   std::cout << periods.render() << '\n';
 
   std::cout << "schedule snapshot (letters = applications, '.' = idle):\n"
-            << sim::render_gantt(chosen, result, 0, 3000, 90) << '\n';
+            << sim::render_gantt(chosen, *result, 0, 3000, 90) << '\n';
   std::cout << "(a VCD waveform of the same trace is available via sim::to_vcd)\n";
   return 0;
 }

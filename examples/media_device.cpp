@@ -13,13 +13,9 @@
 #include <iostream>
 #include <vector>
 
-#include "gen/use_cases.h"
-#include "platform/system.h"
-#include "prob/estimator.h"
-#include "sim/simulator.h"
+#include "api/workbench.h"
 #include "util/stats.h"
 #include "util/table.h"
-#include "wcrt/wcrt.h"
 
 using namespace procon;
 
@@ -94,33 +90,42 @@ int main() {
   map.assign(2, 1, dsp);
   map.assign(2, 2, accel);
 
-  platform::System system(std::move(apps), std::move(plat), std::move(map));
-  system.validate();
+  // One analysis session for the whole device: per-application engines are
+  // built once, and all 2^3 - 1 feature combinations are estimated in a
+  // single sweep that shards across the session's thread pool.
+  api::Workbench bench(
+      platform::System(std::move(apps), std::move(plat), std::move(map)));
 
   std::cout << "Multi-featured media device: H.263 + MP3 + JPEG on RISC/DSP/ACCEL\n\n";
 
-  // Evaluate every feature combination (2^3 - 1 use-cases).
+  api::SweepOptions sweep_opts;
+  sweep_opts.with_wcrt = true;
+  const auto swept = bench.sweep_all_use_cases(sweep_opts);
+
   util::Table table("Per-feature period (time units) per use-case");
   table.set_header({"use-case", "app", "isolation", "estimated", "worst-case",
                     "simulated"});
-  for (const auto& uc : gen::all_use_cases(system.app_count())) {
-    const platform::System sub = system.restrict_to(uc);
-    const auto est = prob::ContentionEstimator().estimate(sub);
-    const auto wc = wcrt::worst_case_bounds(sub);
-    const auto sim = sim::simulate(sub, sim::SimOptions{.horizon = 2'000'000});
+  for (const api::UseCaseResult& uc : *swept) {
+    const auto sim =
+        bench.simulate(uc.use_case, sim::SimOptions{.horizon = 2'000'000});
     std::string label;
-    for (const auto id : uc) label += system.app(id).name().substr(0, 1);
-    for (std::size_t i = 0; i < sub.app_count(); ++i) {
-      table.add_row({label, sub.app(static_cast<sdf::AppId>(i)).name(),
-                     util::format_double(est[i].isolation_period, 0),
-                     util::format_double(est[i].estimated_period, 0),
-                     util::format_double(wc[i].worst_case_period, 0),
-                     sim.apps[i].converged
-                         ? util::format_double(sim.apps[i].average_period, 0)
+    for (const auto id : uc.use_case) {
+      label += bench.system().app(id).name().substr(0, 1);
+    }
+    for (std::size_t i = 0; i < uc.estimates.size(); ++i) {
+      table.add_row({label, bench.system().app(uc.use_case[i]).name(),
+                     util::format_double(uc.estimates[i].isolation_period, 0),
+                     util::format_double(uc.estimates[i].estimated_period, 0),
+                     util::format_double(uc.bounds[i].worst_case_period, 0),
+                     sim->apps[i].converged
+                         ? util::format_double(sim->apps[i].average_period, 0)
                          : "n/a"});
     }
   }
   std::cout << table.render() << '\n';
+  std::cout << "(sweep of " << swept.provenance.evaluations << " use-cases on "
+            << swept.provenance.threads << " thread(s): "
+            << util::format_double(swept.provenance.wall_ms, 2) << " ms)\n\n";
 
   std::cout << "Reading: the probabilistic estimate answers \"can the device\n"
                "decode video while playing MP3?\" per combination without\n"

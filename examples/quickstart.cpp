@@ -1,14 +1,13 @@
-// Quickstart: model two applications sharing processors, estimate their
-// throughput under contention probabilistically, and compare with a
-// cycle-accurate simulation - the library's core loop in ~60 lines.
+// Quickstart: model two applications sharing processors, open a Workbench
+// session on the system, estimate their throughput under contention
+// probabilistically, and compare with a cycle-accurate simulation - the
+// library's core loop in ~60 lines.
 //
 // This is the paper's Section 3 example: SDFGs A and B of Figure 2 mapped
 // actor-by-actor onto three shared processors.
 #include <iostream>
 
-#include "platform/system.h"
-#include "prob/estimator.h"
-#include "sim/simulator.h"
+#include "api/workbench.h"
 
 using namespace procon;
 
@@ -30,28 +29,33 @@ int main() {
   b.add_channel(b1, b2, 1, 1, 0);
   b.add_channel(b2, b0, 2, 1, 2);
 
-  // 2. Describe the platform and the mapping (actor i -> processor i).
+  // 2. Describe the platform and the mapping (actor i -> processor i), and
+  // open an analysis session on the system. The Workbench builds every
+  // per-application engine once; all queries below reuse them.
   std::vector<sdf::Graph> apps{a, b};
   platform::Platform proc = platform::Platform::homogeneous(3);
   platform::Mapping mapping = platform::Mapping::by_index(apps, proc);
-  platform::System system(std::move(apps), std::move(proc), std::move(mapping));
-  system.validate();
+  api::Workbench bench(
+      platform::System(std::move(apps), std::move(proc), std::move(mapping)));
 
   // 3. Probabilistic contention estimate (choose any Method; SecondOrder is
   // the paper's O(n^2) default).
-  prob::ContentionEstimator estimator(
+  const auto estimates = bench.contention(
       prob::EstimatorOptions{.method = prob::Method::SecondOrder});
-  const auto estimates = estimator.estimate(system);
 
   // 4. Reference: discrete-event simulation on non-preemptive FCFS nodes.
-  const auto simulated = sim::simulate(system, sim::SimOptions{.horizon = 500'000});
+  const auto simulated = bench.simulate(sim::SimOptions{.horizon = 500'000});
 
   std::cout << "app  isolation  estimated  simulated  est.throughput\n";
-  for (sdf::AppId i = 0; i < system.app_count(); ++i) {
-    std::cout << system.app(i).name() << "    " << estimates[i].isolation_period
-              << "        " << estimates[i].estimated_period << "     "
-              << simulated.apps[i].average_period << "        "
-              << estimates[i].estimated_throughput() << '\n';
+  for (sdf::AppId i = 0; i < bench.app_count(); ++i) {
+    std::cout << bench.system().app(i).name() << "    "
+              << (*estimates)[i].isolation_period << "        "
+              << (*estimates)[i].estimated_period << "     "
+              << simulated->apps[i].average_period << "        "
+              << (*estimates)[i].estimated_throughput() << '\n';
   }
+  std::cout << "(" << estimates.provenance.method << " took "
+            << estimates.provenance.wall_ms << " ms; simulation took "
+            << simulated.provenance.wall_ms << " ms)\n";
   return 0;
 }

@@ -25,6 +25,26 @@ Composite AdmissionController::node_load(platform::NodeId node) const {
   return nodes_[node];
 }
 
+platform::System AdmissionController::snapshot_system() const {
+  std::vector<sdf::Graph> graphs;
+  std::vector<const AdmittedApp*> active;
+  for (const auto& a : apps_) {
+    if (!a.active) continue;
+    active.push_back(&a);
+    graphs.push_back(a.graph);
+  }
+  if (graphs.empty()) {
+    throw std::logic_error("snapshot_system: no admitted applications");
+  }
+  platform::Mapping mapping(graphs);
+  for (sdf::AppId i = 0; i < active.size(); ++i) {
+    for (sdf::ActorId a = 0; a < active[i]->nodes.size(); ++a) {
+      mapping.assign(i, a, active[i]->nodes[a]);
+    }
+  }
+  return platform::System(std::move(graphs), platform_, std::move(mapping));
+}
+
 std::vector<Composite> AdmissionController::totals_with(
     const AdmittedApp* candidate) const {
   std::vector<Composite> totals = nodes_;

@@ -23,6 +23,7 @@
 
 #include "analysis/engine.h"
 #include "platform/platform.h"
+#include "platform/system.h"
 #include "prob/compose.h"
 #include "prob/load.h"
 #include "sdf/graph.h"
@@ -73,6 +74,13 @@ class AdmissionController {
 
   /// Combined blocking probability currently registered on a node.
   [[nodiscard]] prob::Composite node_load(platform::NodeId node) const;
+
+  /// Materialises the currently admitted applications as a System (graphs
+  /// in admission order with their registered node assignments). Lets a
+  /// caller open an api::Workbench session on the live set — e.g. to
+  /// cross-check the controller's O(1) composability state against the
+  /// full estimator, or to run sweeps/simulation over the admitted apps.
+  [[nodiscard]] platform::System snapshot_system() const;
 
  private:
   struct AdmittedApp {

@@ -54,6 +54,13 @@ class ThroughputEngine {
   /// Repeated calls warm-start Howard from the previous solution.
   [[nodiscard]] PeriodResult recompute(std::span<const double> exec_times = {});
 
+  /// Discards the Howard warm-start state; the next recompute() cold-starts.
+  /// Parallel sharding (use-case sweeps, mapper candidate scoring) resets a
+  /// worker's engine clone before every independent work item so its result
+  /// is a pure function of the inputs — bitwise identical no matter which
+  /// worker evaluates the item after which other items.
+  void reset() noexcept { solver_.reset(); }
+
   [[nodiscard]] std::size_t actor_count() const noexcept { return actor_count_; }
   [[nodiscard]] const sdf::RepetitionVector& repetition_vector() const noexcept {
     return q_;

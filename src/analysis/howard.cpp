@@ -236,6 +236,52 @@ double HowardSolver::solve() {
   return best;
 }
 
+std::vector<std::uint32_t> HowardSolver::critical_cycle() const {
+  if (!warm_) {
+    throw std::logic_error("HowardSolver::critical_cycle: no solve() yet");
+  }
+  // Start from the smallest-index node of maximum ratio (deterministic for
+  // a given final policy) and follow the policy; the walk must close into
+  // the component's cycle, whose ratio equals the maximum.
+  std::uint32_t start = UINT32_MAX;
+  double best = kNegInf;
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (policy_[v] >= 0 && ratio_[v] > best) {
+      best = ratio_[v];
+      start = v;
+    }
+  }
+  if (start == UINT32_MAX) return {};
+
+  std::vector<std::uint32_t> order(n_, UINT32_MAX);  // position in the walk
+  std::vector<std::uint32_t> walk;
+  std::uint32_t v = start;
+  while (order[v] == UINT32_MAX && policy_[v] >= 0) {
+    order[v] = static_cast<std::uint32_t>(walk.size());
+    walk.push_back(v);
+    v = dst_[static_cast<std::size_t>(policy_[v])];
+  }
+  if (order[v] == UINT32_MAX) return {};  // walk drained (trimmed region)
+  return std::vector<std::uint32_t>(walk.begin() + order[v], walk.end());
+}
+
+CriticalCycleResult mcr_with_critical_cycle(const Hsdf& h, const McrOptions&) {
+  CriticalCycleResult result;
+  if (h.node_count() == 0 || h.edges.empty()) return result;
+
+  HowardSolver solver;
+  solver.build(h);
+  if (!solver.has_cycle()) return result;
+  result.mcr.has_cycle = true;
+  if (solver.deadlocked()) {
+    result.mcr.deadlocked = true;
+    return result;
+  }
+  result.mcr.ratio = solver.solve();
+  result.cycle = solver.critical_cycle();
+  return result;
+}
+
 McrResult mcr_howard(const Hsdf& h) {
   McrResult result;
   if (h.node_count() == 0 || h.edges.empty()) return result;

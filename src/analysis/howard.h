@@ -58,6 +58,13 @@ class HowardSolver {
   /// Discards the warm-start state (the next solve() cold-starts).
   void reset() noexcept { warm_ = false; }
 
+  /// Nodes of a critical cycle of the most recent solve(), in traversal
+  /// order. The final policy's functional graph contains, reachable from
+  /// any node of maximum ratio, exactly the cycle that enforces the MCR —
+  /// so after a solve the critical cycle costs one policy walk, no extra
+  /// parametric search. Throws std::logic_error if solve() has not run.
+  [[nodiscard]] std::vector<std::uint32_t> critical_cycle() const;
+
  private:
   // --- fixed topology (CSR) ---
   std::size_t n_ = 0;

@@ -12,14 +12,66 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return (a % b != 0 && ((a < 0) == (b < 0))) ? q + 1 : q;
 }
 
-// Candidate precedence edge before per-pair deduplication. Packing
-// (src, dst) into one 64-bit key makes the sort a single-word compare.
-struct RawEdge {
-  std::uint64_t key;     // src << 32 | dst
-  std::uint64_t tokens;  // iteration distance
-};
-
 }  // namespace
+
+void append_channel_candidates(const sdf::Channel& ch, const sdf::RepetitionVector& q,
+                               std::span<const std::uint32_t> node_base,
+                               std::vector<HsdfEdgeCandidate>& out) {
+  const auto p = static_cast<std::int64_t>(ch.prod_rate);
+  const auto c = static_cast<std::int64_t>(ch.cons_rate);
+  const auto d = static_cast<std::int64_t>(ch.initial_tokens);
+  const auto qu = static_cast<std::int64_t>(q[ch.src]);
+  const auto qv = static_cast<std::int64_t>(q[ch.dst]);
+
+  for (std::int64_t j = 1; j <= qv; ++j) {        // consumer firing (1-based)
+    for (std::int64_t t = (j - 1) * c + 1; t <= j * c; ++t) {  // token index
+      // Producer firing number (1-based from execution start); <= 0 means
+      // the token is (an ancestor of) an initial token.
+      std::int64_t f = ceil_div(t - d, p);
+      std::int64_t delay = 0;
+      if (f < 1) {
+        // Shift whole iterations until the firing index is positive.
+        const std::int64_t m = ceil_div(1 - f, qu);
+        f += m * qu;
+        delay = m;
+      }
+      // Within one iteration f cannot exceed qu (token conservation), but
+      // guard for robustness on unusual token distributions.
+      while (f > qu) {
+        f -= qu;
+        delay -= 1;
+      }
+      if (delay < 0) {
+        // A dependency on a *future* iteration cannot occur in a
+        // consistent graph; it indicates more initial tokens than one
+        // iteration consumes, i.e. no constraint for this pair.
+        continue;
+      }
+      const std::uint32_t src_node =
+          node_base[ch.src] + static_cast<std::uint32_t>(f - 1);
+      const std::uint32_t dst_node =
+          node_base[ch.dst] + static_cast<std::uint32_t>(j - 1);
+      out.push_back(HsdfEdgeCandidate{
+          (static_cast<std::uint64_t>(src_node) << 32) | dst_node,
+          static_cast<std::uint64_t>(delay)});
+    }
+  }
+}
+
+void dedup_candidates(std::vector<HsdfEdgeCandidate>& candidates) {
+  // Sort by (src, dst) then tokens; the first entry of each (src, dst) run
+  // carries the minimum iteration distance — the binding constraint.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const HsdfEdgeCandidate& a, const HsdfEdgeCandidate& b) {
+              return a.key != b.key ? a.key < b.key : a.tokens < b.tokens;
+            });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0 && candidates[i].key == candidates[i - 1].key) continue;
+    candidates[w++] = candidates[i];
+  }
+  candidates.resize(w);
+}
 
 Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
                     std::span<const double> exec_times) {
@@ -48,7 +100,7 @@ Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
   // per (producer firing, consumer firing) pair. Candidates are collected
   // flat and deduplicated by one sort + scan — far cheaper than a node-based
   // map on the hot repeated-analysis path.
-  std::vector<RawEdge> raw;
+  std::vector<HsdfEdgeCandidate> raw;
   {
     std::size_t upper = 0;  // one candidate per consumed token
     for (const sdf::Channel& ch : g.channels()) {
@@ -57,58 +109,13 @@ Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
     raw.reserve(upper);
   }
   for (const sdf::Channel& ch : g.channels()) {
-    const auto p = static_cast<std::int64_t>(ch.prod_rate);
-    const auto c = static_cast<std::int64_t>(ch.cons_rate);
-    const auto d = static_cast<std::int64_t>(ch.initial_tokens);
-    const auto qu = static_cast<std::int64_t>(q[ch.src]);
-    const auto qv = static_cast<std::int64_t>(q[ch.dst]);
-
-    for (std::int64_t j = 1; j <= qv; ++j) {        // consumer firing (1-based)
-      for (std::int64_t t = (j - 1) * c + 1; t <= j * c; ++t) {  // token index
-        // Producer firing number (1-based from execution start); <= 0 means
-        // the token is (an ancestor of) an initial token.
-        std::int64_t f = ceil_div(t - d, p);
-        std::int64_t delay = 0;
-        if (f < 1) {
-          // Shift whole iterations until the firing index is positive.
-          const std::int64_t m = ceil_div(1 - f, qu);
-          f += m * qu;
-          delay = m;
-        }
-        // Within one iteration f cannot exceed qu (token conservation), but
-        // guard for robustness on unusual token distributions.
-        while (f > qu) {
-          f -= qu;
-          delay -= 1;
-        }
-        if (delay < 0) {
-          // A dependency on a *future* iteration cannot occur in a
-          // consistent graph; it indicates more initial tokens than one
-          // iteration consumes, i.e. no constraint for this pair.
-          continue;
-        }
-        const std::uint32_t src_node =
-            node_base[ch.src] + static_cast<std::uint32_t>(f - 1);
-        const std::uint32_t dst_node =
-            node_base[ch.dst] + static_cast<std::uint32_t>(j - 1);
-        raw.push_back(RawEdge{(static_cast<std::uint64_t>(src_node) << 32) |
-                                  dst_node,
-                              static_cast<std::uint64_t>(delay)});
-      }
-    }
+    append_channel_candidates(ch, q, node_base, raw);
   }
 
-  // Sort by (src, dst) then tokens; the first entry of each (src, dst) run
-  // carries the minimum iteration distance — the binding constraint.
-  std::sort(raw.begin(), raw.end(), [](const RawEdge& a, const RawEdge& b) {
-    return a.key != b.key ? a.key < b.key : a.tokens < b.tokens;
-  });
+  dedup_candidates(raw);
   h.edges.reserve(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    if (i > 0 && raw[i].key == raw[i - 1].key) continue;
-    h.edges.push_back(HsdfEdge{static_cast<std::uint32_t>(raw[i].key >> 32),
-                               static_cast<std::uint32_t>(raw[i].key),
-                               raw[i].tokens});
+  for (const HsdfEdgeCandidate& cand : raw) {
+    h.edges.push_back(HsdfEdge{cand.src(), cand.dst(), cand.tokens});
   }
   return h;
 }

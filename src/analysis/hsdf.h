@@ -57,6 +57,38 @@ struct Hsdf {
 [[nodiscard]] Hsdf expand_to_hsdf(const sdf::Graph& g, const sdf::RepetitionVector& q,
                                   std::span<const double> exec_times = {});
 
+/// One candidate precedence edge of the expansion, before the global
+/// minimum-distance deduplication. `key` packs (src node << 32 | dst node)
+/// so sorting and deduplicating are single-word compares.
+struct HsdfEdgeCandidate {
+  std::uint64_t key;
+  std::uint64_t tokens;
+
+  [[nodiscard]] std::uint32_t src() const noexcept {
+    return static_cast<std::uint32_t>(key >> 32);
+  }
+  [[nodiscard]] std::uint32_t dst() const noexcept {
+    return static_cast<std::uint32_t>(key);
+  }
+};
+
+/// Appends the candidate edges of one channel to `out`. `node_base[a]` is
+/// the HSDF node index of actor a's first firing (as laid out by
+/// expand_to_hsdf: actors in id order, q[a] consecutive firings each).
+///
+/// Channels are independent in the expansion, so callers that re-expand a
+/// single mutated channel (the incremental buffer explorer: a capacity bump
+/// only changes one reverse channel's initial tokens) regenerate just that
+/// channel's candidates and re-merge, instead of re-expanding the graph.
+void append_channel_candidates(const sdf::Channel& ch, const sdf::RepetitionVector& q,
+                               std::span<const std::uint32_t> node_base,
+                               std::vector<HsdfEdgeCandidate>& out);
+
+/// Sorts candidates by (key, tokens) and drops all but the minimum-distance
+/// edge per (src, dst) pair — the binding constraint. The result is exactly
+/// the edge set expand_to_hsdf produces from the same candidate multiset.
+void dedup_candidates(std::vector<HsdfEdgeCandidate>& candidates);
+
 /// Graphviz DOT rendering of an HSDF (debug aid).
 [[nodiscard]] std::string hsdf_to_dot(const Hsdf& h);
 

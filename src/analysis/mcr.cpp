@@ -119,7 +119,8 @@ McrResult mcr_binary_search(const Hsdf& h, const McrOptions& opts) {
   return result;
 }
 
-CriticalCycleResult mcr_with_critical_cycle(const Hsdf& h, const McrOptions& opts) {
+CriticalCycleResult mcr_with_critical_cycle_lawler(const Hsdf& h,
+                                                   const McrOptions& opts) {
   CriticalCycleResult result;
   result.mcr = mcr_binary_search(h, opts);
   if (!result.mcr.has_cycle || result.mcr.deadlocked) return result;

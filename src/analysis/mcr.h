@@ -64,7 +64,20 @@ struct CriticalCycleResult {
   McrResult mcr;
   std::vector<std::uint32_t> cycle;
 };
+
+/// Default engine: Howard's policy iteration. The final policy's functional
+/// graph contains a maximum-ratio cycle, so after the solve the critical
+/// cycle is one policy walk — no parametric re-search (the options are
+/// accepted for signature compatibility and ignored). The ratio is exact
+/// (a cycle's weight/token quotient), not a bisection midpoint.
 [[nodiscard]] CriticalCycleResult mcr_with_critical_cycle(const Hsdf& h,
                                                           const McrOptions& opts = {});
+
+/// Reference path: Lawler parametric search, then Bellman-Ford predecessor
+/// tracking slightly below lambda* to expose one critical cycle. Slower and
+/// tolerance-bound; kept as the cross-validation oracle for the Howard
+/// policy-graph extraction (see test_mcr.cpp).
+[[nodiscard]] CriticalCycleResult mcr_with_critical_cycle_lawler(
+    const Hsdf& h, const McrOptions& opts = {});
 
 }  // namespace procon::analysis

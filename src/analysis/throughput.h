@@ -31,6 +31,10 @@ struct PeriodResult {
 /// actor execution times (one entry per actor; fractional values allowed).
 /// Auto-concurrency is disabled by inserting self-loops, matching the
 /// paper's operational model. Throws sdf::GraphError on inconsistent graphs.
+///
+/// Deprecated one-shot shim: re-derives all structure per call. Repeated
+/// callers should hold a ThroughputEngine or an api::Workbench session,
+/// whose throughput(app) query returns the same bits from cached structure.
 [[nodiscard]] PeriodResult compute_period(const sdf::Graph& g,
                                           std::span<const double> exec_times = {});
 

@@ -1,0 +1,45 @@
+// Uniform result envelope for Workbench queries.
+//
+// Every analysis the session exposes — throughput, latency, contention,
+// worst-case bounds, simulation, DSE — answers with the same shape: the
+// result value plus provenance describing how it was produced (method
+// name, how many evaluations it took, how many workers ran it, wall
+// time). Callers that compare techniques or log experiment records get
+// the bookkeeping for free instead of re-timing every call site.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace procon::api {
+
+struct Provenance {
+  /// Human-readable technique, e.g. "Probabilistic Second Order" or
+  /// "hsdf-mcr (Howard, cached structure)".
+  std::string method;
+  /// Analysis evaluations performed (period analyses, candidates scored,
+  /// use-cases swept — whatever the query counts in).
+  std::size_t evaluations = 0;
+  /// Workers that produced the value (1 for serial queries).
+  std::size_t threads = 1;
+  double wall_ms = 0.0;
+};
+
+template <typename T>
+struct Report {
+  T value{};
+  Provenance provenance;
+
+  [[nodiscard]] const T& operator*() const& noexcept { return value; }
+  [[nodiscard]] T& operator*() & noexcept { return value; }
+  /// Rvalue deref moves the value out. Returning by value (not a dangling
+  /// reference into the expiring Report) keeps the common pattern
+  /// `for (auto& x : *session.query(...))` well-defined before C++23's
+  /// range-for lifetime extension.
+  [[nodiscard]] T operator*() && { return std::move(value); }
+  [[nodiscard]] const T* operator->() const noexcept { return &value; }
+  [[nodiscard]] T* operator->() noexcept { return &value; }
+};
+
+}  // namespace procon::api

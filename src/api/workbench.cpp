@@ -1,0 +1,293 @@
+#include "api/workbench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "gen/use_cases.h"
+#include "sdf/repetition.h"
+
+namespace procon::api {
+namespace {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Workbench::Workbench(platform::System sys, const WorkbenchOptions& opts)
+    : sys_(std::move(sys)), pool_(opts.threads) {
+  sys_.validate();
+  engines_.reserve(sys_.app_count());
+  for (const sdf::Graph& app : sys_.apps()) engines_.emplace_back(app);
+  hsdf_.resize(sys_.app_count());
+  hsdf_ready_.assign(sys_.app_count(), 0);
+}
+
+void Workbench::check_app(sdf::AppId app) const {
+  if (app >= sys_.app_count()) {
+    throw sdf::GraphError("Workbench: application id out of range");
+  }
+}
+
+const analysis::Hsdf& Workbench::cached_hsdf(sdf::AppId app) {
+  if (!hsdf_ready_[app]) {
+    const sdf::Graph closed = sys_.app(app).with_self_loops();
+    const auto q = sdf::compute_repetition_vector(closed);
+    if (!q) throw sdf::GraphError("Workbench: inconsistent application");
+    hsdf_[app] = analysis::expand_to_hsdf(closed, *q, {});
+    hsdf_ready_[app] = 1;
+  }
+  return hsdf_[app];
+}
+
+std::vector<analysis::ThroughputEngine*> Workbench::engines_for(
+    std::vector<analysis::ThroughputEngine>& engines, const platform::UseCase& uc) {
+  std::vector<analysis::ThroughputEngine*> ptrs;
+  ptrs.reserve(uc.size());
+  for (const sdf::AppId id : uc) {
+    if (id >= engines.size()) {
+      throw sdf::GraphError("Workbench: use-case references unknown application");
+    }
+    engines[id].reset();
+    ptrs.push_back(&engines[id]);
+  }
+  return ptrs;
+}
+
+std::vector<dse::AnalysisWorkspace>& Workbench::worker_sets() {
+  if (workers_.empty()) {
+    workers_.reserve(pool_.size());
+    for (std::size_t w = 0; w < pool_.size(); ++w) {
+      workers_.push_back(dse::AnalysisWorkspace{sys_, engines_});
+    }
+  }
+  return workers_;
+}
+
+// ---- single-application queries -------------------------------------------
+
+Report<analysis::PeriodResult> Workbench::throughput(sdf::AppId app) {
+  check_app(app);
+  Timer timer;
+  Report<analysis::PeriodResult> report;
+  engines_[app].reset();
+  report.value = engines_[app].recompute();
+  report.provenance = {"hsdf-mcr (Howard, cached structure)", 1, 1, timer.ms()};
+  return report;
+}
+
+Report<analysis::GraphLatencyResult> Workbench::latency(sdf::AppId app) {
+  check_app(app);
+  Timer timer;
+  const analysis::Hsdf& h = cached_hsdf(app);
+  const analysis::LatencyResult r = analysis::iteration_latency(h);
+  Report<analysis::GraphLatencyResult> report;
+  report.value.latency = r.latency;
+  std::vector<bool> seen(sys_.app(app).actor_count(), false);
+  for (const std::uint32_t node : r.path) {
+    const sdf::ActorId a = h.nodes[node].source_actor;
+    if (!seen[a]) {
+      seen[a] = true;
+      report.value.critical_actors.push_back(a);
+    }
+  }
+  report.provenance = {"longest zero-token path (cached expansion)", 1, 1,
+                       timer.ms()};
+  return report;
+}
+
+Report<analysis::BottleneckReport> Workbench::bottleneck(sdf::AppId app) {
+  check_app(app);
+  Timer timer;
+  const analysis::Hsdf& h = cached_hsdf(app);
+  const analysis::CriticalCycleResult cc = analysis::mcr_with_critical_cycle(h);
+  Report<analysis::BottleneckReport> report;
+  report.value.deadlocked = cc.mcr.deadlocked;
+  report.value.period = cc.mcr.deadlocked ? 0.0 : cc.mcr.ratio;
+  std::vector<bool> seen(sys_.app(app).actor_count(), false);
+  for (const std::uint32_t node : cc.cycle) {
+    const sdf::ActorId a = h.nodes[node].source_actor;
+    if (!seen[a]) {
+      seen[a] = true;
+      report.value.actors.push_back(a);
+    }
+  }
+  std::sort(report.value.actors.begin(), report.value.actors.end());
+  report.provenance = {"Howard policy-graph critical cycle", 1, 1, timer.ms()};
+  return report;
+}
+
+Report<std::vector<dse::BufferPoint>> Workbench::buffer_frontier(
+    sdf::AppId app, const dse::BufferExplorerOptions& opts) {
+  check_app(app);
+  Timer timer;
+  Report<std::vector<dse::BufferPoint>> report;
+  report.value = dse::explore_buffer_tradeoff(sys_.app(app), opts);
+  report.provenance = {opts.incremental
+                           ? "greedy frontier (incremental reverse-channel patch)"
+                           : "greedy frontier (engine per candidate)",
+                       report.value.size(), 1, timer.ms()};
+  return report;
+}
+
+// ---- whole-system queries --------------------------------------------------
+
+Report<std::vector<prob::AppEstimate>> Workbench::contention(
+    const prob::EstimatorOptions& opts) {
+  Timer timer;
+  const prob::ContentionEstimator est(opts);
+  auto ptrs = engines_for(engines_, sys_.full_use_case());
+  Report<std::vector<prob::AppEstimate>> report;
+  report.value =
+      est.estimate(sys_, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
+  report.provenance = {prob::method_name(opts.method),
+                       static_cast<std::size_t>(opts.iterations), 1, timer.ms()};
+  return report;
+}
+
+Report<std::vector<prob::AppEstimate>> Workbench::contention(
+    const platform::UseCase& uc, const prob::EstimatorOptions& opts) {
+  Timer timer;
+  const platform::System sub = sys_.restrict_to(uc);
+  const prob::ContentionEstimator est(opts);
+  auto ptrs = engines_for(engines_, uc);
+  Report<std::vector<prob::AppEstimate>> report;
+  report.value =
+      est.estimate(sub, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
+  report.provenance = {prob::method_name(opts.method),
+                       static_cast<std::size_t>(opts.iterations), 1, timer.ms()};
+  return report;
+}
+
+Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const wcrt::WcrtOptions& opts) {
+  Timer timer;
+  auto ptrs = engines_for(engines_, sys_.full_use_case());
+  Report<std::vector<wcrt::AppBound>> report;
+  report.value = wcrt::worst_case_bounds(
+      sys_, opts, std::span<analysis::ThroughputEngine* const>(ptrs));
+  report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
+  return report;
+}
+
+Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const platform::UseCase& uc,
+                                                    const wcrt::WcrtOptions& opts) {
+  Timer timer;
+  const platform::System sub = sys_.restrict_to(uc);
+  auto ptrs = engines_for(engines_, uc);
+  Report<std::vector<wcrt::AppBound>> report;
+  report.value = wcrt::worst_case_bounds(
+      sub, opts, std::span<analysis::ThroughputEngine* const>(ptrs));
+  report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
+  return report;
+}
+
+Report<sim::SimResult> Workbench::simulate(const sim::SimOptions& opts) {
+  Timer timer;
+  Report<sim::SimResult> report;
+  report.value = sim::simulate(sys_, opts);
+  report.provenance = {"discrete-event simulation", report.value.events_processed,
+                       1, timer.ms()};
+  return report;
+}
+
+Report<sim::SimResult> Workbench::simulate(const platform::UseCase& uc,
+                                           const sim::SimOptions& opts) {
+  Timer timer;
+  Report<sim::SimResult> report;
+  report.value = sim::simulate(sys_, uc, opts);
+  report.provenance = {"discrete-event simulation", report.value.events_processed,
+                       1, timer.ms()};
+  return report;
+}
+
+// ---- sharded queries -------------------------------------------------------
+
+Report<std::vector<UseCaseResult>> Workbench::sweep_use_cases(
+    std::span<const platform::UseCase> use_cases, const SweepOptions& opts) {
+  Timer timer;
+  const prob::ContentionEstimator est(opts.estimator);
+  auto& workers = worker_sets();
+
+  Report<std::vector<UseCaseResult>> report;
+  report.value.resize(use_cases.size());
+  pool_.for_each_index(use_cases.size(), [&](std::size_t i, std::size_t w) {
+    // One engine-set clone per worker; each evaluation resets its engines,
+    // so the slot result is a pure function of the use-case — identical
+    // regardless of which worker computes it after which other items.
+    dse::AnalysisWorkspace& ws = workers[w];
+    const platform::UseCase& uc = use_cases[i];
+    const platform::System sub = sys_.restrict_to(uc);
+    UseCaseResult& out = report.value[i];
+    out.use_case = uc;
+    {
+      auto ptrs = engines_for(ws.engines, uc);
+      out.estimates = est.estimate(
+          sub, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
+    }
+    if (opts.with_wcrt) {
+      auto ptrs = engines_for(ws.engines, uc);
+      out.bounds = wcrt::worst_case_bounds(
+          sub, opts.wcrt, std::span<analysis::ThroughputEngine* const>(ptrs));
+    }
+  });
+  report.provenance = {"sweep: " + prob::method_name(opts.estimator.method),
+                       use_cases.size(), pool_.size(), timer.ms()};
+  return report;
+}
+
+Report<std::vector<UseCaseResult>> Workbench::sweep_all_use_cases(
+    const SweepOptions& opts) {
+  const auto all = gen::all_use_cases(sys_.app_count());
+  return sweep_use_cases(all, opts);
+}
+
+Report<std::vector<double>> Workbench::score_mappings(
+    std::span<const platform::Mapping> candidates,
+    const prob::EstimatorOptions& opts) {
+  Timer timer;
+  const prob::ContentionEstimator est(opts);
+  auto& workers = worker_sets();
+  const platform::UseCase full = sys_.full_use_case();
+
+  Report<std::vector<double>> report;
+  report.value.resize(candidates.size(), 0.0);
+  pool_.for_each_index(candidates.size(), [&](std::size_t i, std::size_t w) {
+    dse::AnalysisWorkspace& ws = workers[w];
+    ws.sys.set_mapping(candidates[i]);
+    auto ptrs = engines_for(ws.engines, full);
+    double worst = 0.0;
+    for (const auto& e : est.estimate(
+             ws.sys, {}, std::span<analysis::ThroughputEngine* const>(ptrs))) {
+      worst = std::max(worst, e.normalised_period());
+    }
+    report.value[i] = worst;
+  });
+  report.provenance = {"mapping score: " + prob::method_name(opts.method),
+                       candidates.size(), pool_.size(), timer.ms()};
+  return report;
+}
+
+Report<dse::MapperResult> Workbench::optimise_mapping(const dse::MapperOptions& opts) {
+  Timer timer;
+  Report<dse::MapperResult> report;
+  // The session's per-worker workspaces carry the scoring state, so
+  // repeated mapper queries skip the per-call graph copies and engine
+  // construction the free function pays.
+  report.value = dse::optimise_mapping(sys_.apps(), sys_.platform(), sys_.mapping(),
+                                       opts, &pool_, worker_sets());
+  report.provenance = {"simulated annealing (speculative scoring)",
+                       report.value.scored_candidates, pool_.size(), timer.ms()};
+  return report;
+}
+
+}  // namespace procon::api

@@ -1,0 +1,169 @@
+// procon::api::Workbench — one stateful analysis session over a System.
+//
+// The paper's core claim is that analytic contention estimation is fast
+// enough to drive design-space exploration and run-time decisions across
+// many concurrent use-cases. The free functions this library grew up with
+// (compute_period, ContentionEstimator::estimate, worst_case_bounds,
+// simulate, explore_buffer_tradeoff, optimise_mapping) each re-ingest raw
+// graphs and re-pay every structure-dependent analysis step per call. A
+// Workbench is constructed once from a platform::System and owns instead:
+//
+//   * one ThroughputEngine per application (self-loop closure, repetition
+//     vector, HSDF topology and structural verdicts cached once),
+//   * one cached HSDF expansion per application (latency / bottleneck),
+//   * a persistent thread pool that shards independent evaluations —
+//     use-case sweeps and mapper candidate scoring — across workers with
+//     one engine-set clone per worker.
+//
+// Every query returns Report<T>: the value plus provenance (method,
+// evaluation count, workers, wall time). Results are bitwise identical to
+// the corresponding free functions: engines are reset to a cold start at
+// each query boundary, so a query is a pure function of the session's
+// system and the query options, never of query history or scheduling.
+// In particular sweep_use_cases and optimise_mapping return the same bits
+// for any thread count.
+//
+// Thread-safety: a Workbench is a mutable session — queries update cached
+// engines, so concurrent queries on one Workbench are not allowed. The
+// parallelism lives *inside* a query, not across queries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "analysis/engine.h"
+#include "analysis/hsdf.h"
+#include "analysis/latency.h"
+#include "analysis/throughput.h"
+#include "api/report.h"
+#include "dse/buffer_explorer.h"
+#include "dse/mapper.h"
+#include "platform/system.h"
+#include "prob/estimator.h"
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+#include "wcrt/wcrt.h"
+
+namespace procon::api {
+
+struct WorkbenchOptions {
+  /// Worker count for sharded queries (sweeps, mapper scoring). 0 = one per
+  /// hardware thread. 1 = fully serial (no background threads at all).
+  std::size_t threads = 0;
+};
+
+/// Per-use-case results of a sweep.
+struct UseCaseResult {
+  platform::UseCase use_case;
+  /// One estimate per selected application, in use-case order.
+  std::vector<prob::AppEstimate> estimates;
+  /// Worst-case bounds (only when SweepOptions::with_wcrt).
+  std::vector<wcrt::AppBound> bounds;
+};
+
+struct SweepOptions {
+  prob::EstimatorOptions estimator;
+  /// Also compute the worst-case (Analyzed Worst Case) bound per use-case.
+  bool with_wcrt = false;
+  wcrt::WcrtOptions wcrt;
+};
+
+class Workbench {
+ public:
+  /// Builds all per-application analysis state. Throws sdf::GraphError for
+  /// invalid systems (incomplete mapping, inconsistent or deadlocking
+  /// applications) — a session is valid for its whole lifetime.
+  explicit Workbench(platform::System sys, const WorkbenchOptions& opts = {});
+
+  Workbench(const Workbench&) = delete;
+  Workbench& operator=(const Workbench&) = delete;
+
+  [[nodiscard]] const platform::System& system() const noexcept { return sys_; }
+  [[nodiscard]] std::size_t app_count() const noexcept { return sys_.app_count(); }
+  [[nodiscard]] std::size_t thread_count() const noexcept { return pool_.size(); }
+
+  // ---- single-application queries (cached structure) ----------------------
+
+  /// Isolation period of one application (== analysis::compute_period).
+  [[nodiscard]] Report<analysis::PeriodResult> throughput(sdf::AppId app);
+
+  /// Single-iteration latency (== analysis::compute_latency).
+  [[nodiscard]] Report<analysis::GraphLatencyResult> latency(sdf::AppId app);
+
+  /// Critical-cycle actors (== analysis::find_bottleneck).
+  [[nodiscard]] Report<analysis::BottleneckReport> bottleneck(sdf::AppId app);
+
+  /// Buffer-size / period Pareto frontier (== dse::explore_buffer_tradeoff).
+  [[nodiscard]] Report<std::vector<dse::BufferPoint>> buffer_frontier(
+      sdf::AppId app, const dse::BufferExplorerOptions& opts = {});
+
+  // ---- whole-system queries ----------------------------------------------
+
+  /// Probabilistic contention estimate for all applications running
+  /// concurrently (== prob::ContentionEstimator::estimate).
+  [[nodiscard]] Report<std::vector<prob::AppEstimate>> contention(
+      const prob::EstimatorOptions& opts = {});
+
+  /// Same, restricted to one use-case (== estimate on sys.restrict_to(uc)).
+  [[nodiscard]] Report<std::vector<prob::AppEstimate>> contention(
+      const platform::UseCase& uc, const prob::EstimatorOptions& opts = {});
+
+  /// Worst-case period bounds (== wcrt::worst_case_bounds).
+  [[nodiscard]] Report<std::vector<wcrt::AppBound>> wcrt(
+      const wcrt::WcrtOptions& opts = {});
+  [[nodiscard]] Report<std::vector<wcrt::AppBound>> wcrt(
+      const platform::UseCase& uc, const wcrt::WcrtOptions& opts = {});
+
+  /// Reference discrete-event simulation (== sim::simulate).
+  [[nodiscard]] Report<sim::SimResult> simulate(const sim::SimOptions& opts = {});
+  [[nodiscard]] Report<sim::SimResult> simulate(const platform::UseCase& uc,
+                                                const sim::SimOptions& opts = {});
+
+  // ---- sharded queries (run on the session's thread pool) -----------------
+
+  /// Estimates every given use-case, sharded across the pool with one
+  /// engine-set clone per worker. Results are in input order and bitwise
+  /// identical for any thread count (each use-case evaluation is a pure
+  /// function of the use-case and options).
+  [[nodiscard]] Report<std::vector<UseCaseResult>> sweep_use_cases(
+      std::span<const platform::UseCase> use_cases, const SweepOptions& opts = {});
+
+  /// All 2^N - 1 non-empty use-cases (the paper's full enumeration).
+  [[nodiscard]] Report<std::vector<UseCaseResult>> sweep_all_use_cases(
+      const SweepOptions& opts = {});
+
+  /// Scores candidate mappings of the session's applications (max estimated
+  /// slowdown; == dse::evaluate_mapping per candidate), sharded across the
+  /// pool. Results in input order, bitwise identical for any thread count.
+  [[nodiscard]] Report<std::vector<double>> score_mappings(
+      std::span<const platform::Mapping> candidates,
+      const prob::EstimatorOptions& opts = {});
+
+  /// Simulated-annealing mapping exploration from the session's current
+  /// mapping, with speculative candidate scoring on the pool
+  /// (== dse::optimise_mapping; deterministic for any thread count).
+  [[nodiscard]] Report<dse::MapperResult> optimise_mapping(
+      const dse::MapperOptions& opts = {});
+
+ private:
+  void check_app(sdf::AppId app) const;
+  const analysis::Hsdf& cached_hsdf(sdf::AppId app);
+  /// Engine pointers for the given applications, each reset to cold start.
+  std::vector<analysis::ThroughputEngine*> engines_for(
+      std::vector<analysis::ThroughputEngine>& engines,
+      const platform::UseCase& uc);
+  /// Worker-local mutable state for sharded queries (one per pool worker):
+  /// a system clone whose mapping may be rebound, plus one engine clone per
+  /// application. Built lazily, reused by every sharded query.
+  std::vector<dse::AnalysisWorkspace>& worker_sets();
+
+  platform::System sys_;
+  std::vector<analysis::ThroughputEngine> engines_;  // one per application
+  std::vector<analysis::Hsdf> hsdf_;                 // lazy, for latency/bottleneck
+  std::vector<std::uint8_t> hsdf_ready_;
+  util::ThreadPool pool_;
+  std::vector<dse::AnalysisWorkspace> workers_;      // lazy, for sharded queries
+};
+
+}  // namespace procon::api

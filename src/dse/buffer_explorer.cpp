@@ -1,8 +1,12 @@
 #include "dse/buffer_explorer.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 
 #include "analysis/engine.h"
+#include "analysis/howard.h"
+#include "analysis/hsdf.h"
 
 namespace procon::dse {
 namespace {
@@ -13,6 +17,111 @@ std::uint64_t total_of(const std::vector<std::uint64_t>& caps) {
   return t;
 }
 
+/// Incremental bounded-period evaluator. The bounded variant of a graph is
+/// the closed graph plus one reverse "space" channel per bounded channel;
+/// in the HSDF expansion every channel contributes an independent candidate
+/// edge set, and a capacity bump only changes the initial tokens of the
+/// bumped channel's reverse channel. This evaluator therefore expands the
+/// closed graph's channels once, caches one deduplicated edge segment per
+/// reverse channel, and per candidate re-expands only the segments whose
+/// capacity changed before re-merging and solving. Results are bitwise
+/// identical to a fresh ThroughputEngine on the bounded graph copy: the
+/// merged candidate multiset is the same, the sort-dedup is order
+/// independent, and Howard cold-starts either way.
+class BoundedPeriodEvaluator {
+ public:
+  BoundedPeriodEvaluator(const sdf::Graph& original, const sdf::Graph& closed,
+                         const sdf::RepetitionVector& q)
+      : q_(q) {
+    node_base_.resize(closed.actor_count());
+    std::uint32_t next = 0;
+    for (sdf::ActorId a = 0; a < closed.actor_count(); ++a) {
+      node_base_[a] = next;
+      const double tau = static_cast<double>(closed.actor(a).exec_time);
+      for (std::uint64_t k = 0; k < q[a]; ++k) {
+        h_.nodes.push_back(analysis::HsdfNode{a, static_cast<std::uint32_t>(k), tau});
+      }
+      next += static_cast<std::uint32_t>(q[a]);
+    }
+
+    // The closed graph's own channels (forward + closure self-loops) never
+    // change across candidates: expand and deduplicate them once.
+    for (const sdf::Channel& ch : closed.channels()) {
+      analysis::append_channel_candidates(ch, q_, node_base_, static_);
+    }
+    analysis::dedup_candidates(static_);
+
+    // One mutable segment per bounded (non-self-loop) original channel.
+    segments_.resize(original.channel_count());
+    cached_caps_.assign(original.channel_count(), 0);
+    for (sdf::ChannelId c = 0; c < original.channel_count(); ++c) {
+      bounded_.push_back(!original.channel(c).is_self_loop());
+      forward_.push_back(original.channel(c));
+    }
+  }
+
+  /// Analytic period of the closed graph bounded to `caps` (indexed by
+  /// original channel id; self-loop channels are their own bound and are
+  /// ignored). Deadlock is reported through the result, as with
+  /// ThroughputEngine::recompute.
+  analysis::PeriodResult period(const std::vector<std::uint64_t>& caps) {
+    for (sdf::ChannelId c = 0; c < caps.size(); ++c) {
+      if (!bounded_[c]) continue;
+      if (caps[c] == cached_caps_[c]) continue;
+      if (caps[c] == 0) {
+        // Back to unbounded: drop the reverse channel entirely.
+        segments_[c].clear();
+        cached_caps_[c] = 0;
+        continue;
+      }
+      const sdf::Channel& fwd = forward_[c];
+      if (caps[c] < fwd.initial_tokens) {
+        throw sdf::GraphError("explore_buffer_tradeoff: capacity below initial tokens");
+      }
+      // Reverse channel: consumer frees space, producer claims it.
+      const sdf::Channel space{fwd.dst, fwd.src, fwd.cons_rate, fwd.prod_rate,
+                               caps[c] - fwd.initial_tokens};
+      segments_[c].clear();
+      analysis::append_channel_candidates(space, q_, node_base_, segments_[c]);
+      analysis::dedup_candidates(segments_[c]);
+      cached_caps_[c] = caps[c];
+    }
+
+    merged_.assign(static_.begin(), static_.end());
+    for (const auto& seg : segments_) {
+      merged_.insert(merged_.end(), seg.begin(), seg.end());
+    }
+    analysis::dedup_candidates(merged_);
+    h_.edges.clear();
+    h_.edges.reserve(merged_.size());
+    for (const analysis::HsdfEdgeCandidate& cand : merged_) {
+      h_.edges.push_back(analysis::HsdfEdge{cand.src(), cand.dst(), cand.tokens});
+    }
+
+    solver_.build(h_);
+    analysis::PeriodResult out;
+    if (solver_.deadlocked()) {
+      out.deadlocked = true;
+      return out;
+    }
+    if (!solver_.has_cycle()) return out;
+    out.period = solver_.solve();
+    return out;
+  }
+
+ private:
+  sdf::RepetitionVector q_;
+  std::vector<std::uint32_t> node_base_;
+  analysis::Hsdf h_;                                  // nodes fixed, edges per candidate
+  std::vector<analysis::HsdfEdgeCandidate> static_;   // closed graph's channels
+  std::vector<std::vector<analysis::HsdfEdgeCandidate>> segments_;  // per reverse channel
+  std::vector<std::uint64_t> cached_caps_;
+  std::vector<std::uint8_t> bounded_;
+  std::vector<sdf::Channel> forward_;
+  std::vector<analysis::HsdfEdgeCandidate> merged_;   // scratch
+  analysis::HowardSolver solver_;
+};
+
 }  // namespace
 
 std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
@@ -21,9 +130,7 @@ std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
   // repetition vector. Bounding a channel appends a reverse "space" channel
   // whose rates are the forward rates swapped, so every bounded variant
   // shares the closed graph's actors and repetition vector; only the
-  // channel set differs per candidate. Each candidate therefore skips the
-  // closure copy and the balance-equation solve, and all period analyses go
-  // through ThroughputEngine rather than the from-scratch compute_period.
+  // channel set differs per candidate.
   const sdf::Graph closed = g.with_self_loops();
   const auto q = sdf::compute_repetition_vector(closed);
   if (!q) throw sdf::GraphError("explore_buffer_tradeoff: inconsistent graph");
@@ -33,16 +140,30 @@ std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
   // Capacity vectors index the original graph's channels; the closure keeps
   // those ids and appends its self-loops, which stay unbounded (capacity 0).
   std::vector<std::uint64_t> padded(closed.channel_count(), 0);
-  auto bounded_period = [&](const std::vector<std::uint64_t>& caps) {
-    std::copy(caps.begin(), caps.end(), padded.begin());
-    analysis::ThroughputEngine engine(sdf::with_buffer_capacities(closed, padded),
-                                      eng_opts);
-    const auto r = engine.recompute();
-    if (r.deadlocked) {
-      throw sdf::GraphError("explore_buffer_tradeoff: bounded graph deadlocks");
-    }
-    return r.period;
-  };
+  std::optional<BoundedPeriodEvaluator> evaluator;
+  std::function<double(const std::vector<std::uint64_t>&)> bounded_period;
+  if (options.incremental) {
+    evaluator.emplace(g, closed, *q);
+    bounded_period = [&](const std::vector<std::uint64_t>& caps) {
+      const auto r = evaluator->period(caps);
+      if (r.deadlocked) {
+        throw sdf::GraphError("explore_buffer_tradeoff: bounded graph deadlocks");
+      }
+      return r.period;
+    };
+  } else {
+    // Reference path: bounded graph copy + fresh engine per candidate.
+    bounded_period = [&](const std::vector<std::uint64_t>& caps) {
+      std::copy(caps.begin(), caps.end(), padded.begin());
+      analysis::ThroughputEngine engine(sdf::with_buffer_capacities(closed, padded),
+                                        eng_opts);
+      const auto r = engine.recompute();
+      if (r.deadlocked) {
+        throw sdf::GraphError("explore_buffer_tradeoff: bounded graph deadlocks");
+      }
+      return r.period;
+    };
+  }
 
   const double unbounded =
       analysis::ThroughputEngine(closed, eng_opts).recompute().period;

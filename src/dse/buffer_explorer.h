@@ -7,6 +7,15 @@
 // time, always expanding the channel that improves the analytic period
 // most per token, and records the Pareto frontier (total buffer size vs
 // period).
+//
+// Candidate evaluation has two engines with bitwise-identical results:
+//  * per-candidate (incremental = false): build a bounded graph copy and a
+//    fresh ThroughputEngine per capacity vector — the reference path;
+//  * incremental (default): a capacity bump only changes the *reverse*
+//    ("space") channel of the bumped channel, and channels expand to HSDF
+//    independently, so the evaluator re-expands just that channel's edges
+//    and re-merges them with the cached remainder instead of re-deriving
+//    the whole expansion per candidate (bench_workbench tracks the factor).
 #pragma once
 
 #include <cstdint>
@@ -27,13 +36,18 @@ struct BufferExplorerOptions {
   std::size_t max_steps = 256;  ///< capacity increments to try
   /// Stop when within this relative distance of the unbounded period.
   double convergence = 1e-9;
+  /// Patch only the bumped channel's reverse-channel HSDF edges per
+  /// candidate instead of rebuilding an engine from scratch. Identical
+  /// results; false keeps the reference path (and the bench baseline).
+  bool incremental = true;
 };
 
 /// Explores the trade-off for one application graph. The first point is the
 /// minimal feasible configuration, the last is (near-)unbounded
 /// performance; points are strictly improving in period and increasing in
 /// total buffer size (a Pareto staircase). Throws sdf::GraphError for
-/// graphs that deadlock unbounded.
+/// graphs that deadlock unbounded. (Session entry point:
+/// api::Workbench::buffer_frontier, same bits plus provenance.)
 [[nodiscard]] std::vector<BufferPoint> explore_buffer_tradeoff(
     const sdf::Graph& g, const BufferExplorerOptions& options = {});
 

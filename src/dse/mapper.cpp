@@ -9,9 +9,8 @@
 namespace procon::dse {
 namespace {
 
-/// Builds one ThroughputEngine per application; the annealing loop scores
-/// thousands of candidate mappings over the same graphs, so all
-/// structure-dependent analysis is paid once here.
+/// Builds one ThroughputEngine per application; candidate scoring re-uses
+/// the cached structure and only rewrites execution times.
 std::vector<analysis::ThroughputEngine> make_engines(
     std::span<const sdf::Graph> apps) {
   std::vector<analysis::ThroughputEngine> engines;
@@ -20,13 +19,25 @@ std::vector<analysis::ThroughputEngine> make_engines(
   return engines;
 }
 
+/// Scores a candidate as a pure function of the mapping: engines are reset
+/// to a cold start first, so the result does not depend on which candidates
+/// the same engine clone evaluated before — the property that makes
+/// speculative scoring bitwise deterministic across worker counts.
 double score_system(const platform::System& sys, const prob::ContentionEstimator& est,
                     std::span<analysis::ThroughputEngine> engines) {
+  for (analysis::ThroughputEngine& e : engines) e.reset();
   double worst = 0.0;
   for (const auto& e : est.estimate(sys, {}, engines)) {
     worst = std::max(worst, e.normalised_period());
   }
   return worst;
+}
+
+/// Per-step randomness: an independent short stream derived from (seed,
+/// step). Random access per step index is what lets a batch of future steps
+/// be proposed before knowing earlier steps' outcomes.
+util::Rng step_rng(std::uint64_t seed, std::size_t step) {
+  return util::Rng(seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(step) + 1)));
 }
 
 }  // namespace
@@ -45,36 +56,61 @@ double evaluate_mapping(std::span<const sdf::Graph> apps,
 MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
                               const platform::Platform& platform,
                               const platform::Mapping& start,
-                              const MapperOptions& options) {
+                              const MapperOptions& options,
+                              util::ThreadPool* pool) {
+  // One system clone + engine set per worker. Engines are built once and
+  // copied (a copy shares no state and skips the expansion/DFS work).
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  auto prototype = make_engines(apps);
+  std::vector<AnalysisWorkspace> workspaces;
+  workspaces.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workspaces.push_back(AnalysisWorkspace{
+        platform::System(std::vector<sdf::Graph>(apps.begin(), apps.end()),
+                         platform, start),
+        prototype});
+  }
+  return optimise_mapping(apps, platform, start, options, pool, workspaces);
+}
+
+MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
+                              const platform::Platform& platform,
+                              const platform::Mapping& start,
+                              const MapperOptions& options,
+                              util::ThreadPool* pool,
+                              std::span<AnalysisWorkspace> workspaces) {
   if (platform.node_count() < 2) {
     // Nothing to move; the start mapping is the only candidate.
-    MapperResult r{start, evaluate_mapping(apps, platform, start, options.estimator),
-                   0.0, 1, 0};
+    MapperResult r;
+    r.mapping = start;
+    r.score = evaluate_mapping(apps, platform, start, options.estimator);
     r.initial_score = r.score;
+    r.evaluations = 1;
+    r.scored_candidates = 1;
     return r;
   }
   if (!start.is_complete()) {
     throw std::invalid_argument("optimise_mapping: start mapping incomplete");
   }
+  if (workspaces.empty()) {
+    throw std::invalid_argument("optimise_mapping: need at least one workspace");
+  }
 
-  util::Rng rng(options.seed);
-  // Hoisted out of the annealing loop: the estimator, one engine per
-  // application (all structure-dependent analysis), and the system itself
-  // (its graph copies); each candidate only rebinds the mapping.
   const prob::ContentionEstimator est(options.estimator);
-  auto engines = make_engines(apps);
-  platform::System sys(std::vector<sdf::Graph>(apps.begin(), apps.end()),
-                       platform, start);
+  const std::size_t workers =
+      std::min(workspaces.size(), pool != nullptr ? pool->size() : std::size_t{1});
+  std::span<AnalysisWorkspace> state = workspaces;
 
   MapperResult result;
   result.mapping = start;
-  result.score = score_system(sys, est, engines);
+  state[0].sys.set_mapping(start);
+  result.score = score_system(state[0].sys, est, state[0].engines);
   result.initial_score = result.score;
   result.evaluations = 1;
+  result.scored_candidates = 1;
 
   platform::Mapping current = start;
   double current_score = result.score;
-  double temperature = options.initial_temperature;
 
   // Pre-compute the actor universe for uniform move selection.
   struct Slot {
@@ -89,35 +125,78 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
   }
   if (slots.empty()) return result;
 
-  for (std::size_t step = 0; step < options.iterations; ++step) {
-    // Move: reassign one uniformly chosen actor to another node.
-    const Slot slot = slots[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1))];
-    const platform::NodeId old_node = current.node_of(slot.app, slot.actor);
-    platform::NodeId new_node = static_cast<platform::NodeId>(rng.uniform_int(
-        0, static_cast<std::int64_t>(platform.node_count()) - 2));
-    if (new_node >= old_node) ++new_node;
+  struct Proposal {
+    Slot slot;
+    platform::NodeId old_node = 0;
+    platform::NodeId new_node = 0;
+    double accept_draw = 0.0;
+    double score = 0.0;
+  };
+  std::vector<Proposal> batch;
 
-    current.assign(slot.app, slot.actor, new_node);
-    sys.set_mapping(current);
-    const double candidate_score = score_system(sys, est, engines);
-    ++result.evaluations;
-
-    const double delta = candidate_score - current_score;
-    const bool accept =
-        delta <= 0.0 ||
-        (temperature > 0.0 && rng.uniform01() < std::exp(-delta / temperature));
-    if (accept) {
-      current_score = candidate_score;
-      ++result.accepted_moves;
-      if (candidate_score < result.score) {
-        result.score = candidate_score;
-        result.mapping = current;
-      }
-    } else {
-      current.assign(slot.app, slot.actor, old_node);  // undo
+  std::size_t step = 0;
+  while (step < options.iterations) {
+    // Speculate the next W steps from the current state. Proposals and
+    // acceptance draws are functions of (seed, step index) and the current
+    // mapping only, so the committed trajectory below is identical for any
+    // speculation width.
+    const std::size_t width =
+        std::min<std::size_t>(std::max<std::size_t>(workers, 1),
+                              options.iterations - step);
+    batch.assign(width, Proposal{});
+    for (std::size_t b = 0; b < width; ++b) {
+      util::Rng rng = step_rng(options.seed, step + b);
+      Proposal& p = batch[b];
+      p.slot = slots[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1))];
+      p.old_node = current.node_of(p.slot.app, p.slot.actor);
+      auto node = static_cast<platform::NodeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(platform.node_count()) - 2));
+      if (node >= p.old_node) ++node;
+      p.new_node = node;
+      p.accept_draw = rng.uniform01();
     }
-    temperature *= options.cooling;
+
+    auto score_one = [&](std::size_t b, std::size_t w) {
+      AnalysisWorkspace& ws = state[w];
+      platform::Mapping candidate = current;
+      candidate.assign(batch[b].slot.app, batch[b].slot.actor, batch[b].new_node);
+      ws.sys.set_mapping(candidate);
+      batch[b].score = score_system(ws.sys, est, ws.engines);
+    };
+    // The pool hands out worker ids up to its own size, so sharding needs a
+    // workspace per pool worker; with fewer workspaces score serially.
+    if (pool != nullptr && width > 1 && state.size() >= pool->size()) {
+      pool->for_each_index(width, score_one);
+    } else {
+      for (std::size_t b = 0; b < width; ++b) score_one(b, 0);
+    }
+    result.scored_candidates += width;
+
+    // Commit in step order; the first acceptance invalidates the rest of
+    // the batch (they were proposed from the pre-acceptance state).
+    for (std::size_t b = 0; b < width; ++b) {
+      const Proposal& p = batch[b];
+      const double temperature =
+          options.initial_temperature *
+          std::pow(options.cooling, static_cast<double>(step));
+      ++result.evaluations;
+      ++step;
+      const double delta = p.score - current_score;
+      const bool accept =
+          delta <= 0.0 ||
+          (temperature > 0.0 && p.accept_draw < std::exp(-delta / temperature));
+      if (accept) {
+        current.assign(p.slot.app, p.slot.actor, p.new_node);
+        current_score = p.score;
+        ++result.accepted_moves;
+        if (p.score < result.score) {
+          result.score = p.score;
+          result.mapping = current;
+        }
+        break;
+      }
+    }
   }
   return result;
 }

@@ -6,15 +6,27 @@
 // a simulated-annealing mapper that minimises the worst estimated slowdown
 // (max over applications of estimated period / isolation period) by moving
 // one actor to another node per step.
+//
+// Candidate scoring shards across a thread pool by speculation: each batch
+// proposes the next W moves from the current state, scores them
+// concurrently (one system + engine-set clone per worker), then commits
+// them in step order up to the first acceptance — whose successors are
+// discarded and re-proposed from the new state. Every step's proposal and
+// acceptance draw depend only on (seed, step index) and the state after the
+// previous step, so the trajectory — and therefore the result — is
+// bitwise identical for any worker count and any speculation width; only
+// the wasted-evaluation count varies.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "analysis/engine.h"
 #include "platform/system.h"
 #include "prob/estimator.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace procon::dse {
 
@@ -30,8 +42,14 @@ struct MapperResult {
   platform::Mapping mapping;
   double score = 0.0;         ///< worst estimated slowdown of `mapping`
   double initial_score = 0.0; ///< score of the starting mapping
+  /// Committed trajectory evaluations (start + one per annealing step);
+  /// independent of worker count.
   std::size_t evaluations = 0;
   std::size_t accepted_moves = 0;
+  /// Total candidates scored including speculation discarded past an
+  /// accepted move. Depends on the speculation width (= worker count) —
+  /// diagnostic only, not part of the deterministic contract.
+  std::size_t scored_candidates = 0;
 };
 
 /// Scores one complete mapping: max over applications of the estimated
@@ -42,11 +60,39 @@ struct MapperResult {
                                       const platform::Mapping& mapping,
                                       const prob::EstimatorOptions& estimator = {});
 
+/// Worker-local mutable scoring state: a system whose mapping is rebound
+/// per candidate plus one engine per application (built from apps()[i]).
+/// Sessions (api::Workbench) keep one per pool worker and hand them to
+/// optimise_mapping so repeated queries skip the per-call graph copies and
+/// engine construction.
+struct AnalysisWorkspace {
+  platform::System sys;
+  std::vector<analysis::ThroughputEngine> engines;
+};
+
 /// Simulated annealing from `start` (use Mapping::by_index / random /
-/// load_balanced to seed it). Deterministic for a fixed options.seed.
+/// load_balanced to seed it). Deterministic for a fixed options.seed — the
+/// same result for any `pool` size, including none (serial).
+/// `pool` may be nullptr; it is borrowed for the call, not retained.
+///
+/// Deprecated entry point: prefer api::Workbench::optimise_mapping, which
+/// reuses the session's cached engines and thread pool across queries.
 [[nodiscard]] MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
                                             const platform::Platform& platform,
                                             const platform::Mapping& start,
-                                            const MapperOptions& options = {});
+                                            const MapperOptions& options = {},
+                                            util::ThreadPool* pool = nullptr);
+
+/// Variant with caller-owned scoring state: `workspaces[w]` serves pool
+/// worker w. At least one is required; sharding needs one per pool worker
+/// (fewer fall back to serial scoring and also narrow the speculation
+/// width). The workspaces' mappings are overwritten. Results are identical
+/// to the building overload for any workspace count.
+[[nodiscard]] MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
+                                            const platform::Platform& platform,
+                                            const platform::Mapping& start,
+                                            const MapperOptions& options,
+                                            util::ThreadPool* pool,
+                                            std::span<AnalysisWorkspace> workspaces);
 
 }  // namespace procon::dse

@@ -96,6 +96,15 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
 std::vector<AppEstimate> ContentionEstimator::estimate(
     const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
     std::span<analysis::ThroughputEngine> engines) const {
+  std::vector<analysis::ThroughputEngine*> ptrs;
+  ptrs.reserve(engines.size());
+  for (analysis::ThroughputEngine& e : engines) ptrs.push_back(&e);
+  return estimate(sys, models, std::span<analysis::ThroughputEngine* const>(ptrs));
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
+    std::span<analysis::ThroughputEngine* const> engines) const {
   const auto apps = sys.apps();
   if (!models.empty() && models.size() != apps.size()) {
     throw sdf::GraphError("estimate: execution-time model count mismatch");
@@ -110,7 +119,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
 
   // Step 1: isolation periods (repetition vectors are cached in the engines).
   for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    if (engines[i].actor_count() != apps[i].actor_count()) {
+    if (engines[i]->actor_count() != apps[i].actor_count()) {
       throw sdf::GraphError("estimate: engine does not match application '" +
                             apps[i].name() + "'");
     }
@@ -121,7 +130,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
       means[i].reserve(apps[i].actor_count());
       for (const auto& dist : models[i]) means[i].push_back(dist.mean());
     }
-    const auto iso = engines[i].recompute(means[i]);
+    const auto iso = engines[i]->recompute(means[i]);
     if (iso.deadlocked || iso.period <= 0.0) {
       throw sdf::GraphError("estimate: application '" + apps[i].name() +
                             "' has no positive isolation period");
@@ -136,7 +145,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
     // Step 2: per-actor loads from the current period estimates.
     std::vector<std::vector<ActorLoad>> loads(apps.size());
     for (sdf::AppId i = 0; i < apps.size(); ++i) {
-      const sdf::RepetitionVector& q = engines[i].repetition_vector();
+      const sdf::RepetitionVector& q = engines[i]->repetition_vector();
       loads[i] = models.empty()
                      ? derive_loads(apps[i], q, out[i].estimated_period)
                      : derive_loads_stochastic(apps[i], q,
@@ -199,7 +208,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
     // Step 5: periods of the response-time graphs — a warm-started weight
     // rewrite on the cached structure, not a fresh analysis.
     for (sdf::AppId i = 0; i < apps.size(); ++i) {
-      const auto res = engines[i].recompute(response[i]);
+      const auto res = engines[i]->recompute(response[i]);
       if (res.deadlocked) {
         throw sdf::GraphError("estimate: response-time graph deadlocks");
       }

@@ -82,6 +82,10 @@ class ContentionEstimator {
 
   /// Runs the Figure 4 algorithm on all applications of `sys` (assumed all
   /// concurrently active). Throws sdf::GraphError for invalid systems.
+  ///
+  /// Deprecated one-shot shim: builds fresh engines per call. Repeated
+  /// callers should use api::Workbench::contention / sweep_use_cases, which
+  /// return the same bits from session-cached engines.
   [[nodiscard]] std::vector<AppEstimate> estimate(const platform::System& sys) const;
 
   /// Stochastic variant (Section 6 extension): one execution-time model per
@@ -102,6 +106,15 @@ class ContentionEstimator {
   [[nodiscard]] std::vector<AppEstimate> estimate(
       const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
       std::span<analysis::ThroughputEngine> engines) const;
+
+  /// Pointer variant of the engine overload, for callers whose engines are
+  /// not contiguous per system — a Workbench sweep selects the engines of a
+  /// use-case's applications out of a per-worker clone set. engines[i] must
+  /// have been built from apps()[i] of `sys`; entries are dereferenced, never
+  /// retained.
+  [[nodiscard]] std::vector<AppEstimate> estimate(
+      const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
+      std::span<analysis::ThroughputEngine* const> engines) const;
 
   [[nodiscard]] const EstimatorOptions& options() const noexcept { return opts_; }
 

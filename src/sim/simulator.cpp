@@ -360,4 +360,9 @@ SimResult simulate(const platform::System& sys, const SimOptions& opts) {
   return engine.run();
 }
 
+SimResult simulate(const platform::System& sys, const platform::UseCase& uc,
+                   const SimOptions& opts) {
+  return simulate(sys.restrict_to(uc), opts);
+}
+
 }  // namespace procon::sim

@@ -54,4 +54,11 @@ struct SimOptions {
 [[nodiscard]] SimResult simulate(const platform::System& sys,
                                  const SimOptions& opts = {});
 
+/// Runs only the applications of one use-case (the restriction the paper's
+/// per-use-case reference sweeps simulate). Results are indexed in
+/// use-case order, exactly as simulate(sys.restrict_to(uc), opts).
+[[nodiscard]] SimResult simulate(const platform::System& sys,
+                                 const platform::UseCase& uc,
+                                 const SimOptions& opts = {});
+
 }  // namespace procon::sim

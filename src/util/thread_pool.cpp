@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+namespace procon::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t total = threads;
+  if (total == 0) {
+    total = std::thread::hardware_concurrency();
+    if (total == 0) total = 1;
+  }
+  workers_ = total - 1;
+  threads_.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_items(const std::function<void(std::size_t, std::size_t)>& body,
+                           std::size_t count, std::size_t worker) {
+  for (;;) {
+    const std::size_t item = next_.fetch_add(1, std::memory_order_relaxed);
+    if (item >= count) return;
+    try {
+      body(item, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    run_items(*job, count, worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++finished_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::for_each_index(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  error_ = nullptr;
+  next_.store(0, std::memory_order_relaxed);
+  if (workers_ > 0 && count > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &body;
+      job_count_ = count;
+      finished_ = 0;
+      ++generation_;
+    }
+    wake_.notify_all();
+    run_items(body, count, 0);
+    {
+      // Every background worker must both observe this generation and drain
+      // before the job pointer may be retired (a late waker dereferences
+      // job_, so clearing it early would race).
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [&] { return finished_ == workers_; });
+      job_ = nullptr;
+    }
+  } else {
+    run_items(body, count, 0);
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace procon::util

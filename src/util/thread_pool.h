@@ -1,0 +1,73 @@
+// Small persistent thread pool for sharded analysis.
+//
+// The repeated-analysis loops this library parallelises (use-case sweeps,
+// mapper candidate scoring) are embarrassingly parallel *per item* but need
+// worker-local mutable state (an engine clone per worker) and bitwise
+// deterministic results regardless of worker count or scheduling. The pool
+// therefore exposes exactly one primitive: an indexed parallel loop whose
+// body receives (item index, worker index). Items are handed out through an
+// atomic counter (dynamic load balancing); callers write results into
+// per-index slots, so the output never depends on which worker ran what.
+//
+// The calling thread participates as worker 0 — a pool of size 1 owns no
+// background thread at all and runs the loop inline, which keeps the serial
+// path free of synchronisation overhead and makes "1 thread" genuinely
+// sequential in benchmarks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace procon::util {
+
+class ThreadPool {
+ public:
+  /// `threads` = total worker count including the caller; 0 picks
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers (background threads + the calling thread).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_ + 1; }
+
+  /// Runs body(item, worker) for every item in [0, count), blocking until
+  /// all items completed. `worker` is in [0, size()); the caller runs as
+  /// worker 0. Bodies for distinct items run concurrently; the same worker
+  /// index is never active on two items at once, so worker-indexed scratch
+  /// state needs no locking. The first exception thrown by any body is
+  /// rethrown to the caller after the loop drains.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t item, std::size_t worker)>& body);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_items(const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t count, std::size_t worker);
+
+  std::size_t workers_ = 0;  // background threads
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;   // bumps per for_each_index call
+  std::size_t finished_ = 0;       // workers done draining this generation
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace procon::util

@@ -24,16 +24,31 @@ double wcrt_tdma(double own_exec, double own_slot,
 
 std::vector<AppBound> worst_case_bounds(const platform::System& sys,
                                         const WcrtOptions& opts) {
+  // One-shot call: build the per-application engines locally and delegate.
   const auto apps = sys.apps();
-  std::vector<AppBound> out(apps.size());
-
-  // One engine per application: the isolation and worst-case periods below
-  // are two weight assignments over the same cached structure.
   std::vector<analysis::ThroughputEngine> engines;
   engines.reserve(apps.size());
+  for (const sdf::Graph& g : apps) engines.emplace_back(g);
+  std::vector<analysis::ThroughputEngine*> ptrs;
+  ptrs.reserve(engines.size());
+  for (analysis::ThroughputEngine& e : engines) ptrs.push_back(&e);
+  return worst_case_bounds(sys, opts,
+                           std::span<analysis::ThroughputEngine* const>(ptrs));
+}
+
+std::vector<AppBound> worst_case_bounds(
+    const platform::System& sys, const WcrtOptions& opts,
+    std::span<analysis::ThroughputEngine* const> engines) {
+  const auto apps = sys.apps();
+  if (engines.size() != apps.size()) {
+    throw sdf::GraphError("worst_case_bounds: engine count mismatch");
+  }
+  std::vector<AppBound> out(apps.size());
+
+  // The isolation and worst-case periods below are two weight assignments
+  // over each engine's cached structure.
   for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    engines.emplace_back(apps[i]);
-    const auto iso = engines[i].recompute();
+    const auto iso = engines[i]->recompute();
     if (iso.deadlocked || iso.period <= 0.0) {
       throw sdf::GraphError("worst_case_bounds: application '" + apps[i].name() +
                             "' has no positive isolation period");
@@ -88,7 +103,7 @@ std::vector<AppBound> worst_case_bounds(const platform::System& sys,
   }
 
   for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    const auto res = engines[i].recompute(response[i]);
+    const auto res = engines[i]->recompute(response[i]);
     if (res.deadlocked) {
       throw sdf::GraphError("worst_case_bounds: response-time graph deadlocks");
     }

@@ -18,8 +18,10 @@
 // bound per application.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "analysis/engine.h"
 #include "platform/system.h"
 #include "sdf/types.h"
 
@@ -53,8 +55,20 @@ struct AppBound {
 
 /// Computes per-application worst-case period bounds for all applications
 /// of `sys` running concurrently.
+///
+/// Deprecated one-shot shim: builds fresh engines per call; prefer
+/// api::Workbench::wcrt (same bits, session-cached engines).
 [[nodiscard]] std::vector<AppBound> worst_case_bounds(const platform::System& sys,
                                                       const WcrtOptions& opts = {});
+
+/// Same analysis through caller-owned engines (engines[i] built from
+/// apps()[i] of `sys`): the isolation and worst-case periods are two weight
+/// assignments over each engine's cached structure. Lets a session
+/// (api::Workbench) reuse its per-application engines across repeated
+/// bound queries instead of re-paying structure per call.
+[[nodiscard]] std::vector<AppBound> worst_case_bounds(
+    const platform::System& sys, const WcrtOptions& opts,
+    std::span<analysis::ThroughputEngine* const> engines);
 
 /// The raw per-actor WCRT for one actor given the execution times of the
 /// other actors on its node (exposed for tests / direct use).

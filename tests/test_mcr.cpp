@@ -194,6 +194,68 @@ TEST(CriticalCycle, EmptyForAcyclicOrDeadlocked) {
   EXPECT_TRUE(dead.cycle.empty());
 }
 
+// Validity oracle shared by the Howard / Lawler cross-checks: the reported
+// cycle must be closed in the HSDF and its own weight/token quotient must
+// equal the reported MCR.
+void expect_valid_critical_cycle(const Hsdf& h, const CriticalCycleResult& r) {
+  ASSERT_FALSE(r.cycle.empty());
+  double weight = 0.0;
+  std::uint64_t tokens = 0;
+  for (std::size_t i = 0; i < r.cycle.size(); ++i) {
+    const std::uint32_t from = r.cycle[i];
+    const std::uint32_t to = r.cycle[(i + 1) % r.cycle.size()];
+    weight += h.nodes[from].exec_time;
+    std::uint64_t best = UINT64_MAX;
+    for (const HsdfEdge& e : h.edges) {
+      if (e.src == from && e.dst == to) best = std::min(best, e.tokens);
+    }
+    ASSERT_NE(best, UINT64_MAX) << "missing edge " << from << "->" << to;
+    tokens += best;
+  }
+  ASSERT_GT(tokens, 0u);
+  EXPECT_NEAR(weight / static_cast<double>(tokens), r.mcr.ratio,
+              1e-6 * std::max(1.0, r.mcr.ratio));
+}
+
+TEST(CriticalCycle, HowardAndLawlerAgreeOnPaperGraphs) {
+  for (const Graph& g : {fig2_graph_a(), fig2_graph_b(),
+                         procon::testing::fig2_graph_b_reversed()}) {
+    const Hsdf h = expand_closed(g);
+    const CriticalCycleResult howard = mcr_with_critical_cycle(h);
+    const CriticalCycleResult lawler = mcr_with_critical_cycle_lawler(h);
+    EXPECT_NEAR(howard.mcr.ratio, lawler.mcr.ratio,
+                1e-6 * std::max(1.0, lawler.mcr.ratio));
+    expect_valid_critical_cycle(h, howard);
+    expect_valid_critical_cycle(h, lawler);
+  }
+}
+
+// Property: on random graphs the Howard policy-graph extraction and the
+// Lawler reference produce cycles that both achieve the (agreed) MCR.
+class CriticalCycleCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CriticalCycleCrossValidation, HowardEqualsLawler) {
+  util::Rng rng(GetParam());
+  gen::GeneratorOptions opts;
+  opts.min_actors = 3;
+  opts.max_actors = 6;
+  opts.max_repetition = 3;
+  const Graph g = gen::generate_graph(rng, opts, "rnd");
+  const Hsdf h = expand_closed(g);
+  const CriticalCycleResult howard = mcr_with_critical_cycle(h);
+  const CriticalCycleResult lawler = mcr_with_critical_cycle_lawler(h);
+  ASSERT_TRUE(howard.mcr.has_cycle);
+  ASSERT_FALSE(howard.mcr.deadlocked);
+  EXPECT_NEAR(howard.mcr.ratio, lawler.mcr.ratio,
+              1e-6 * std::max(1.0, lawler.mcr.ratio))
+      << "seed=" << GetParam();
+  expect_valid_critical_cycle(h, howard);
+  expect_valid_critical_cycle(h, lawler);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CriticalCycleCrossValidation,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
 TEST(McrEnumerate, TooLargeThrows) {
   Hsdf h;
   for (int i = 0; i < 30; ++i) h.nodes.push_back(HsdfNode{0, 0, 1.0});

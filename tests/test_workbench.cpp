@@ -1,0 +1,260 @@
+// The Workbench session contract: every query is bitwise identical to the
+// legacy free function it replaces (the session caches structure, never
+// changes results), queries are history-independent (cold start at every
+// query boundary), and the sharded queries return the same bits for any
+// thread count.
+#include "api/workbench.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/latency.h"
+#include "analysis/throughput.h"
+#include "dse/buffer_explorer.h"
+#include "dse/mapper.h"
+#include "gen/graph_generator.h"
+#include "gen/use_cases.h"
+#include "helpers.h"
+#include "prob/estimator.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "wcrt/wcrt.h"
+
+namespace procon::api {
+namespace {
+
+using procon::testing::fig2_system;
+
+platform::System random_system(std::uint64_t seed, std::size_t apps) {
+  util::Rng rng(seed);
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 4;
+  gopts.max_actors = 7;
+  auto graphs = gen::generate_graphs(rng, gopts, apps);
+  std::size_t max_actors = 0;
+  for (const auto& g : graphs) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(graphs, plat);
+  return platform::System(std::move(graphs), std::move(plat), std::move(map));
+}
+
+void expect_estimates_equal(const std::vector<prob::AppEstimate>& a,
+                            const std::vector<prob::AppEstimate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].isolation_period, b[i].isolation_period);
+    EXPECT_EQ(a[i].estimated_period, b[i].estimated_period);
+    ASSERT_EQ(a[i].actors.size(), b[i].actors.size());
+    for (std::size_t j = 0; j < a[i].actors.size(); ++j) {
+      EXPECT_EQ(a[i].actors[j].waiting_time, b[i].actors[j].waiting_time);
+      EXPECT_EQ(a[i].actors[j].response_time, b[i].actors[j].response_time);
+    }
+  }
+}
+
+TEST(Workbench, ThroughputMatchesComputePeriodBitwise) {
+  Workbench wb(fig2_system(), WorkbenchOptions{.threads = 1});
+  for (sdf::AppId i = 0; i < wb.app_count(); ++i) {
+    const auto fresh = analysis::compute_period(wb.system().app(i));
+    const auto report = wb.throughput(i);
+    EXPECT_EQ(report->deadlocked, fresh.deadlocked);
+    EXPECT_EQ(report->period, fresh.period);
+    // A second query must return the same bits (no history dependence).
+    EXPECT_EQ(wb.throughput(i)->period, fresh.period);
+  }
+}
+
+TEST(Workbench, LatencyAndBottleneckMatchFreeFunctions) {
+  Workbench wb(fig2_system(), WorkbenchOptions{.threads = 1});
+  for (sdf::AppId i = 0; i < wb.app_count(); ++i) {
+    const auto lat = analysis::compute_latency(wb.system().app(i));
+    const auto wl = wb.latency(i);
+    EXPECT_EQ(wl->latency, lat.latency);
+    EXPECT_EQ(wl->critical_actors, lat.critical_actors);
+
+    const auto bn = analysis::find_bottleneck(wb.system().app(i));
+    const auto wbn = wb.bottleneck(i);
+    EXPECT_EQ(wbn->deadlocked, bn.deadlocked);
+    EXPECT_EQ(wbn->period, bn.period);
+    EXPECT_EQ(wbn->actors, bn.actors);
+  }
+}
+
+TEST(Workbench, ContentionMatchesEstimatorBitwise) {
+  for (const auto method :
+       {prob::Method::SecondOrder, prob::Method::FourthOrder, prob::Method::Exact,
+        prob::Method::Composability, prob::Method::CompositionInverse}) {
+    const prob::EstimatorOptions opts{.method = method};
+    Workbench wb(fig2_system(), WorkbenchOptions{.threads = 1});
+    const auto legacy = prob::ContentionEstimator(opts).estimate(wb.system());
+    expect_estimates_equal(*wb.contention(opts), legacy);
+    // Query order must not matter: repeat after other queries ran.
+    (void)wb.wcrt();
+    (void)wb.throughput(0);
+    expect_estimates_equal(*wb.contention(opts), legacy);
+  }
+}
+
+TEST(Workbench, ContentionMatchesOnRandomisedSystems) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Workbench wb(random_system(seed, 4), WorkbenchOptions{.threads = 1});
+    const auto legacy = prob::ContentionEstimator().estimate(wb.system());
+    expect_estimates_equal(*wb.contention(), legacy);
+  }
+}
+
+TEST(Workbench, RestrictedContentionMatchesRestrictedSystem) {
+  Workbench wb(random_system(7, 4), WorkbenchOptions{.threads = 1});
+  for (const auto& uc : gen::all_use_cases(wb.app_count())) {
+    const auto legacy =
+        prob::ContentionEstimator().estimate(wb.system().restrict_to(uc));
+    expect_estimates_equal(*wb.contention(uc), legacy);
+  }
+}
+
+TEST(Workbench, WcrtMatchesWorstCaseBoundsBitwise) {
+  for (const auto policy :
+       {wcrt::Policy::RoundRobinNonPreemptive, wcrt::Policy::TdmaPreemptive}) {
+    const wcrt::WcrtOptions opts{.policy = policy};
+    Workbench wb(fig2_system(), WorkbenchOptions{.threads = 1});
+    const auto legacy = wcrt::worst_case_bounds(wb.system(), opts);
+    const auto report = wb.wcrt(opts);
+    ASSERT_EQ(report->size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ((*report)[i].isolation_period, legacy[i].isolation_period);
+      EXPECT_EQ((*report)[i].worst_case_period, legacy[i].worst_case_period);
+    }
+  }
+}
+
+TEST(Workbench, SimulateMatchesSimulatorBitwise) {
+  Workbench wb(fig2_system(), WorkbenchOptions{.threads = 1});
+  const sim::SimOptions opts{.horizon = 100'000};
+  const auto legacy = sim::simulate(wb.system(), opts);
+  const auto report = wb.simulate(opts);
+  ASSERT_EQ(report->apps.size(), legacy.apps.size());
+  for (std::size_t i = 0; i < legacy.apps.size(); ++i) {
+    EXPECT_EQ(report->apps[i].iterations, legacy.apps[i].iterations);
+    EXPECT_EQ(report->apps[i].average_period, legacy.apps[i].average_period);
+    EXPECT_EQ(report->apps[i].worst_period, legacy.apps[i].worst_period);
+  }
+  EXPECT_EQ(report->events_processed, legacy.events_processed);
+}
+
+TEST(Workbench, BufferFrontierMatchesExplorerBothPaths) {
+  Workbench wb(random_system(5, 3), WorkbenchOptions{.threads = 1});
+  for (sdf::AppId i = 0; i < wb.app_count(); ++i) {
+    dse::BufferExplorerOptions reference_opts;
+    reference_opts.incremental = false;
+    const auto reference =
+        dse::explore_buffer_tradeoff(wb.system().app(i), reference_opts);
+    const auto incremental = wb.buffer_frontier(i);  // incremental by default
+    ASSERT_EQ(incremental->size(), reference.size());
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+      EXPECT_EQ((*incremental)[k].capacities, reference[k].capacities);
+      EXPECT_EQ((*incremental)[k].total_tokens, reference[k].total_tokens);
+      EXPECT_EQ((*incremental)[k].period, reference[k].period);
+    }
+  }
+}
+
+TEST(Workbench, SweepIsThreadCountInvariant) {
+  const auto sys = random_system(42, 5);
+  const auto use_cases = gen::all_use_cases(sys.app_count());
+
+  Workbench one(sys, WorkbenchOptions{.threads = 1});
+  Workbench four(sys, WorkbenchOptions{.threads = 4});
+  SweepOptions opts;
+  opts.with_wcrt = true;
+  const auto a = one.sweep_use_cases(use_cases, opts);
+  const auto b = four.sweep_use_cases(use_cases, opts);
+
+  ASSERT_EQ(a->size(), b->size());
+  ASSERT_EQ(a->size(), use_cases.size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].use_case, use_cases[i]);  // deterministic result order
+    expect_estimates_equal((*a)[i].estimates, (*b)[i].estimates);
+    ASSERT_EQ((*a)[i].bounds.size(), (*b)[i].bounds.size());
+    for (std::size_t j = 0; j < (*a)[i].bounds.size(); ++j) {
+      EXPECT_EQ((*a)[i].bounds[j].worst_case_period,
+                (*b)[i].bounds[j].worst_case_period);
+    }
+  }
+}
+
+TEST(Workbench, SweepMatchesPerUseCaseLegacyEstimates) {
+  const auto sys = random_system(9, 4);
+  const auto use_cases = gen::all_use_cases(sys.app_count());
+  Workbench wb(sys, WorkbenchOptions{.threads = 3});
+  const auto swept = wb.sweep_use_cases(use_cases);
+  ASSERT_EQ(swept->size(), use_cases.size());
+  for (std::size_t i = 0; i < use_cases.size(); ++i) {
+    const auto legacy =
+        prob::ContentionEstimator().estimate(sys.restrict_to(use_cases[i]));
+    expect_estimates_equal((*swept)[i].estimates, legacy);
+  }
+}
+
+TEST(Workbench, ScoreMappingsMatchesEvaluateMapping) {
+  const auto sys = random_system(3, 3);
+  util::Rng rng(17);
+  std::vector<platform::Mapping> candidates;
+  for (int k = 0; k < 8; ++k) {
+    candidates.push_back(
+        platform::Mapping::random(sys.apps(), sys.platform(), rng));
+  }
+  Workbench wb(sys, WorkbenchOptions{.threads = 2});
+  const auto scores = wb.score_mappings(candidates);
+  ASSERT_EQ(scores->size(), candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    EXPECT_EQ((*scores)[k], dse::evaluate_mapping(sys.apps(), sys.platform(),
+                                                  candidates[k]));
+  }
+}
+
+TEST(Workbench, OptimiseMappingIsThreadCountInvariant) {
+  const auto sys = random_system(21, 3);
+  dse::MapperOptions opts;
+  opts.iterations = 250;
+  opts.seed = 5;
+
+  Workbench one(sys, WorkbenchOptions{.threads = 1});
+  Workbench four(sys, WorkbenchOptions{.threads = 4});
+  const auto a = one.optimise_mapping(opts);
+  const auto b = four.optimise_mapping(opts);
+
+  EXPECT_EQ(a->score, b->score);
+  EXPECT_EQ(a->initial_score, b->initial_score);
+  EXPECT_EQ(a->evaluations, b->evaluations);
+  EXPECT_EQ(a->accepted_moves, b->accepted_moves);
+  for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
+    for (sdf::ActorId act = 0; act < sys.app(i).actor_count(); ++act) {
+      EXPECT_EQ(a->mapping.node_of(i, act), b->mapping.node_of(i, act));
+    }
+  }
+  // And equals the free-function entry point from the same start.
+  const auto legacy =
+      dse::optimise_mapping(sys.apps(), sys.platform(), sys.mapping(), opts);
+  EXPECT_EQ(a->score, legacy.score);
+  EXPECT_EQ(a->accepted_moves, legacy.accepted_moves);
+}
+
+TEST(Workbench, InvalidQueriesThrow) {
+  Workbench wb(fig2_system(), WorkbenchOptions{.threads = 1});
+  EXPECT_THROW((void)wb.throughput(99), sdf::GraphError);
+  EXPECT_THROW((void)wb.latency(99), sdf::GraphError);
+  const platform::UseCase bogus{0, 99};
+  EXPECT_THROW((void)wb.contention(bogus), std::exception);
+}
+
+TEST(Workbench, ProvenanceIsFilledIn) {
+  Workbench wb(fig2_system(), WorkbenchOptions{.threads = 2});
+  const auto est = wb.contention();
+  EXPECT_FALSE(est.provenance.method.empty());
+  EXPECT_GE(est.provenance.wall_ms, 0.0);
+  const auto swept = wb.sweep_all_use_cases();
+  EXPECT_EQ(swept.provenance.evaluations, 3u);  // 2^2 - 1 use-cases
+  EXPECT_EQ(swept.provenance.threads, 2u);
+}
+
+}  // namespace
+}  // namespace procon::api

@@ -1,12 +1,16 @@
 // procon - command-line front end to the library.
 //
+// All system-level analysis goes through one procon::api::Workbench session
+// per invocation: the per-application engines are built once and shared by
+// every query the subcommand issues.
+//
 // Subcommands:
 //   generate [--seed S] [--count N] [--min-actors A] [--max-actors B]
 //       Emit random consistent strongly-connected SDFGs (text format) on
 //       stdout.
 //   period <file>
 //       Per graph: consistency, repetition sum, deadlock-freedom, exact and
-//       MCR periods, bottleneck actors.
+//       MCR periods, latency, bottleneck actors.
 //   estimate <file> [--method exact|second|fourth|compose|inverse]
 //            [--order M] [--iterations K]
 //       Treat each graph in the file as one application, map actor j of
@@ -14,6 +18,12 @@
 //       the round-robin worst-case bound.
 //   simulate <file> [--horizon N] [--arbitration fcfs|rr|tdma]
 //       Reference discrete-event simulation of the same system.
+//   sweep <file> [--full | --per-size N] [--threads T] [--method ...]
+//       Estimate every (or a sampled set of) use-case(s), sharded across T
+//       workers (0 = one per hardware thread).
+//   buffers <file>
+//       Buffer-capacity / period Pareto frontier per graph (incremental
+//       explorer).
 //   dot <file>
 //       Graphviz DOT for every graph on stdout.
 //   selftest
@@ -25,7 +35,9 @@
 #include <vector>
 
 #include "analysis/throughput.h"
+#include "api/workbench.h"
 #include "gen/graph_generator.h"
+#include "gen/use_cases.h"
 #include "platform/system.h"
 #include "prob/estimator.h"
 #include "sdf/algorithms.h"
@@ -48,6 +60,8 @@ int usage(int code) {
       "  procon estimate <file> [--method exact|second|fourth|compose|inverse]\n"
       "                  [--order M] [--iterations K]\n"
       "  procon simulate <file> [--horizon N] [--arbitration fcfs|rr|tdma]\n"
+      "  procon sweep    <file> [--full | --per-size N] [--threads T] [--method M]\n"
+      "  procon buffers  <file>\n"
       "  procon dot      <file>\n"
       "  procon selftest\n";
   return code;
@@ -78,6 +92,19 @@ std::string flag_value(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+void print_provenance(const api::Provenance& p) {
+  std::cout << "[" << p.method << ": " << p.evaluations << " evaluation(s), "
+            << p.threads << " thread(s), " << util::format_double(p.wall_ms, 2)
+            << " ms]\n";
+}
+
 int cmd_generate(int argc, char** argv) {
   util::Rng rng(std::stoull(flag_value(argc, argv, "--seed", "2007")));
   gen::GeneratorOptions opts;
@@ -96,30 +123,38 @@ int cmd_period(int argc, char** argv) {
   if (argc < 3) return usage(2);
   util::Table table("Throughput analysis");
   table.set_header({"graph", "actors", "rep.sum", "consistent", "deadlock-free",
-                    "period (exact)", "period (MCR)", "bottleneck"});
+                    "period (exact)", "period (MCR)", "latency", "bottleneck"});
   for (const auto& g : load_graphs(argv[2])) {
     const bool consistent = sdf::is_consistent(g);
     const bool live = consistent && sdf::is_deadlock_free(g);
-    std::string exact = "-", mcr = "-", bottleneck = "-";
+    std::string exact = "-", mcr = "-", latency = "-", bottleneck = "-";
     std::string repsum = "-";
     if (consistent) {
       const auto q = sdf::compute_repetition_vector(g);
       repsum = std::to_string(sdf::repetition_sum(*q));
     }
     if (live) {
+      // A single-application session: every per-graph query shares the
+      // cached engine and expansion.
+      const platform::Platform solo_plat =
+          platform::Platform::homogeneous(g.actor_count());
+      const std::vector<sdf::Graph> solo_apps{g};
+      platform::System solo(solo_apps, solo_plat,
+                            platform::Mapping::by_index(solo_apps, solo_plat));
+      api::Workbench wb(std::move(solo), api::WorkbenchOptions{.threads = 1});
       exact = analysis::compute_period_exact(g).to_string();
-      const auto r = analysis::compute_period(g);
-      mcr = util::format_double(r.period, 3);
-      const auto b = analysis::find_bottleneck(g);
+      mcr = util::format_double(wb.throughput(0)->period, 3);
+      latency = util::format_double(wb.latency(0)->latency, 3);
+      const auto b = wb.bottleneck(0);
       bottleneck.clear();
-      for (const auto a : b.actors) {
+      for (const auto a : b->actors) {
         if (!bottleneck.empty()) bottleneck += ",";
         bottleneck += g.actor(a).name;
       }
     }
     table.add_row({g.name(), std::to_string(g.actor_count()), repsum,
                    consistent ? "yes" : "no", live ? "yes" : "no", exact, mcr,
-                   bottleneck});
+                   latency, bottleneck});
   }
   std::cout << table.render();
   return 0;
@@ -142,29 +177,32 @@ prob::EstimatorOptions parse_estimator(int argc, char** argv) {
 
 int cmd_estimate(int argc, char** argv) {
   if (argc < 3) return usage(2);
-  const platform::System sys = make_system(load_graphs(argv[2]));
+  api::Workbench wb(make_system(load_graphs(argv[2])),
+                    api::WorkbenchOptions{.threads = 1});
   const prob::EstimatorOptions eopts = parse_estimator(argc, argv);
-  const auto est = prob::ContentionEstimator(eopts).estimate(sys);
-  const auto wc = wcrt::worst_case_bounds(sys);
+  const auto est = wb.contention(eopts);
+  const auto wc = wb.wcrt();
   util::Table table("Contention estimates (" + prob::method_name(eopts.method) +
                     "), actor j -> node j");
   table.set_header({"app", "isolation", "estimated", "normalised", "throughput",
                     "worst-case bound"});
-  for (std::size_t i = 0; i < est.size(); ++i) {
-    table.add_row({sys.app(static_cast<sdf::AppId>(i)).name(),
-                   util::format_double(est[i].isolation_period, 2),
-                   util::format_double(est[i].estimated_period, 2),
-                   util::format_double(est[i].normalised_period(), 2),
-                   util::format_double(est[i].estimated_throughput(), 6),
-                   util::format_double(wc[i].worst_case_period, 2)});
+  for (std::size_t i = 0; i < est->size(); ++i) {
+    table.add_row({wb.system().app(static_cast<sdf::AppId>(i)).name(),
+                   util::format_double((*est)[i].isolation_period, 2),
+                   util::format_double((*est)[i].estimated_period, 2),
+                   util::format_double((*est)[i].normalised_period(), 2),
+                   util::format_double((*est)[i].estimated_throughput(), 6),
+                   util::format_double((*wc)[i].worst_case_period, 2)});
   }
   std::cout << table.render();
+  print_provenance(est.provenance);
   return 0;
 }
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 3) return usage(2);
-  const platform::System sys = make_system(load_graphs(argv[2]));
+  api::Workbench wb(make_system(load_graphs(argv[2])),
+                    api::WorkbenchOptions{.threads = 1});
   sim::SimOptions sopts;
   sopts.horizon = std::stoll(flag_value(argc, argv, "--horizon", "500000"));
   const std::string arb = flag_value(argc, argv, "--arbitration", "fcfs");
@@ -172,24 +210,84 @@ int cmd_simulate(int argc, char** argv) {
   else if (arb == "rr") sopts.arbitration = sim::Arbitration::RoundRobin;
   else if (arb == "tdma") sopts.arbitration = sim::Arbitration::Tdma;
   else throw std::runtime_error("unknown arbitration " + arb);
-  const auto r = sim::simulate(sys, sopts);
+  const auto r = wb.simulate(sopts);
   util::Table table("Simulation (" + arb + ", horizon " +
                     std::to_string(sopts.horizon) + ")");
   table.set_header({"app", "iterations", "avg period", "worst period",
                     "converged"});
-  for (std::size_t i = 0; i < r.apps.size(); ++i) {
-    table.add_row({sys.app(static_cast<sdf::AppId>(i)).name(),
-                   std::to_string(r.apps[i].iterations),
-                   util::format_double(r.apps[i].average_period, 2),
-                   util::format_double(r.apps[i].worst_period, 2),
-                   r.apps[i].converged ? "yes" : "no"});
+  for (std::size_t i = 0; i < r->apps.size(); ++i) {
+    table.add_row({wb.system().app(static_cast<sdf::AppId>(i)).name(),
+                   std::to_string(r->apps[i].iterations),
+                   util::format_double(r->apps[i].average_period, 2),
+                   util::format_double(r->apps[i].worst_period, 2),
+                   r->apps[i].converged ? "yes" : "no"});
   }
   std::cout << table.render();
   std::cout << "node utilisation:";
-  for (const double u : r.node_utilisation) {
+  for (const double u : r->node_utilisation) {
     std::cout << ' ' << util::format_double(u, 3);
   }
   std::cout << '\n';
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  const auto threads = static_cast<std::size_t>(
+      std::stoull(flag_value(argc, argv, "--threads", "0")));
+  api::Workbench wb(make_system(load_graphs(argv[2])),
+                    api::WorkbenchOptions{.threads = threads});
+
+  std::vector<platform::UseCase> use_cases;
+  if (has_flag(argc, argv, "--full")) {
+    use_cases = gen::all_use_cases(wb.app_count());
+  } else {
+    util::Rng rng(std::stoull(flag_value(argc, argv, "--seed", "2007")));
+    const auto per_size = static_cast<std::size_t>(
+        std::stoull(flag_value(argc, argv, "--per-size", "8")));
+    use_cases = gen::sample_use_cases(wb.app_count(), per_size, rng);
+  }
+
+  api::SweepOptions sopts;
+  sopts.estimator = parse_estimator(argc, argv);
+  const auto swept = wb.sweep_use_cases(use_cases, sopts);
+
+  util::Table table("Use-case sweep (" +
+                    prob::method_name(sopts.estimator.method) + ")");
+  table.set_header({"use-case", "app", "isolation", "estimated", "normalised"});
+  for (const api::UseCaseResult& r : *swept) {
+    std::string label;
+    for (const auto id : r.use_case) {
+      if (!label.empty()) label += "+";
+      label += wb.system().app(id).name();
+    }
+    for (std::size_t i = 0; i < r.estimates.size(); ++i) {
+      table.add_row({label, wb.system().app(r.use_case[i]).name(),
+                     util::format_double(r.estimates[i].isolation_period, 2),
+                     util::format_double(r.estimates[i].estimated_period, 2),
+                     util::format_double(r.estimates[i].normalised_period(), 2)});
+    }
+  }
+  std::cout << table.render();
+  print_provenance(swept.provenance);
+  return 0;
+}
+
+int cmd_buffers(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  api::Workbench wb(make_system(load_graphs(argv[2])),
+                    api::WorkbenchOptions{.threads = 1});
+  util::Table table("Buffer-capacity / period Pareto frontier");
+  table.set_header({"app", "point", "total tokens", "period"});
+  for (sdf::AppId i = 0; i < wb.app_count(); ++i) {
+    const auto frontier = wb.buffer_frontier(i);
+    for (std::size_t k = 0; k < frontier->size(); ++k) {
+      table.add_row({wb.system().app(i).name(), std::to_string(k),
+                     std::to_string((*frontier)[k].total_tokens),
+                     util::format_double((*frontier)[k].period, 3)});
+    }
+  }
+  std::cout << table.render();
   return 0;
 }
 
@@ -211,7 +309,9 @@ int cmd_dot(int argc, char** argv) {
   } while (0)
 
 int cmd_selftest() {
-  // generate -> serialise -> parse -> analyse -> estimate -> simulate.
+  // generate -> serialise -> parse -> analyse -> estimate -> simulate,
+  // everything cross-checked between the Workbench session and the legacy
+  // free functions.
   util::Rng rng(99);
   gen::GeneratorOptions gopts;
   gopts.min_actors = 5;
@@ -229,13 +329,40 @@ int cmd_selftest() {
     const double roundtrip = analysis::compute_period(parsed[i]).period;
     CLI_CHECK(std::abs(original - roundtrip) < 1e-9);
   }
-  const platform::System sys = make_system(parsed);
-  const auto est = prob::ContentionEstimator().estimate(sys);
-  const auto simres = sim::simulate(sys, sim::SimOptions{.horizon = 200'000});
-  CLI_CHECK(est.size() == simres.apps.size());
-  for (std::size_t i = 0; i < est.size(); ++i) {
-    CLI_CHECK(est[i].estimated_period >= est[i].isolation_period - 1e-9);
-    CLI_CHECK(simres.apps[i].converged);
+  api::Workbench wb(make_system(parsed), api::WorkbenchOptions{.threads = 2});
+
+  // Workbench queries must equal the legacy free functions bit for bit.
+  for (sdf::AppId i = 0; i < wb.app_count(); ++i) {
+    CLI_CHECK(wb.throughput(i)->period ==
+              analysis::compute_period(wb.system().app(i)).period);
+    CLI_CHECK(wb.latency(i)->latency ==
+              analysis::compute_latency(wb.system().app(i)).latency);
+  }
+  const auto est = wb.contention();
+  const auto legacy = prob::ContentionEstimator().estimate(wb.system());
+  CLI_CHECK(est->size() == legacy.size());
+  for (std::size_t i = 0; i < est->size(); ++i) {
+    CLI_CHECK((*est)[i].estimated_period == legacy[i].estimated_period);
+  }
+
+  // A sharded sweep must not depend on the worker count.
+  const auto use_cases = gen::all_use_cases(wb.app_count());
+  api::Workbench serial(make_system(parsed), api::WorkbenchOptions{.threads = 1});
+  const auto a = serial.sweep_use_cases(use_cases);
+  const auto b = wb.sweep_use_cases(use_cases);
+  CLI_CHECK(a->size() == b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    for (std::size_t j = 0; j < (*a)[i].estimates.size(); ++j) {
+      CLI_CHECK((*a)[i].estimates[j].estimated_period ==
+                (*b)[i].estimates[j].estimated_period);
+    }
+  }
+
+  const auto simres = wb.simulate(sim::SimOptions{.horizon = 200'000});
+  CLI_CHECK(est->size() == simres->apps.size());
+  for (std::size_t i = 0; i < est->size(); ++i) {
+    CLI_CHECK((*est)[i].estimated_period >= (*est)[i].isolation_period - 1e-9);
+    CLI_CHECK(simres->apps[i].converged);
   }
   std::cout << "selftest OK\n";
   return 0;
@@ -252,6 +379,8 @@ int main(int argc, char** argv) {
     if (cmd == "period") return cmd_period(argc, argv);
     if (cmd == "estimate") return cmd_estimate(argc, argv);
     if (cmd == "simulate") return cmd_simulate(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "buffers") return cmd_buffers(argc, argv);
     if (cmd == "dot") return cmd_dot(argc, argv);
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
