@@ -23,9 +23,15 @@ int main(int argc, char** argv) {
   std::vector<util::RunningStats> err(kMaxOrder + 2);  // [1..8] + exact at [0]
   std::vector<util::RunningStats> vs_exact(kMaxOrder + 1);
 
-  for (const auto& uc : use_cases) {
-    const platform::System sub = sys.restrict_to(uc);
-    const bench::SimReference sim = bench::simulate_reference(sub, opts.horizon);
+  sim::SimEngine sim_engine(sys);
+  // Zero-copy restrictions for the whole sweep: the estimators read through
+  // views, the reference simulation through the shared engine's remap tables.
+  const auto views = gen::restrict_views(sys, use_cases);
+  for (std::size_t u = 0; u < use_cases.size(); ++u) {
+    const platform::UseCase& uc = use_cases[u];
+    const platform::SystemView& sub = views[u];
+    const bench::SimReference sim =
+        bench::simulate_reference(sim_engine, uc, opts.horizon);
     bool ok = true;
     for (const bool c : sim.converged) ok = ok && c;
     if (!ok) continue;

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   }
   // Isolation periods of the *unbounded* graphs normalise everything.
   std::vector<double> iso;
-  for (const auto& e : prob::ContentionEstimator().estimate(unbounded)) {
+  for (const auto& e : prob::ContentionEstimator().estimate(platform::SystemView(unbounded))) {
     iso.push_back(e.isolation_period);
   }
 
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     platform::System sys(std::move(apps), unbounded.platform(),
                          unbounded.mapping());
 
-    const auto est = prob::ContentionEstimator().estimate(sys);
+    const auto est = prob::ContentionEstimator().estimate(platform::SystemView(sys));
     const auto sim = bench::simulate_reference(sys, opts.horizon);
 
     util::RunningStats iso_n, est_n, sim_n, err;

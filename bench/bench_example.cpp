@@ -60,7 +60,7 @@ void run(const bench::Options& opts, bool reversed) {
   attrs.set_header({"actor", "tau", "q", "P(a)", "mu(a)", "t_wait", "response"});
 
   const prob::ContentionEstimator est;
-  const auto estimates = est.estimate(sys);
+  const auto estimates = est.estimate(platform::SystemView(sys));
   for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
     const sdf::Graph& g = sys.app(i);
     const auto q = sdf::compute_repetition_vector(g);

@@ -118,7 +118,7 @@ void BM_FullEstimate(benchmark::State& state) {
   const platform::System sys = bench::make_workload(opts);
   const prob::ContentionEstimator est;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(est.estimate(sys));
+    benchmark::DoNotOptimize(est.estimate(platform::SystemView(sys)));
   }
 }
 BENCHMARK(BM_FullEstimate)->Arg(2)->Arg(5)->Arg(10);

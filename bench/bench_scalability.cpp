@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     auto time_method = [&](prob::Method m) {
       const prob::ContentionEstimator est(prob::EstimatorOptions{.method = m});
       bench::Stopwatch clock;
-      (void)est.estimate(sys);
+      (void)est.estimate(platform::SystemView(sys));
       return 1000.0 * clock.seconds();
     };
     const double t2 = time_method(prob::Method::SecondOrder);

@@ -1,0 +1,211 @@
+// SimEngine reset+run vs cold rebuild, and SystemView vs restrict_to.
+//
+// Three comparisons, each with bitwise identity checks against the
+// pre-refactor path (restrict_to copy + from-scratch simulator build):
+//
+//  1. per-use-case reference sweep: cold = SimEngine(sys.restrict_to(uc))
+//     built per use-case (what sim::simulate(sys, uc) used to cost) vs
+//     warm = one shared engine, reset(uc) + run per use-case;
+//  2. stochastic replications: the same use-case simulated with R sample
+//     seeds (the Section 6 validation pattern) — cold rebuilds per
+//     replication, warm only resets;
+//  3. restriction cost: System::restrict_to deep copy vs zero-copy
+//     SystemView construction per use-case (the allocation sweep_use_cases
+//     no longer pays).
+//
+// The engine comparison targets the short reference runs of validation
+// sweeps and admission what-ifs, so the horizon is capped at 4000 cycles
+// here (pass --horizon below that to lower it further); long-horizon
+// simulation cost is tracked by bench_timing. Runs on the paper workload
+// (--seed) and a second 10-app random system (--seed ^ 0x517).
+//
+// Emits BENCH_sim_engine.json so the perf trajectory is tracked per PR.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "harness.h"
+
+namespace {
+
+using namespace procon;
+
+bool same_result(const sim::SimResult& a, const sim::SimResult& b) {
+  if (a.apps.size() != b.apps.size() ||
+      a.events_processed != b.events_processed ||
+      a.node_utilisation != b.node_utilisation || a.horizon != b.horizon) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    const auto& x = a.apps[i];
+    const auto& y = b.apps[i];
+    if (x.iterations != y.iterations || x.converged != y.converged ||
+        x.average_period != y.average_period || x.worst_period != y.worst_period ||
+        x.iteration_times != y.iteration_times ||
+        x.actors.size() != y.actors.size()) {
+      return false;
+    }
+    for (std::size_t k = 0; k < x.actors.size(); ++k) {
+      if (x.actors[k].firings != y.actors[k].firings ||
+          x.actors[k].total_waiting != y.actors[k].total_waiting ||
+          x.actors[k].total_service != y.actors[k].total_service) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct SweepNumbers {
+  double cold_us_per_uc = 0.0;
+  double warm_us_per_uc = 0.0;
+  double restrict_us_per_uc = 0.0;
+  double view_us_per_uc = 0.0;
+  bool identical = true;
+};
+
+SweepNumbers sweep(const platform::System& sys,
+                   const std::vector<platform::UseCase>& use_cases,
+                   const sim::SimOptions& sopts) {
+  SweepNumbers n;
+  const auto count = static_cast<double>(use_cases.size());
+
+  std::vector<sim::SimResult> cold_results;
+  cold_results.reserve(use_cases.size());
+  bench::Stopwatch cold_clock;
+  for (const auto& uc : use_cases) {
+    // The pre-refactor per-use-case path: deep copy, flatten, validate, run.
+    sim::SimEngine engine(sys.restrict_to(uc));
+    cold_results.push_back(engine.run(sopts));
+  }
+  n.cold_us_per_uc = 1e6 * cold_clock.seconds() / count;
+
+  sim::SimEngine shared(sys);
+  bench::Stopwatch warm_clock;
+  for (std::size_t i = 0; i < use_cases.size(); ++i) {
+    shared.reset(use_cases[i]);
+    const sim::SimResult r = shared.run(sopts);
+    n.identical = n.identical && same_result(r, cold_results[i]);
+  }
+  n.warm_us_per_uc = 1e6 * warm_clock.seconds() / count;
+
+  bench::Stopwatch restrict_clock;
+  for (const auto& uc : use_cases) {
+    const platform::System sub = sys.restrict_to(uc);
+    (void)sub.app_count();
+  }
+  n.restrict_us_per_uc = 1e6 * restrict_clock.seconds() / count;
+
+  bench::Stopwatch view_clock;
+  for (const auto& uc : use_cases) {
+    const platform::SystemView view(sys, uc);
+    (void)view.actor_count();
+  }
+  n.view_us_per_uc = 1e6 * view_clock.seconds() / count;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const sdf::Time horizon = std::min<sdf::Time>(opts.horizon, 4000);
+  sim::SimOptions sopts;
+  sopts.horizon = horizon;
+
+  const platform::System paper = bench::make_workload(opts);
+  bench::Options alt = opts;
+  alt.seed = opts.seed ^ 0x517;
+  alt.apps = 10;
+  const platform::System random10 = bench::make_workload(alt);
+
+  const auto paper_ucs = bench::make_use_cases(opts, paper.app_count());
+  const auto random_ucs = bench::make_use_cases(alt, random10.app_count());
+
+  std::cout << "=== SimEngine reset+run vs cold rebuild (horizon " << horizon
+            << ", " << paper_ucs.size() << " + " << random_ucs.size()
+            << " use-cases) ===\n";
+
+  const SweepNumbers p = sweep(paper, paper_ucs, sopts);
+  const SweepNumbers r = sweep(random10, random_ucs, sopts);
+
+  // Stochastic replications of one mid-size use-case (paper workload):
+  // jittered execution times, one run per sample seed.
+  const platform::UseCase rep_uc = paper_ucs[paper_ucs.size() / 2];
+  sim::SimOptions ropts = sopts;
+  for (const sdf::AppId id : rep_uc) {
+    const sdf::Graph& g = paper.app(id);
+    sdf::ExecTimeModel m;
+    for (const auto& a : g.actors()) {
+      const sdf::Time d = a.exec_time / 10;
+      m.push_back(d == 0 ? sdf::ExecTimeDistribution::constant(a.exec_time)
+                         : sdf::ExecTimeDistribution::uniform(a.exec_time - d,
+                                                              a.exec_time + d));
+    }
+    ropts.exec_models.push_back(std::move(m));
+  }
+  constexpr int kReps = 32;
+  std::vector<sim::SimResult> rep_cold;
+  bench::Stopwatch rep_cold_clock;
+  for (int k = 0; k < kReps; ++k) {
+    ropts.sample_seed = opts.seed + static_cast<std::uint64_t>(k);
+    sim::SimEngine engine(paper.restrict_to(rep_uc));
+    rep_cold.push_back(engine.run(ropts));
+  }
+  const double rep_cold_us = 1e6 * rep_cold_clock.seconds() / kReps;
+
+  bool rep_identical = true;
+  sim::SimEngine rep_engine(paper);
+  bench::Stopwatch rep_warm_clock;
+  for (int k = 0; k < kReps; ++k) {
+    ropts.sample_seed = opts.seed + static_cast<std::uint64_t>(k);
+    rep_engine.reset(rep_uc);
+    rep_identical =
+        rep_identical && same_result(rep_engine.run(ropts),
+                                     rep_cold[static_cast<std::size_t>(k)]);
+  }
+  const double rep_warm_us = 1e6 * rep_warm_clock.seconds() / kReps;
+
+  const bool identical = p.identical && r.identical && rep_identical;
+  const double sweep_speedup =
+      (p.warm_us_per_uc + r.warm_us_per_uc) > 0.0
+          ? (p.cold_us_per_uc + r.cold_us_per_uc) /
+                (p.warm_us_per_uc + r.warm_us_per_uc)
+          : 0.0;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"sim_engine\",\"seed\":%llu,\"horizon\":%lld,"
+      "\"use_cases\":%zu,"
+      "\"paper_cold_us\":%.2f,\"paper_warm_us\":%.2f,"
+      "\"random10_cold_us\":%.2f,\"random10_warm_us\":%.2f,"
+      "\"sweep_speedup\":%.2f,"
+      "\"replication_cold_us\":%.2f,\"replication_warm_us\":%.2f,"
+      "\"replication_speedup\":%.2f,"
+      "\"restrict_copy_us\":%.3f,\"view_us\":%.3f,\"restrict_speedup\":%.1f,"
+      "\"identical\":%s}",
+      static_cast<unsigned long long>(opts.seed),
+      static_cast<long long>(horizon), paper_ucs.size() + random_ucs.size(),
+      p.cold_us_per_uc, p.warm_us_per_uc, r.cold_us_per_uc, r.warm_us_per_uc,
+      sweep_speedup, rep_cold_us, rep_warm_us,
+      rep_warm_us > 0.0 ? rep_cold_us / rep_warm_us : 0.0,
+      (p.restrict_us_per_uc + r.restrict_us_per_uc) / 2.0,
+      (p.view_us_per_uc + r.view_us_per_uc) / 2.0,
+      p.view_us_per_uc + r.view_us_per_uc > 0.0
+          ? (p.restrict_us_per_uc + r.restrict_us_per_uc) /
+                (p.view_us_per_uc + r.view_us_per_uc)
+          : 0.0,
+      identical ? "true" : "false");
+
+  std::cout << json << "\n";
+  std::ofstream out("BENCH_sim_engine.json");
+  out << json << "\n";
+
+  if (!identical) {
+    std::cerr << "FAIL: SimEngine reset+run disagrees with cold rebuild\n";
+    return 1;
+  }
+  return 0;
+}

@@ -42,15 +42,15 @@ int main(int argc, char** argv) {
 
     // Reference: sampling simulation.
     sim::SimOptions sopts{.horizon = opts.horizon};
-    sopts.exec_models = &models;
+    sopts.exec_models = models;
     sopts.sample_seed = opts.seed;
     const auto sim = sim::simulate(sys, sopts);
 
     // Estimators (second order): deterministic vs stochastic loads.
     const prob::ContentionEstimator est(
         prob::EstimatorOptions{.method = prob::Method::SecondOrder});
-    const auto det = est.estimate(sys);
-    const auto sto = est.estimate(sys, models);
+    const auto det = est.estimate(platform::SystemView(sys));
+    const auto sto = est.estimate(platform::SystemView(sys), models);
 
     util::RunningStats err_det, err_sto, slowdown;
     for (std::size_t i = 0; i < sim.apps.size(); ++i) {

@@ -33,11 +33,13 @@ int main(int argc, char** argv) {
 
   // One session: engine structure is paid once, not per (use-case, technique).
   api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
+  // One simulation engine, reset per use-case (no restrict_to copies).
+  sim::SimEngine sim_engine(sys);
 
   bench::Stopwatch total;
   for (const auto& uc : use_cases) {
     const bench::SimReference sim =
-        bench::simulate_reference(sys.restrict_to(uc), opts.horizon);
+        bench::simulate_reference(sim_engine, uc, opts.horizon);
     bool ok = true;
     for (const bool c : sim.converged) ok = ok && c;
     if (!ok) {

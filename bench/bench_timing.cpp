@@ -19,12 +19,12 @@ int main(int argc, char** argv) {
   std::cout << "=== E4: analysis vs simulation wall-clock over "
             << use_cases.size() << " use-cases ===\n\n";
 
-  // Simulation reference timing.
+  // Simulation reference timing (shared engine, reset per use-case).
   bench::Stopwatch sim_clock;
   std::size_t sim_apps = 0;
+  sim::SimEngine sim_engine(sys);
   for (const auto& uc : use_cases) {
-    const platform::System sub = sys.restrict_to(uc);
-    const auto r = bench::simulate_reference(sub, opts.horizon);
+    const auto r = bench::simulate_reference(sim_engine, uc, opts.horizon);
     sim_apps += r.average.size();
   }
   const double sim_seconds = sim_clock.seconds();

@@ -79,14 +79,28 @@ const std::vector<Technique>& paper_techniques() {
 
 std::vector<double> estimate_periods(const platform::System& sys,
                                      const Technique& technique) {
+  return estimate_periods(platform::SystemView(sys), technique);
+}
+
+std::vector<double> estimate_periods(const platform::SystemView& view,
+                                     const Technique& technique) {
   std::vector<double> periods;
   if (technique.is_wcrt) {
-    for (const auto& b : wcrt::worst_case_bounds(sys)) {
+    std::vector<analysis::ThroughputEngine> engines;
+    engines.reserve(view.app_count());
+    for (sdf::AppId i = 0; i < view.app_count(); ++i) {
+      engines.emplace_back(view.app(i));
+    }
+    std::vector<analysis::ThroughputEngine*> ptrs;
+    ptrs.reserve(engines.size());
+    for (auto& e : engines) ptrs.push_back(&e);
+    for (const auto& b : wcrt::worst_case_bounds(
+             view, {}, std::span<analysis::ThroughputEngine* const>(ptrs))) {
       periods.push_back(b.worst_case_period);
     }
   } else {
     const prob::ContentionEstimator est(technique.estimator);
-    for (const auto& e : est.estimate(sys)) {
+    for (const auto& e : est.estimate(view)) {
       periods.push_back(e.estimated_period);
     }
   }
@@ -106,8 +120,9 @@ std::vector<double> estimate_periods(api::Workbench& wb, const platform::UseCase
   return periods;
 }
 
-SimReference simulate_reference(const platform::System& sys, sdf::Time horizon) {
-  const sim::SimResult r = sim::simulate(sys, sim::SimOptions{.horizon = horizon});
+namespace {
+
+SimReference to_reference(const sim::SimResult& r) {
   SimReference ref;
   for (const auto& app : r.apps) {
     ref.average.push_back(app.average_period);
@@ -115,6 +130,18 @@ SimReference simulate_reference(const platform::System& sys, sdf::Time horizon) 
     ref.converged.push_back(app.converged);
   }
   return ref;
+}
+
+}  // namespace
+
+SimReference simulate_reference(const platform::System& sys, sdf::Time horizon) {
+  return to_reference(sim::simulate(sys, sim::SimOptions{.horizon = horizon}));
+}
+
+SimReference simulate_reference(sim::SimEngine& engine, const platform::UseCase& uc,
+                                sdf::Time horizon) {
+  engine.reset(uc);
+  return to_reference(engine.run(sim::SimOptions{.horizon = horizon}));
 }
 
 void emit(const util::Table& table, const Options& opts, const std::string& name) {

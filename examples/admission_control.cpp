@@ -70,10 +70,38 @@ int main() {
                                      admission::QoS{2500.0});
   report("photo_viewer", d3);
 
+  // Before actually requesting, ask what WOULD happen: the what-if API
+  // evaluates the hypothetical admission (same verdict as request()) plus a
+  // full contention report over a zero-copy view of the admitted set —
+  // nothing is committed, no snapshot copy is taken.
+  std::cout << "\n--- resource manager probes: what if the game were admitted? ---\n";
+  const auto probe = controller.what_if_admit(game, spread_mapping(game, kNodes),
+                                              admission::QoS{2500.0});
+  std::cout << "what-if verdict: " << (probe.admissible ? "would admit" : "would reject")
+            << "\n";
+  if (!probe.admissible) std::cout << "  reason: " << probe.reason << "\n";
+  std::cout << "  full estimator report over the would-be set ("
+            << probe.estimates.size() << " apps, candidate last):\n";
+  for (const auto& e : probe.estimates) {
+    std::cout << "    estimated period " << static_cast<long>(e.estimated_period)
+              << " (isolation " << static_cast<long>(e.isolation_period) << ")\n";
+  }
+
   std::cout << "\n--- user launches a game (the call's QoS must survive - this one breaks it) ---\n";
   const auto d4 = controller.request(game, spread_mapping(game, kNodes),
                                      admission::QoS{2500.0});
   report("game", d4);
+
+  // The dual probe: what would the peers gain if the encoder left?
+  if (d2.admitted) {
+    const auto relief = controller.what_if_remove(*d2.handle);
+    std::cout << "\nwhat if the encoder stopped? surviving peers' predicted periods:";
+    for (const double p : relief.peer_periods) {
+      if (p > 0.0) std::cout << " " << static_cast<long>(p);
+    }
+    std::cout << " (admitted set untouched: " << controller.admitted_count()
+              << " apps)\n";
+  }
 
   if (d1.admitted) {
     std::cout << "\ncurrent predicted period of the decoder: "

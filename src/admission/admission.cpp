@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "sdf/algorithms.h"
 
@@ -10,7 +11,8 @@ namespace procon::admission {
 using prob::Composite;
 
 AdmissionController::AdmissionController(platform::Platform platform)
-    : platform_(std::move(platform)) {
+    : platform_(std::move(platform)),
+      store_({}, platform_, platform::Mapping(std::span<const sdf::Graph>{})) {
   nodes_.assign(platform_.node_count(), Composite::identity());
 }
 
@@ -25,31 +27,27 @@ Composite AdmissionController::node_load(platform::NodeId node) const {
   return nodes_[node];
 }
 
-platform::System AdmissionController::snapshot_system() const {
-  std::vector<sdf::Graph> graphs;
-  std::vector<const AdmittedApp*> active;
-  for (const auto& a : apps_) {
-    if (!a.active) continue;
-    active.push_back(&a);
-    graphs.push_back(a.graph);
+platform::UseCase AdmissionController::active_use_case() const {
+  platform::UseCase uc;
+  for (AppHandle h = 0; h < apps_.size(); ++h) {
+    if (apps_[h].active) uc.push_back(h);
   }
-  if (graphs.empty()) {
+  return uc;
+}
+
+platform::System AdmissionController::snapshot_system() const {
+  const platform::UseCase active = active_use_case();
+  if (active.empty()) {
     throw std::logic_error("snapshot_system: no admitted applications");
   }
-  platform::Mapping mapping(graphs);
-  for (sdf::AppId i = 0; i < active.size(); ++i) {
-    for (sdf::ActorId a = 0; a < active[i]->nodes.size(); ++a) {
-      mapping.assign(i, a, active[i]->nodes[a]);
-    }
-  }
-  return platform::System(std::move(graphs), platform_, std::move(mapping));
+  return platform::SystemView(store_, active).materialise();
 }
 
 std::vector<Composite> AdmissionController::totals_with(
-    const AdmittedApp* candidate) const {
+    const sdf::Graph* candidate_graph, const AdmittedApp* candidate) const {
   std::vector<Composite> totals = nodes_;
   if (candidate != nullptr) {
-    for (sdf::ActorId a = 0; a < candidate->graph.actor_count(); ++a) {
+    for (sdf::ActorId a = 0; a < candidate_graph->actor_count(); ++a) {
       Composite& t = totals[candidate->nodes[a]];
       t = prob::compose(t, prob::to_composite(candidate->loads[a]));
     }
@@ -58,11 +56,12 @@ std::vector<Composite> AdmissionController::totals_with(
 }
 
 double AdmissionController::predict_period(
-    const AdmittedApp& app, const std::vector<Composite>& node_totals) const {
-  std::vector<double> response(app.graph.actor_count());
-  for (sdf::ActorId a = 0; a < app.graph.actor_count(); ++a) {
-    const Composite self = prob::to_composite(app.loads[a]);
-    const Composite& total = node_totals[app.nodes[a]];
+    const sdf::Graph& graph, const AdmittedApp& rec,
+    const std::vector<Composite>& node_totals) const {
+  std::vector<double> response(graph.actor_count());
+  for (sdf::ActorId a = 0; a < graph.actor_count(); ++a) {
+    const Composite self = prob::to_composite(rec.loads[a]);
+    const Composite& total = node_totals[rec.nodes[a]];
     double twait = 0.0;
     if (prob::can_invert(self)) {
       twait = prob::decompose(total, self).weighted_blocking;
@@ -71,13 +70,62 @@ double AdmissionController::predict_period(
       // whole-node waiting time is a conservative stand-in.
       twait = total.weighted_blocking;
     }
-    response[a] = static_cast<double>(app.graph.actor(a).exec_time) + twait;
+    response[a] = static_cast<double>(graph.actor(a).exec_time) + twait;
   }
-  const auto res = app.engine->recompute(response);
+  const auto res = rec.engine->recompute(response);
   if (res.deadlocked) {
     throw sdf::GraphError("predict_period: response-time graph deadlocks");
   }
   return res.period;
+}
+
+void AdmissionController::evaluate_candidate(const AdmittedApp& rec,
+                                             AppHandle candidate_index,
+                                             const QoS& qos,
+                                             WhatIfReport& out) const {
+  const sdf::Graph& graph = store_.app(candidate_index);
+  const std::vector<Composite> totals = totals_with(&graph, &rec);
+
+  // The candidate's own predicted period.
+  out.predicted_period = predict_period(graph, rec, totals);
+  if (out.predicted_period > qos.max_period) {
+    out.reason = "requesting application's predicted period " +
+                 std::to_string(out.predicted_period) +
+                 " exceeds its QoS bound " + std::to_string(qos.max_period);
+    return;
+  }
+
+  // Impact on every admitted peer.
+  for (AppHandle h = 0; h < apps_.size(); ++h) {
+    const AdmittedApp& peer = apps_[h];
+    if (!peer.active) {
+      out.peer_periods.push_back(0.0);
+      continue;
+    }
+    const double p = predict_period(store_.app(h), peer, totals);
+    out.peer_periods.push_back(p);
+    if (p > peer.qos.max_period) {
+      out.reason = "admission would push application '" + store_.app(h).name() +
+                   "' to period " + std::to_string(p) +
+                   " beyond its QoS bound " + std::to_string(peer.qos.max_period);
+      return;
+    }
+  }
+  out.admissible = true;
+}
+
+std::vector<prob::AppEstimate> AdmissionController::full_report(
+    const platform::UseCase& uc,
+    const std::vector<analysis::ThroughputEngine*>& engines,
+    const prob::EstimatorOptions& estimator) const {
+  if (uc.empty()) return {};
+  // The same machinery an api::Workbench contention query runs: the Figure 4
+  // estimator over a zero-copy view of the resident store, through the
+  // cached per-application engines.
+  const platform::SystemView view(store_, uc);
+  const prob::ContentionEstimator est(estimator);
+  return est.estimate(view, {},
+                      std::span<analysis::ThroughputEngine* const>(engines));
 }
 
 Decision AdmissionController::request(const sdf::Graph& app,
@@ -95,7 +143,6 @@ Decision AdmissionController::request(const sdf::Graph& app,
   if (!sdf::is_deadlock_free(app)) throw sdf::GraphError("request: graph deadlocks");
 
   AdmittedApp rec;
-  rec.graph = app;
   rec.nodes = nodes;
   rec.qos = qos;
   rec.engine = std::make_shared<analysis::ThroughputEngine>(app);
@@ -106,44 +153,139 @@ Decision AdmissionController::request(const sdf::Graph& app,
   rec.isolation_period = iso.period;
   rec.loads = prob::derive_loads(app, rec.engine->repetition_vector(), iso.period);
 
-  Decision decision;
-  const std::vector<Composite> totals = totals_with(&rec);
+  // Move the candidate graph into the resident store; it stays there on
+  // admission and is popped on rejection.
+  store_.append_app(app, nodes);
+  const auto candidate_index = static_cast<AppHandle>(store_.app_count() - 1);
 
-  // The candidate's own predicted period.
-  decision.predicted_period = predict_period(rec, totals);
-  if (decision.predicted_period > qos.max_period) {
-    decision.reason = "requesting application's predicted period " +
-                      std::to_string(decision.predicted_period) +
-                      " exceeds its QoS bound " + std::to_string(qos.max_period);
+  WhatIfReport verdict;
+  try {
+    evaluate_candidate(rec, candidate_index, qos, verdict);
+  } catch (...) {
+    store_.pop_app();
+    throw;
+  }
+
+  Decision decision;
+  decision.predicted_period = verdict.predicted_period;
+  decision.peer_periods = std::move(verdict.peer_periods);
+  decision.reason = std::move(verdict.reason);
+  if (!verdict.admissible) {
+    store_.pop_app();
     return decision;
   }
 
-  // Impact on every admitted peer.
-  for (const auto& peer : apps_) {
-    if (!peer.active) {
-      decision.peer_periods.push_back(0.0);
-      continue;
-    }
-    const double p = predict_period(peer, totals);
-    decision.peer_periods.push_back(p);
-    if (p > peer.qos.max_period) {
-      decision.reason = "admission would push application '" + peer.graph.name() +
-                        "' to period " + std::to_string(p) +
-                        " beyond its QoS bound " + std::to_string(peer.qos.max_period);
-      return decision;
-    }
-  }
-
   // Commit: incremental O(1)-per-actor composite update.
-  for (sdf::ActorId a = 0; a < rec.graph.actor_count(); ++a) {
+  for (sdf::ActorId a = 0; a < store_.app(candidate_index).actor_count(); ++a) {
     Composite& t = nodes_[rec.nodes[a]];
     t = prob::compose(t, prob::to_composite(rec.loads[a]));
   }
   rec.active = true;
   apps_.push_back(std::move(rec));
   decision.admitted = true;
-  decision.handle = static_cast<AppHandle>(apps_.size() - 1);
+  decision.handle = candidate_index;
   return decision;
+}
+
+WhatIfReport AdmissionController::what_if_admit(
+    const sdf::Graph& app, const std::vector<platform::NodeId>& nodes,
+    const QoS& qos, const prob::EstimatorOptions& estimator) {
+  if (nodes.size() != app.actor_count()) {
+    throw sdf::GraphError("what_if_admit: mapping size mismatch");
+  }
+  for (const platform::NodeId n : nodes) {
+    if (n >= platform_.node_count()) {
+      throw sdf::GraphError("what_if_admit: actor mapped to nonexistent node");
+    }
+  }
+  if (!sdf::is_consistent(app)) {
+    throw sdf::GraphError("what_if_admit: inconsistent graph");
+  }
+  if (!sdf::is_deadlock_free(app)) {
+    throw sdf::GraphError("what_if_admit: graph deadlocks");
+  }
+
+  AdmittedApp rec;
+  rec.nodes = nodes;
+  rec.qos = qos;
+  rec.engine = std::make_shared<analysis::ThroughputEngine>(app);
+  const auto iso = rec.engine->recompute();
+  if (iso.deadlocked || iso.period <= 0.0) {
+    throw sdf::GraphError("what_if_admit: no positive isolation period");
+  }
+  rec.isolation_period = iso.period;
+  rec.loads = prob::derive_loads(app, rec.engine->repetition_vector(), iso.period);
+
+  // Append the candidate to the resident store for the duration of the
+  // query; every view below sees admitted graphs in place, zero copies.
+  store_.append_app(app, nodes);
+  WhatIfReport out;
+  try {
+    const auto candidate_index = static_cast<AppHandle>(store_.app_count() - 1);
+    evaluate_candidate(rec, candidate_index, qos, out);
+
+    platform::UseCase uc = active_use_case();
+    std::vector<analysis::ThroughputEngine*> engines;
+    engines.reserve(uc.size() + 1);
+    for (const sdf::AppId h : uc) engines.push_back(apps_[h].engine.get());
+    uc.push_back(candidate_index);
+    engines.push_back(rec.engine.get());
+    out.estimates = full_report(uc, engines, estimator);
+  } catch (...) {
+    store_.pop_app();
+    throw;
+  }
+  store_.pop_app();
+  return out;
+}
+
+WhatIfReport AdmissionController::what_if_remove(
+    AppHandle handle, const prob::EstimatorOptions& estimator) {
+  if (handle >= apps_.size() || !apps_[handle].active) {
+    throw std::out_of_range("what_if_remove: unknown or already-removed application");
+  }
+  const AdmittedApp& rec = apps_[handle];
+
+  // Node composites without the removed application: peel its loads out via
+  // the inverse operators, or rebuild from the survivors when some load is
+  // saturated (the paper's non-invertible caveat).
+  bool invertible = true;
+  for (const prob::ActorLoad& l : rec.loads) {
+    invertible = invertible && prob::can_invert(prob::to_composite(l));
+  }
+  std::vector<Composite> totals;
+  if (invertible) {
+    totals = nodes_;
+    for (sdf::ActorId a = 0; a < rec.nodes.size(); ++a) {
+      Composite& t = totals[rec.nodes[a]];
+      t = prob::decompose(t, prob::to_composite(rec.loads[a]));
+    }
+  } else {
+    totals.assign(platform_.node_count(), Composite::identity());
+    for (AppHandle h = 0; h < apps_.size(); ++h) {
+      if (!apps_[h].active || h == handle) continue;
+      for (sdf::ActorId b = 0; b < apps_[h].nodes.size(); ++b) {
+        Composite& t = totals[apps_[h].nodes[b]];
+        t = prob::compose(t, prob::to_composite(apps_[h].loads[b]));
+      }
+    }
+  }
+
+  WhatIfReport out;
+  out.admissible = true;
+  platform::UseCase survivors;
+  std::vector<analysis::ThroughputEngine*> engines;
+  for (AppHandle h = 0; h < apps_.size(); ++h) {
+    if (!apps_[h].active || h == handle) {
+      out.peer_periods.push_back(0.0);
+      continue;
+    }
+    out.peer_periods.push_back(predict_period(store_.app(h), apps_[h], totals));
+    survivors.push_back(h);
+    engines.push_back(apps_[h].engine.get());
+  }
+  out.estimates = full_report(survivors, engines, estimator);
+  return out;
 }
 
 void AdmissionController::remove(AppHandle handle) {
@@ -157,7 +299,7 @@ void AdmissionController::remove(AppHandle handle) {
   }
   if (invertible) {
     // O(1) per actor: peel each load out of its node composite (Eq. 8/9).
-    for (sdf::ActorId a = 0; a < rec.graph.actor_count(); ++a) {
+    for (sdf::ActorId a = 0; a < rec.nodes.size(); ++a) {
       Composite& t = nodes_[rec.nodes[a]];
       t = prob::decompose(t, prob::to_composite(rec.loads[a]));
     }
@@ -169,7 +311,7 @@ void AdmissionController::remove(AppHandle handle) {
     nodes_.assign(platform_.node_count(), Composite::identity());
     for (const AdmittedApp& other : apps_) {
       if (!other.active) continue;
-      for (sdf::ActorId b = 0; b < other.graph.actor_count(); ++b) {
+      for (sdf::ActorId b = 0; b < other.nodes.size(); ++b) {
         Composite& t = nodes_[other.nodes[b]];
         t = prob::compose(t, prob::to_composite(other.loads[b]));
       }
@@ -181,7 +323,7 @@ double AdmissionController::predicted_period(AppHandle handle) const {
   if (handle >= apps_.size() || !apps_[handle].active) {
     throw std::out_of_range("predicted_period: unknown application");
   }
-  return predict_period(apps_[handle], nodes_);
+  return predict_period(store_.app(handle), apps_[handle], nodes_);
 }
 
 }  // namespace procon::admission

@@ -24,7 +24,9 @@
 #include "analysis/engine.h"
 #include "platform/platform.h"
 #include "platform/system.h"
+#include "platform/system_view.h"
 #include "prob/compose.h"
+#include "prob/estimator.h"
 #include "prob/load.h"
 #include "sdf/graph.h"
 
@@ -51,6 +53,26 @@ struct Decision {
   std::optional<AppHandle> handle;  ///< set when admitted
 };
 
+/// Result of a hypothetical admit/remove: the same O(1)-composability
+/// verdict a real request() computes, plus the full contention report the
+/// analysis stack (api::Workbench::contention) would produce over the
+/// would-be admitted set — evaluated through a zero-copy SystemView over
+/// the controller's resident application store, never a snapshot copy.
+struct WhatIfReport {
+  /// Admit: would the request be granted. Remove: always true.
+  bool admissible = false;
+  std::string reason;             ///< why not, when !admissible
+  double predicted_period = 0.0;  ///< candidate's own period (admit only)
+  /// Composability-predicted period per handle slot after the hypothetical
+  /// change (0 for inactive handles; for what_if_remove, 0 for the removed
+  /// application itself).
+  std::vector<double> peer_periods;
+  /// Full Figure-4 estimator report over the would-be active set, in
+  /// active-handle order (what_if_admit: candidate last). Empty when the
+  /// would-be set is empty.
+  std::vector<prob::AppEstimate> estimates;
+};
+
 class AdmissionController {
  public:
   explicit AdmissionController(platform::Platform platform);
@@ -64,6 +86,22 @@ class AdmissionController {
   /// std::out_of_range for unknown/stale handles.
   void remove(AppHandle handle);
 
+  /// What would happen if `app` were admitted — the same checks and
+  /// predictions as request(), plus the full estimator report, without
+  /// mutating the admitted set. The candidate is appended to the resident
+  /// store only for the duration of the query (no graph copies of the
+  /// admitted applications, no snapshot System). `estimator` selects the
+  /// method for the full report.
+  [[nodiscard]] WhatIfReport what_if_admit(
+      const sdf::Graph& app, const std::vector<platform::NodeId>& nodes,
+      const QoS& qos, const prob::EstimatorOptions& estimator = {});
+
+  /// What the remaining applications' periods would become if `handle` were
+  /// removed, without removing it. Throws std::out_of_range for
+  /// unknown/stale handles.
+  [[nodiscard]] WhatIfReport what_if_remove(
+      AppHandle handle, const prob::EstimatorOptions& estimator = {});
+
   [[nodiscard]] std::size_t admitted_count() const noexcept;
 
   /// Current predicted period of an admitted application (under the
@@ -75,17 +113,20 @@ class AdmissionController {
   /// Combined blocking probability currently registered on a node.
   [[nodiscard]] prob::Composite node_load(platform::NodeId node) const;
 
-  /// Materialises the currently admitted applications as a System (graphs
-  /// in admission order with their registered node assignments). Lets a
-  /// caller open an api::Workbench session on the live set — e.g. to
-  /// cross-check the controller's O(1) composability state against the
-  /// full estimator, or to run sweeps/simulation over the admitted apps.
+  /// The currently active applications as a use-case over the resident
+  /// store (ascending handle order) — the restriction what-if queries view.
+  [[nodiscard]] platform::UseCase active_use_case() const;
+
+  /// Materialises the currently admitted applications as a standalone
+  /// System (graphs in admission order with their registered node
+  /// assignments) — a deep copy. Lets a caller open an api::Workbench
+  /// session on the live set. What-if queries do NOT need this: they run
+  /// over a zero-copy SystemView of the resident store.
   [[nodiscard]] platform::System snapshot_system() const;
 
  private:
   struct AdmittedApp {
     bool active = false;
-    sdf::Graph graph;
     std::vector<platform::NodeId> nodes;
     std::vector<prob::ActorLoad> loads;
     double isolation_period = 0.0;
@@ -98,16 +139,36 @@ class AdmissionController {
     std::shared_ptr<analysis::ThroughputEngine> engine;
   };
 
-  /// Predicted period of `app` (graph+nodes+loads) when node composites are
-  /// `node_totals` (which must already include the app's own actors).
-  [[nodiscard]] double predict_period(const AdmittedApp& app,
+  /// Predicted period of the app `rec` describes (graph at store index
+  /// `handle`) when node composites are `node_totals` (which must already
+  /// include the app's own actors).
+  [[nodiscard]] double predict_period(const sdf::Graph& graph, const AdmittedApp& rec,
                                       const std::vector<prob::Composite>& node_totals) const;
 
   /// Composites including every active app plus (optionally) a candidate.
   [[nodiscard]] std::vector<prob::Composite> totals_with(
-      const AdmittedApp* candidate) const;
+      const sdf::Graph* candidate_graph, const AdmittedApp* candidate) const;
+
+  /// Shared evaluation path of request()/what_if_admit(): composability
+  /// checks for a candidate record whose graph sits at store index
+  /// `candidate_index` (already appended to store_).
+  void evaluate_candidate(const AdmittedApp& rec, AppHandle candidate_index,
+                          const QoS& qos, WhatIfReport& out) const;
+
+  /// Full estimator report over `uc` (store indices) with the cached
+  /// engines of those entries plus optional trailing `extra` engine.
+  [[nodiscard]] std::vector<prob::AppEstimate> full_report(
+      const platform::UseCase& uc,
+      const std::vector<analysis::ThroughputEngine*>& engines,
+      const prob::EstimatorOptions& estimator) const;
 
   platform::Platform platform_;
+  /// Graphs of every application ever admitted, in handle order, with their
+  /// node assignments as the mapping — the single resident copy every view,
+  /// what-if and prediction reads. Grows via append_app (no re-copy of the
+  /// already-admitted graphs); what_if_admit appends the candidate and pops
+  /// it before returning.
+  platform::System store_;
   std::vector<AdmittedApp> apps_;       // indexed by handle; inactive = removed
   std::vector<prob::Composite> nodes_;  // committed composite per node
 };

@@ -74,6 +74,19 @@ std::vector<dse::AnalysisWorkspace>& Workbench::worker_sets() {
   return workers_;
 }
 
+sim::SimEngine& Workbench::sim_engine() {
+  if (sim_engine_.empty()) sim_engine_.emplace_back(sys_);
+  return sim_engine_.front();
+}
+
+std::vector<sim::SimEngine>& Workbench::sim_worker_engines() {
+  if (sim_workers_.empty()) {
+    sim_workers_.reserve(pool_.size());
+    for (std::size_t w = 0; w < pool_.size(); ++w) sim_workers_.emplace_back(sys_);
+  }
+  return sim_workers_;
+}
+
 // ---- single-application queries -------------------------------------------
 
 Report<analysis::PeriodResult> Workbench::throughput(sdf::AppId app) {
@@ -158,12 +171,12 @@ Report<std::vector<prob::AppEstimate>> Workbench::contention(
 Report<std::vector<prob::AppEstimate>> Workbench::contention(
     const platform::UseCase& uc, const prob::EstimatorOptions& opts) {
   Timer timer;
-  const platform::System sub = sys_.restrict_to(uc);
+  const platform::SystemView view(sys_, uc);  // zero-copy restriction
   const prob::ContentionEstimator est(opts);
   auto ptrs = engines_for(engines_, uc);
   Report<std::vector<prob::AppEstimate>> report;
   report.value =
-      est.estimate(sub, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
+      est.estimate(view, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
   report.provenance = {prob::method_name(opts.method),
                        static_cast<std::size_t>(opts.iterations), 1, timer.ms()};
   return report;
@@ -182,11 +195,11 @@ Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const wcrt::WcrtOptions& opt
 Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const platform::UseCase& uc,
                                                     const wcrt::WcrtOptions& opts) {
   Timer timer;
-  const platform::System sub = sys_.restrict_to(uc);
+  const platform::SystemView view(sys_, uc);  // zero-copy restriction
   auto ptrs = engines_for(engines_, uc);
   Report<std::vector<wcrt::AppBound>> report;
   report.value = wcrt::worst_case_bounds(
-      sub, opts, std::span<analysis::ThroughputEngine* const>(ptrs));
+      view, opts, std::span<analysis::ThroughputEngine* const>(ptrs));
   report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
   return report;
 }
@@ -194,9 +207,11 @@ Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const platform::UseCase& uc,
 Report<sim::SimResult> Workbench::simulate(const sim::SimOptions& opts) {
   Timer timer;
   Report<sim::SimResult> report;
-  report.value = sim::simulate(sys_, opts);
-  report.provenance = {"discrete-event simulation", report.value.events_processed,
-                       1, timer.ms()};
+  sim::SimEngine& engine = sim_engine();
+  engine.reset();
+  report.value = engine.run(opts);
+  report.provenance = {"discrete-event simulation (cached engine)",
+                       report.value.events_processed, 1, timer.ms()};
   return report;
 }
 
@@ -204,9 +219,11 @@ Report<sim::SimResult> Workbench::simulate(const platform::UseCase& uc,
                                            const sim::SimOptions& opts) {
   Timer timer;
   Report<sim::SimResult> report;
-  report.value = sim::simulate(sys_, uc, opts);
-  report.provenance = {"discrete-event simulation", report.value.events_processed,
-                       1, timer.ms()};
+  sim::SimEngine& engine = sim_engine();
+  engine.reset(uc);
+  report.value = engine.run(opts);
+  report.provenance = {"discrete-event simulation (cached engine)",
+                       report.value.events_processed, 1, timer.ms()};
   return report;
 }
 
@@ -217,6 +234,7 @@ Report<std::vector<UseCaseResult>> Workbench::sweep_use_cases(
   Timer timer;
   const prob::ContentionEstimator est(opts.estimator);
   auto& workers = worker_sets();
+  auto* sim_engines = opts.with_sim ? &sim_worker_engines() : nullptr;
 
   Report<std::vector<UseCaseResult>> report;
   report.value.resize(use_cases.size());
@@ -226,18 +244,26 @@ Report<std::vector<UseCaseResult>> Workbench::sweep_use_cases(
     // regardless of which worker computes it after which other items.
     dse::AnalysisWorkspace& ws = workers[w];
     const platform::UseCase& uc = use_cases[i];
-    const platform::System sub = sys_.restrict_to(uc);
+    // Zero-copy restriction: the estimator and the bounds read the selected
+    // applications through a view, the simulator through its remap tables —
+    // the per-use-case restrict_to deep copy is gone from the sweep.
+    const platform::SystemView view(sys_, uc);
     UseCaseResult& out = report.value[i];
     out.use_case = uc;
     {
       auto ptrs = engines_for(ws.engines, uc);
       out.estimates = est.estimate(
-          sub, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
+          view, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
     }
     if (opts.with_wcrt) {
       auto ptrs = engines_for(ws.engines, uc);
       out.bounds = wcrt::worst_case_bounds(
-          sub, opts.wcrt, std::span<analysis::ThroughputEngine* const>(ptrs));
+          view, opts.wcrt, std::span<analysis::ThroughputEngine* const>(ptrs));
+    }
+    if (sim_engines != nullptr) {
+      sim::SimEngine& se = (*sim_engines)[w];
+      se.reset(uc);
+      out.sim = se.run(opts.sim);
     }
   });
   report.provenance = {"sweep: " + prob::method_name(opts.estimator.method),

@@ -11,6 +11,9 @@
 //   * one ThroughputEngine per application (self-loop closure, repetition
 //     vector, HSDF topology and structural verdicts cached once),
 //   * one cached HSDF expansion per application (latency / bottleneck),
+//   * one sim::SimEngine over the whole system (flat event-driven
+//     structure built once; every simulation query — full, per use-case,
+//     or inside a with_sim sweep — is a reset + run),
 //   * a persistent thread pool that shards independent evaluations —
 //     use-case sweeps and mapper candidate scoring — across workers with
 //     one engine-set clone per worker.
@@ -40,7 +43,9 @@
 #include "dse/buffer_explorer.h"
 #include "dse/mapper.h"
 #include "platform/system.h"
+#include "platform/system_view.h"
 #include "prob/estimator.h"
+#include "sim/sim_engine.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
 #include "wcrt/wcrt.h"
@@ -60,6 +65,9 @@ struct UseCaseResult {
   std::vector<prob::AppEstimate> estimates;
   /// Worst-case bounds (only when SweepOptions::with_wcrt).
   std::vector<wcrt::AppBound> bounds;
+  /// Reference simulation (only when SweepOptions::with_sim), apps in
+  /// use-case order — the paper's per-use-case validation sweep.
+  sim::SimResult sim;
 };
 
 struct SweepOptions {
@@ -67,6 +75,10 @@ struct SweepOptions {
   /// Also compute the worst-case (Analyzed Worst Case) bound per use-case.
   bool with_wcrt = false;
   wcrt::WcrtOptions wcrt;
+  /// Also run the reference discrete-event simulation per use-case, on the
+  /// worker's session-cached SimEngine (reset per use-case, never rebuilt).
+  bool with_sim = false;
+  sim::SimOptions sim;
 };
 
 class Workbench {
@@ -115,7 +127,10 @@ class Workbench {
   [[nodiscard]] Report<std::vector<wcrt::AppBound>> wcrt(
       const platform::UseCase& uc, const wcrt::WcrtOptions& opts = {});
 
-  /// Reference discrete-event simulation (== sim::simulate).
+  /// Reference discrete-event simulation (== sim::simulate), on the
+  /// session's cached SimEngine: the first call flattens the system once,
+  /// every further call is a reset + run. Use-case runs restrict through
+  /// the engine's id remap tables — no restrict_to copy, no rebuild.
   [[nodiscard]] Report<sim::SimResult> simulate(const sim::SimOptions& opts = {});
   [[nodiscard]] Report<sim::SimResult> simulate(const platform::UseCase& uc,
                                                 const sim::SimOptions& opts = {});
@@ -157,6 +172,10 @@ class Workbench {
   /// a system clone whose mapping may be rebound, plus one engine clone per
   /// application. Built lazily, reused by every sharded query.
   std::vector<dse::AnalysisWorkspace>& worker_sets();
+  /// The session's simulation engine (lazy; structure flattened once).
+  sim::SimEngine& sim_engine();
+  /// One SimEngine clone per pool worker for with_sim sweeps (lazy).
+  std::vector<sim::SimEngine>& sim_worker_engines();
 
   platform::System sys_;
   std::vector<analysis::ThroughputEngine> engines_;  // one per application
@@ -164,6 +183,8 @@ class Workbench {
   std::vector<std::uint8_t> hsdf_ready_;
   util::ThreadPool pool_;
   std::vector<dse::AnalysisWorkspace> workers_;      // lazy, for sharded queries
+  std::vector<sim::SimEngine> sim_engine_;           // lazy, 0 or 1 entries
+  std::vector<sim::SimEngine> sim_workers_;          // lazy, for with_sim sweeps
 };
 
 }  // namespace procon::api

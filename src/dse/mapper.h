@@ -77,11 +77,13 @@ struct AnalysisWorkspace {
 ///
 /// Deprecated entry point: prefer api::Workbench::optimise_mapping, which
 /// reuses the session's cached engines and thread pool across queries.
-[[nodiscard]] MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
-                                            const platform::Platform& platform,
-                                            const platform::Mapping& start,
-                                            const MapperOptions& options = {},
-                                            util::ThreadPool* pool = nullptr);
+[[deprecated("one-shot shim; use api::Workbench::optimise_mapping or the "
+             "workspace overload")]] [[nodiscard]]
+MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
+                              const platform::Platform& platform,
+                              const platform::Mapping& start,
+                              const MapperOptions& options = {},
+                              util::ThreadPool* pool = nullptr);
 
 /// Variant with caller-owned scoring state: `workspaces[w]` serves pool
 /// worker w. At least one is required; sharding needs one per pool worker

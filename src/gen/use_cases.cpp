@@ -67,4 +67,12 @@ std::vector<UseCase> sample_use_cases(std::size_t app_count, std::size_t per_siz
   return out;
 }
 
+std::vector<platform::SystemView> restrict_views(
+    const platform::System& sys, std::span<const UseCase> use_cases) {
+  std::vector<platform::SystemView> views;
+  views.reserve(use_cases.size());
+  for (const UseCase& uc : use_cases) views.emplace_back(sys, uc);
+  return views;
+}
+
 }  // namespace procon::gen

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "platform/system.h"
+#include "platform/system_view.h"
 #include "util/rng.h"
 
 namespace procon::gen {
@@ -27,5 +29,11 @@ namespace procon::gen {
 [[nodiscard]] std::vector<platform::UseCase> sample_use_cases(std::size_t app_count,
                                                               std::size_t per_size,
                                                               util::Rng& rng);
+
+/// Zero-copy restriction views for a batch of use-cases over one system —
+/// what a sweep iterates instead of per-use-case restrict_to copies. The
+/// views borrow `sys`, which must outlive them.
+[[nodiscard]] std::vector<platform::SystemView> restrict_views(
+    const platform::System& sys, std::span<const platform::UseCase> use_cases);
 
 }  // namespace procon::gen

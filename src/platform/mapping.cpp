@@ -21,6 +21,15 @@ void Mapping::assign(sdf::AppId app, sdf::ActorId actor, NodeId node) {
   node_of_[app][actor] = node;
 }
 
+void Mapping::push_app(const std::vector<NodeId>& nodes) {
+  node_of_.push_back(nodes);
+}
+
+void Mapping::pop_app() {
+  if (node_of_.empty()) throw std::out_of_range("Mapping::pop_app: no applications");
+  node_of_.pop_back();
+}
+
 NodeId Mapping::node_of(sdf::AppId app, sdf::ActorId actor) const {
   if (app >= node_of_.size() || actor >= node_of_[app].size()) {
     throw std::out_of_range("Mapping::node_of: invalid actor");

@@ -34,6 +34,14 @@ class Mapping {
   /// Assigns one actor.
   void assign(sdf::AppId app, sdf::ActorId actor, NodeId node);
 
+  /// Appends one application's row (actor a -> nodes[a]). Pairs with
+  /// System::append_app for run-time admission, where the admitted set grows
+  /// one application at a time.
+  void push_app(const std::vector<NodeId>& nodes);
+
+  /// Removes the last application's row. Throws std::out_of_range if empty.
+  void pop_app();
+
   [[nodiscard]] NodeId node_of(sdf::AppId app, sdf::ActorId actor) const;
   [[nodiscard]] std::size_t app_count() const noexcept { return node_of_.size(); }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "platform/system_view.h"
+
 #include "sdf/algorithms.h"
 #include "sdf/repetition.h"
 
@@ -23,19 +25,21 @@ const sdf::Graph& System::app(sdf::AppId id) const {
 }
 
 System System::restrict_to(const UseCase& use_case) const {
-  std::vector<sdf::Graph> apps;
-  apps.reserve(use_case.size());
-  for (const sdf::AppId id : use_case) {
-    apps.push_back(app(id));  // bounds-checked
+  return SystemView(*this, use_case).materialise();
+}
+
+void System::append_app(sdf::Graph app, const std::vector<NodeId>& nodes) {
+  if (nodes.size() != app.actor_count()) {
+    throw sdf::GraphError("System::append_app: mapping size mismatch");
   }
-  Mapping m(apps);
-  for (sdf::AppId newid = 0; newid < use_case.size(); ++newid) {
-    const sdf::AppId oldid = use_case[newid];
-    for (sdf::ActorId a = 0; a < apps[newid].actor_count(); ++a) {
-      m.assign(newid, a, mapping_.node_of(oldid, a));
-    }
-  }
-  return System(std::move(apps), platform_, std::move(m));
+  apps_.push_back(std::move(app));
+  mapping_.push_app(nodes);
+}
+
+void System::pop_app() {
+  if (apps_.empty()) throw std::out_of_range("System::pop_app: no applications");
+  apps_.pop_back();
+  mapping_.pop_app();
 }
 
 UseCase System::full_use_case() const {

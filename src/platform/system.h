@@ -34,7 +34,22 @@ class System {
 
   /// Restriction of this system to a use-case: keeps only the selected
   /// applications (re-indexed 0..k-1) and their mapping entries.
+  ///
+  /// This is the *copying* restriction, kept for callers that need a
+  /// standalone System (implemented as SystemView::materialise). Analysis
+  /// and simulation paths should restrict through a zero-copy
+  /// platform::SystemView instead (see platform/system_view.h).
   [[nodiscard]] System restrict_to(const UseCase& use_case) const;
+
+  /// Appends one application with actor a mapped on nodes[a] (run-time
+  /// admission: the admitted set grows in place, no re-copy of the resident
+  /// applications). Throws sdf::GraphError on a mapping size mismatch.
+  /// Invalidates SystemViews over this system.
+  void append_app(sdf::Graph app, const std::vector<NodeId>& nodes);
+
+  /// Removes the most recently appended application (what-if rollback).
+  /// Throws std::out_of_range when there is none.
+  void pop_app();
 
   /// The use-case containing every application.
   [[nodiscard]] UseCase full_use_case() const;

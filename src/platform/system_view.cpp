@@ -1,0 +1,94 @@
+#include "platform/system_view.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sdf/algorithms.h"
+
+namespace procon::platform {
+
+namespace {
+
+UseCase identity_use_case(const System& sys) {
+  UseCase uc(sys.app_count());
+  for (sdf::AppId i = 0; i < uc.size(); ++i) uc[i] = i;
+  return uc;
+}
+
+}  // namespace
+
+SystemView::SystemView(const System& sys) : SystemView(sys, identity_use_case(sys)) {}
+
+SystemView::SystemView(const System& sys, UseCase use_case)
+    : sys_(&sys), uc_(std::move(use_case)) {
+  actor_base_.reserve(uc_.size() + 1);
+  channel_base_.reserve(uc_.size() + 1);
+  std::uint32_t actors = 0;
+  std::uint32_t channels = 0;
+  for (const sdf::AppId id : uc_) {
+    const sdf::Graph& g = sys_->app(id);  // bounds-checked, throws out_of_range
+    actor_base_.push_back(actors);
+    channel_base_.push_back(channels);
+    actors += static_cast<std::uint32_t>(g.actor_count());
+    channels += static_cast<std::uint32_t>(g.channel_count());
+  }
+  actor_base_.push_back(actors);
+  channel_base_.push_back(channels);
+}
+
+sdf::AppId SystemView::app_of_actor(std::uint32_t flat) const {
+  if (flat >= actor_count()) {
+    throw std::out_of_range("SystemView::app_of_actor: flat id out of range");
+  }
+  const auto it =
+      std::upper_bound(actor_base_.begin(), actor_base_.end(), flat);
+  return static_cast<sdf::AppId>(it - actor_base_.begin() - 1);
+}
+
+System SystemView::materialise() const {
+  std::vector<sdf::Graph> apps;
+  apps.reserve(uc_.size());
+  for (const sdf::AppId id : uc_) apps.push_back(sys_->app(id));
+  Mapping m(apps);
+  for (sdf::AppId newid = 0; newid < uc_.size(); ++newid) {
+    for (sdf::ActorId a = 0; a < apps[newid].actor_count(); ++a) {
+      m.assign(newid, a, sys_->mapping().node_of(uc_[newid], a));
+    }
+  }
+  return System(std::move(apps), sys_->platform(), std::move(m));
+}
+
+void SystemView::validate() const {
+  if (sys_->mapping().app_count() != sys_->app_count()) {
+    throw sdf::GraphError("SystemView: mapping/application count mismatch");
+  }
+  for (sdf::AppId i = 0; i < uc_.size(); ++i) {
+    const sdf::Graph& g = app(i);
+    if (g.actor_count() == 0) {
+      throw sdf::GraphError("SystemView: application '" + g.name() + "' is empty");
+    }
+    if (!sdf::is_consistent(g)) {
+      throw sdf::GraphError("SystemView: application '" + g.name() +
+                            "' is inconsistent");
+    }
+    if (!sdf::is_deadlock_free(g)) {
+      throw sdf::GraphError("SystemView: application '" + g.name() + "' deadlocks");
+    }
+    for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
+      NodeId node;
+      try {
+        node = node_of(i, a);
+      } catch (const std::out_of_range&) {
+        // Mapping row shorter than the application: report it the way
+        // System::validate does, not as a raw index error.
+        throw sdf::GraphError("SystemView: mapping is incomplete for application '" +
+                              g.name() + "'");
+      }
+      if (node >= platform().node_count()) {
+        throw sdf::GraphError("SystemView: actor mapped to nonexistent node");
+      }
+    }
+  }
+}
+
+}  // namespace procon::platform

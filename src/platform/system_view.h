@@ -1,0 +1,92 @@
+// SystemView: a non-owning, index-remapped restriction of a System to a
+// UseCase — the zero-copy counterpart of System::restrict_to.
+//
+// A view holds only the parent pointer plus remap tables (view app id ->
+// parent app id, and flattened actor/channel offsets in view order); no
+// graph, platform or mapping data is copied. Consumers that used to pay a
+// full restrict_to deep copy per swept use-case (the estimator, the WCRT
+// bounds, the simulator, Workbench sweeps) read the selected applications
+// through the view instead. A full-system view (every application, in
+// order) is the identity remap, so the same code path serves restricted
+// and unrestricted queries.
+//
+// View-local ids: application i of the view is parent application
+// use_case()[i]; actor and channel ids stay app-local (restriction never
+// renumbers within an application), and the flattened actor/channel id
+// spaces (actor_base/channel_base) are in view order — exactly the
+// numbering a materialised restrict_to copy would produce.
+//
+// Lifetime: the view borrows the parent System, which must outlive it.
+// The parent must not be structurally modified (apps appended/removed)
+// while views over it are in use; rebinding the mapping in place
+// (System::set_mapping) is visible through the view, by design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "platform/system.h"
+
+namespace procon::platform {
+
+class SystemView {
+ public:
+  /// Full view: every application of `sys`, identity remap.
+  explicit SystemView(const System& sys);
+
+  /// Restriction to `use_case` (parent app ids; need not be sorted, must be
+  /// in range — throws std::out_of_range like restrict_to did). Entries are
+  /// remapped to view ids 0..k-1 in use-case order.
+  SystemView(const System& sys, UseCase use_case);
+
+  [[nodiscard]] const System& parent() const noexcept { return *sys_; }
+  /// View app id -> parent app id table (the use-case, verbatim).
+  [[nodiscard]] std::span<const sdf::AppId> use_case() const noexcept { return uc_; }
+
+  [[nodiscard]] std::size_t app_count() const noexcept { return uc_.size(); }
+  [[nodiscard]] sdf::AppId parent_app(sdf::AppId view_app) const { return uc_.at(view_app); }
+  [[nodiscard]] const sdf::Graph& app(sdf::AppId view_app) const {
+    return sys_->app(uc_.at(view_app));
+  }
+  [[nodiscard]] const Platform& platform() const noexcept { return sys_->platform(); }
+  /// Node of actor `actor` of view application `view_app`.
+  [[nodiscard]] NodeId node_of(sdf::AppId view_app, sdf::ActorId actor) const {
+    return sys_->mapping().node_of(uc_.at(view_app), actor);
+  }
+
+  // ---- flattened actor/channel id remap tables (view order) ---------------
+
+  /// Total actors over the selected applications.
+  [[nodiscard]] std::size_t actor_count() const noexcept { return actor_base_.back(); }
+  /// Total channels over the selected applications.
+  [[nodiscard]] std::size_t channel_count() const noexcept { return channel_base_.back(); }
+  /// First flat actor id of view application `view_app` (actor_base(k) ==
+  /// actor_count() for view_app == app_count()).
+  [[nodiscard]] std::uint32_t actor_base(sdf::AppId view_app) const {
+    return actor_base_.at(view_app);
+  }
+  [[nodiscard]] std::uint32_t channel_base(sdf::AppId view_app) const {
+    return channel_base_.at(view_app);
+  }
+  /// View application owning flat actor id `flat` (binary search).
+  [[nodiscard]] sdf::AppId app_of_actor(std::uint32_t flat) const;
+
+  /// Deep copy: a standalone System equal to what restrict_to returns
+  /// (graphs in view order, mapping rows remapped).
+  [[nodiscard]] System materialise() const;
+
+  /// Validation of the selected applications only: their mapping rows are
+  /// complete and in range, each selected app consistent & deadlock-free.
+  /// Throws sdf::GraphError on violation (matches System::validate on the
+  /// materialised restriction).
+  void validate() const;
+
+ private:
+  const System* sys_;
+  UseCase uc_;
+  std::vector<std::uint32_t> actor_base_;    // size app_count()+1
+  std::vector<std::uint32_t> channel_base_;  // size app_count()+1
+};
+
+}  // namespace procon::platform

@@ -72,17 +72,24 @@ void collect_others(const std::vector<NodeEntry>& entries, std::size_t self,
 
 std::vector<AppEstimate> ContentionEstimator::estimate(
     const platform::System& sys) const {
-  return estimate(sys, {});
+  return estimate(platform::SystemView(sys), {});
 }
 
 std::vector<AppEstimate> ContentionEstimator::estimate(
     const platform::System& sys, std::span<const sdf::ExecTimeModel> models) const {
+  return estimate(platform::SystemView(sys), models);
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::SystemView& view,
+    std::span<const sdf::ExecTimeModel> models) const {
   // One-shot call: build the per-application engines locally. Each engine
   // caches every structure-dependent analysis step; the Step-5 loop below
   // then only rewrites execution times per pass.
   std::vector<analysis::ThroughputEngine> engines;
-  engines.reserve(sys.app_count());
-  for (const sdf::Graph& app : sys.apps()) {
+  engines.reserve(view.app_count());
+  for (sdf::AppId i = 0; i < view.app_count(); ++i) {
+    const sdf::Graph& app = view.app(i);
     try {
       engines.emplace_back(app);
     } catch (const sdf::GraphError&) {
@@ -90,7 +97,10 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
                             "' is inconsistent");
     }
   }
-  return estimate(sys, models, engines);
+  std::vector<analysis::ThroughputEngine*> ptrs;
+  ptrs.reserve(engines.size());
+  for (analysis::ThroughputEngine& e : engines) ptrs.push_back(&e);
+  return estimate(view, models, std::span<analysis::ThroughputEngine* const>(ptrs));
 }
 
 std::vector<AppEstimate> ContentionEstimator::estimate(
@@ -99,72 +109,80 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
   std::vector<analysis::ThroughputEngine*> ptrs;
   ptrs.reserve(engines.size());
   for (analysis::ThroughputEngine& e : engines) ptrs.push_back(&e);
-  return estimate(sys, models, std::span<analysis::ThroughputEngine* const>(ptrs));
+  return estimate(platform::SystemView(sys), models,
+                  std::span<analysis::ThroughputEngine* const>(ptrs));
 }
 
 std::vector<AppEstimate> ContentionEstimator::estimate(
     const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
     std::span<analysis::ThroughputEngine* const> engines) const {
-  const auto apps = sys.apps();
-  if (!models.empty() && models.size() != apps.size()) {
+  return estimate(platform::SystemView(sys), models, engines);
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+    std::span<analysis::ThroughputEngine* const> engines) const {
+  const std::size_t napps = view.app_count();
+  if (!models.empty() && models.size() != napps) {
     throw sdf::GraphError("estimate: execution-time model count mismatch");
   }
-  if (engines.size() != apps.size()) {
+  if (engines.size() != napps) {
     throw sdf::GraphError("estimate: engine count mismatch");
   }
-  std::vector<AppEstimate> out(apps.size());
+  std::vector<AppEstimate> out(napps);
   // Mean execution time per actor (equals the graph's fixed times for the
   // deterministic model).
-  std::vector<std::vector<double>> means(apps.size());
+  std::vector<std::vector<double>> means(napps);
 
   // Step 1: isolation periods (repetition vectors are cached in the engines).
-  for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    if (engines[i]->actor_count() != apps[i].actor_count()) {
+  for (sdf::AppId i = 0; i < napps; ++i) {
+    const sdf::Graph& app = view.app(i);
+    if (engines[i]->actor_count() != app.actor_count()) {
       throw sdf::GraphError("estimate: engine does not match application '" +
-                            apps[i].name() + "'");
+                            app.name() + "'");
     }
     if (!models.empty()) {
-      if (models[i].size() != apps[i].actor_count()) {
+      if (models[i].size() != app.actor_count()) {
         throw sdf::GraphError("estimate: execution-time model size mismatch");
       }
-      means[i].reserve(apps[i].actor_count());
+      means[i].reserve(app.actor_count());
       for (const auto& dist : models[i]) means[i].push_back(dist.mean());
     }
     const auto iso = engines[i]->recompute(means[i]);
     if (iso.deadlocked || iso.period <= 0.0) {
-      throw sdf::GraphError("estimate: application '" + apps[i].name() +
+      throw sdf::GraphError("estimate: application '" + app.name() +
                             "' has no positive isolation period");
     }
     out[i].isolation_period = iso.period;
     out[i].estimated_period = iso.period;  // starting point for iteration
-    out[i].actors.resize(apps[i].actor_count());
+    out[i].actors.resize(app.actor_count());
   }
 
   std::vector<ActorLoad> others;  // scratch, reused across actors and passes
   for (int pass = 0; pass < opts_.iterations; ++pass) {
     // Step 2: per-actor loads from the current period estimates.
-    std::vector<std::vector<ActorLoad>> loads(apps.size());
-    for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    std::vector<std::vector<ActorLoad>> loads(napps);
+    for (sdf::AppId i = 0; i < napps; ++i) {
       const sdf::RepetitionVector& q = engines[i]->repetition_vector();
       loads[i] = models.empty()
-                     ? derive_loads(apps[i], q, out[i].estimated_period)
-                     : derive_loads_stochastic(apps[i], q,
+                     ? derive_loads(view.app(i), q, out[i].estimated_period)
+                     : derive_loads_stochastic(view.app(i), q,
                                                out[i].estimated_period, models[i]);
     }
 
     // Step 3: group by node.
-    std::vector<std::vector<NodeEntry>> per_node(sys.platform().node_count());
-    for (sdf::AppId i = 0; i < apps.size(); ++i) {
-      for (sdf::ActorId a = 0; a < apps[i].actor_count(); ++a) {
-        const platform::NodeId node = sys.mapping().node_of(i, a);
+    std::vector<std::vector<NodeEntry>> per_node(view.platform().node_count());
+    for (sdf::AppId i = 0; i < napps; ++i) {
+      for (sdf::ActorId a = 0; a < view.app(i).actor_count(); ++a) {
+        const platform::NodeId node = view.node_of(i, a);
         per_node[node].push_back(NodeEntry{{i, a}, loads[i][a]});
       }
     }
 
     // Step 4: waiting and response times.
-    std::vector<std::vector<double>> response(apps.size());
-    for (sdf::AppId i = 0; i < apps.size(); ++i) {
-      response[i].resize(apps[i].actor_count(), 0.0);
+    std::vector<std::vector<double>> response(napps);
+    for (sdf::AppId i = 0; i < napps; ++i) {
+      response[i].resize(view.app(i).actor_count(), 0.0);
     }
     for (const auto& entries : per_node) {
       if (entries.empty()) continue;
@@ -196,7 +214,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
         }
         const double mean_exec =
             means[e.who.app].empty()
-                ? static_cast<double>(apps[e.who.app].actor(e.who.actor).exec_time)
+                ? static_cast<double>(view.app(e.who.app).actor(e.who.actor).exec_time)
                 : means[e.who.app][e.who.actor];
         out[e.who.app].actors[e.who.actor].waiting_time = twait;
         response[e.who.app][e.who.actor] = mean_exec + twait;
@@ -207,7 +225,7 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
 
     // Step 5: periods of the response-time graphs — a warm-started weight
     // rewrite on the cached structure, not a fresh analysis.
-    for (sdf::AppId i = 0; i < apps.size(); ++i) {
+    for (sdf::AppId i = 0; i < napps; ++i) {
       const auto res = engines[i]->recompute(response[i]);
       if (res.deadlocked) {
         throw sdf::GraphError("estimate: response-time graph deadlocks");

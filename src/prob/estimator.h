@@ -28,6 +28,7 @@
 
 #include "analysis/engine.h"
 #include "platform/system.h"
+#include "platform/system_view.h"
 #include "prob/compose.h"
 #include "prob/load.h"
 #include "prob/waiting_time.h"
@@ -86,15 +87,34 @@ class ContentionEstimator {
   /// Deprecated one-shot shim: builds fresh engines per call. Repeated
   /// callers should use api::Workbench::contention / sweep_use_cases, which
   /// return the same bits from session-cached engines.
-  [[nodiscard]] std::vector<AppEstimate> estimate(const platform::System& sys) const;
+  [[deprecated("one-shot shim; use api::Workbench::contention or the "
+               "SystemView/engine overloads")]] [[nodiscard]]
+  std::vector<AppEstimate> estimate(const platform::System& sys) const;
 
   /// Stochastic variant (Section 6 extension): one execution-time model per
   /// application, one distribution per actor. Means drive the throughput
   /// analysis, residual-life times drive mu; with all-constant models this
   /// is identical to estimate(sys).
-  [[nodiscard]] std::vector<AppEstimate> estimate(
+  [[deprecated("one-shot shim; use api::Workbench::contention or the "
+               "SystemView/engine overloads")]] [[nodiscard]]
+  std::vector<AppEstimate> estimate(
       const platform::System& sys,
       std::span<const sdf::ExecTimeModel> models) const;
+
+  /// Zero-copy restriction variant: runs the algorithm on the applications
+  /// selected by `view` (view/use-case order), reading graphs and mapping
+  /// rows through the view — no restrict_to copy. Builds fresh engines for
+  /// the selected applications; repeated callers should pass engines.
+  [[nodiscard]] std::vector<AppEstimate> estimate(
+      const platform::SystemView& view,
+      std::span<const sdf::ExecTimeModel> models = {}) const;
+
+  /// View variant with caller-owned engines: engines[i] must have been built
+  /// from view.app(i). This is the core implementation every other overload
+  /// funnels into.
+  [[nodiscard]] std::vector<AppEstimate> estimate(
+      const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+      std::span<analysis::ThroughputEngine* const> engines) const;
 
   /// Same algorithm, but all period analyses go through caller-owned
   /// ThroughputEngines (one per application of `sys`, in order). Callers

@@ -1,0 +1,427 @@
+#include "sim/sim_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sdf/repetition.h"
+
+namespace procon::sim {
+
+using platform::NodeId;
+using sdf::ActorId;
+using sdf::AppId;
+using sdf::Time;
+
+namespace {
+constexpr std::uint32_t kNoActor = UINT32_MAX;
+constexpr std::uint32_t kInactive = UINT32_MAX;
+}  // namespace
+
+SimEngine::SimEngine(const platform::System& sys) {
+  sys.validate();
+  build(platform::SystemView(sys));
+  reset();
+}
+
+SimEngine::SimEngine(const platform::SystemView& view) {
+  view.validate();
+  build(view);
+  reset();
+}
+
+void SimEngine::build(const platform::SystemView& view) {
+  node_count_ = static_cast<std::uint32_t>(view.platform().node_count());
+
+  // Flatten actors and channels over every selected application; adjacency
+  // is gathered in per-actor buckets first, then packed into CSR arrays.
+  std::vector<std::vector<std::uint32_t>> in_of;
+  std::vector<std::vector<std::uint32_t>> out_of;
+  std::uint32_t chan_base = 0;
+  for (AppId i = 0; i < view.app_count(); ++i) {
+    const sdf::Graph& g = view.app(i);
+    app_actor_base_.push_back(actor_count_);
+    const auto q = sdf::compute_repetition_vector(g);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+      app_of_.push_back(i);
+      local_of_.push_back(a);
+      exec_.push_back(g.actor(a).exec_time);
+      node_of_.push_back(view.node_of(i, a));
+      reps_.push_back((*q)[a]);
+      in_of.emplace_back();
+      out_of.emplace_back();
+      ++actor_count_;
+    }
+    for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
+      const sdf::Channel& ch = g.channel(c);
+      const std::uint32_t cid = chan_base + c;
+      init_tokens_.push_back(ch.initial_tokens);
+      chan_cons_.push_back(ch.cons_rate);
+      chan_prod_.push_back(ch.prod_rate);
+      chan_dst_.push_back(app_actor_base_[i] + ch.dst);
+      in_of[app_actor_base_[i] + ch.dst].push_back(cid);
+      out_of[app_actor_base_[i] + ch.src].push_back(cid);
+    }
+    chan_base += static_cast<std::uint32_t>(g.channel_count());
+  }
+  app_actor_base_.push_back(actor_count_);
+
+  const auto pack = [this](const std::vector<std::vector<std::uint32_t>>& lists,
+                           std::vector<std::uint32_t>& start,
+                           std::vector<std::uint32_t>& flat) {
+    start.assign(actor_count_ + 1, 0);
+    std::uint32_t total = 0;
+    for (std::uint32_t a = 0; a < actor_count_; ++a) {
+      start[a] = total;
+      total += static_cast<std::uint32_t>(lists[a].size());
+    }
+    start[actor_count_] = total;
+    flat.reserve(total);
+    for (const auto& l : lists) flat.insert(flat.end(), l.begin(), l.end());
+  };
+  pack(in_of, in_start_, in_list_);
+  pack(out_of, out_start_, out_list_);
+
+  // Preallocate everything sized by static structure so resets never grow.
+  tokens_.resize(init_tokens_.size());
+  state_.resize(actor_count_);
+  ready_time_.resize(actor_count_);
+  slot_len_.resize(actor_count_);
+  dist_.resize(actor_count_);
+  completions_.resize(actor_count_);
+  actor_stats_.resize(actor_count_);
+  active_index_.resize(view.app_count());
+  wheel_.resize(node_count_);
+  fcfs_queue_.resize(node_count_);
+  fcfs_head_.resize(node_count_);
+  rr_next_.resize(node_count_);
+  node_busy_.resize(node_count_);
+  node_busy_time_.resize(node_count_);
+  events_.reserve(actor_count_ + 16);
+}
+
+void SimEngine::reset() {
+  platform::UseCase all(app_count());
+  for (AppId i = 0; i < all.size(); ++i) all[i] = i;
+  reset(all);
+}
+
+void SimEngine::reset(const platform::UseCase& uc) {
+  std::fill(active_index_.begin(), active_index_.end(), kInactive);
+  for (std::uint32_t j = 0; j < uc.size(); ++j) {
+    if (uc[j] >= app_count()) {
+      throw sdf::GraphError("SimEngine::reset: use-case references unknown application");
+    }
+    if (active_index_[uc[j]] != kInactive) {
+      throw sdf::GraphError("SimEngine::reset: duplicate application in use-case");
+    }
+    active_index_[uc[j]] = j;
+  }
+  active_ = uc;
+
+  // Dynamic state back to time zero; capacities survive.
+  std::copy(init_tokens_.begin(), init_tokens_.end(), tokens_.begin());
+  std::fill(state_.begin(), state_.end(), ActorState::Idle);
+  std::fill(ready_time_.begin(), ready_time_.end(), Time{0});
+  std::fill(rr_next_.begin(), rr_next_.end(), std::size_t{0});
+  std::fill(node_busy_.begin(), node_busy_.end(), std::uint8_t{0});
+  std::fill(node_busy_time_.begin(), node_busy_time_.end(), Time{0});
+  std::fill(completions_.begin(), completions_.end(), std::uint64_t{0});
+  std::fill(actor_stats_.begin(), actor_stats_.end(), ActorStats{});
+  for (auto& q : fcfs_queue_) q.clear();
+  std::fill(fcfs_head_.begin(), fcfs_head_.end(), std::size_t{0});
+  events_.clear();
+  next_seq_ = 0;
+  trace_.clear();
+  app_iterations_.assign(active_.size(), 0);
+  iteration_times_.assign(active_.size(), {});
+
+  // Arbitration rings: active actors only, in use-case order — the exact
+  // push order a fresh build of the materialised restriction would produce,
+  // so round-robin scans and TDMA wheels tie-break identically.
+  for (auto& w : wheel_) w.clear();
+  for (const AppId app : active_) {
+    for (std::uint32_t a = app_actor_base_[app]; a < app_actor_base_[app + 1]; ++a) {
+      wheel_[node_of_[a]].push_back(a);
+    }
+  }
+  armed_ = true;
+}
+
+void SimEngine::bind_options(const SimOptions& opts) {
+  std::fill(dist_.begin(), dist_.end(), nullptr);
+  if (!opts.exec_models.empty()) {
+    if (opts.exec_models.size() != active_.size()) {
+      throw sdf::GraphError("simulate: execution-time model count mismatch");
+    }
+    for (std::uint32_t j = 0; j < active_.size(); ++j) {
+      const sdf::ExecTimeModel& model = opts.exec_models[j];
+      const AppId app = active_[j];
+      const std::uint32_t base = app_actor_base_[app];
+      if (model.size() != app_actor_base_[app + 1] - base) {
+        throw sdf::GraphError("simulate: execution-time model size mismatch");
+      }
+      for (std::uint32_t a = base; a < app_actor_base_[app + 1]; ++a) {
+        dist_[a] = &model[a - base];
+      }
+    }
+  }
+  for (const AppId app : active_) {
+    for (std::uint32_t a = app_actor_base_[app]; a < app_actor_base_[app + 1]; ++a) {
+      slot_len_[a] = opts.tdma_slot > 0 ? opts.tdma_slot
+                                        : std::max<Time>(exec_[a], 1);
+    }
+  }
+  sample_rng_ = util::Rng(opts.sample_seed);
+}
+
+SimResult SimEngine::run(const SimOptions& opts) {
+  if (opts.horizon <= 0) {
+    throw std::invalid_argument("simulate: horizon must be > 0");
+  }
+  if (!armed_) {
+    throw sdf::GraphError("SimEngine::run: reset() required between runs");
+  }
+  // Copy only the scalar option fields; the stochastic models are bound by
+  // pointer (dist_) from the caller's options, which outlive this
+  // synchronous run — no per-run deep copy of the model tables.
+  opts_.horizon = opts.horizon;
+  opts_.arbitration = opts.arbitration;
+  opts_.tdma_slot = opts.tdma_slot;
+  opts_.warmup_fraction = opts.warmup_fraction;
+  opts_.min_iterations = opts.min_iterations;
+  opts_.max_events = opts.max_events;
+  opts_.sample_seed = opts.sample_seed;
+  opts_.collect_trace = opts.collect_trace;
+  bind_options(opts);
+  armed_ = false;  // dynamic state is about to be spent
+
+  // Seed: everything that can fire at t = 0 requests its node, in the same
+  // order a fresh restricted build would (use-case order, then local id).
+  for (const AppId app : active_) {
+    for (std::uint32_t a = app_actor_base_[app]; a < app_actor_base_[app + 1]; ++a) {
+      try_enqueue(a, 0);
+    }
+  }
+  for (NodeId n = 0; n < node_count_; ++n) try_dispatch(n, 0);
+
+  const std::uint64_t max_events =
+      opts_.max_events ? opts_.max_events : 200'000'000ULL;
+  std::uint64_t processed = 0;
+  while (!events_.empty() && processed < max_events) {
+    const Event ev = events_.front();
+    if (ev.time > opts_.horizon) break;
+    std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+    events_.pop_back();
+    ++processed;
+    on_completion(ev.actor, ev.time);
+  }
+  return finalise(processed);
+}
+
+Time SimEngine::draw_exec(std::uint32_t a) {
+  return dist_[a] != nullptr ? dist_[a]->sample(sample_rng_) : exec_[a];
+}
+
+bool SimEngine::inputs_available(std::uint32_t a) const {
+  for (std::uint32_t k = in_start_[a]; k < in_start_[a + 1]; ++k) {
+    const std::uint32_t c = in_list_[k];
+    if (tokens_[c] < chan_cons_[c]) return false;
+  }
+  return true;
+}
+
+void SimEngine::consume_inputs(std::uint32_t a) {
+  for (std::uint32_t k = in_start_[a]; k < in_start_[a + 1]; ++k) {
+    const std::uint32_t c = in_list_[k];
+    tokens_[c] -= chan_cons_[c];
+  }
+}
+
+void SimEngine::schedule_completion(std::uint32_t a, Time t) {
+  events_.push_back(Event{t, next_seq_++, a});
+  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+}
+
+std::pair<Time, Time> SimEngine::tdma_completion(std::uint32_t a, Time t,
+                                                 Time demand) const {
+  const auto& wheel = wheel_[node_of_[a]];
+  Time wheel_period = 0;
+  Time offset = 0;
+  for (const std::uint32_t member : wheel) {
+    if (member == a) offset = wheel_period;
+    wheel_period += slot_len_[member];
+  }
+  const Time s = slot_len_[a];
+  Time remaining = demand;
+  // First wheel turn whose slot has not entirely passed.
+  Time m = (t - offset) / wheel_period;
+  if (t > m * wheel_period + offset + s) ++m;
+  if (m < 0) m = 0;
+  Time start = -1;
+  Time now = t;
+  while (remaining > 0) {
+    const Time slot_begin = m * wheel_period + offset;
+    const Time slot_end = slot_begin + s;
+    const Time from = std::max(now, slot_begin);
+    if (from < slot_end) {
+      if (start < 0) start = from;
+      const Time avail = slot_end - from;
+      if (remaining <= avail) return {start, from + remaining};
+      remaining -= avail;
+      now = slot_end;
+    }
+    ++m;
+  }
+  return {start < 0 ? t : start, t};  // zero execution time: instant
+}
+
+void SimEngine::try_enqueue(std::uint32_t a, Time t) {
+  if (state_[a] != ActorState::Idle || !inputs_available(a)) return;
+  ready_time_[a] = t;
+  if (opts_.arbitration == Arbitration::Tdma) {
+    // TDMA is contention-free per construction: service time computable
+    // in closed form, no queueing against other actors.
+    consume_inputs(a);
+    state_[a] = ActorState::Running;
+    const Time demand = draw_exec(a);
+    const auto [start, done] = tdma_completion(a, t, demand);
+    if (opts_.collect_trace) {
+      trace_.push_back(TraceEvent{start, done, active_index_[app_of_[a]],
+                                  local_of_[a], node_of_[a]});
+    }
+    actor_stats_[a].total_waiting += start - t;
+    actor_stats_[a].total_service += demand;
+    // Busy accounting: exec units actually served, clipped at the horizon.
+    node_busy_time_[node_of_[a]] +=
+        std::min<Time>(demand, std::max<Time>(0, opts_.horizon - start));
+    schedule_completion(a, done);
+    return;
+  }
+  state_[a] = ActorState::Queued;
+  if (opts_.arbitration == Arbitration::Fcfs) {
+    fcfs_queue_[node_of_[a]].push_back(a);
+  }
+}
+
+std::uint32_t SimEngine::pick_next(NodeId node) {
+  if (opts_.arbitration == Arbitration::Fcfs) {
+    auto& q = fcfs_queue_[node];
+    std::size_t& head = fcfs_head_[node];
+    if (head == q.size()) return kNoActor;
+    const std::uint32_t a = q[head++];
+    // Amortised compaction keeps the served prefix from growing without
+    // bound on long runs while staying O(1) per pop.
+    if (head >= 4096 && head * 2 >= q.size()) {
+      q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    return a;
+  }
+  // Round-robin: scan the wheel from the cursor for a queued actor.
+  const auto& wheel = wheel_[node];
+  for (std::size_t k = 0; k < wheel.size(); ++k) {
+    const std::size_t pos = (rr_next_[node] + k) % wheel.size();
+    if (state_[wheel[pos]] == ActorState::Queued) {
+      rr_next_[node] = (pos + 1) % wheel.size();
+      return wheel[pos];
+    }
+  }
+  return kNoActor;
+}
+
+void SimEngine::try_dispatch(NodeId node, Time t) {
+  if (opts_.arbitration == Arbitration::Tdma) return;  // nothing to do
+  if (node_busy_[node]) return;
+  const std::uint32_t a = pick_next(node);
+  if (a == kNoActor) return;
+  consume_inputs(a);
+  state_[a] = ActorState::Running;
+  node_busy_[node] = 1;
+  const Time demand = draw_exec(a);
+  if (opts_.collect_trace) {
+    trace_.push_back(TraceEvent{t, t + demand, active_index_[app_of_[a]],
+                                local_of_[a], node});
+  }
+  actor_stats_[a].total_waiting += t - ready_time_[a];
+  actor_stats_[a].total_service += demand;
+  node_busy_time_[node] +=
+      std::min(t + demand, opts_.horizon) - std::min(t, opts_.horizon);
+  schedule_completion(a, t + demand);
+}
+
+void SimEngine::on_completion(std::uint32_t a, Time t) {
+  // Produce outputs.
+  for (std::uint32_t k = out_start_[a]; k < out_start_[a + 1]; ++k) {
+    const std::uint32_t c = out_list_[k];
+    tokens_[c] += chan_prod_[c];
+  }
+  state_[a] = ActorState::Idle;
+  ++completions_[a];
+  ++actor_stats_[a].firings;
+  update_iterations(active_index_[app_of_[a]], t);
+
+  if (opts_.arbitration != Arbitration::Tdma) node_busy_[node_of_[a]] = 0;
+
+  // The finished actor may immediately be ready again, then every
+  // consumer of the produced tokens.
+  try_enqueue(a, t);
+  for (std::uint32_t k = out_start_[a]; k < out_start_[a + 1]; ++k) {
+    try_enqueue(chan_dst_[out_list_[k]], t);
+  }
+
+  // Serve the node this actor released, and the nodes of any consumers
+  // that just became ready.
+  try_dispatch(node_of_[a], t);
+  for (std::uint32_t k = out_start_[a]; k < out_start_[a + 1]; ++k) {
+    try_dispatch(node_of_[chan_dst_[out_list_[k]]], t);
+  }
+}
+
+void SimEngine::update_iterations(std::uint32_t active_app, Time t) {
+  const AppId app = active_[active_app];
+  const std::uint32_t base = app_actor_base_[app];
+  const std::uint32_t end = app_actor_base_[app + 1];
+  std::uint64_t iters = ~0ULL;
+  for (std::uint32_t a = base; a < end; ++a) {
+    iters = std::min(iters, completions_[a] / reps_[a]);
+  }
+  while (app_iterations_[active_app] < iters) {
+    ++app_iterations_[active_app];
+    iteration_times_[active_app].push_back(t);
+  }
+}
+
+SimResult SimEngine::finalise(std::uint64_t processed) {
+  SimResult result;
+  result.horizon = opts_.horizon;
+  result.events_processed = processed;
+  result.apps.resize(active_.size());
+  for (std::uint32_t j = 0; j < active_.size(); ++j) {
+    AppSimResult& app = result.apps[j];
+    app.iteration_times = std::move(iteration_times_[j]);
+    const std::uint32_t base = app_actor_base_[active_[j]];
+    const std::uint32_t end = app_actor_base_[active_[j] + 1];
+    app.actors.assign(actor_stats_.begin() + base, actor_stats_.begin() + end);
+    finalise_app_metrics(app, opts_.warmup_fraction, opts_.min_iterations);
+  }
+  result.trace = std::move(trace_);
+  trace_ = {};
+  result.node_utilisation.resize(node_count_);
+  for (NodeId n = 0; n < node_count_; ++n) {
+    result.node_utilisation[n] =
+        opts_.horizon > 0
+            ? static_cast<double>(node_busy_time_[n]) / static_cast<double>(opts_.horizon)
+            : 0.0;
+  }
+  return result;
+}
+
+SimResult simulate(const platform::SystemView& view, const SimOptions& opts) {
+  if (opts.horizon <= 0) {
+    throw std::invalid_argument("simulate: horizon must be > 0");
+  }
+  SimEngine engine(view);
+  return engine.run(opts);
+}
+
+}  // namespace procon::sim

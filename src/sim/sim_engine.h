@@ -1,0 +1,178 @@
+// SimEngine: the discrete-event simulator as a constructed-once,
+// resettable engine (the cached-structure treatment that
+// analysis::ThroughputEngine gave the period analysis).
+//
+// Construction flattens the whole System once into static tables — flat
+// actor/channel arrays with CSR in/out adjacency, per-node arbitration
+// rings, per-app repetition counts — and validates it once. After that,
+// repeated simulations only clear dynamic state:
+//
+//   SimEngine engine(sys);          // O(system): flatten + validate
+//   engine.reset();                 // arm a full-system run
+//   SimResult full = engine.run({});
+//   engine.reset({0, 2});           // arm a use-case-restricted run
+//   SimResult uc = engine.run({});  // == simulate(sys.restrict_to({0,2}))
+//
+// reset(uc) restricts zero-copy: it activates the selected applications via
+// the flat-id remap tables (no graph or mapping copies, no revalidation)
+// and rebuilds the active arbitration rings in use-case order, so event
+// creation order — and therefore every tie-break — matches a fresh
+// simulation of the materialised restriction exactly. Results are bitwise
+// identical to sim::simulate on the equivalent (restricted) System; the
+// free function is now a thin shim over this class.
+//
+// The event queue and per-node ready lists are preallocated and kept
+// across resets (capacity survives, contents cleared), so a reset is
+// O(actors + channels + nodes), never O(events).
+//
+// An engine is a mutable session object: not thread-safe. Sharded callers
+// (api::Workbench sweeps) keep one engine per worker. Copying an engine
+// clones its cached structure — that is how worker clones are made.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/system.h"
+#include "platform/system_view.h"
+#include "sdf/exec_time.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace procon::sim {
+
+class SimEngine {
+ public:
+  /// Flattens and validates `sys` (throws sdf::GraphError on validate()
+  /// failures). The system is copied into flat tables; the engine does not
+  /// retain a reference. Arms a full-system run (no reset() needed before
+  /// the first run()).
+  explicit SimEngine(const platform::System& sys);
+
+  /// Builds the engine over the applications a restriction view selects —
+  /// only those are validated and flattened (O(restriction), like building
+  /// from the materialised copy, without the copy). Duplicate view entries
+  /// become independent flat applications, exactly as restrict_to would
+  /// duplicate the graph. The engine's application ids are the *view's*
+  /// ids 0..k-1; reset(uc) indexes that space. The view (and its parent)
+  /// are not retained.
+  explicit SimEngine(const platform::SystemView& view);
+
+  /// Number of applications of the underlying system.
+  [[nodiscard]] std::size_t app_count() const noexcept {
+    return app_actor_base_.size() - 1;
+  }
+  /// Applications active in the currently armed/last run, in use-case order.
+  [[nodiscard]] const platform::UseCase& active_use_case() const noexcept {
+    return active_;
+  }
+
+  /// Arms a full-system run: every application active, all dynamic state
+  /// cleared (tokens to initial marking, queues and metrics emptied).
+  void reset();
+
+  /// Arms a run restricted to `uc` (parent app ids, unique, in range —
+  /// throws sdf::GraphError otherwise). Results are indexed in use-case
+  /// order, exactly like simulate(sys.restrict_to(uc), opts).
+  void reset(const platform::UseCase& uc);
+
+  /// Runs until the horizon and returns the results. Consumes the armed
+  /// state: a second run() without an intervening reset() throws
+  /// sdf::GraphError (dynamic state is spent, rerunning it would not be a
+  /// simulation from time zero). Throws std::invalid_argument for a
+  /// non-positive horizon and sdf::GraphError for execution-time model
+  /// mismatches (opts.exec_models entries pair with *active* applications,
+  /// in use-case order).
+  [[nodiscard]] SimResult run(const SimOptions& opts = {});
+
+ private:
+  enum class ActorState : std::uint8_t { Idle, Queued, Running };
+
+  struct Event {
+    sdf::Time time = 0;
+    std::uint64_t seq = 0;  // creation order; makes simultaneous events stable
+    std::uint32_t actor = 0;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void build(const platform::SystemView& view);
+  void bind_options(const SimOptions& opts);
+
+  [[nodiscard]] sdf::Time draw_exec(std::uint32_t a);
+  [[nodiscard]] bool inputs_available(std::uint32_t a) const;
+  void consume_inputs(std::uint32_t a);
+  void schedule_completion(std::uint32_t a, sdf::Time t);
+  [[nodiscard]] std::pair<sdf::Time, sdf::Time> tdma_completion(
+      std::uint32_t a, sdf::Time t, sdf::Time demand) const;
+  void try_enqueue(std::uint32_t a, sdf::Time t);
+  [[nodiscard]] std::uint32_t pick_next(platform::NodeId node);
+  void try_dispatch(platform::NodeId node, sdf::Time t);
+  void on_completion(std::uint32_t a, sdf::Time t);
+  void update_iterations(std::uint32_t active_app, sdf::Time t);
+  [[nodiscard]] SimResult finalise(std::uint64_t processed);
+
+  // --- static structure (built once per system) ----------------------------
+  std::uint32_t actor_count_ = 0;  // flat actors over *all* applications
+  std::uint32_t node_count_ = 0;
+  std::vector<std::uint32_t> app_actor_base_;  // app -> first flat actor (size A+1)
+  std::vector<sdf::AppId> app_of_;             // flat actor -> parent app
+  std::vector<sdf::ActorId> local_of_;         // flat actor -> app-local id
+  std::vector<sdf::Time> exec_;                // flat actor -> tau
+  std::vector<platform::NodeId> node_of_;      // flat actor -> node
+  std::vector<std::uint64_t> reps_;            // flat actor -> q(a)
+
+  // Channels, flattened, with CSR in/out adjacency per actor.
+  std::vector<std::uint64_t> init_tokens_;     // flat channel -> initial marking
+  std::vector<std::uint32_t> chan_cons_;       // consumption rate
+  std::vector<std::uint32_t> chan_prod_;       // production rate
+  std::vector<std::uint32_t> chan_dst_;        // consumer flat actor
+  std::vector<std::uint32_t> in_start_;        // actor -> offset (size actors+1)
+  std::vector<std::uint32_t> in_list_;         // flat channel ids
+  std::vector<std::uint32_t> out_start_;
+  std::vector<std::uint32_t> out_list_;
+
+  // --- per-reset state (active restriction) --------------------------------
+  platform::UseCase active_;                   // active apps, use-case order
+  std::vector<std::uint32_t> active_index_;    // parent app -> active slot or ~0
+  std::vector<std::vector<std::uint32_t>> wheel_;  // node -> active actors (ring)
+  bool armed_ = false;
+
+  // --- per-run option bindings ---------------------------------------------
+  SimOptions opts_;  // scalar fields only; models are bound through dist_
+  std::vector<sdf::Time> slot_len_;            // flat actor -> TDMA slot
+  std::vector<const sdf::ExecTimeDistribution*> dist_;  // nullptr = fixed time
+  util::Rng sample_rng_{0};
+
+  // --- dynamic state (cleared by reset, capacity kept) ---------------------
+  std::vector<std::uint64_t> tokens_;
+  std::vector<ActorState> state_;
+  std::vector<sdf::Time> ready_time_;
+  /// Per-node FCFS ready list: a vector + head cursor (pop never shrinks,
+  /// reset rewinds), so steady-state operation does not allocate.
+  std::vector<std::vector<std::uint32_t>> fcfs_queue_;
+  std::vector<std::size_t> fcfs_head_;
+  std::vector<std::size_t> rr_next_;           // node -> wheel cursor
+  std::vector<std::uint8_t> node_busy_;
+  std::vector<sdf::Time> node_busy_time_;
+  std::vector<Event> events_;                  // binary min-heap (std::*_heap)
+  std::uint64_t next_seq_ = 0;
+
+  // Metrics (flat-actor arrays are full-size; per-app arrays are active-size).
+  std::vector<std::uint64_t> completions_;
+  std::vector<ActorStats> actor_stats_;
+  std::vector<std::uint64_t> app_iterations_;        // per active app
+  std::vector<std::vector<sdf::Time>> iteration_times_;  // per active app
+  std::vector<TraceEvent> trace_;
+};
+
+/// Runs the applications selected by a zero-copy restriction view. Results
+/// are indexed in view order, exactly like simulate(view.materialise()).
+[[nodiscard]] SimResult simulate(const platform::SystemView& view,
+                                 const SimOptions& opts = {});
+
+}  // namespace procon::sim

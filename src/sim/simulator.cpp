@@ -1,368 +1,28 @@
+// Thin one-shot shims over sim::SimEngine, which owns the actual
+// event-driven run loop and all cached structure (see sim/sim_engine.h).
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <deque>
-#include <queue>
 #include <stdexcept>
-#include <vector>
 
-#include "sdf/repetition.h"
-#include "util/rng.h"
+#include "sim/sim_engine.h"
 
 namespace procon::sim {
-namespace {
-
-using platform::NodeId;
-using sdf::ActorId;
-using sdf::AppId;
-using sdf::Time;
-
-enum class ActorState : std::uint8_t { Idle, Queued, Running };
-
-struct Event {
-  Time time = 0;
-  std::uint64_t seq = 0;  // creation order; makes simultaneous events stable
-  std::uint32_t actor = 0;
-
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-/// Flattened view of the system plus all mutable execution state.
-class Engine {
- public:
-  Engine(const platform::System& sys, const SimOptions& opts)
-      : sys_(sys), opts_(opts), sample_rng_(opts.sample_seed) {
-    build();
-  }
-
-  SimResult run() {
-    // Seed: everything that can fire at t = 0 requests its node.
-    for (std::uint32_t a = 0; a < actor_count_; ++a) try_enqueue(a, 0);
-    for (NodeId n = 0; n < node_count_; ++n) try_dispatch(n, 0);
-
-    const std::uint64_t max_events =
-        opts_.max_events ? opts_.max_events : 200'000'000ULL;
-    std::uint64_t processed = 0;
-    while (!events_.empty() && processed < max_events) {
-      const Event ev = events_.top();
-      if (ev.time > opts_.horizon) break;
-      events_.pop();
-      ++processed;
-      on_completion(ev.actor, ev.time);
-    }
-    return finalise(processed);
-  }
-
- private:
-  // --- static tables -------------------------------------------------------
-  const platform::System& sys_;
-  const SimOptions opts_;
-
-  std::uint32_t actor_count_ = 0;
-  std::uint32_t node_count_ = 0;
-  std::vector<std::uint32_t> app_actor_base_;    // app -> first global actor
-  std::vector<AppId> app_of_;                    // global actor -> app
-  std::vector<ActorId> local_of_;                // global actor -> local id
-  std::vector<Time> exec_;                       // global actor -> tau
-  std::vector<NodeId> node_of_;                  // global actor -> node
-  std::vector<std::uint64_t> reps_;              // global actor -> q(a)
-
-  // Channels, flattened: tokens plus, per actor, in/out channel index lists.
-  std::vector<std::uint64_t> tokens_;
-  std::vector<std::uint32_t> chan_cons_;   // consumption rate
-  std::vector<std::uint32_t> chan_prod_;   // production rate
-  std::vector<std::uint32_t> chan_dst_;    // consumer global actor
-  std::vector<std::vector<std::uint32_t>> in_of_;   // actor -> channel ids
-  std::vector<std::vector<std::uint32_t>> out_of_;  // actor -> channel ids
-
-  std::vector<std::vector<std::uint32_t>> wheel_;   // node -> mapped actors
-  std::vector<Time> slot_len_;                      // global actor -> TDMA slot
-  std::vector<const sdf::ExecTimeDistribution*> dist_;  // nullptr = fixed time
-  util::Rng sample_rng_;
-
-  // --- mutable state -------------------------------------------------------
-  std::vector<ActorState> state_;
-  std::vector<Time> ready_time_;
-  std::vector<std::deque<std::uint32_t>> fcfs_queue_;  // node -> waiting actors
-  std::vector<std::size_t> rr_next_;                   // node -> wheel cursor
-  std::vector<bool> node_busy_;
-  std::vector<Time> node_busy_time_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::uint64_t next_seq_ = 0;
-
-  // Metrics.
-  std::vector<std::uint64_t> completions_;            // per global actor
-  std::vector<std::uint64_t> app_iterations_;         // per app
-  std::vector<std::vector<Time>> iteration_times_;    // per app
-  std::vector<ActorStats> actor_stats_;               // per global actor
-  std::vector<TraceEvent> trace_;
-
-  void build() {
-    sys_.validate();
-    const auto apps = sys_.apps();
-    node_count_ = static_cast<std::uint32_t>(sys_.platform().node_count());
-
-    std::uint32_t chan_base = 0;
-    for (AppId i = 0; i < apps.size(); ++i) {
-      const sdf::Graph& g = apps[i];
-      app_actor_base_.push_back(actor_count_);
-      const auto q = sdf::compute_repetition_vector(g);
-      for (ActorId a = 0; a < g.actor_count(); ++a) {
-        app_of_.push_back(i);
-        local_of_.push_back(a);
-        exec_.push_back(g.actor(a).exec_time);
-        node_of_.push_back(sys_.mapping().node_of(i, a));
-        reps_.push_back((*q)[a]);
-        in_of_.emplace_back();
-        out_of_.emplace_back();
-        ++actor_count_;
-      }
-      for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
-        const sdf::Channel& ch = g.channel(c);
-        const std::uint32_t cid = chan_base + c;
-        tokens_.push_back(ch.initial_tokens);
-        chan_cons_.push_back(ch.cons_rate);
-        chan_prod_.push_back(ch.prod_rate);
-        chan_dst_.push_back(app_actor_base_[i] + ch.dst);
-        in_of_[app_actor_base_[i] + ch.dst].push_back(cid);
-        out_of_[app_actor_base_[i] + ch.src].push_back(cid);
-      }
-      chan_base += static_cast<std::uint32_t>(g.channel_count());
-      app_iterations_.push_back(0);
-      iteration_times_.emplace_back();
-    }
-
-    wheel_.resize(node_count_);
-    for (std::uint32_t a = 0; a < actor_count_; ++a) {
-      wheel_[node_of_[a]].push_back(a);
-      slot_len_.push_back(opts_.tdma_slot > 0 ? opts_.tdma_slot
-                                              : std::max<Time>(exec_[a], 1));
-    }
-
-    dist_.assign(actor_count_, nullptr);
-    if (opts_.exec_models != nullptr) {
-      if (opts_.exec_models->size() != apps.size()) {
-        throw sdf::GraphError("simulate: execution-time model count mismatch");
-      }
-      for (std::uint32_t a = 0; a < actor_count_; ++a) {
-        const auto& model = (*opts_.exec_models)[app_of_[a]];
-        if (model.size() != apps[app_of_[a]].actor_count()) {
-          throw sdf::GraphError("simulate: execution-time model size mismatch");
-        }
-        dist_[a] = &model[local_of_[a]];
-      }
-    }
-
-    state_.assign(actor_count_, ActorState::Idle);
-    ready_time_.assign(actor_count_, 0);
-    fcfs_queue_.resize(node_count_);
-    rr_next_.assign(node_count_, 0);
-    node_busy_.assign(node_count_, false);
-    node_busy_time_.assign(node_count_, 0);
-    completions_.assign(actor_count_, 0);
-    actor_stats_.assign(actor_count_, ActorStats{});
-  }
-
-  /// Service demand of the next firing: fixed, or drawn from the model.
-  [[nodiscard]] Time draw_exec(std::uint32_t a) {
-    return dist_[a] != nullptr ? dist_[a]->sample(sample_rng_) : exec_[a];
-  }
-
-  [[nodiscard]] bool inputs_available(std::uint32_t a) const {
-    for (const std::uint32_t c : in_of_[a]) {
-      if (tokens_[c] < chan_cons_[c]) return false;
-    }
-    return true;
-  }
-
-  void consume_inputs(std::uint32_t a) {
-    for (const std::uint32_t c : in_of_[a]) tokens_[c] -= chan_cons_[c];
-  }
-
-  void schedule_completion(std::uint32_t a, Time t) {
-    events_.push(Event{t, next_seq_++, a});
-  }
-
-  /// TDMA: earliest time actor `a` accumulates `demand` units of service
-  /// using only its own slot on its node's wheel, starting no earlier
-  /// than t. Returns {service_start, completion}.
-  [[nodiscard]] std::pair<Time, Time> tdma_completion(std::uint32_t a, Time t,
-                                                      Time demand) const {
-    const auto& wheel = wheel_[node_of_[a]];
-    Time wheel_period = 0;
-    Time offset = 0;
-    for (const std::uint32_t member : wheel) {
-      if (member == a) offset = wheel_period;
-      wheel_period += slot_len_[member];
-    }
-    const Time s = slot_len_[a];
-    Time remaining = demand;
-    // First wheel turn whose slot has not entirely passed.
-    Time m = (t - offset) / wheel_period;
-    if (t > m * wheel_period + offset + s) ++m;
-    if (m < 0) m = 0;
-    Time start = -1;
-    Time now = t;
-    while (remaining > 0) {
-      const Time slot_begin = m * wheel_period + offset;
-      const Time slot_end = slot_begin + s;
-      const Time from = std::max(now, slot_begin);
-      if (from < slot_end) {
-        if (start < 0) start = from;
-        const Time avail = slot_end - from;
-        if (remaining <= avail) return {start, from + remaining};
-        remaining -= avail;
-        now = slot_end;
-      }
-      ++m;
-    }
-    return {start < 0 ? t : start, t};  // zero execution time: instant
-  }
-
-  void try_enqueue(std::uint32_t a, Time t) {
-    if (state_[a] != ActorState::Idle || !inputs_available(a)) return;
-    ready_time_[a] = t;
-    if (opts_.arbitration == Arbitration::Tdma) {
-      // TDMA is contention-free per construction: service time computable
-      // in closed form, no queueing against other actors.
-      consume_inputs(a);
-      state_[a] = ActorState::Running;
-      const Time demand = draw_exec(a);
-      const auto [start, done] = tdma_completion(a, t, demand);
-      if (opts_.collect_trace) {
-        trace_.push_back(TraceEvent{start, done, app_of_[a], local_of_[a],
-                                    node_of_[a]});
-      }
-      actor_stats_[a].total_waiting += start - t;
-      actor_stats_[a].total_service += demand;
-      // Busy accounting: exec units actually served, clipped at the horizon.
-      node_busy_time_[node_of_[a]] +=
-          std::min<Time>(demand, std::max<Time>(0, opts_.horizon - start));
-      schedule_completion(a, done);
-      return;
-    }
-    state_[a] = ActorState::Queued;
-    if (opts_.arbitration == Arbitration::Fcfs) {
-      fcfs_queue_[node_of_[a]].push_back(a);
-    }
-  }
-
-  /// Picks the next actor to serve on `node`, or UINT32_MAX.
-  [[nodiscard]] std::uint32_t pick_next(NodeId node) {
-    if (opts_.arbitration == Arbitration::Fcfs) {
-      auto& q = fcfs_queue_[node];
-      if (q.empty()) return UINT32_MAX;
-      const std::uint32_t a = q.front();
-      q.pop_front();
-      return a;
-    }
-    // Round-robin: scan the wheel from the cursor for a queued actor.
-    const auto& wheel = wheel_[node];
-    for (std::size_t k = 0; k < wheel.size(); ++k) {
-      const std::size_t pos = (rr_next_[node] + k) % wheel.size();
-      if (state_[wheel[pos]] == ActorState::Queued) {
-        rr_next_[node] = (pos + 1) % wheel.size();
-        return wheel[pos];
-      }
-    }
-    return UINT32_MAX;
-  }
-
-  void try_dispatch(NodeId node, Time t) {
-    if (opts_.arbitration == Arbitration::Tdma) return;  // nothing to do
-    if (node_busy_[node]) return;
-    const std::uint32_t a = pick_next(node);
-    if (a == UINT32_MAX) return;
-    consume_inputs(a);
-    state_[a] = ActorState::Running;
-    node_busy_[node] = true;
-    const Time demand = draw_exec(a);
-    if (opts_.collect_trace) {
-      trace_.push_back(TraceEvent{t, t + demand, app_of_[a], local_of_[a], node});
-    }
-    actor_stats_[a].total_waiting += t - ready_time_[a];
-    actor_stats_[a].total_service += demand;
-    node_busy_time_[node] +=
-        std::min(t + demand, opts_.horizon) - std::min(t, opts_.horizon);
-    schedule_completion(a, t + demand);
-  }
-
-  void on_completion(std::uint32_t a, Time t) {
-    // Produce outputs.
-    for (const std::uint32_t c : out_of_[a]) tokens_[c] += chan_prod_[c];
-    state_[a] = ActorState::Idle;
-    ++completions_[a];
-    ++actor_stats_[a].firings;
-    update_iterations(app_of_[a], t);
-
-    if (opts_.arbitration != Arbitration::Tdma) node_busy_[node_of_[a]] = false;
-
-    // The finished actor may immediately be ready again, then every
-    // consumer of the produced tokens.
-    try_enqueue(a, t);
-    for (const std::uint32_t c : out_of_[a]) try_enqueue(chan_dst_[c], t);
-
-    // Serve the node this actor released, and the nodes of any consumers
-    // that just became ready.
-    try_dispatch(node_of_[a], t);
-    for (const std::uint32_t c : out_of_[a]) try_dispatch(node_of_[chan_dst_[c]], t);
-  }
-
-  void update_iterations(AppId app, Time t) {
-    const std::uint32_t base = app_actor_base_[app];
-    const std::uint32_t end = app + 1 < app_actor_base_.size()
-                                  ? app_actor_base_[app + 1]
-                                  : actor_count_;
-    std::uint64_t iters = ~0ULL;
-    for (std::uint32_t a = base; a < end; ++a) {
-      iters = std::min(iters, completions_[a] / reps_[a]);
-    }
-    while (app_iterations_[app] < iters) {
-      ++app_iterations_[app];
-      iteration_times_[app].push_back(t);
-    }
-  }
-
-  SimResult finalise(std::uint64_t processed) {
-    SimResult result;
-    result.horizon = opts_.horizon;
-    result.events_processed = processed;
-    result.apps.resize(sys_.app_count());
-    for (AppId i = 0; i < sys_.app_count(); ++i) {
-      AppSimResult& app = result.apps[i];
-      app.iteration_times = std::move(iteration_times_[i]);
-      const std::uint32_t base = app_actor_base_[i];
-      const std::uint32_t end =
-          i + 1 < app_actor_base_.size() ? app_actor_base_[i + 1] : actor_count_;
-      app.actors.assign(actor_stats_.begin() + base, actor_stats_.begin() + end);
-      finalise_app_metrics(app, opts_.warmup_fraction, opts_.min_iterations);
-    }
-    result.trace = std::move(trace_);
-    result.node_utilisation.resize(node_count_);
-    for (NodeId n = 0; n < node_count_; ++n) {
-      result.node_utilisation[n] =
-          opts_.horizon > 0
-              ? static_cast<double>(node_busy_time_[n]) / static_cast<double>(opts_.horizon)
-              : 0.0;
-    }
-    return result;
-  }
-};
-
-}  // namespace
 
 SimResult simulate(const platform::System& sys, const SimOptions& opts) {
   if (opts.horizon <= 0) throw std::invalid_argument("simulate: horizon must be > 0");
-  Engine engine(sys, opts);
-  return engine.run();
+  SimEngine engine(sys);
+  return engine.run(opts);
 }
 
 SimResult simulate(const platform::System& sys, const platform::UseCase& uc,
                    const SimOptions& opts) {
-  return simulate(sys.restrict_to(uc), opts);
+  if (opts.horizon <= 0) throw std::invalid_argument("simulate: horizon must be > 0");
+  // Build over the restriction view: only the selected applications are
+  // validated and flattened — restrict_to semantics (including duplicate
+  // entries, which become independent flat applications), restrict_to cost
+  // minus the deep copy.
+  SimEngine engine(platform::SystemView(sys, uc));
+  return engine.run(opts);
 }
 
 }  // namespace procon::sim

@@ -39,9 +39,11 @@ struct SimOptions {
   std::uint64_t max_events = 0;     ///< safety cap (0 = derived from horizon)
 
   /// Stochastic execution times (Section 6 extension): one model per
-  /// application, one distribution per actor. nullptr = the graphs' fixed
-  /// times. The pointed-to vector must outlive the simulate() call.
-  const std::vector<sdf::ExecTimeModel>* exec_models = nullptr;
+  /// (active) application, one distribution per actor. Empty = the graphs'
+  /// fixed times. Stored by value — the options own their models, so there
+  /// is no lifetime coupling to the caller (the former const-pointer field
+  /// dangled whenever the pointed-to vector died before the run).
+  std::vector<sdf::ExecTimeModel> exec_models = {};
   std::uint64_t sample_seed = 0x5EED;  ///< seed for execution-time sampling
 
   /// Record every service interval into SimResult::trace (costs memory
@@ -51,12 +53,20 @@ struct SimOptions {
 
 /// Runs all applications of `sys` concurrently until the horizon.
 /// Throws sdf::GraphError on invalid systems (validate() failures).
+///
+/// One-shot convenience shim over sim::SimEngine (sim/sim_engine.h):
+/// builds the engine's cached structure per call. Repeated simulations of
+/// one system (sweeps, stochastic replications) should construct a
+/// SimEngine once and reset()+run() it — identical results, without the
+/// per-call flatten/validate.
 [[nodiscard]] SimResult simulate(const platform::System& sys,
                                  const SimOptions& opts = {});
 
 /// Runs only the applications of one use-case (the restriction the paper's
 /// per-use-case reference sweeps simulate). Results are indexed in
-/// use-case order, exactly as simulate(sys.restrict_to(uc), opts).
+/// use-case order, exactly as simulate(sys.restrict_to(uc), opts) — but
+/// restricted zero-copy through the engine's id remap tables, without the
+/// restrict_to deep copy.
 [[nodiscard]] SimResult simulate(const platform::System& sys,
                                  const platform::UseCase& uc,
                                  const SimOptions& opts = {});

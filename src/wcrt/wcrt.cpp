@@ -25,36 +25,42 @@ double wcrt_tdma(double own_exec, double own_slot,
 std::vector<AppBound> worst_case_bounds(const platform::System& sys,
                                         const WcrtOptions& opts) {
   // One-shot call: build the per-application engines locally and delegate.
-  const auto apps = sys.apps();
   std::vector<analysis::ThroughputEngine> engines;
-  engines.reserve(apps.size());
-  for (const sdf::Graph& g : apps) engines.emplace_back(g);
+  engines.reserve(sys.app_count());
+  for (const sdf::Graph& g : sys.apps()) engines.emplace_back(g);
   std::vector<analysis::ThroughputEngine*> ptrs;
   ptrs.reserve(engines.size());
   for (analysis::ThroughputEngine& e : engines) ptrs.push_back(&e);
-  return worst_case_bounds(sys, opts,
+  return worst_case_bounds(platform::SystemView(sys), opts,
                            std::span<analysis::ThroughputEngine* const>(ptrs));
 }
 
 std::vector<AppBound> worst_case_bounds(
     const platform::System& sys, const WcrtOptions& opts,
     std::span<analysis::ThroughputEngine* const> engines) {
-  const auto apps = sys.apps();
-  if (engines.size() != apps.size()) {
+  return worst_case_bounds(platform::SystemView(sys), opts, engines);
+}
+
+std::vector<AppBound> worst_case_bounds(
+    const platform::SystemView& view, const WcrtOptions& opts,
+    std::span<analysis::ThroughputEngine* const> engines) {
+  const std::size_t napps = view.app_count();
+  if (engines.size() != napps) {
     throw sdf::GraphError("worst_case_bounds: engine count mismatch");
   }
-  std::vector<AppBound> out(apps.size());
+  std::vector<AppBound> out(napps);
 
   // The isolation and worst-case periods below are two weight assignments
   // over each engine's cached structure.
-  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+  for (sdf::AppId i = 0; i < napps; ++i) {
     const auto iso = engines[i]->recompute();
     if (iso.deadlocked || iso.period <= 0.0) {
-      throw sdf::GraphError("worst_case_bounds: application '" + apps[i].name() +
+      throw sdf::GraphError("worst_case_bounds: application '" +
+                            view.app(i).name() +
                             "' has no positive isolation period");
     }
     out[i].isolation_period = iso.period;
-    out[i].actors.resize(apps[i].actor_count());
+    out[i].actors.resize(view.app(i).actor_count());
   }
 
   // Group actor execution times (and TDMA slots) per node.
@@ -63,19 +69,19 @@ std::vector<AppBound> worst_case_bounds(
     double exec;
     double slot;
   };
-  std::vector<std::vector<Entry>> per_node(sys.platform().node_count());
-  for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    for (sdf::ActorId a = 0; a < apps[i].actor_count(); ++a) {
-      const auto exec = static_cast<double>(apps[i].actor(a).exec_time);
+  std::vector<std::vector<Entry>> per_node(view.platform().node_count());
+  for (sdf::AppId i = 0; i < napps; ++i) {
+    for (sdf::ActorId a = 0; a < view.app(i).actor_count(); ++a) {
+      const auto exec = static_cast<double>(view.app(i).actor(a).exec_time);
       const double slot =
           opts.tdma_slot > 0 ? static_cast<double>(opts.tdma_slot) : exec;
-      per_node[sys.mapping().node_of(i, a)].push_back(Entry{{i, a}, exec, slot});
+      per_node[view.node_of(i, a)].push_back(Entry{{i, a}, exec, slot});
     }
   }
 
-  std::vector<std::vector<double>> response(apps.size());
-  for (sdf::AppId i = 0; i < apps.size(); ++i) {
-    response[i].resize(apps[i].actor_count(), 0.0);
+  std::vector<std::vector<double>> response(napps);
+  for (sdf::AppId i = 0; i < napps; ++i) {
+    response[i].resize(view.app(i).actor_count(), 0.0);
   }
   for (const auto& entries : per_node) {
     for (std::size_t s = 0; s < entries.size(); ++s) {
@@ -102,7 +108,7 @@ std::vector<AppBound> worst_case_bounds(
     }
   }
 
-  for (sdf::AppId i = 0; i < apps.size(); ++i) {
+  for (sdf::AppId i = 0; i < napps; ++i) {
     const auto res = engines[i]->recompute(response[i]);
     if (res.deadlocked) {
       throw sdf::GraphError("worst_case_bounds: response-time graph deadlocks");

@@ -23,6 +23,7 @@
 
 #include "analysis/engine.h"
 #include "platform/system.h"
+#include "platform/system_view.h"
 #include "sdf/types.h"
 
 namespace procon::wcrt {
@@ -58,8 +59,10 @@ struct AppBound {
 ///
 /// Deprecated one-shot shim: builds fresh engines per call; prefer
 /// api::Workbench::wcrt (same bits, session-cached engines).
-[[nodiscard]] std::vector<AppBound> worst_case_bounds(const platform::System& sys,
-                                                      const WcrtOptions& opts = {});
+[[deprecated("one-shot shim; use api::Workbench::wcrt or the SystemView/engine "
+             "overloads")]] [[nodiscard]]
+std::vector<AppBound> worst_case_bounds(const platform::System& sys,
+                                        const WcrtOptions& opts = {});
 
 /// Same analysis through caller-owned engines (engines[i] built from
 /// apps()[i] of `sys`): the isolation and worst-case periods are two weight
@@ -68,6 +71,14 @@ struct AppBound {
 /// bound queries instead of re-paying structure per call.
 [[nodiscard]] std::vector<AppBound> worst_case_bounds(
     const platform::System& sys, const WcrtOptions& opts,
+    std::span<analysis::ThroughputEngine* const> engines);
+
+/// Zero-copy restriction variant: bounds for the applications selected by
+/// `view` (view order), engines[i] built from view.app(i). The core
+/// implementation every other overload funnels into — a Workbench sweep
+/// passes a per-use-case view instead of a restrict_to copy.
+[[nodiscard]] std::vector<AppBound> worst_case_bounds(
+    const platform::SystemView& view, const WcrtOptions& opts,
     std::span<analysis::ThroughputEngine* const> engines);
 
 /// The raw per-actor WCRT for one actor given the execution times of the

@@ -148,5 +148,83 @@ TEST(Admission, NodeLoadInvalidIdThrows) {
   EXPECT_THROW((void)ctrl.node_load(5), std::out_of_range);
 }
 
+TEST(Admission, WhatIfAdmitMatchesRequestWithoutCommitting) {
+  AdmissionController ctrl(platform::Platform::homogeneous(3));
+  const auto a = fig2_graph_a();
+  const auto b = fig2_graph_b();
+  ASSERT_TRUE(ctrl.request(a, index_mapping(a), QoS{400.0}).admitted);
+
+  // Probe the exact request that would be granted: same verdict and
+  // predictions as request(), but nothing changes.
+  const WhatIfReport would = ctrl.what_if_admit(b, index_mapping(b), QoS{400.0});
+  EXPECT_TRUE(would.admissible);
+  EXPECT_EQ(ctrl.admitted_count(), 1u);
+
+  const Decision real = ctrl.request(b, index_mapping(b), QoS{400.0});
+  ASSERT_TRUE(real.admitted);
+  EXPECT_EQ(would.predicted_period, real.predicted_period);
+  ASSERT_EQ(would.peer_periods.size(), real.peer_periods.size());
+  for (std::size_t i = 0; i < would.peer_periods.size(); ++i) {
+    EXPECT_EQ(would.peer_periods[i], real.peer_periods[i]);
+  }
+  // The full report covers active apps + candidate (last), and matches the
+  // batch estimator over the committed system bit for bit.
+  ASSERT_EQ(would.estimates.size(), 2u);
+  const auto batch =
+      prob::ContentionEstimator().estimate(ctrl.snapshot_system());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(would.estimates[i].isolation_period, batch[i].isolation_period);
+    EXPECT_EQ(would.estimates[i].estimated_period, batch[i].estimated_period);
+  }
+}
+
+TEST(Admission, WhatIfAdmitRejectionLeavesStateUntouched) {
+  AdmissionController ctrl(platform::Platform::homogeneous(3));
+  const auto a = fig2_graph_a();
+  const auto b = fig2_graph_b();
+  ASSERT_TRUE(ctrl.request(a, index_mapping(a), QoS{310.0}).admitted);
+
+  // B would break A's tight QoS: the probe reports it, nothing mutates.
+  const WhatIfReport would =
+      ctrl.what_if_admit(b, index_mapping(b), QoS{1000.0});
+  EXPECT_FALSE(would.admissible);
+  EXPECT_NE(would.reason.find("'A'"), std::string::npos);
+  EXPECT_EQ(ctrl.admitted_count(), 1u);
+  // The composites are untouched: the real request reproduces the verdict.
+  EXPECT_FALSE(ctrl.request(b, index_mapping(b), QoS{1000.0}).admitted);
+  // Probing repeatedly never leaks candidate state into the store.
+  for (int i = 0; i < 3; ++i) {
+    (void)ctrl.what_if_admit(b, index_mapping(b), QoS{1000.0});
+  }
+  EXPECT_EQ(ctrl.admitted_count(), 1u);
+  EXPECT_NO_THROW((void)ctrl.snapshot_system().validate());
+}
+
+TEST(Admission, WhatIfRemovePredictsReliefWithoutRemoving) {
+  AdmissionController ctrl(platform::Platform::homogeneous(3));
+  const auto a = fig2_graph_a();
+  const auto b = fig2_graph_b();
+  const Decision da = ctrl.request(a, index_mapping(a), QoS::no_requirement());
+  const Decision db = ctrl.request(b, index_mapping(b), QoS::no_requirement());
+  ASSERT_TRUE(da.admitted);
+  ASSERT_TRUE(db.admitted);
+
+  const WhatIfReport relief = ctrl.what_if_remove(*db.handle);
+  EXPECT_TRUE(relief.admissible);
+  EXPECT_EQ(ctrl.admitted_count(), 2u);  // nothing removed
+  ASSERT_EQ(relief.peer_periods.size(), 2u);
+  EXPECT_EQ(relief.peer_periods[*db.handle], 0.0);
+  // Alone again, A's predicted period returns to its isolation period.
+  EXPECT_NEAR(relief.peer_periods[*da.handle], 300.0, 1e-6);
+  ASSERT_EQ(relief.estimates.size(), 1u);
+  EXPECT_NEAR(relief.estimates[0].estimated_period, 300.0, 1e-6);
+
+  // The prediction matches what remove() actually produces.
+  ctrl.remove(*db.handle);
+  EXPECT_NEAR(ctrl.predicted_period(*da.handle), relief.peer_periods[*da.handle],
+              1e-9);
+  EXPECT_THROW((void)ctrl.what_if_remove(*db.handle), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace procon::admission

@@ -106,7 +106,7 @@ TEST(StochasticSim, ConstantModelsReproduceDeterministicRun) {
   const auto sys = fig2_system();
   const auto models = constant_models(sys);
   sim::SimOptions with_models{.horizon = 50'000};
-  with_models.exec_models = &models;
+  with_models.exec_models = models;
   const auto a = sim::simulate(sys, with_models);
   const auto b = sim::simulate(sys, sim::SimOptions{.horizon = 50'000});
   ASSERT_EQ(a.apps.size(), b.apps.size());
@@ -127,7 +127,7 @@ TEST(StochasticSim, SameSeedSameRun) {
     models.push_back(std::move(m));
   }
   sim::SimOptions opts{.horizon = 50'000};
-  opts.exec_models = &models;
+  opts.exec_models = models;
   opts.sample_seed = 1234;
   const auto a = sim::simulate(sys, opts);
   const auto b = sim::simulate(sys, opts);
@@ -159,7 +159,7 @@ TEST(StochasticSim, MeanPeriodNearMeanBasedAnalysis) {
     models.push_back(std::move(m));
   }
   sim::SimOptions opts{.horizon = 500'000};
-  opts.exec_models = &models;
+  opts.exec_models = models;
   const auto r = sim::simulate(sys, opts);
   ASSERT_TRUE(r.apps[0].converged);
   EXPECT_NEAR(r.apps[0].average_period, 300.0, 3.0);  // ~1% tolerance
@@ -171,7 +171,7 @@ TEST(StochasticSim, ModelMismatchThrows) {
   const auto sys = fig2_system();
   std::vector<ExecTimeModel> bad{sdf::constant_model(sys.app(0))};  // one model
   sim::SimOptions opts{.horizon = 1000};
-  opts.exec_models = &bad;
+  opts.exec_models = bad;
   EXPECT_THROW((void)sim::simulate(sys, opts), sdf::GraphError);
 }
 
@@ -191,7 +191,7 @@ TEST(StochasticEndToEnd, EstimateTracksStochasticSimulation) {
   }
   const auto est = ContentionEstimator().estimate(sys, models);
   sim::SimOptions opts{.horizon = 500'000};
-  opts.exec_models = &models;
+  opts.exec_models = models;
   const auto sim = sim::simulate(sys, opts);
   for (std::size_t i = 0; i < est.size(); ++i) {
     ASSERT_TRUE(sim.apps[i].converged);

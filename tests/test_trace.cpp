@@ -106,7 +106,7 @@ TEST_P(TraceProperty, NoOverlapOnRandomWorkloads) {
     }
     models.push_back(std::move(m));
   }
-  opts.exec_models = &models;
+  opts.exec_models = models;
   expect_no_node_overlap(simulate(sys, opts));
 }
 

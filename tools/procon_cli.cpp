@@ -339,10 +339,12 @@ int cmd_selftest() {
               analysis::compute_latency(wb.system().app(i)).latency);
   }
   const auto est = wb.contention();
-  const auto legacy = prob::ContentionEstimator().estimate(wb.system());
-  CLI_CHECK(est->size() == legacy.size());
+  // Independent path: one-shot engines over a full-system view.
+  const auto fresh =
+      prob::ContentionEstimator().estimate(platform::SystemView(wb.system()));
+  CLI_CHECK(est->size() == fresh.size());
   for (std::size_t i = 0; i < est->size(); ++i) {
-    CLI_CHECK((*est)[i].estimated_period == legacy[i].estimated_period);
+    CLI_CHECK((*est)[i].estimated_period == fresh[i].estimated_period);
   }
 
   // A sharded sweep must not depend on the worker count.
