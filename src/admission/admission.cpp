@@ -1,7 +1,10 @@
 #include "admission/admission.h"
 
+#include <algorithm>
+#include <functional>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "sdf/algorithms.h"
@@ -10,10 +13,63 @@ namespace procon::admission {
 
 using prob::Composite;
 
-AdmissionController::AdmissionController(platform::Platform platform)
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
+/// Structural fingerprint of a graph (name, actors, channels). Collisions
+/// are disambiguated by graphs_equal; no allocation.
+std::uint64_t graph_fingerprint(const sdf::Graph& g) noexcept {
+  std::uint64_t h = std::hash<std::string_view>{}(g.name());
+  h = mix(h, g.actor_count());
+  h = mix(h, g.channel_count());
+  for (const sdf::Actor& a : g.actors()) {
+    h = mix(h, std::hash<std::string_view>{}(a.name));
+    h = mix(h, static_cast<std::uint64_t>(a.exec_time));
+  }
+  for (const sdf::Channel& c : g.channels()) {
+    h = mix(h, c.src);
+    h = mix(h, c.dst);
+    h = mix(h, c.prod_rate);
+    h = mix(h, c.cons_rate);
+    h = mix(h, c.initial_tokens);
+  }
+  return h;
+}
+
+/// Exact structural equality (the fingerprint's tie-breaker); no allocation.
+bool graphs_equal(const sdf::Graph& a, const sdf::Graph& b) noexcept {
+  if (a.name() != b.name() || a.actor_count() != b.actor_count() ||
+      a.channel_count() != b.channel_count()) {
+    return false;
+  }
+  for (sdf::ActorId i = 0; i < a.actor_count(); ++i) {
+    const sdf::Actor& x = a.actor(i);
+    const sdf::Actor& y = b.actor(i);
+    if (x.name != y.name || x.exec_time != y.exec_time) return false;
+  }
+  for (sdf::ChannelId c = 0; c < a.channel_count(); ++c) {
+    const sdf::Channel& x = a.channel(c);
+    const sdf::Channel& y = b.channel(c);
+    if (x.src != y.src || x.dst != y.dst || x.prod_rate != y.prod_rate ||
+        x.cons_rate != y.cons_rate || x.initial_tokens != y.initial_tokens) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(platform::Platform platform,
+                                         std::size_t candidate_cache_capacity)
     : platform_(std::move(platform)),
-      store_({}, platform_, platform::Mapping(std::span<const sdf::Graph>{})) {
+      store_({}, platform_, platform::Mapping(std::span<const sdf::Graph>{})),
+      candidate_capacity_(std::max<std::size_t>(candidate_cache_capacity, 1)) {
   nodes_.assign(platform_.node_count(), Composite::identity());
+  candidates_.reserve(candidate_capacity_);
 }
 
 std::size_t AdmissionController::admitted_count() const noexcept {
@@ -43,25 +99,66 @@ platform::System AdmissionController::snapshot_system() const {
   return platform::SystemView(store_, active).materialise();
 }
 
-std::vector<Composite> AdmissionController::totals_with(
-    const sdf::Graph* candidate_graph, const AdmittedApp* candidate) const {
-  std::vector<Composite> totals = nodes_;
-  if (candidate != nullptr) {
-    for (sdf::ActorId a = 0; a < candidate_graph->actor_count(); ++a) {
-      Composite& t = totals[candidate->nodes[a]];
-      t = prob::compose(t, prob::to_composite(candidate->loads[a]));
+AdmissionController::CandidateEntry& AdmissionController::candidate_for(
+    const sdf::Graph& app) {
+  const std::uint64_t fp = graph_fingerprint(app);
+  for (CandidateEntry& e : candidates_) {
+    if (e.fingerprint == fp && graphs_equal(e.graph, app)) {
+      e.last_used = ++candidate_clock_;  // hit: O(weights), no rebuild
+      return e;
     }
   }
-  return totals;
+
+  // First sight: validate, build the engine, derive the mapping-independent
+  // analysis state, then cache it (evicting the least recently used slot).
+  if (!sdf::is_consistent(app)) {
+    throw sdf::GraphError("admission: inconsistent graph");
+  }
+  if (!sdf::is_deadlock_free(app)) {
+    throw sdf::GraphError("admission: graph deadlocks");
+  }
+  CandidateEntry entry;
+  entry.fingerprint = fp;
+  entry.graph = app;
+  entry.engine = std::make_shared<analysis::ThroughputEngine>(app);
+  const auto iso = entry.engine->recompute();
+  if (iso.deadlocked || iso.period <= 0.0) {
+    throw sdf::GraphError("admission: no positive isolation period");
+  }
+  entry.isolation_period = iso.period;
+  entry.loads = prob::derive_loads(app, entry.engine->repetition_vector(), iso.period);
+  entry.last_used = ++candidate_clock_;
+
+  if (candidates_.size() < candidate_capacity_) {
+    candidates_.push_back(std::move(entry));
+    return candidates_.back();
+  }
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < candidates_.size(); ++i) {
+    if (candidates_[i].last_used < candidates_[victim].last_used) victim = i;
+  }
+  candidates_[victim] = std::move(entry);
+  return candidates_[victim];
+}
+
+void AdmissionController::totals_with(std::span<const platform::NodeId> nodes,
+                                      std::span<const prob::ActorLoad> loads,
+                                      std::vector<Composite>& totals) const {
+  totals.assign(nodes_.begin(), nodes_.end());
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    Composite& t = totals[nodes[a]];
+    t = prob::compose(t, prob::to_composite(loads[a]));
+  }
 }
 
 double AdmissionController::predict_period(
-    const sdf::Graph& graph, const AdmittedApp& rec,
-    const std::vector<Composite>& node_totals) const {
-  std::vector<double> response(graph.actor_count());
+    const sdf::Graph& graph, std::span<const platform::NodeId> nodes,
+    std::span<const prob::ActorLoad> loads, analysis::ThroughputEngine& engine,
+    std::span<const Composite> node_totals) const {
+  response_scratch_.assign(graph.actor_count(), 0.0);
   for (sdf::ActorId a = 0; a < graph.actor_count(); ++a) {
-    const Composite self = prob::to_composite(rec.loads[a]);
-    const Composite& total = node_totals[rec.nodes[a]];
+    const Composite self = prob::to_composite(loads[a]);
+    const Composite& total = node_totals[nodes[a]];
     double twait = 0.0;
     if (prob::can_invert(self)) {
       twait = prob::decompose(total, self).weighted_blocking;
@@ -70,24 +167,23 @@ double AdmissionController::predict_period(
       // whole-node waiting time is a conservative stand-in.
       twait = total.weighted_blocking;
     }
-    response[a] = static_cast<double>(graph.actor(a).exec_time) + twait;
+    response_scratch_[a] = static_cast<double>(graph.actor(a).exec_time) + twait;
   }
-  const auto res = rec.engine->recompute(response);
+  const auto res = engine.recompute(response_scratch_);
   if (res.deadlocked) {
     throw sdf::GraphError("predict_period: response-time graph deadlocks");
   }
   return res.period;
 }
 
-void AdmissionController::evaluate_candidate(const AdmittedApp& rec,
-                                             AppHandle candidate_index,
-                                             const QoS& qos,
-                                             WhatIfReport& out) const {
-  const sdf::Graph& graph = store_.app(candidate_index);
-  const std::vector<Composite> totals = totals_with(&graph, &rec);
+void AdmissionController::evaluate_candidate(
+    const sdf::Graph& graph, std::span<const platform::NodeId> nodes,
+    const CandidateEntry& cand, const QoS& qos, WhatIfReport& out) const {
+  totals_with(nodes, cand.loads, totals_scratch_);
 
   // The candidate's own predicted period.
-  out.predicted_period = predict_period(graph, rec, totals);
+  out.predicted_period =
+      predict_period(graph, nodes, cand.loads, *cand.engine, totals_scratch_);
   if (out.predicted_period > qos.max_period) {
     out.reason = "requesting application's predicted period " +
                  std::to_string(out.predicted_period) +
@@ -102,7 +198,8 @@ void AdmissionController::evaluate_candidate(const AdmittedApp& rec,
       out.peer_periods.push_back(0.0);
       continue;
     }
-    const double p = predict_period(store_.app(h), peer, totals);
+    const double p = predict_period(store_.app(h), peer.nodes, peer.loads,
+                                    *peer.engine, totals_scratch_);
     out.peer_periods.push_back(p);
     if (p > peer.qos.max_period) {
       out.reason = "admission would push application '" + store_.app(h).name() +
@@ -139,57 +236,60 @@ Decision AdmissionController::request(const sdf::Graph& app,
       throw sdf::GraphError("request: actor mapped to nonexistent node");
     }
   }
-  if (!sdf::is_consistent(app)) throw sdf::GraphError("request: inconsistent graph");
-  if (!sdf::is_deadlock_free(app)) throw sdf::GraphError("request: graph deadlocks");
-
-  AdmittedApp rec;
-  rec.nodes = nodes;
-  rec.qos = qos;
-  rec.engine = std::make_shared<analysis::ThroughputEngine>(app);
-  const auto iso = rec.engine->recompute();
-  if (iso.deadlocked || iso.period <= 0.0) {
-    throw sdf::GraphError("request: no positive isolation period");
-  }
-  rec.isolation_period = iso.period;
-  rec.loads = prob::derive_loads(app, rec.engine->repetition_vector(), iso.period);
-
-  // Move the candidate graph into the resident store; it stays there on
-  // admission and is popped on rejection.
-  store_.append_app(app, nodes);
-  const auto candidate_index = static_cast<AppHandle>(store_.app_count() - 1);
+  // LRU-cached analysis state: the request() that follows a successful
+  // probe of the same graph skips validation, engine construction and load
+  // derivation entirely.
+  CandidateEntry& cand = candidate_for(app);
 
   WhatIfReport verdict;
-  try {
-    evaluate_candidate(rec, candidate_index, qos, verdict);
-  } catch (...) {
-    store_.pop_app();
-    throw;
-  }
+  evaluate_candidate(app, nodes, cand, qos, verdict);
 
   Decision decision;
   decision.predicted_period = verdict.predicted_period;
   decision.peer_periods = std::move(verdict.peer_periods);
   decision.reason = std::move(verdict.reason);
-  if (!verdict.admissible) {
-    store_.pop_app();
-    return decision;
-  }
+  if (!verdict.admissible) return decision;
 
-  // Commit: incremental O(1)-per-actor composite update.
-  for (sdf::ActorId a = 0; a < store_.app(candidate_index).actor_count(); ++a) {
+  // Commit: move the graph into the resident store and update every touched
+  // node composite in O(1) per actor.
+  AdmittedApp rec;
+  rec.nodes = nodes;
+  rec.qos = qos;
+  rec.engine = cand.engine;  // shared with the LRU slot
+  rec.isolation_period = cand.isolation_period;
+  rec.loads = cand.loads;
+  store_.append_app(app, nodes);
+  for (sdf::ActorId a = 0; a < rec.nodes.size(); ++a) {
     Composite& t = nodes_[rec.nodes[a]];
     t = prob::compose(t, prob::to_composite(rec.loads[a]));
   }
   rec.active = true;
   apps_.push_back(std::move(rec));
   decision.admitted = true;
-  decision.handle = candidate_index;
+  decision.handle = static_cast<AppHandle>(apps_.size() - 1);
   return decision;
 }
 
 WhatIfReport AdmissionController::what_if_admit(
     const sdf::Graph& app, const std::vector<platform::NodeId>& nodes,
     const QoS& qos, const prob::EstimatorOptions& estimator) {
+  WhatIfReport out;
+  WhatIfOptions opts;
+  opts.estimator = estimator;
+  what_if_admit(app, nodes, qos, out, opts);
+  return out;
+}
+
+void AdmissionController::what_if_admit(const sdf::Graph& app,
+                                        std::span<const platform::NodeId> nodes,
+                                        const QoS& qos, WhatIfReport& out,
+                                        const WhatIfOptions& opts) {
+  out.admissible = false;
+  out.reason.clear();
+  out.predicted_period = 0.0;
+  out.peer_periods.clear();
+  out.estimates.clear();
+
   if (nodes.size() != app.actor_count()) {
     throw sdf::GraphError("what_if_admit: mapping size mismatch");
   }
@@ -198,45 +298,26 @@ WhatIfReport AdmissionController::what_if_admit(
       throw sdf::GraphError("what_if_admit: actor mapped to nonexistent node");
     }
   }
-  if (!sdf::is_consistent(app)) {
-    throw sdf::GraphError("what_if_admit: inconsistent graph");
-  }
-  if (!sdf::is_deadlock_free(app)) {
-    throw sdf::GraphError("what_if_admit: graph deadlocks");
-  }
-
-  AdmittedApp rec;
-  rec.nodes = nodes;
-  rec.qos = qos;
-  rec.engine = std::make_shared<analysis::ThroughputEngine>(app);
-  const auto iso = rec.engine->recompute();
-  if (iso.deadlocked || iso.period <= 0.0) {
-    throw sdf::GraphError("what_if_admit: no positive isolation period");
-  }
-  rec.isolation_period = iso.period;
-  rec.loads = prob::derive_loads(app, rec.engine->repetition_vector(), iso.period);
+  CandidateEntry& cand = candidate_for(app);
+  evaluate_candidate(app, nodes, cand, qos, out);
+  if (!opts.with_estimates) return;  // verdict-only: allocation-free on a hit
 
   // Append the candidate to the resident store for the duration of the
-  // query; every view below sees admitted graphs in place, zero copies.
+  // report; every view below sees admitted graphs in place, zero copies.
   store_.append_app(app, nodes);
-  WhatIfReport out;
   try {
-    const auto candidate_index = static_cast<AppHandle>(store_.app_count() - 1);
-    evaluate_candidate(rec, candidate_index, qos, out);
-
     platform::UseCase uc = active_use_case();
     std::vector<analysis::ThroughputEngine*> engines;
     engines.reserve(uc.size() + 1);
     for (const sdf::AppId h : uc) engines.push_back(apps_[h].engine.get());
-    uc.push_back(candidate_index);
-    engines.push_back(rec.engine.get());
-    out.estimates = full_report(uc, engines, estimator);
+    uc.push_back(static_cast<sdf::AppId>(store_.app_count() - 1));
+    engines.push_back(cand.engine.get());
+    out.estimates = full_report(uc, engines, opts.estimator);
   } catch (...) {
     store_.pop_app();
     throw;
   }
   store_.pop_app();
-  return out;
 }
 
 WhatIfReport AdmissionController::what_if_remove(
@@ -253,19 +334,18 @@ WhatIfReport AdmissionController::what_if_remove(
   for (const prob::ActorLoad& l : rec.loads) {
     invertible = invertible && prob::can_invert(prob::to_composite(l));
   }
-  std::vector<Composite> totals;
   if (invertible) {
-    totals = nodes_;
+    totals_scratch_.assign(nodes_.begin(), nodes_.end());
     for (sdf::ActorId a = 0; a < rec.nodes.size(); ++a) {
-      Composite& t = totals[rec.nodes[a]];
+      Composite& t = totals_scratch_[rec.nodes[a]];
       t = prob::decompose(t, prob::to_composite(rec.loads[a]));
     }
   } else {
-    totals.assign(platform_.node_count(), Composite::identity());
+    totals_scratch_.assign(platform_.node_count(), Composite::identity());
     for (AppHandle h = 0; h < apps_.size(); ++h) {
       if (!apps_[h].active || h == handle) continue;
       for (sdf::ActorId b = 0; b < apps_[h].nodes.size(); ++b) {
-        Composite& t = totals[apps_[h].nodes[b]];
+        Composite& t = totals_scratch_[apps_[h].nodes[b]];
         t = prob::compose(t, prob::to_composite(apps_[h].loads[b]));
       }
     }
@@ -280,7 +360,9 @@ WhatIfReport AdmissionController::what_if_remove(
       out.peer_periods.push_back(0.0);
       continue;
     }
-    out.peer_periods.push_back(predict_period(store_.app(h), apps_[h], totals));
+    out.peer_periods.push_back(predict_period(store_.app(h), apps_[h].nodes,
+                                              apps_[h].loads, *apps_[h].engine,
+                                              totals_scratch_));
     survivors.push_back(h);
     engines.push_back(apps_[h].engine.get());
   }
@@ -323,7 +405,9 @@ double AdmissionController::predicted_period(AppHandle handle) const {
   if (handle >= apps_.size() || !apps_[handle].active) {
     throw std::out_of_range("predicted_period: unknown application");
   }
-  return predict_period(store_.app(handle), apps_[handle], nodes_);
+  const AdmittedApp& rec = apps_[handle];
+  return predict_period(store_.app(handle), rec.nodes, rec.loads, *rec.engine,
+                        nodes_);
 }
 
 }  // namespace procon::admission

@@ -12,12 +12,24 @@
 //   * the new application's predicted period meets its own requirement, and
 //   * every already-admitted application's predicted period still meets its
 //     registered requirement.
+//
+// Steady-state serving contract: candidate analysis state (throughput
+// engine, isolation period, per-actor loads) is held in a small LRU keyed
+// by graph structure, so repeated probes — and the request() that usually
+// follows a successful probe — of the same application are O(weights):
+// no validation re-run, no engine rebuild, no load re-derivation. A
+// verdict-only probe (WhatIfOptions::with_estimates = false) of a cached
+// candidate into a reused WhatIfReport performs zero heap allocations when
+// the verdict is an admission (asserted by
+// tests/test_steady_state_alloc.cpp, tracked by bench_steady_state);
+// rejections additionally build the human-readable reason string.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,20 +44,24 @@
 
 namespace procon::admission {
 
-/// Opaque handle identifying an admitted application.
+/// \brief Opaque handle identifying an admitted application.
 using AppHandle = std::uint32_t;
 
-/// Quality-of-service requirement: the maximum tolerable period (inverse of
-/// the minimum required throughput). Use no_requirement() for best-effort.
+/// \brief Quality-of-service requirement: the maximum tolerable period
+/// (inverse of the minimum required throughput).
 struct QoS {
-  double max_period = 0.0;
+  double max_period = 0.0;  ///< largest acceptable period, in time units
+
+  /// \brief Best-effort marker: no period bound at all.
+  /// \return a QoS whose bound is +infinity
   static QoS no_requirement() noexcept {
     return QoS{std::numeric_limits<double>::infinity()};
   }
 };
 
+/// \brief Outcome of an admission request().
 struct Decision {
-  bool admitted = false;
+  bool admitted = false;         ///< true when the request was granted
   std::string reason;            ///< human-readable explanation when rejected
   double predicted_period = 0.0; ///< the requesting application's estimate
   /// Predicted period per already-admitted application (post-admission).
@@ -53,11 +69,13 @@ struct Decision {
   std::optional<AppHandle> handle;  ///< set when admitted
 };
 
-/// Result of a hypothetical admit/remove: the same O(1)-composability
-/// verdict a real request() computes, plus the full contention report the
-/// analysis stack (api::Workbench::contention) would produce over the
-/// would-be admitted set — evaluated through a zero-copy SystemView over
-/// the controller's resident application store, never a snapshot copy.
+/// \brief Result of a hypothetical admit/remove.
+///
+/// The same O(1)-composability verdict a real request() computes, plus
+/// (optionally) the full contention report the analysis stack
+/// (api::Workbench::contention) would produce over the would-be admitted
+/// set — evaluated through a zero-copy SystemView over the controller's
+/// resident application store, never a snapshot copy.
 struct WhatIfReport {
   /// Admit: would the request be granted. Remove: always true.
   bool admissible = false;
@@ -69,59 +87,142 @@ struct WhatIfReport {
   std::vector<double> peer_periods;
   /// Full Figure-4 estimator report over the would-be active set, in
   /// active-handle order (what_if_admit: candidate last). Empty when the
-  /// would-be set is empty.
+  /// would-be set is empty or WhatIfOptions::with_estimates is false.
   std::vector<prob::AppEstimate> estimates;
 };
 
+/// \brief Options of a what-if probe.
+struct WhatIfOptions {
+  /// Also produce the full Figure-4 estimator report
+  /// (WhatIfReport::estimates). Verdict-only probes (false) of a cached
+  /// candidate into a reused report are allocation-free; report-producing
+  /// probes pay the estimator's result storage.
+  bool with_estimates = true;
+  /// Estimator configuration for the full report (ignored when
+  /// with_estimates is false).
+  prob::EstimatorOptions estimator;
+};
+
+/// \brief Run-time admission controller over a resident application store.
+///
+/// Thread-safety: a controller is a mutable session object — every query,
+/// including const predictions, updates cached analysis engines and reuses
+/// internal scratch buffers, so concurrent use is not allowed.
+///
+/// Determinism: decisions and predictions are pure functions of the
+/// admitted set and the probe inputs; the candidate LRU only caches
+/// structure-derived state (engines, isolation periods, loads), never
+/// verdicts, so cache hits and misses produce identical numbers.
 class AdmissionController {
  public:
-  explicit AdmissionController(platform::Platform platform);
+  /// \brief Constructs a controller over `platform` with an empty admitted
+  /// set.
+  /// \param platform the processing nodes applications contend for
+  /// \param candidate_cache_capacity number of distinct candidate
+  ///        applications whose analysis state is retained (LRU evicted
+  ///        beyond that); values below 1 are clamped to 1
+  explicit AdmissionController(platform::Platform platform,
+                               std::size_t candidate_cache_capacity = 8);
 
-  /// Requests admission of `app` with actor a mapped on `nodes[a]`.
-  /// Consistent, deadlock-free graphs only; throws sdf::GraphError otherwise.
+  /// \brief Requests admission of `app` with actor a mapped on `nodes[a]`.
+  ///
+  /// Consistent, deadlock-free graphs only; throws sdf::GraphError
+  /// otherwise. A granted request commits the application to the resident
+  /// store and updates every touched node composite in O(1) per actor.
+  /// \param app the application graph asking to run
+  /// \param nodes actor-to-node assignment (one entry per actor)
+  /// \param qos the application's own period requirement
+  /// \return the verdict, predictions, and (when admitted) the new handle
   Decision request(const sdf::Graph& app, const std::vector<platform::NodeId>& nodes,
                    const QoS& qos);
 
-  /// Removes an admitted application, releasing its load. Throws
-  /// std::out_of_range for unknown/stale handles.
+  /// \brief Removes an admitted application, releasing its load.
+  /// \param handle the handle request() returned. Throws std::out_of_range
+  ///        for unknown/stale handles.
   void remove(AppHandle handle);
 
-  /// What would happen if `app` were admitted — the same checks and
-  /// predictions as request(), plus the full estimator report, without
-  /// mutating the admitted set. The candidate is appended to the resident
-  /// store only for the duration of the query (no graph copies of the
-  /// admitted applications, no snapshot System). `estimator` selects the
-  /// method for the full report.
+  /// \brief What would happen if `app` were admitted — without mutating the
+  /// admitted set.
+  ///
+  /// The same checks and predictions as request(), plus the full estimator
+  /// report. The candidate is appended to the resident store only for the
+  /// duration of the report query (no graph copies of the admitted
+  /// applications, no snapshot System).
+  /// \param app the hypothetical application
+  /// \param nodes actor-to-node assignment (one entry per actor)
+  /// \param qos the hypothetical period requirement
+  /// \param estimator selects the method for the full report
+  /// \return verdict + predictions + full estimator report
   [[nodiscard]] WhatIfReport what_if_admit(
       const sdf::Graph& app, const std::vector<platform::NodeId>& nodes,
       const QoS& qos, const prob::EstimatorOptions& estimator = {});
 
-  /// What the remaining applications' periods would become if `handle` were
-  /// removed, without removing it. Throws std::out_of_range for
-  /// unknown/stale handles.
+  /// \brief Steady-state variant of what_if_admit: writes into a reused
+  /// report.
+  ///
+  /// `out`'s storage (peer_periods, estimates, reason) is cleared and
+  /// refilled, so its capacity amortises across probes. With
+  /// WhatIfOptions::with_estimates = false and the candidate already in the
+  /// LRU, an admitting probe performs zero heap allocations (a rejection
+  /// additionally builds the reason string).
+  /// \param app the hypothetical application
+  /// \param nodes actor-to-node assignment (one entry per actor)
+  /// \param qos the hypothetical period requirement
+  /// \param out report to clear and fill (capacity reused)
+  /// \param opts verdict-only vs full-report probe, estimator selection
+  void what_if_admit(const sdf::Graph& app, std::span<const platform::NodeId> nodes,
+                     const QoS& qos, WhatIfReport& out,
+                     const WhatIfOptions& opts = {});
+
+  /// \brief What the remaining applications' periods would become if
+  /// `handle` were removed, without removing it.
+  /// \param handle admitted application to hypothetically remove. Throws
+  ///        std::out_of_range for unknown/stale handles.
+  /// \param estimator selects the method for the full report
+  /// \return predictions for the survivors + full estimator report
   [[nodiscard]] WhatIfReport what_if_remove(
       AppHandle handle, const prob::EstimatorOptions& estimator = {});
 
+  /// \brief Number of currently admitted applications.
+  /// \return active handle count
   [[nodiscard]] std::size_t admitted_count() const noexcept;
 
-  /// Current predicted period of an admitted application (under the
-  /// composability-inverse estimate). NOTE: although const, this (like
-  /// request()) updates the queried application's cached analysis engine —
-  /// the controller is not safe for concurrent use, even for const queries.
+  /// \brief Number of candidate applications whose analysis state is cached.
+  /// \return LRU occupancy (bounded by the construction-time capacity)
+  [[nodiscard]] std::size_t candidate_cache_size() const noexcept {
+    return candidates_.size();
+  }
+
+  /// \brief Current predicted period of an admitted application (under the
+  /// composability-inverse estimate).
+  ///
+  /// NOTE: although const, this (like request()) updates the queried
+  /// application's cached analysis engine — the controller is not safe for
+  /// concurrent use, even for const queries.
+  /// \param handle admitted application. Throws std::out_of_range for
+  ///        unknown/stale handles.
+  /// \return the predicted period under the current node composites
   [[nodiscard]] double predicted_period(AppHandle handle) const;
 
-  /// Combined blocking probability currently registered on a node.
+  /// \brief Combined blocking probability currently registered on a node.
+  /// \param node node id. Throws std::out_of_range when invalid.
+  /// \return the node's committed Composite
   [[nodiscard]] prob::Composite node_load(platform::NodeId node) const;
 
-  /// The currently active applications as a use-case over the resident
-  /// store (ascending handle order) — the restriction what-if queries view.
+  /// \brief The currently active applications as a use-case over the
+  /// resident store (ascending handle order) — the restriction what-if
+  /// queries view.
+  /// \return active handles, ascending
   [[nodiscard]] platform::UseCase active_use_case() const;
 
-  /// Materialises the currently admitted applications as a standalone
-  /// System (graphs in admission order with their registered node
-  /// assignments) — a deep copy. Lets a caller open an api::Workbench
-  /// session on the live set. What-if queries do NOT need this: they run
-  /// over a zero-copy SystemView of the resident store.
+  /// \brief Materialises the currently admitted applications as a
+  /// standalone System (graphs in admission order with their registered
+  /// node assignments) — a deep copy.
+  ///
+  /// Lets a caller open an api::Workbench session on the live set. What-if
+  /// queries do NOT need this: they run over a zero-copy SystemView of the
+  /// resident store. Throws std::logic_error when nothing is admitted.
+  /// \return a deep-copied System of the active set
   [[nodiscard]] platform::System snapshot_system() const;
 
  private:
@@ -139,21 +240,46 @@ class AdmissionController {
     std::shared_ptr<analysis::ThroughputEngine> engine;
   };
 
-  /// Predicted period of the app `rec` describes (graph at store index
-  /// `handle`) when node composites are `node_totals` (which must already
-  /// include the app's own actors).
-  [[nodiscard]] double predict_period(const sdf::Graph& graph, const AdmittedApp& rec,
-                                      const std::vector<prob::Composite>& node_totals) const;
+  /// One LRU slot: everything derivable from a candidate graph alone
+  /// (independent of its mapping), so a repeated probe skips validation,
+  /// engine construction and load derivation. The graph copy disambiguates
+  /// fingerprint collisions exactly.
+  struct CandidateEntry {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t last_used = 0;
+    sdf::Graph graph;
+    std::shared_ptr<analysis::ThroughputEngine> engine;
+    double isolation_period = 0.0;
+    std::vector<prob::ActorLoad> loads;
+  };
 
-  /// Composites including every active app plus (optionally) a candidate.
-  [[nodiscard]] std::vector<prob::Composite> totals_with(
-      const sdf::Graph* candidate_graph, const AdmittedApp* candidate) const;
+  /// Cached (or freshly built and cached) analysis state of `app`.
+  /// Validates the graph on first sight; throws the same sdf::GraphErrors
+  /// request()/what_if_admit() documented. The reference is valid until the
+  /// next candidate_for call (LRU eviction may reuse the slot).
+  CandidateEntry& candidate_for(const sdf::Graph& app);
+
+  /// Predicted period of the app `graph` describes with loads `loads` and
+  /// actor a on nodes[a], when node composites are `node_totals` (which
+  /// must already include the app's own actors). Reuses response_scratch_.
+  [[nodiscard]] double predict_period(
+      const sdf::Graph& graph, std::span<const platform::NodeId> nodes,
+      std::span<const prob::ActorLoad> loads, analysis::ThroughputEngine& engine,
+      std::span<const prob::Composite> node_totals) const;
+
+  /// Fills `totals` with the committed composites plus (optionally) a
+  /// candidate's loads on `nodes`. Reuses the target's capacity.
+  void totals_with(std::span<const platform::NodeId> nodes,
+                   std::span<const prob::ActorLoad> loads,
+                   std::vector<prob::Composite>& totals) const;
 
   /// Shared evaluation path of request()/what_if_admit(): composability
-  /// checks for a candidate record whose graph sits at store index
-  /// `candidate_index` (already appended to store_).
-  void evaluate_candidate(const AdmittedApp& rec, AppHandle candidate_index,
-                          const QoS& qos, WhatIfReport& out) const;
+  /// checks for candidate `cand` mapped on `nodes`. Fills out's verdict
+  /// fields (admissible, reason, predicted_period, peer_periods).
+  void evaluate_candidate(const sdf::Graph& graph,
+                          std::span<const platform::NodeId> nodes,
+                          const CandidateEntry& cand, const QoS& qos,
+                          WhatIfReport& out) const;
 
   /// Full estimator report over `uc` (store indices) with the cached
   /// engines of those entries plus optional trailing `extra` engine.
@@ -166,11 +292,21 @@ class AdmissionController {
   /// Graphs of every application ever admitted, in handle order, with their
   /// node assignments as the mapping — the single resident copy every view,
   /// what-if and prediction reads. Grows via append_app (no re-copy of the
-  /// already-admitted graphs); what_if_admit appends the candidate and pops
-  /// it before returning.
+  /// already-admitted graphs); a what_if_admit report appends the candidate
+  /// and pops it before returning.
   platform::System store_;
   std::vector<AdmittedApp> apps_;       // indexed by handle; inactive = removed
   std::vector<prob::Composite> nodes_;  // committed composite per node
+
+  // Candidate LRU (see class comment). candidate_clock_ stamps uses.
+  std::vector<CandidateEntry> candidates_;
+  std::size_t candidate_capacity_ = 8;
+  std::uint64_t candidate_clock_ = 0;
+
+  // Scratch reused across queries (the allocation-free probe path); mutable
+  // because const predictions share it — see the thread-safety note.
+  mutable std::vector<prob::Composite> totals_scratch_;
+  mutable std::vector<double> response_scratch_;
 };
 
 }  // namespace procon::admission

@@ -33,6 +33,8 @@
 
 namespace procon::analysis {
 
+/// \brief Construction shortcuts for callers that already know structural
+/// facts about the graph.
 struct EngineOptions {
   /// The graph already has a self-loop on every actor (auto-concurrency
   /// disabled); skip the closure copy. Callers that batch-create engines
@@ -43,6 +45,18 @@ struct EngineOptions {
   const sdf::RepetitionVector* repetition = nullptr;
 };
 
+/// \brief Reusable per-graph period analysis: structure cached once,
+/// execution times rewritten per recompute(), Howard warm-started.
+///
+/// Caching contract: the *structure* (actors, channels, rates, initial
+/// tokens) is fixed for the engine's lifetime; only execution times may
+/// vary between recompute() calls. Results are identical to
+/// compute_period() on the same graph and times.
+///
+/// Thread-safety: an engine is a mutable analysis object (recompute and
+/// even const-free queries mutate solver state); one engine must not be
+/// used from two threads at once. Sharded callers clone one engine per
+/// worker and reset() it per independent work item for determinism.
 class ThroughputEngine {
  public:
   /// Builds all structure-dependent state. Throws sdf::GraphError on
@@ -61,7 +75,9 @@ class ThroughputEngine {
   /// worker evaluates the item after which other items.
   void reset() noexcept { solver_.reset(); }
 
+  /// Number of actors of the original graph.
   [[nodiscard]] std::size_t actor_count() const noexcept { return actor_count_; }
+  /// Repetition vector of the (closed) graph, computed once at construction.
   [[nodiscard]] const sdf::RepetitionVector& repetition_vector() const noexcept {
     return q_;
   }

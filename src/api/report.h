@@ -14,6 +14,8 @@
 
 namespace procon::api {
 
+/// \brief How a Workbench query produced its value: technique, work count,
+/// parallelism and wall time.
 struct Provenance {
   /// Human-readable technique, e.g. "Probabilistic Second Order" or
   /// "hsdf-mcr (Howard, cached structure)".
@@ -23,22 +25,32 @@ struct Provenance {
   std::size_t evaluations = 0;
   /// Workers that produced the value (1 for serial queries).
   std::size_t threads = 1;
+  /// Wall-clock time of the query, in milliseconds.
   double wall_ms = 0.0;
 };
 
+/// \brief Uniform result envelope of every Workbench query: the value plus
+/// its Provenance.
+///
+/// Dereference (`*report` / `report->`) reaches the value directly, so call
+/// sites read like the free functions the queries replace.
 template <typename T>
 struct Report {
-  T value{};
-  Provenance provenance;
+  T value{};              ///< the query's result
+  Provenance provenance;  ///< how the value was produced
 
+  /// Read access to the value.
   [[nodiscard]] const T& operator*() const& noexcept { return value; }
+  /// Mutable access to the value.
   [[nodiscard]] T& operator*() & noexcept { return value; }
   /// Rvalue deref moves the value out. Returning by value (not a dangling
   /// reference into the expiring Report) keeps the common pattern
   /// `for (auto& x : *session.query(...))` well-defined before C++23's
   /// range-for lifetime extension.
   [[nodiscard]] T operator*() && { return std::move(value); }
+  /// Member access into the value.
   [[nodiscard]] const T* operator->() const noexcept { return &value; }
+  /// Mutable member access into the value.
   [[nodiscard]] T* operator->() noexcept { return &value; }
 };
 

@@ -157,15 +157,7 @@ Report<std::vector<dse::BufferPoint>> Workbench::buffer_frontier(
 
 Report<std::vector<prob::AppEstimate>> Workbench::contention(
     const prob::EstimatorOptions& opts) {
-  Timer timer;
-  const prob::ContentionEstimator est(opts);
-  auto ptrs = engines_for(engines_, sys_.full_use_case());
-  Report<std::vector<prob::AppEstimate>> report;
-  report.value =
-      est.estimate(sys_, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
-  report.provenance = {prob::method_name(opts.method),
-                       static_cast<std::size_t>(opts.iterations), 1, timer.ms()};
-  return report;
+  return contention(sys_.full_use_case(), opts);
 }
 
 Report<std::vector<prob::AppEstimate>> Workbench::contention(
@@ -174,11 +166,31 @@ Report<std::vector<prob::AppEstimate>> Workbench::contention(
   const platform::SystemView view(sys_, uc);  // zero-copy restriction
   const prob::ContentionEstimator est(opts);
   auto ptrs = engines_for(engines_, uc);
+  const std::span<analysis::ThroughputEngine* const> engines(ptrs);
   Report<std::vector<prob::AppEstimate>> report;
-  report.value =
-      est.estimate(view, {}, std::span<analysis::ThroughputEngine* const>(ptrs));
+  // Duplicate use-case entries alias one engine across view slots; sharding
+  // would then race two workers on the same mutable engine, so they force
+  // the serial path (results are identical either way).
+  bool unique_apps = true;
+  for (std::size_t i = 0; i + 1 < uc.size() && unique_apps; ++i) {
+    for (std::size_t j = i + 1; j < uc.size(); ++j) {
+      if (uc[i] == uc[j]) {
+        unique_apps = false;
+        break;
+      }
+    }
+  }
+  // Deep fixed-point runs shard their per-app engine work (one Howard solve
+  // per app per pass) across the session pool — nested sharding *inside*
+  // one use-case evaluation. Results are bitwise identical either way; a
+  // single cheap pass is not worth the fan-out overhead.
+  const bool deep =
+      opts.iterations > 1 && pool_.size() > 1 && uc.size() > 1 && unique_apps;
+  report.value = deep ? est.estimate(view, {}, engines, pool_)
+                      : est.estimate(view, {}, engines);
   report.provenance = {prob::method_name(opts.method),
-                       static_cast<std::size_t>(opts.iterations), 1, timer.ms()};
+                       static_cast<std::size_t>(opts.iterations),
+                       deep ? pool_.size() : 1, timer.ms()};
   return report;
 }
 

@@ -52,14 +52,16 @@
 
 namespace procon::api {
 
+/// \brief Session construction options.
 struct WorkbenchOptions {
   /// Worker count for sharded queries (sweeps, mapper scoring). 0 = one per
   /// hardware thread. 1 = fully serial (no background threads at all).
   std::size_t threads = 0;
 };
 
-/// Per-use-case results of a sweep.
+/// \brief Per-use-case results of a sweep.
 struct UseCaseResult {
+  /// The evaluated use-case (parent application ids, in input order).
   platform::UseCase use_case;
   /// One estimate per selected application, in use-case order.
   std::vector<prob::AppEstimate> estimates;
@@ -70,17 +72,36 @@ struct UseCaseResult {
   sim::SimResult sim;
 };
 
+/// \brief What a use-case sweep evaluates per item.
 struct SweepOptions {
+  /// Estimator configuration (method, fixed-point passes).
   prob::EstimatorOptions estimator;
   /// Also compute the worst-case (Analyzed Worst Case) bound per use-case.
   bool with_wcrt = false;
+  /// Worst-case bound configuration (when with_wcrt).
   wcrt::WcrtOptions wcrt;
   /// Also run the reference discrete-event simulation per use-case, on the
   /// worker's session-cached SimEngine (reset per use-case, never rebuilt).
   bool with_sim = false;
+  /// Simulation configuration (when with_sim).
   sim::SimOptions sim;
 };
 
+/// \brief One stateful analysis session over a platform::System — every
+/// analysis and DSE entry point as a uniform, Report-returning query.
+///
+/// Owns one analysis::ThroughputEngine and one cached HSDF expansion per
+/// application, one sim::SimEngine over the whole system, and a persistent
+/// thread pool for sharded queries; see the header comment above for the
+/// full caching contract.
+///
+/// Determinism: every query is bitwise identical to the legacy free
+/// function it replaces (engines cold-start at each query boundary), and
+/// the sharded queries return identical bits for any thread count.
+///
+/// Thread-safety: a Workbench is a mutable session — queries update cached
+/// engines, so concurrent queries on one Workbench are not allowed. The
+/// parallelism lives *inside* a query, not across queries.
 class Workbench {
  public:
   /// Builds all per-application analysis state. Throws sdf::GraphError for
@@ -88,11 +109,14 @@ class Workbench {
   /// applications) — a session is valid for its whole lifetime.
   explicit Workbench(platform::System sys, const WorkbenchOptions& opts = {});
 
-  Workbench(const Workbench&) = delete;
-  Workbench& operator=(const Workbench&) = delete;
+  Workbench(const Workbench&) = delete;             ///< sessions are unique
+  Workbench& operator=(const Workbench&) = delete;  ///< sessions are unique
 
+  /// The session's system (applications + platform + mapping).
   [[nodiscard]] const platform::System& system() const noexcept { return sys_; }
+  /// Number of applications in the session.
   [[nodiscard]] std::size_t app_count() const noexcept { return sys_.app_count(); }
+  /// Total workers of the session pool (1 = fully serial).
   [[nodiscard]] std::size_t thread_count() const noexcept { return pool_.size(); }
 
   // ---- single-application queries (cached structure) ----------------------
@@ -113,17 +137,23 @@ class Workbench {
   // ---- whole-system queries ----------------------------------------------
 
   /// Probabilistic contention estimate for all applications running
-  /// concurrently (== prob::ContentionEstimator::estimate).
+  /// concurrently (== prob::ContentionEstimator::estimate). Deep fixed-point
+  /// runs (EstimatorOptions::iterations > 1) shard their per-application
+  /// engine work across the session pool — nested sharding inside one
+  /// use-case evaluation — with bitwise-identical results for any thread
+  /// count.
   [[nodiscard]] Report<std::vector<prob::AppEstimate>> contention(
       const prob::EstimatorOptions& opts = {});
 
-  /// Same, restricted to one use-case (== estimate on sys.restrict_to(uc)).
+  /// Same, restricted to one use-case (== estimate on sys.restrict_to(uc)),
+  /// with the same nested per-app sharding for deep fixed-point runs.
   [[nodiscard]] Report<std::vector<prob::AppEstimate>> contention(
       const platform::UseCase& uc, const prob::EstimatorOptions& opts = {});
 
   /// Worst-case period bounds (== wcrt::worst_case_bounds).
   [[nodiscard]] Report<std::vector<wcrt::AppBound>> wcrt(
       const wcrt::WcrtOptions& opts = {});
+  /// Worst-case bounds restricted to one use-case (zero-copy view).
   [[nodiscard]] Report<std::vector<wcrt::AppBound>> wcrt(
       const platform::UseCase& uc, const wcrt::WcrtOptions& opts = {});
 
@@ -132,6 +162,9 @@ class Workbench {
   /// every further call is a reset + run. Use-case runs restrict through
   /// the engine's id remap tables — no restrict_to copy, no rebuild.
   [[nodiscard]] Report<sim::SimResult> simulate(const sim::SimOptions& opts = {});
+  /// Simulation restricted to one use-case: a reset(uc) + run of the
+  /// session engine, whose per-use-case arbitration rings are cached after
+  /// first sight.
   [[nodiscard]] Report<sim::SimResult> simulate(const platform::UseCase& uc,
                                                 const sim::SimOptions& opts = {});
 

@@ -21,8 +21,8 @@ void Mapping::assign(sdf::AppId app, sdf::ActorId actor, NodeId node) {
   node_of_[app][actor] = node;
 }
 
-void Mapping::push_app(const std::vector<NodeId>& nodes) {
-  node_of_.push_back(nodes);
+void Mapping::push_app(std::span<const NodeId> nodes) {
+  node_of_.emplace_back(nodes.begin(), nodes.end());
 }
 
 void Mapping::pop_app() {

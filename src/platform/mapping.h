@@ -37,7 +37,7 @@ class Mapping {
   /// Appends one application's row (actor a -> nodes[a]). Pairs with
   /// System::append_app for run-time admission, where the admitted set grows
   /// one application at a time.
-  void push_app(const std::vector<NodeId>& nodes);
+  void push_app(std::span<const NodeId> nodes);
 
   /// Removes the last application's row. Throws std::out_of_range if empty.
   void pop_app();

@@ -28,7 +28,7 @@ System System::restrict_to(const UseCase& use_case) const {
   return SystemView(*this, use_case).materialise();
 }
 
-void System::append_app(sdf::Graph app, const std::vector<NodeId>& nodes) {
+void System::append_app(sdf::Graph app, std::span<const NodeId> nodes) {
   if (nodes.size() != app.actor_count()) {
     throw sdf::GraphError("System::append_app: mapping size mismatch");
   }

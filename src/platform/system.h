@@ -3,6 +3,7 @@
 // applications that run concurrently (the paper's central notion).
 #pragma once
 
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -45,7 +46,11 @@ class System {
   /// admission: the admitted set grows in place, no re-copy of the resident
   /// applications). Throws sdf::GraphError on a mapping size mismatch.
   /// Invalidates SystemViews over this system.
-  void append_app(sdf::Graph app, const std::vector<NodeId>& nodes);
+  void append_app(sdf::Graph app, std::span<const NodeId> nodes);
+  /// Braced-list convenience for the span overload.
+  void append_app(sdf::Graph app, std::initializer_list<NodeId> nodes) {
+    append_app(std::move(app), std::span<const NodeId>(nodes.begin(), nodes.size()));
+  }
 
   /// Removes the most recently appended application (what-if rollback).
   /// Throws std::out_of_range when there is none.

@@ -30,6 +30,17 @@
 
 namespace procon::platform {
 
+/// \brief Non-owning, index-remapped restriction of a System to a UseCase —
+/// the zero-copy counterpart of System::restrict_to.
+///
+/// Holds only the parent pointer plus remap tables; see the header comment
+/// above for id conventions and the lifetime contract (the parent System
+/// must outlive the view and must not be structurally modified while views
+/// over it are in use).
+///
+/// Thread-safety: a view is immutable after construction; concurrent reads
+/// through distinct or shared views are safe as long as the parent System
+/// is not mutated.
 class SystemView {
  public:
   /// Full view: every application of `sys`, identity remap.
@@ -40,15 +51,20 @@ class SystemView {
   /// remapped to view ids 0..k-1 in use-case order.
   SystemView(const System& sys, UseCase use_case);
 
+  /// The borrowed parent System.
   [[nodiscard]] const System& parent() const noexcept { return *sys_; }
   /// View app id -> parent app id table (the use-case, verbatim).
   [[nodiscard]] std::span<const sdf::AppId> use_case() const noexcept { return uc_; }
 
+  /// Number of selected applications.
   [[nodiscard]] std::size_t app_count() const noexcept { return uc_.size(); }
+  /// Parent application id of view application `view_app`.
   [[nodiscard]] sdf::AppId parent_app(sdf::AppId view_app) const { return uc_.at(view_app); }
+  /// Graph of view application `view_app` (read through the parent).
   [[nodiscard]] const sdf::Graph& app(sdf::AppId view_app) const {
     return sys_->app(uc_.at(view_app));
   }
+  /// The parent's platform (restriction never changes the platform).
   [[nodiscard]] const Platform& platform() const noexcept { return sys_->platform(); }
   /// Node of actor `actor` of view application `view_app`.
   [[nodiscard]] NodeId node_of(sdf::AppId view_app, sdf::ActorId actor) const {
@@ -66,6 +82,8 @@ class SystemView {
   [[nodiscard]] std::uint32_t actor_base(sdf::AppId view_app) const {
     return actor_base_.at(view_app);
   }
+  /// First flat channel id of view application `view_app` (channel_base(k)
+  /// == channel_count() for view_app == app_count()).
   [[nodiscard]] std::uint32_t channel_base(sdf::AppId view_app) const {
     return channel_base_.at(view_app);
   }

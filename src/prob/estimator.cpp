@@ -1,9 +1,11 @@
 #include "prob/estimator.h"
 
+#include <functional>
 #include <stdexcept>
 
 #include "prob/monte_carlo.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace procon::prob {
 
@@ -122,6 +124,20 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
 std::vector<AppEstimate> ContentionEstimator::estimate(
     const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
     std::span<analysis::ThroughputEngine* const> engines) const {
+  return estimate_impl(view, models, engines, nullptr);
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate(
+    const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+    std::span<analysis::ThroughputEngine* const> engines,
+    util::ThreadPool& pool) const {
+  return estimate_impl(view, models, engines, &pool);
+}
+
+std::vector<AppEstimate> ContentionEstimator::estimate_impl(
+    const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+    std::span<analysis::ThroughputEngine* const> engines,
+    util::ThreadPool* pool) const {
   const std::size_t napps = view.app_count();
   if (!models.empty() && models.size() != napps) {
     throw sdf::GraphError("estimate: execution-time model count mismatch");
@@ -129,13 +145,26 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
   if (engines.size() != napps) {
     throw sdf::GraphError("estimate: engine count mismatch");
   }
+  // Per-application sharding hook: every per-app step below writes only to
+  // its own slot and touches only its own engine, so running items on the
+  // pool (or inline when nested/serial) yields identical bits in any case.
+  const auto for_each_app = [&](const std::function<void(sdf::AppId)>& fn) {
+    if (pool != nullptr && napps > 1) {
+      pool->for_each_index(napps, [&](std::size_t item, std::size_t) {
+        fn(static_cast<sdf::AppId>(item));
+      });
+    } else {
+      for (sdf::AppId i = 0; i < napps; ++i) fn(i);
+    }
+  };
+
   std::vector<AppEstimate> out(napps);
   // Mean execution time per actor (equals the graph's fixed times for the
   // deterministic model).
   std::vector<std::vector<double>> means(napps);
 
   // Step 1: isolation periods (repetition vectors are cached in the engines).
-  for (sdf::AppId i = 0; i < napps; ++i) {
+  for_each_app([&](sdf::AppId i) {
     const sdf::Graph& app = view.app(i);
     if (engines[i]->actor_count() != app.actor_count()) {
       throw sdf::GraphError("estimate: engine does not match application '" +
@@ -156,19 +185,19 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
     out[i].isolation_period = iso.period;
     out[i].estimated_period = iso.period;  // starting point for iteration
     out[i].actors.resize(app.actor_count());
-  }
+  });
 
   std::vector<ActorLoad> others;  // scratch, reused across actors and passes
   for (int pass = 0; pass < opts_.iterations; ++pass) {
     // Step 2: per-actor loads from the current period estimates.
     std::vector<std::vector<ActorLoad>> loads(napps);
-    for (sdf::AppId i = 0; i < napps; ++i) {
+    for_each_app([&](sdf::AppId i) {
       const sdf::RepetitionVector& q = engines[i]->repetition_vector();
       loads[i] = models.empty()
                      ? derive_loads(view.app(i), q, out[i].estimated_period)
                      : derive_loads_stochastic(view.app(i), q,
                                                out[i].estimated_period, models[i]);
-    }
+    });
 
     // Step 3: group by node.
     std::vector<std::vector<NodeEntry>> per_node(view.platform().node_count());
@@ -224,14 +253,16 @@ std::vector<AppEstimate> ContentionEstimator::estimate(
     }
 
     // Step 5: periods of the response-time graphs — a warm-started weight
-    // rewrite on the cached structure, not a fresh analysis.
-    for (sdf::AppId i = 0; i < napps; ++i) {
+    // rewrite on the cached structure, not a fresh analysis. One Howard
+    // solve per application: the dominant cost of deep fixed-point runs,
+    // and exactly what the per-app sharding spreads across workers.
+    for_each_app([&](sdf::AppId i) {
       const auto res = engines[i]->recompute(response[i]);
       if (res.deadlocked) {
         throw sdf::GraphError("estimate: response-time graph deadlocks");
       }
       out[i].estimated_period = res.period;
-    }
+    });
   }
   return out;
 }

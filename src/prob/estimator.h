@@ -33,6 +33,10 @@
 #include "prob/load.h"
 #include "prob/waiting_time.h"
 
+namespace procon::util {
+class ThreadPool;  // estimator.h stays light; see the pool overload below
+}
+
 namespace procon::prob {
 
 enum class Method {
@@ -116,6 +120,23 @@ class ContentionEstimator {
       const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
       std::span<analysis::ThroughputEngine* const> engines) const;
 
+  /// Nested-sharding variant: same algorithm and bitwise-identical results
+  /// as the engine overload above, but the per-application analysis steps
+  /// of every fixed-point pass (isolation periods, load derivation, and the
+  /// Step-5 response-time period recomputes — one Howard solve per app per
+  /// pass) are sharded across `pool`. Each application's engine is touched
+  /// by exactly one work item per pass, and results land in per-app slots,
+  /// so the outcome is independent of worker count and scheduling. Called
+  /// from inside a body already running on `pool` (an api::Workbench sweep
+  /// item), the sharding degrades to the inline serial loop — safe by
+  /// ThreadPool's nesting contract. Worth it for deep fixed-point runs
+  /// (EstimatorOptions::iterations > 1) or many applications; for a single
+  /// cheap pass the fan-out overhead can dominate.
+  [[nodiscard]] std::vector<AppEstimate> estimate(
+      const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+      std::span<analysis::ThroughputEngine* const> engines,
+      util::ThreadPool& pool) const;
+
   /// Same algorithm, but all period analyses go through caller-owned
   /// ThroughputEngines (one per application of `sys`, in order). Callers
   /// that score the same applications many times — the mapping explorer,
@@ -139,6 +160,12 @@ class ContentionEstimator {
   [[nodiscard]] const EstimatorOptions& options() const noexcept { return opts_; }
 
  private:
+  /// Shared body of the engine overloads; `pool` == nullptr runs serially.
+  [[nodiscard]] std::vector<AppEstimate> estimate_impl(
+      const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+      std::span<analysis::ThroughputEngine* const> engines,
+      util::ThreadPool* pool) const;
+
   EstimatorOptions opts_;
 };
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sdf/types.h"
@@ -58,6 +59,57 @@ struct SimResult {
   std::uint64_t events_processed = 0;
   sdf::Time horizon = 0;
   std::vector<TraceEvent> trace;  ///< empty unless SimOptions::collect_trace
+};
+
+/// Steady-state period statistics derived from iteration completion times —
+/// the scalar core shared by the owning (AppSimResult) and view
+/// (AppSimView) result paths, so both compute bit-identical numbers.
+struct PeriodStats {
+  std::uint64_t iterations = 0;  ///< iterations completed within the horizon
+  bool converged = false;        ///< enough post-warm-up iterations observed
+  double average_period = 0.0;   ///< steady-state mean time per iteration
+  double worst_period = 0.0;     ///< max post-warm-up iteration gap
+};
+
+/// Computes average/worst periods from iteration completion times, skipping
+/// the first `warmup_fraction` of iterations. Marks converged when at least
+/// `min_iterations` remain after warm-up. Allocation-free.
+[[nodiscard]] PeriodStats steady_state_metrics(
+    std::span<const sdf::Time> iteration_times, double warmup_fraction,
+    std::uint64_t min_iterations) noexcept;
+
+/// Per-application results as views into engine-owned storage (the
+/// allocation-free counterpart of AppSimResult). Spans are valid until the
+/// owning SimEngine is reset, rerun, or destroyed.
+struct AppSimView {
+  std::uint64_t iterations = 0;   ///< iterations completed within the horizon
+  bool converged = false;         ///< enough post-warm-up iterations observed
+  double average_period = 0.0;    ///< steady-state mean time per iteration
+  double worst_period = 0.0;      ///< max post-warm-up iteration gap
+  std::span<const ActorStats> actors;            ///< per-actor service stats
+  std::span<const sdf::Time> iteration_times;    ///< iteration completion times
+
+  /// 1 / average_period (0 when no steady state was reached).
+  [[nodiscard]] double throughput() const noexcept {
+    return average_period > 0.0 ? 1.0 / average_period : 0.0;
+  }
+  /// Deep copy into the owning result type.
+  [[nodiscard]] AppSimResult materialise() const;
+};
+
+/// Whole-run results as views into engine-owned storage. Returned by
+/// SimEngine::run_view; valid until the engine is reset, rerun, or
+/// destroyed. materialise() produces the owning SimResult the value API
+/// returns — bit-identical fields, deep-copied storage.
+struct SimResultView {
+  std::span<const AppSimView> apps;              ///< per active application
+  std::span<const double> node_utilisation;      ///< busy fraction per node
+  std::uint64_t events_processed = 0;            ///< events the run consumed
+  sdf::Time horizon = 0;                         ///< simulated horizon
+  std::span<const TraceEvent> trace;  ///< empty unless SimOptions::collect_trace
+
+  /// Deep copy into the owning result type (what SimEngine::run returns).
+  [[nodiscard]] SimResult materialise() const;
 };
 
 /// Computes average/worst periods from iteration completion times, skipping

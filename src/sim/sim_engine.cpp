@@ -81,6 +81,9 @@ void SimEngine::build(const platform::SystemView& view) {
   pack(in_of, in_start_, in_list_);
   pack(out_of, out_start_, out_list_);
 
+  full_uc_.resize(app_count());
+  for (AppId i = 0; i < full_uc_.size(); ++i) full_uc_[i] = i;
+
   // Preallocate everything sized by static structure so resets never grow.
   tokens_.resize(init_tokens_.size());
   state_.resize(actor_count_);
@@ -90,7 +93,10 @@ void SimEngine::build(const platform::SystemView& view) {
   completions_.resize(actor_count_);
   actor_stats_.resize(actor_count_);
   active_index_.resize(view.app_count());
-  wheel_.resize(node_count_);
+  app_iterations_.reserve(view.app_count());
+  iteration_times_.resize(view.app_count());
+  view_apps_.reserve(view.app_count());
+  node_util_.resize(node_count_);
   fcfs_queue_.resize(node_count_);
   fcfs_head_.resize(node_count_);
   rr_next_.resize(node_count_);
@@ -99,11 +105,41 @@ void SimEngine::build(const platform::SystemView& view) {
   events_.reserve(actor_count_ + 16);
 }
 
-void SimEngine::reset() {
-  platform::UseCase all(app_count());
-  for (AppId i = 0; i < all.size(); ++i) all[i] = i;
-  reset(all);
+void SimEngine::install_rings(const platform::UseCase& uc) {
+  const auto it = ring_index_.find(uc);
+  if (it != ring_index_.end()) {
+    rings_idx_ = it->second;  // previously seen: install, nothing to build
+    return;
+  }
+  // First sight of this use-case: build its rings in CSR form — members of
+  // a node's ring in use-case order then local id, the exact push order a
+  // fresh build of the materialised restriction would produce, so
+  // round-robin scans and TDMA wheels tie-break identically.
+  RingSet rs;
+  rs.start.assign(node_count_ + 1, 0);
+  std::uint32_t total = 0;
+  for (const AppId app : uc) {
+    total += app_actor_base_[app + 1] - app_actor_base_[app];
+  }
+  rs.flat.resize(total);
+  for (const AppId app : uc) {
+    for (std::uint32_t a = app_actor_base_[app]; a < app_actor_base_[app + 1]; ++a) {
+      ++rs.start[node_of_[a] + 1];
+    }
+  }
+  for (NodeId n = 0; n < node_count_; ++n) rs.start[n + 1] += rs.start[n];
+  std::vector<std::uint32_t> cursor(rs.start.begin(), rs.start.end() - 1);
+  for (const AppId app : uc) {
+    for (std::uint32_t a = app_actor_base_[app]; a < app_actor_base_[app + 1]; ++a) {
+      rs.flat[cursor[node_of_[a]]++] = a;
+    }
+  }
+  rings_idx_ = ring_store_.size();
+  ring_store_.push_back(std::move(rs));
+  ring_index_.emplace(uc, rings_idx_);
 }
+
+void SimEngine::reset() { reset(full_uc_); }
 
 void SimEngine::reset(const platform::UseCase& uc) {
   std::fill(active_index_.begin(), active_index_.end(), kInactive);
@@ -133,17 +169,12 @@ void SimEngine::reset(const platform::UseCase& uc) {
   next_seq_ = 0;
   trace_.clear();
   app_iterations_.assign(active_.size(), 0);
-  iteration_times_.assign(active_.size(), {});
+  // The iteration-time arena keeps every per-slot buffer (and its capacity)
+  // alive across resets; only the first active-count slots are used.
+  for (std::uint32_t j = 0; j < active_.size(); ++j) iteration_times_[j].clear();
 
-  // Arbitration rings: active actors only, in use-case order — the exact
-  // push order a fresh build of the materialised restriction would produce,
-  // so round-robin scans and TDMA wheels tie-break identically.
-  for (auto& w : wheel_) w.clear();
-  for (const AppId app : active_) {
-    for (std::uint32_t a = app_actor_base_[app]; a < app_actor_base_[app + 1]; ++a) {
-      wheel_[node_of_[a]].push_back(a);
-    }
-  }
+  // Arbitration rings: cached per use-case, built on first sight only.
+  install_rings(active_);
   armed_ = true;
 }
 
@@ -175,6 +206,11 @@ void SimEngine::bind_options(const SimOptions& opts) {
 }
 
 SimResult SimEngine::run(const SimOptions& opts) {
+  // Deep-copying shim: identical numbers, owning storage.
+  return run_view(opts).materialise();
+}
+
+SimResultView SimEngine::run_view(const SimOptions& opts) {
   if (opts.horizon <= 0) {
     throw std::invalid_argument("simulate: horizon must be > 0");
   }
@@ -215,7 +251,7 @@ SimResult SimEngine::run(const SimOptions& opts) {
     ++processed;
     on_completion(ev.actor, ev.time);
   }
-  return finalise(processed);
+  return finalise_view(processed);
 }
 
 Time SimEngine::draw_exec(std::uint32_t a) {
@@ -244,7 +280,7 @@ void SimEngine::schedule_completion(std::uint32_t a, Time t) {
 
 std::pair<Time, Time> SimEngine::tdma_completion(std::uint32_t a, Time t,
                                                  Time demand) const {
-  const auto& wheel = wheel_[node_of_[a]];
+  const std::span<const std::uint32_t> wheel = ring(node_of_[a]);
   Time wheel_period = 0;
   Time offset = 0;
   for (const std::uint32_t member : wheel) {
@@ -317,8 +353,8 @@ std::uint32_t SimEngine::pick_next(NodeId node) {
     }
     return a;
   }
-  // Round-robin: scan the wheel from the cursor for a queued actor.
-  const auto& wheel = wheel_[node];
+  // Round-robin: scan the ring from the cursor for a queued actor.
+  const std::span<const std::uint32_t> wheel = ring(node);
   for (std::size_t k = 0; k < wheel.size(); ++k) {
     const std::size_t pos = (rr_next_[node] + k) % wheel.size();
     if (state_[wheel[pos]] == ActorState::Queued) {
@@ -391,28 +427,34 @@ void SimEngine::update_iterations(std::uint32_t active_app, Time t) {
   }
 }
 
-SimResult SimEngine::finalise(std::uint64_t processed) {
-  SimResult result;
-  result.horizon = opts_.horizon;
-  result.events_processed = processed;
-  result.apps.resize(active_.size());
+SimResultView SimEngine::finalise_view(std::uint64_t processed) {
+  view_apps_.clear();
   for (std::uint32_t j = 0; j < active_.size(); ++j) {
-    AppSimResult& app = result.apps[j];
-    app.iteration_times = std::move(iteration_times_[j]);
+    AppSimView app;
+    const PeriodStats stats = steady_state_metrics(
+        iteration_times_[j], opts_.warmup_fraction, opts_.min_iterations);
+    app.iterations = stats.iterations;
+    app.converged = stats.converged;
+    app.average_period = stats.average_period;
+    app.worst_period = stats.worst_period;
     const std::uint32_t base = app_actor_base_[active_[j]];
     const std::uint32_t end = app_actor_base_[active_[j] + 1];
-    app.actors.assign(actor_stats_.begin() + base, actor_stats_.begin() + end);
-    finalise_app_metrics(app, opts_.warmup_fraction, opts_.min_iterations);
+    app.actors = {actor_stats_.data() + base, end - base};
+    app.iteration_times = {iteration_times_[j].data(), iteration_times_[j].size()};
+    view_apps_.push_back(app);
   }
-  result.trace = std::move(trace_);
-  trace_ = {};
-  result.node_utilisation.resize(node_count_);
   for (NodeId n = 0; n < node_count_; ++n) {
-    result.node_utilisation[n] =
+    node_util_[n] =
         opts_.horizon > 0
             ? static_cast<double>(node_busy_time_[n]) / static_cast<double>(opts_.horizon)
             : 0.0;
   }
+  SimResultView result;
+  result.apps = view_apps_;
+  result.node_utilisation = node_util_;
+  result.events_processed = processed;
+  result.horizon = opts_.horizon;
+  result.trace = trace_;
   return result;
 }
 

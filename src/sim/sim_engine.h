@@ -15,15 +15,22 @@
 //
 // reset(uc) restricts zero-copy: it activates the selected applications via
 // the flat-id remap tables (no graph or mapping copies, no revalidation)
-// and rebuilds the active arbitration rings in use-case order, so event
+// and installs the active arbitration rings in use-case order, so event
 // creation order — and therefore every tie-break — matches a fresh
 // simulation of the materialised restriction exactly. Results are bitwise
 // identical to sim::simulate on the equivalent (restricted) System; the
 // free function is now a thin shim over this class.
 //
-// The event queue and per-node ready lists are preallocated and kept
-// across resets (capacity survives, contents cleared), so a reset is
-// O(actors + channels + nodes), never O(events).
+// Steady-state serving contract: every per-use-case structure is cached on
+// first sight. The arbitration rings of a use-case are built once (CSR,
+// keyed by the use-case) and only *installed* on later resets, the event
+// queue / ready lists / iteration-time and trace arenas are preallocated
+// and keep their capacity across resets, and run_view() returns the
+// results as views into engine-owned storage. The second and every later
+// reset(uc) + run_view() of a previously-seen use-case therefore performs
+// ZERO heap allocations (tests/test_steady_state_alloc.cpp asserts this
+// with an instrumented allocator; bench_steady_state tracks it per PR).
+// The value-returning run() stays as a deep-copying shim.
 //
 // An engine is a mutable session object: not thread-safe. Sharded callers
 // (api::Workbench sweeps) keep one engine per worker. Copying an engine
@@ -31,6 +38,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "platform/system.h"
@@ -42,49 +52,112 @@
 
 namespace procon::sim {
 
+/// \brief Resettable discrete-event simulation engine with cached structure.
+///
+/// Flattens a platform::System (or a restriction view of one) once into
+/// flat CSR tables and serves repeated simulations through
+/// reset()/reset(uc)/run()/run_view(). Results are bitwise identical to a
+/// fresh sim::simulate of the materialised (restricted) system, for every
+/// arbitration mode, seed and execution-time model.
+///
+/// Determinism: simultaneous events are processed in creation order and all
+/// arbitration tie-breaks follow use-case order, so a run is a pure
+/// function of (structure, active use-case, options) — never of engine
+/// history.
+///
+/// Thread-safety: a SimEngine is a mutable session object; concurrent calls
+/// on one engine are not allowed. Sharded callers clone one engine per
+/// worker (copying clones the cached structure and ring cache).
 class SimEngine {
  public:
-  /// Flattens and validates `sys` (throws sdf::GraphError on validate()
-  /// failures). The system is copied into flat tables; the engine does not
-  /// retain a reference. Arms a full-system run (no reset() needed before
-  /// the first run()).
+  /// \brief Flattens and validates `sys`.
+  ///
+  /// Throws sdf::GraphError on validate() failures. The system is copied
+  /// into flat tables; the engine does not retain a reference. Arms a
+  /// full-system run (no reset() needed before the first run()).
+  /// \param sys the applications + platform + mapping to simulate
   explicit SimEngine(const platform::System& sys);
 
-  /// Builds the engine over the applications a restriction view selects —
-  /// only those are validated and flattened (O(restriction), like building
-  /// from the materialised copy, without the copy). Duplicate view entries
-  /// become independent flat applications, exactly as restrict_to would
-  /// duplicate the graph. The engine's application ids are the *view's*
-  /// ids 0..k-1; reset(uc) indexes that space. The view (and its parent)
-  /// are not retained.
+  /// \brief Builds the engine over the applications a restriction view
+  /// selects.
+  ///
+  /// Only the selected applications are validated and flattened
+  /// (O(restriction), like building from the materialised copy, without the
+  /// copy). Duplicate view entries become independent flat applications,
+  /// exactly as restrict_to would duplicate the graph. The engine's
+  /// application ids are the *view's* ids 0..k-1; reset(uc) indexes that
+  /// space. The view (and its parent) are not retained.
+  /// \param view zero-copy restriction selecting the applications to flatten
   explicit SimEngine(const platform::SystemView& view);
 
-  /// Number of applications of the underlying system.
+  /// \brief Number of applications of the underlying system.
+  /// \return the flattened application count (view ids 0..app_count()-1)
   [[nodiscard]] std::size_t app_count() const noexcept {
     return app_actor_base_.size() - 1;
   }
-  /// Applications active in the currently armed/last run, in use-case order.
+
+  /// \brief Applications active in the currently armed/last run.
+  /// \return the active use-case, in use-case order
   [[nodiscard]] const platform::UseCase& active_use_case() const noexcept {
     return active_;
   }
 
-  /// Arms a full-system run: every application active, all dynamic state
-  /// cleared (tokens to initial marking, queues and metrics emptied).
+  /// \brief Number of distinct use-cases whose arbitration rings are cached.
+  ///
+  /// Grows by one the first time a use-case is reset to (including the
+  /// full-system use-case) and never shrinks; a repeated sweep over a fixed
+  /// use-case list stops growing it after the first pass.
+  /// \return cached ring-set count
+  [[nodiscard]] std::size_t ring_cache_size() const noexcept {
+    return ring_index_.size();
+  }
+
+  /// \brief Arms a full-system run: every application active, all dynamic
+  /// state cleared (tokens to initial marking, queues and metrics emptied).
   void reset();
 
-  /// Arms a run restricted to `uc` (parent app ids, unique, in range —
-  /// throws sdf::GraphError otherwise). Results are indexed in use-case
-  /// order, exactly like simulate(sys.restrict_to(uc), opts).
+  /// \brief Arms a run restricted to `uc`.
+  ///
+  /// Results are indexed in use-case order, exactly like
+  /// simulate(sys.restrict_to(uc), opts). The use-case's arbitration rings
+  /// are built and cached on first sight; later resets to the same use-case
+  /// only install the cached rings and clear dynamic state — zero heap
+  /// allocations once the use-case has been seen.
+  /// \param uc engine app ids, unique and in range — throws sdf::GraphError
+  ///        otherwise
   void reset(const platform::UseCase& uc);
 
-  /// Runs until the horizon and returns the results. Consumes the armed
-  /// state: a second run() without an intervening reset() throws
-  /// sdf::GraphError (dynamic state is spent, rerunning it would not be a
-  /// simulation from time zero). Throws std::invalid_argument for a
-  /// non-positive horizon and sdf::GraphError for execution-time model
-  /// mismatches (opts.exec_models entries pair with *active* applications,
-  /// in use-case order).
+  /// \brief Runs until the horizon and returns an owning deep copy of the
+  /// results.
+  ///
+  /// Compatibility shim over run_view(): identical values, plus one deep
+  /// copy of the per-app metrics, iteration times and trace into a
+  /// standalone SimResult. Steady-state callers that can tolerate
+  /// engine-owned storage should prefer run_view().
+  ///
+  /// Consumes the armed state: a second run without an intervening reset()
+  /// throws sdf::GraphError (dynamic state is spent, rerunning it would not
+  /// be a simulation from time zero).
+  /// \param opts horizon, arbitration, execution-time models, trace flag.
+  ///        Throws std::invalid_argument for a non-positive horizon and
+  ///        sdf::GraphError for execution-time model mismatches
+  ///        (opts.exec_models entries pair with *active* applications, in
+  ///        use-case order).
+  /// \return owning per-application results, in use-case order
   [[nodiscard]] SimResult run(const SimOptions& opts = {});
+
+  /// \brief Runs until the horizon and returns views into engine-owned
+  /// storage — the allocation-free steady-state serving path.
+  ///
+  /// Same contract as run() (armed-state consumption, option validation,
+  /// bitwise-identical numbers), but the returned SimResultView only
+  /// borrows the engine's preallocated result arenas: per-actor stats,
+  /// iteration times, trace and node utilisation are spans. The view is
+  /// valid until the next reset()/run_view() call or engine destruction;
+  /// call SimResultView::materialise() to keep a copy.
+  /// \param opts same options as run()
+  /// \return per-application result views, in use-case order
+  [[nodiscard]] SimResultView run_view(const SimOptions& opts = {});
 
  private:
   enum class ActorState : std::uint8_t { Idle, Queued, Running };
@@ -100,8 +173,22 @@ class SimEngine {
     }
   };
 
+  /// Arbitration rings of one use-case in CSR form: ring of node n is
+  /// flat[start[n] .. start[n+1]), members in use-case order then local id
+  /// — the exact push order a fresh restricted build would produce.
+  struct RingSet {
+    std::vector<std::uint32_t> start;  // node -> offset (size nodes+1)
+    std::vector<std::uint32_t> flat;   // active flat actor ids
+  };
+
   void build(const platform::SystemView& view);
   void bind_options(const SimOptions& opts);
+  /// Installs (building + caching on first sight) the rings of `uc`.
+  void install_rings(const platform::UseCase& uc);
+  [[nodiscard]] std::span<const std::uint32_t> ring(platform::NodeId node) const {
+    const RingSet& rs = ring_store_[rings_idx_];
+    return {rs.flat.data() + rs.start[node], rs.start[node + 1] - rs.start[node]};
+  }
 
   [[nodiscard]] sdf::Time draw_exec(std::uint32_t a);
   [[nodiscard]] bool inputs_available(std::uint32_t a) const;
@@ -114,7 +201,7 @@ class SimEngine {
   void try_dispatch(platform::NodeId node, sdf::Time t);
   void on_completion(std::uint32_t a, sdf::Time t);
   void update_iterations(std::uint32_t active_app, sdf::Time t);
-  [[nodiscard]] SimResult finalise(std::uint64_t processed);
+  [[nodiscard]] SimResultView finalise_view(std::uint64_t processed);
 
   // --- static structure (built once per system) ----------------------------
   std::uint32_t actor_count_ = 0;  // flat actors over *all* applications
@@ -125,6 +212,7 @@ class SimEngine {
   std::vector<sdf::Time> exec_;                // flat actor -> tau
   std::vector<platform::NodeId> node_of_;      // flat actor -> node
   std::vector<std::uint64_t> reps_;            // flat actor -> q(a)
+  platform::UseCase full_uc_;                  // 0..A-1, built once for reset()
 
   // Channels, flattened, with CSR in/out adjacency per actor.
   std::vector<std::uint64_t> init_tokens_;     // flat channel -> initial marking
@@ -136,10 +224,18 @@ class SimEngine {
   std::vector<std::uint32_t> out_start_;
   std::vector<std::uint32_t> out_list_;
 
+  // --- ring cache (one RingSet per previously-seen use-case) ---------------
+  // Entries live in a deque (stable under growth) and are addressed by
+  // index, so the engine stays default-copyable: worker clones copy the
+  // cache and their index remains valid. The cache only grows — one entry
+  // per distinct use-case ever reset to.
+  std::deque<RingSet> ring_store_;
+  std::map<platform::UseCase, std::size_t> ring_index_;
+  std::size_t rings_idx_ = 0;                  // active entry in ring_store_
+
   // --- per-reset state (active restriction) --------------------------------
   platform::UseCase active_;                   // active apps, use-case order
   std::vector<std::uint32_t> active_index_;    // parent app -> active slot or ~0
-  std::vector<std::vector<std::uint32_t>> wheel_;  // node -> active actors (ring)
   bool armed_ = false;
 
   // --- per-run option bindings ---------------------------------------------
@@ -156,22 +252,32 @@ class SimEngine {
   /// reset rewinds), so steady-state operation does not allocate.
   std::vector<std::vector<std::uint32_t>> fcfs_queue_;
   std::vector<std::size_t> fcfs_head_;
-  std::vector<std::size_t> rr_next_;           // node -> wheel cursor
+  std::vector<std::size_t> rr_next_;           // node -> ring cursor
   std::vector<std::uint8_t> node_busy_;
   std::vector<sdf::Time> node_busy_time_;
   std::vector<Event> events_;                  // binary min-heap (std::*_heap)
   std::uint64_t next_seq_ = 0;
 
-  // Metrics (flat-actor arrays are full-size; per-app arrays are active-size).
+  // Metrics arenas (flat-actor arrays are full-size; per-app arrays use the
+  // first active-count slots and never shrink, so capacity survives resets).
   std::vector<std::uint64_t> completions_;
   std::vector<ActorStats> actor_stats_;
   std::vector<std::uint64_t> app_iterations_;        // per active app
   std::vector<std::vector<sdf::Time>> iteration_times_;  // per active app
   std::vector<TraceEvent> trace_;
+
+  // Result-view arenas (reused per run; run_view returns spans over these).
+  std::vector<AppSimView> view_apps_;
+  std::vector<double> node_util_;
 };
 
-/// Runs the applications selected by a zero-copy restriction view. Results
+/// \brief Runs the applications selected by a zero-copy restriction view.
+///
+/// One-shot convenience: builds a SimEngine over the view per call. Results
 /// are indexed in view order, exactly like simulate(view.materialise()).
+/// \param view restriction selecting the applications to run
+/// \param opts simulation options (see SimOptions)
+/// \return owning per-application results, in view order
 [[nodiscard]] SimResult simulate(const platform::SystemView& view,
                                  const SimOptions& opts = {});
 

@@ -1,0 +1,72 @@
+// Instrumented global allocator for allocation-freeness tests and benches.
+//
+// Including this header REPLACES ::operator new / ::operator delete for the
+// whole binary with counting variants over std::malloc/std::free. That is
+// exactly what the steady-state serving tests need: bracket a warm query
+// with alloc_probe::allocations() readings and assert the delta is zero.
+//
+// Usage rules:
+//  * include it in EXACTLY ONE translation unit of a test or bench
+//    executable (the replacement operators are non-inline definitions);
+//  * NEVER include it from library code — the library must not dictate the
+//    allocator of every binary linking it;
+//  * the counter is global and thread-shared: measure single-threaded
+//    regions, or accept that other threads' allocations count too.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace procon::util::alloc_probe {
+
+/// Total number of ::operator new calls (all forms) since process start.
+inline std::atomic<std::uint64_t>& counter() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// Snapshot of the allocation count; subtract two snapshots to count the
+/// allocations of the region between them.
+inline std::uint64_t allocations() noexcept {
+  return counter().load(std::memory_order_relaxed);
+}
+
+inline void* counted_malloc(std::size_t size) {
+  counter().fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_aligned(std::size_t size, std::size_t alignment) {
+  counter().fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = alignment;
+  size = (size + alignment - 1) / alignment * alignment;  // aligned_alloc rule
+  void* p = std::aligned_alloc(alignment, size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace procon::util::alloc_probe
+
+void* operator new(std::size_t size) { return procon::util::alloc_probe::counted_malloc(size); }
+void* operator new[](std::size_t size) { return procon::util::alloc_probe::counted_malloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return procon::util::alloc_probe::counted_aligned(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return procon::util::alloc_probe::counted_aligned(size, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

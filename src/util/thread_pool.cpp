@@ -2,6 +2,18 @@
 
 namespace procon::util {
 
+namespace {
+
+/// Which pool (if any) the current thread is running a loop body for, and
+/// as which worker — the nested-call detector for for_each_index.
+struct PoolContext {
+  const ThreadPool* pool = nullptr;
+  std::size_t worker = 0;
+};
+thread_local PoolContext tls_pool_context;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t total = threads;
   if (total == 0) {
@@ -26,9 +38,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_items(const std::function<void(std::size_t, std::size_t)>& body,
                            std::size_t count, std::size_t worker) {
+  const PoolContext enclosing = tls_pool_context;
+  tls_pool_context = PoolContext{this, worker};
   for (;;) {
     const std::size_t item = next_.fetch_add(1, std::memory_order_relaxed);
-    if (item >= count) return;
+    if (item >= count) break;
     try {
       body(item, worker);
     } catch (...) {
@@ -36,6 +50,7 @@ void ThreadPool::run_items(const std::function<void(std::size_t, std::size_t)>& 
       if (!error_) error_ = std::current_exception();
     }
   }
+  tls_pool_context = enclosing;
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
@@ -63,6 +78,16 @@ void ThreadPool::worker_loop(std::size_t worker) {
 void ThreadPool::for_each_index(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  if (tls_pool_context.pool == this) {
+    // Nested call from one of our own bodies: inline serial loop on the
+    // enclosing worker (fanning out would deadlock the generation
+    // handshake; reusing the worker index keeps worker-indexed scratch
+    // race-free). Exceptions propagate to the outer run_items catch.
+    for (std::size_t item = 0; item < count; ++item) {
+      body(item, tls_pool_context.worker);
+    }
+    return;
+  }
   error_ = nullptr;
   next_.store(0, std::memory_order_relaxed);
   if (workers_ > 0 && count > 1) {

@@ -13,6 +13,16 @@
 // background thread at all and runs the loop inline, which keeps the serial
 // path free of synchronisation overhead and makes "1 thread" genuinely
 // sequential in benchmarks.
+//
+// Nested sharding: for_each_index may be called from inside a body running
+// on this pool (e.g. a use-case sweep item that internally shards its
+// per-application engine work). Such a nested call degrades to an inline
+// serial loop on the calling worker, reusing the enclosing body's worker
+// index — items run in index order, no deadlock, no worker-scratch
+// collisions. Only *top-level* calls fan out across the pool, so callers
+// can unconditionally hand the pool down to composable helpers (the
+// contention estimator's per-app passes) and get parallelism exactly when
+// the outer level is not already sharded.
 #pragma once
 
 #include <atomic>
@@ -45,6 +55,11 @@ class ThreadPool {
   /// index is never active on two items at once, so worker-indexed scratch
   /// state needs no locking. The first exception thrown by any body is
   /// rethrown to the caller after the loop drains.
+  ///
+  /// Nest-safe: when called from inside a body already running on *this*
+  /// pool, the loop runs inline and serially (items in index order) on the
+  /// calling worker, with the enclosing body's worker index — see the
+  /// nested-sharding note above. Exceptions then propagate directly.
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t item, std::size_t worker)>& body);
 

@@ -1,0 +1,251 @@
+// Steady-state serving guarantees, enforced with an instrumented global
+// allocator (util/alloc_probe.h replaces ::operator new for this binary):
+//
+//  * the second and every later reset(uc) + run_view() of a previously-seen
+//    use-case performs ZERO heap allocations, and its results stay bitwise
+//    identical to a cold rebuild of the materialised restriction;
+//  * a verdict-only what_if_admit probe of an LRU-cached candidate into a
+//    reused WhatIfReport performs ZERO heap allocations and agrees with the
+//    value-returning probe;
+//  * LRU eviction is correctness-neutral: an evicted candidate re-probes
+//    identically;
+//  * deep fixed-point contention queries are thread-count invariant with
+//    the nested per-app sharding.
+#include "util/alloc_probe.h"  // FIRST: replaces global new/delete
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "admission/admission.h"
+#include "api/workbench.h"
+#include "gen/graph_generator.h"
+#include "gen/use_cases.h"
+#include "helpers.h"
+#include "sim/sim_engine.h"
+#include "util/rng.h"
+
+namespace procon {
+namespace {
+
+using admission::AdmissionController;
+using admission::QoS;
+using admission::WhatIfOptions;
+using admission::WhatIfReport;
+using procon::testing::fig2_graph_a;
+using procon::testing::fig2_graph_b;
+using procon::testing::two_actor_cycle;
+using util::alloc_probe::allocations;
+
+platform::System random_system(std::uint64_t seed, std::size_t apps) {
+  util::Rng rng(seed);
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 3;
+  gopts.max_actors = 6;
+  auto graphs = gen::generate_graphs(rng, gopts, apps);
+  std::size_t max_actors = 0;
+  for (const auto& g : graphs) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(graphs, plat);
+  return platform::System(std::move(graphs), std::move(plat), std::move(map));
+}
+
+void expect_same(const sim::SimResult& a, const sim::SimResult& b) {
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.node_utilisation, b.node_utilisation);
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    const sim::AppSimResult& x = a.apps[i];
+    const sim::AppSimResult& y = b.apps[i];
+    EXPECT_EQ(x.iterations, y.iterations);
+    EXPECT_EQ(x.converged, y.converged);
+    EXPECT_EQ(x.average_period, y.average_period);  // bitwise, not NEAR
+    EXPECT_EQ(x.worst_period, y.worst_period);
+    EXPECT_EQ(x.iteration_times, y.iteration_times);
+    ASSERT_EQ(x.actors.size(), y.actors.size());
+    for (std::size_t k = 0; k < x.actors.size(); ++k) {
+      EXPECT_EQ(x.actors[k].firings, y.actors[k].firings);
+      EXPECT_EQ(x.actors[k].total_waiting, y.actors[k].total_waiting);
+      EXPECT_EQ(x.actors[k].total_service, y.actors[k].total_service);
+    }
+  }
+}
+
+TEST(SteadyStateAlloc, WarmSimQueriesAreAllocationFree) {
+  const platform::System sys = random_system(321, 5);
+  sim::SimEngine engine(sys);
+  util::Rng rng(7);
+  const auto use_cases = gen::sample_use_cases(sys.app_count(), 2, rng);
+  ASSERT_FALSE(use_cases.empty());
+  sim::SimOptions opts;
+  opts.horizon = 20'000;
+
+  // First pass: builds each use-case's ring set and grows every arena.
+  for (const auto& uc : use_cases) {
+    engine.reset(uc);
+    (void)engine.run_view(opts);
+  }
+  const std::size_t cached = engine.ring_cache_size();
+  EXPECT_GE(cached, use_cases.size());
+
+  // Second pass over the same list: every query must be allocation-free,
+  // and the ring cache must not grow.
+  for (const auto& uc : use_cases) {
+    const std::uint64_t before = allocations();
+    engine.reset(uc);
+    const sim::SimResultView view = engine.run_view(opts);
+    const std::uint64_t after = allocations();
+    EXPECT_EQ(after - before, 0u)
+        << "warm reset+run_view of a seen use-case allocated";
+    EXPECT_EQ(view.apps.size(), uc.size());
+  }
+  EXPECT_EQ(engine.ring_cache_size(), cached);
+}
+
+TEST(SteadyStateAlloc, WarmViewsMatchColdRebuildsBitwise) {
+  const platform::System sys = random_system(99, 4);
+  sim::SimEngine warm(sys);
+  util::Rng rng(11);
+  const auto use_cases = gen::sample_use_cases(sys.app_count(), 2, rng);
+  for (const sim::Arbitration arb :
+       {sim::Arbitration::Fcfs, sim::Arbitration::RoundRobin,
+        sim::Arbitration::Tdma}) {
+    sim::SimOptions opts;
+    opts.horizon = 15'000;
+    opts.arbitration = arb;
+    for (const auto& uc : use_cases) {
+      // Twice per use-case: the second pass exercises the cached rings.
+      for (int rep = 0; rep < 2; ++rep) {
+        warm.reset(uc);
+        const sim::SimResult via_view = warm.run_view(opts).materialise();
+        sim::SimEngine cold(sys.restrict_to(uc));
+        expect_same(via_view, cold.run(opts));
+      }
+    }
+  }
+}
+
+TEST(SteadyStateAlloc, CachedWhatIfVerdictIsAllocationFree) {
+  AdmissionController ctrl(platform::Platform::homogeneous(3));
+  const sdf::Graph a = fig2_graph_a();
+  const sdf::Graph b = fig2_graph_b();
+  const std::vector<platform::NodeId> nodes_a{0, 1, 2};
+  const std::vector<platform::NodeId> nodes_b{0, 1, 2};
+  ASSERT_TRUE(ctrl.request(a, nodes_a, QoS{400.0}).admitted);
+
+  WhatIfOptions verdict_only;
+  verdict_only.with_estimates = false;
+  WhatIfReport out;
+  // First probe: builds the candidate's engine + loads and sizes every
+  // scratch buffer and the report's storage.
+  ctrl.what_if_admit(b, nodes_b, QoS{400.0}, out, verdict_only);
+  ASSERT_TRUE(out.admissible);
+  EXPECT_EQ(ctrl.candidate_cache_size(), 2u);  // admitted app + candidate
+
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::uint64_t before = allocations();
+    ctrl.what_if_admit(b, nodes_b, QoS{400.0}, out, verdict_only);
+    const std::uint64_t after = allocations();
+    EXPECT_EQ(after - before, 0u)
+        << "cached verdict-only what_if_admit allocated (rep " << rep << ")";
+  }
+  EXPECT_TRUE(out.admissible);
+  EXPECT_EQ(ctrl.candidate_cache_size(), 2u);
+
+  // The allocation-free verdict agrees with the value-returning probe.
+  const WhatIfReport full = ctrl.what_if_admit(b, nodes_b, QoS{400.0});
+  EXPECT_EQ(out.admissible, full.admissible);
+  EXPECT_EQ(out.predicted_period, full.predicted_period);
+  EXPECT_EQ(out.peer_periods, full.peer_periods);
+  EXPECT_TRUE(out.estimates.empty());   // verdict-only: no report
+  EXPECT_FALSE(full.estimates.empty());
+
+  // Nothing leaked into the controller state.
+  EXPECT_EQ(ctrl.admitted_count(), 1u);
+  // And the probe's request() twin commits with the same prediction.
+  const admission::Decision real = ctrl.request(b, nodes_b, QoS{400.0});
+  ASSERT_TRUE(real.admitted);
+  EXPECT_EQ(real.predicted_period, full.predicted_period);
+}
+
+TEST(SteadyStateAlloc, LruEvictionReprobesIdentically) {
+  const auto probe = [](AdmissionController& ctrl, const sdf::Graph& g) {
+    return ctrl.what_if_admit(g, {0, 1}, QoS::no_requirement());
+  };
+  AdmissionController ctrl(platform::Platform::homogeneous(2),
+                           /*candidate_cache_capacity=*/2);
+  const sdf::Graph base = two_actor_cycle(8, 12);
+  const sdf::Graph c1 = two_actor_cycle(10, 30);
+  const sdf::Graph c2 = two_actor_cycle(14, 22);
+  const sdf::Graph c3 = two_actor_cycle(18, 26);
+  ASSERT_TRUE(ctrl.request(base, {0, 1}, QoS::no_requirement()).admitted);
+  EXPECT_EQ(ctrl.candidate_cache_size(), 1u);
+
+  const WhatIfReport first = probe(ctrl, c1);   // cache: {base, c1}
+  EXPECT_EQ(ctrl.candidate_cache_size(), 2u);
+  (void)probe(ctrl, c2);                        // evicts base
+  (void)probe(ctrl, c3);                        // evicts c1
+  EXPECT_EQ(ctrl.candidate_cache_size(), 2u);   // capacity respected
+
+  // c1 was evicted: the re-probe rebuilds its state and must reproduce the
+  // original report exactly.
+  const WhatIfReport again = probe(ctrl, c1);
+  EXPECT_EQ(again.admissible, first.admissible);
+  EXPECT_EQ(again.predicted_period, first.predicted_period);
+  EXPECT_EQ(again.peer_periods, first.peer_periods);
+  ASSERT_EQ(again.estimates.size(), first.estimates.size());
+  for (std::size_t i = 0; i < first.estimates.size(); ++i) {
+    EXPECT_EQ(again.estimates[i].isolation_period,
+              first.estimates[i].isolation_period);
+    EXPECT_EQ(again.estimates[i].estimated_period,
+              first.estimates[i].estimated_period);
+  }
+}
+
+TEST(SteadyStateAlloc, DeepFixedPointContentionIsThreadCountInvariant) {
+  const platform::System sys = random_system(2024, 5);
+  prob::EstimatorOptions deep;
+  deep.iterations = 4;  // fixed-point passes: the nested-sharding target
+
+  api::Workbench serial(sys, api::WorkbenchOptions{.threads = 1});
+  api::Workbench sharded(sys, api::WorkbenchOptions{.threads = 4});
+  const auto a = serial.contention(deep);
+  const auto b = sharded.contention(deep);
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].isolation_period, (*b)[i].isolation_period);
+    EXPECT_EQ((*a)[i].estimated_period, (*b)[i].estimated_period);
+    ASSERT_EQ((*a)[i].actors.size(), (*b)[i].actors.size());
+    for (std::size_t k = 0; k < (*a)[i].actors.size(); ++k) {
+      EXPECT_EQ((*a)[i].actors[k].waiting_time, (*b)[i].actors[k].waiting_time);
+      EXPECT_EQ((*a)[i].actors[k].response_time, (*b)[i].actors[k].response_time);
+    }
+  }
+
+  // And the restricted deep query agrees with the one-shot estimator on the
+  // materialised restriction.
+  const platform::UseCase uc{0, 2, 4};
+  const auto restricted = sharded.contention(uc, deep);
+  const auto oracle = prob::ContentionEstimator(deep).estimate(
+      platform::SystemView(sys, uc));
+  ASSERT_EQ(restricted->size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ((*restricted)[i].estimated_period, oracle[i].estimated_period);
+  }
+
+  // Duplicate use-case entries alias one engine across view slots; the deep
+  // query must fall back to the serial path (never race one engine across
+  // workers) and still match the one-shot estimator.
+  const platform::UseCase dup{1, 1};
+  const auto dup_deep = sharded.contention(dup, deep);
+  const auto dup_oracle = prob::ContentionEstimator(deep).estimate(
+      platform::SystemView(sys, dup));
+  ASSERT_EQ(dup_deep->size(), dup_oracle.size());
+  for (std::size_t i = 0; i < dup_oracle.size(); ++i) {
+    EXPECT_EQ((*dup_deep)[i].estimated_period, dup_oracle[i].estimated_period);
+  }
+}
+
+}  // namespace
+}  // namespace procon
