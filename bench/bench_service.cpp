@@ -1,0 +1,215 @@
+// api::AnalysisService under load: multi-client scaling, coalescing, and
+// the streaming-sweep allocation contract — the PR-over-PR tracker for the
+// service front door.
+//
+// Three measurements on the paper workload (two tenant systems):
+//
+//  1. streaming vs deep-copy sweeps (single-threaded): the same use-case
+//     list swept through the sink API (views into session arenas) and the
+//     vector API (owning copies), both warm. The sink sweep's allocation
+//     count per use-case must be ZERO; the vector sweep's count is the
+//     baseline it saves. Results are checked identical.
+//
+//  2. queries/sec vs client count: N client threads submit distinct
+//     contention/wcrt/throughput tickets over both tenants; wall-clock
+//     throughput is reported per client count.
+//
+//  3. coalesce hit rate: every client submits the *same* query in a tight
+//     loop; the service should serve most of them from in-flight twins
+//     (hit rate = coalesced / submitted).
+//
+// Emits BENCH_service.json; CI smoke-runs it and the committed copy feeds
+// the README performance cookbook.
+#include "util/alloc_probe.h"  // FIRST: replaces global new/delete
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "harness.h"
+
+namespace {
+
+using namespace procon;
+
+/// Deep-copying sink: the identity oracle for the view sweep.
+class CheckSink : public api::SweepSink {
+ public:
+  bool on_use_case(std::size_t, const api::UseCaseView& r) override {
+    double sum = 0.0;
+    for (const auto& e : r.estimates) sum += e.estimated_period;
+    sums.push_back(sum);
+    return true;
+  }
+  std::vector<double> sums;
+};
+
+/// Preallocated sink for the allocation bracket (must not allocate itself).
+class QuietSink : public api::SweepSink {
+ public:
+  explicit QuietSink(std::size_t n) { sums.resize(n, 0.0); }
+  bool on_use_case(std::size_t index, const api::UseCaseView& r) override {
+    double sum = 0.0;
+    for (const auto& e : r.estimates) sum += e.estimated_period;
+    sums[index] = sum;
+    return true;
+  }
+  std::vector<double> sums;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const platform::System sys_a = bench::make_workload(opts);
+  bench::Options opts_b = opts;
+  opts_b.seed = opts.seed + 1;
+  const platform::System sys_b = bench::make_workload(opts_b);
+  const auto use_cases = bench::make_use_cases(opts, sys_a.app_count());
+  const auto uc_count = static_cast<double>(use_cases.size());
+  bool identical = true;
+
+  // ---- 1. streaming (view) vs deep-copy (vector) sweeps -------------------
+  api::Workbench wb(sys_a, api::WorkbenchOptions{.threads = 1});
+  api::SweepOptions sweep_opts;  // estimates only: the pure estimator sweep
+
+  // Warm-up both paths, and keep the vector results as the identity oracle.
+  QuietSink warm_sink(use_cases.size());
+  (void)wb.sweep_use_cases(use_cases, sweep_opts, warm_sink);
+  const auto oracle = wb.sweep_use_cases(use_cases, sweep_opts);
+
+  QuietSink view_sink(use_cases.size());
+  const std::uint64_t view_before = util::alloc_probe::allocations();
+  bench::Stopwatch view_clock;
+  (void)wb.sweep_use_cases(use_cases, sweep_opts, view_sink);
+  const double sweep_view_us = 1e6 * view_clock.seconds() / uc_count;
+  const std::uint64_t view_allocs =
+      util::alloc_probe::allocations() - view_before;
+
+  const std::uint64_t copy_before = util::alloc_probe::allocations();
+  bench::Stopwatch copy_clock;
+  const auto copied = wb.sweep_use_cases(use_cases, sweep_opts);
+  const double sweep_copy_us = 1e6 * copy_clock.seconds() / uc_count;
+  const std::uint64_t copy_allocs =
+      util::alloc_probe::allocations() - copy_before;
+
+  for (std::size_t i = 0; i < use_cases.size(); ++i) {
+    double sum = 0.0;
+    for (const auto& e : (*oracle)[i].estimates) sum += e.estimated_period;
+    identical = identical && view_sink.sums[i] == sum;
+    double copied_sum = 0.0;
+    for (const auto& e : (*copied)[i].estimates) copied_sum += e.estimated_period;
+    identical = identical && copied_sum == sum;
+  }
+  identical = identical && view_allocs == 0;
+
+  // ---- 2. queries/sec vs client count -------------------------------------
+  // Distinct queries (kind x use-case cycling) so coalescing stays out of
+  // the scaling number; identity spot-checked against the oracle sweep.
+  const std::size_t per_client = std::max<std::size_t>(use_cases.size(), 16);
+  double qps[4] = {0, 0, 0, 0};
+  const std::size_t client_counts[4] = {1, 2, 4, 8};
+  for (int ci = 0; ci < 4; ++ci) {
+    const std::size_t clients = client_counts[ci];
+    api::AnalysisService service(
+        api::ServiceOptions{.threads = 0, .session_capacity = 4});
+    const api::SystemId a = service.register_system(sys_a);
+    const api::SystemId b = service.register_system(sys_b);
+    std::vector<std::vector<api::QueryTicket>> tickets(clients);
+    bench::Stopwatch clock;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        tickets[c].reserve(per_client);
+        for (std::size_t k = 0; k < per_client; ++k) {
+          api::QueryDesc d;
+          switch (k % 3) {
+            case 0:
+              d.kind = api::QueryKind::Contention;
+              d.use_case = use_cases[k % use_cases.size()];
+              break;
+            case 1:
+              d.kind = api::QueryKind::Wcrt;
+              break;
+            default:
+              d.kind = api::QueryKind::Throughput;
+              d.app = static_cast<sdf::AppId>(k % sys_a.app_count());
+              break;
+          }
+          tickets[c].push_back(service.submit((c + k) % 2 == 0 ? a : b, d));
+        }
+        for (auto& t : tickets[c]) t.wait();
+      });
+    }
+    for (auto& t : threads) t.join();
+    qps[ci] =
+        static_cast<double>(clients * per_client) / clock.seconds();
+    // Spot-check: a contention ticket on tenant A equals the oracle sweep.
+    const auto& v = tickets[0][0].get();
+    const auto& est = std::get<api::Report<std::vector<prob::AppEstimate>>>(v);
+    double sum = 0.0;
+    for (const auto& e : *est) sum += e.estimated_period;
+    double oracle_sum = 0.0;
+    for (const auto& e : (*oracle)[0].estimates) oracle_sum += e.estimated_period;
+    identical = identical && sum == oracle_sum;
+  }
+
+  // ---- 3. coalesce hit rate -----------------------------------------------
+  double coalesce_rate = 0.0;
+  {
+    api::AnalysisService service(
+        api::ServiceOptions{.threads = 2, .session_capacity = 2});
+    const api::SystemId a = service.register_system(sys_a);
+    constexpr std::size_t kClients = 8;
+    constexpr std::size_t kRepeats = 32;
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&] {
+        for (std::size_t k = 0; k < kRepeats; ++k) {
+          api::QueryDesc d;
+          d.kind = api::QueryKind::Contention;  // everyone asks the same thing
+          auto t = service.submit(a, d);
+          t.wait();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const auto stats = service.stats();
+    coalesce_rate = stats.submitted > 0
+                        ? static_cast<double>(stats.coalesced) /
+                              static_cast<double>(stats.submitted)
+                        : 0.0;
+    identical = identical && stats.submitted == stats.executed + stats.coalesced;
+  }
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"service\",\"seed\":%llu,\"use_cases\":%zu,"
+      "\"sweep_view_us\":%.2f,\"sweep_copy_us\":%.2f,"
+      "\"sweep_view_allocs_per_uc\":%.1f,\"sweep_copy_allocs_per_uc\":%.1f,"
+      "\"qps_clients_1\":%.0f,\"qps_clients_2\":%.0f,"
+      "\"qps_clients_4\":%.0f,\"qps_clients_8\":%.0f,"
+      "\"coalesce_hit_rate\":%.3f,\"identical\":%s}",
+      static_cast<unsigned long long>(opts.seed), use_cases.size(),
+      sweep_view_us, sweep_copy_us,
+      static_cast<double>(view_allocs) / uc_count,
+      static_cast<double>(copy_allocs) / uc_count, qps[0], qps[1], qps[2],
+      qps[3], coalesce_rate, identical ? "true" : "false");
+
+  std::cout << json << "\n";
+  std::ofstream out("BENCH_service.json");
+  out << json << "\n";
+
+  if (!identical) {
+    std::cerr << "FAIL: service results diverged from the serial oracle or "
+                 "the warm view sweep allocated\n";
+    return 1;
+  }
+  return 0;
+}

@@ -13,55 +13,10 @@ namespace procon::admission {
 
 using prob::Composite;
 
-namespace {
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
-  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
-}
-
-/// Structural fingerprint of a graph (name, actors, channels). Collisions
-/// are disambiguated by graphs_equal; no allocation.
-std::uint64_t graph_fingerprint(const sdf::Graph& g) noexcept {
-  std::uint64_t h = std::hash<std::string_view>{}(g.name());
-  h = mix(h, g.actor_count());
-  h = mix(h, g.channel_count());
-  for (const sdf::Actor& a : g.actors()) {
-    h = mix(h, std::hash<std::string_view>{}(a.name));
-    h = mix(h, static_cast<std::uint64_t>(a.exec_time));
-  }
-  for (const sdf::Channel& c : g.channels()) {
-    h = mix(h, c.src);
-    h = mix(h, c.dst);
-    h = mix(h, c.prod_rate);
-    h = mix(h, c.cons_rate);
-    h = mix(h, c.initial_tokens);
-  }
-  return h;
-}
-
-/// Exact structural equality (the fingerprint's tie-breaker); no allocation.
-bool graphs_equal(const sdf::Graph& a, const sdf::Graph& b) noexcept {
-  if (a.name() != b.name() || a.actor_count() != b.actor_count() ||
-      a.channel_count() != b.channel_count()) {
-    return false;
-  }
-  for (sdf::ActorId i = 0; i < a.actor_count(); ++i) {
-    const sdf::Actor& x = a.actor(i);
-    const sdf::Actor& y = b.actor(i);
-    if (x.name != y.name || x.exec_time != y.exec_time) return false;
-  }
-  for (sdf::ChannelId c = 0; c < a.channel_count(); ++c) {
-    const sdf::Channel& x = a.channel(c);
-    const sdf::Channel& y = b.channel(c);
-    if (x.src != y.src || x.dst != y.dst || x.prod_rate != y.prod_rate ||
-        x.cons_rate != y.cons_rate || x.initial_tokens != y.initial_tokens) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
+// Structural identity (fingerprint + exact-equality tie-break) is shared
+// with the service session LRU: sdf::graph_fingerprint / sdf::graphs_equal
+// in sdf/algorithms.h — one definition of "same graph" for every
+// structure-keyed cache.
 
 AdmissionController::AdmissionController(platform::Platform platform,
                                          std::size_t candidate_cache_capacity)
@@ -101,9 +56,9 @@ platform::System AdmissionController::snapshot_system() const {
 
 AdmissionController::CandidateEntry& AdmissionController::candidate_for(
     const sdf::Graph& app) {
-  const std::uint64_t fp = graph_fingerprint(app);
+  const std::uint64_t fp = sdf::graph_fingerprint(app);
   for (CandidateEntry& e : candidates_) {
-    if (e.fingerprint == fp && graphs_equal(e.graph, app)) {
+    if (e.fingerprint == fp && sdf::graphs_equal(e.graph, app)) {
       e.last_used = ++candidate_clock_;  // hit: O(weights), no rebuild
       return e;
     }

@@ -1,0 +1,389 @@
+#include "api/service.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sdf/algorithms.h"
+
+namespace procon::api {
+
+namespace {
+
+/// Structural fingerprint of a whole system: applications (via the shared
+/// sdf::graph_fingerprint), platform nodes, mapping rows. Collisions are
+/// disambiguated by systems_equal.
+std::uint64_t system_fingerprint(const platform::System& sys) noexcept {
+  std::uint64_t h = sdf::fingerprint_mix(0x5EED5EED5EED5EEDULL, sys.app_count());
+  for (const sdf::Graph& g : sys.apps()) h = sdf::graph_fingerprint(g, h);
+  h = sdf::fingerprint_mix(h, sys.platform().node_count());
+  for (platform::NodeId n = 0; n < sys.platform().node_count(); ++n) {
+    h = sdf::fingerprint_mix(h, sys.platform().node(n).type);
+  }
+  for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
+    for (sdf::ActorId a = 0; a < sys.app(i).actor_count(); ++a) {
+      h = sdf::fingerprint_mix(h, sys.mapping().node_of(i, a));
+    }
+  }
+  return h;
+}
+
+/// Exact structural equality of two systems (the fingerprint tie-breaker):
+/// identical analysis inputs, hence identical results from a shared session.
+bool systems_equal(const platform::System& a, const platform::System& b) noexcept {
+  if (a.app_count() != b.app_count() ||
+      a.platform().node_count() != b.platform().node_count()) {
+    return false;
+  }
+  for (platform::NodeId n = 0; n < a.platform().node_count(); ++n) {
+    if (a.platform().node(n).type != b.platform().node(n).type) return false;
+  }
+  for (sdf::AppId i = 0; i < a.app_count(); ++i) {
+    if (!sdf::graphs_equal(a.app(i), b.app(i))) return false;
+    for (sdf::ActorId act = 0; act < a.app(i).actor_count(); ++act) {
+      if (a.mapping().node_of(i, act) != b.mapping().node_of(i, act)) return false;
+    }
+  }
+  return true;
+}
+
+void append_u64(std::string& key, std::uint64_t v) {
+  key.push_back('#');
+  key.append(std::to_string(v));
+}
+
+void append_double(std::string& key, double v) {
+  // Bit pattern, not decimal text: the key must distinguish every distinct
+  // option value exactly.
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  append_u64(key, bits);
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(const ServiceOptions& opts)
+    : session_capacity_(std::max<std::size_t>(opts.session_capacity, 1)),
+      session_threads_(opts.session_threads),
+      pool_(opts.threads) {}
+
+AnalysisService::~AnalysisService() { drain(); }
+
+void AnalysisService::drain() {
+  std::unique_lock<std::mutex> lock(m_);
+  idle_cv_.wait(lock, [&] {
+    for (const auto& s : sessions_) {
+      if (s->busy || !s->queue.empty()) return false;
+    }
+    return true;
+  });
+}
+
+SystemId AnalysisService::register_system(platform::System sys) {
+  sys.validate();  // fail at the door, not inside a worker
+  const std::uint64_t fp = system_fingerprint(sys);
+  std::lock_guard<std::mutex> lock(m_);
+  registrations_.push_back(Registration{std::move(sys), fp});
+  return static_cast<SystemId>(registrations_.size() - 1);
+}
+
+const platform::System& AnalysisService::system(SystemId id) const {
+  std::lock_guard<std::mutex> lock(m_);
+  return registrations_.at(id).system;
+}
+
+std::size_t AnalysisService::tenant_count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return registrations_.size();
+}
+
+std::size_t AnalysisService::session_count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return sessions_.size();
+}
+
+ServiceStats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+AnalysisService::Session& AnalysisService::session_for(SystemId id) {
+  Registration& reg = registrations_.at(id);
+
+  // Hot path: the session this tenant resolved to last time, matched by
+  // its never-reused serial — no structural comparison at all.
+  for (auto& s : sessions_) {
+    if (reg.resolved_serial != 0 && s->serial == reg.resolved_serial) {
+      s->last_used = ++clock_;
+      return *s;
+    }
+  }
+
+  // Shared hit: any live session built from a bitwise-identical system
+  // serves this tenant (fingerprint first, exact equality as tie-breaker).
+  for (auto& s : sessions_) {
+    if (s->fingerprint == reg.fingerprint &&
+        systems_equal(s->bench->system(), reg.system)) {
+      s->last_used = ++clock_;
+      reg.resolved_serial = s->serial;
+      return *s;
+    }
+  }
+
+  // Miss: evict idle least-recently-used sessions down to capacity. Busy,
+  // queued or pinned sessions are never evicted (their addresses are live
+  // in workers); if everything is busy the store temporarily overflows and
+  // is trimmed by a later miss.
+  while (sessions_.size() >= session_capacity_) {
+    std::size_t victim = sessions_.size();
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      const Session& s = *sessions_[i];
+      if (s.busy || s.pins > 0 || !s.queue.empty()) continue;
+      if (victim == sessions_.size() ||
+          s.last_used < sessions_[victim]->last_used) {
+        victim = i;
+      }
+    }
+    if (victim == sessions_.size()) break;  // everything busy: overflow
+    sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++stats_.sessions_evicted;
+  }
+
+  // Build the session from the resident registration. Rebuilds after
+  // eviction are identical by construction: a Workbench is a pure function
+  // of its System, and queries never depend on session history.
+  auto fresh = std::make_unique<Session>();
+  fresh->serial = ++session_serial_;
+  fresh->fingerprint = reg.fingerprint;
+  fresh->bench = std::make_unique<Workbench>(
+      reg.system, WorkbenchOptions{.threads = session_threads_});
+  fresh->last_used = ++clock_;
+  reg.resolved_serial = fresh->serial;
+  ++stats_.sessions_built;
+  sessions_.push_back(std::move(fresh));
+  return *sessions_.back();
+}
+
+std::string AnalysisService::coalesce_key(std::uint64_t serial,
+                                          const QueryDesc& d) {
+  std::string key;
+  key.reserve(64);
+  append_u64(key, serial);
+  append_u64(key, static_cast<std::uint64_t>(d.kind));
+  switch (d.kind) {
+    case QueryKind::Throughput:
+    case QueryKind::Latency:
+    case QueryKind::Bottleneck:
+      append_u64(key, d.app);
+      break;
+    case QueryKind::BufferFrontier:
+      append_u64(key, d.app);
+      append_u64(key, d.buffers.max_steps);
+      append_double(key, d.buffers.convergence);
+      append_u64(key, d.buffers.incremental ? 1 : 0);
+      break;
+    case QueryKind::Contention:
+      for (const sdf::AppId a : d.use_case) append_u64(key, a);
+      append_u64(key, static_cast<std::uint64_t>(d.estimator.method));
+      append_u64(key, static_cast<std::uint64_t>(d.estimator.order));
+      append_u64(key, static_cast<std::uint64_t>(d.estimator.iterations));
+      append_u64(key, d.estimator.mc_trials);
+      append_u64(key, d.estimator.mc_seed);
+      break;
+    case QueryKind::Wcrt:
+      for (const sdf::AppId a : d.use_case) append_u64(key, a);
+      append_u64(key, static_cast<std::uint64_t>(d.wcrt.policy));
+      append_u64(key, static_cast<std::uint64_t>(d.wcrt.tdma_slot));
+      break;
+    case QueryKind::Simulate:
+      // Stochastic execution-time models cannot be keyed cheaply; such
+      // queries simply never coalesce.
+      if (!d.sim.exec_models.empty()) return {};
+      for (const sdf::AppId a : d.use_case) append_u64(key, a);
+      append_u64(key, static_cast<std::uint64_t>(d.sim.horizon));
+      append_u64(key, static_cast<std::uint64_t>(d.sim.arbitration));
+      append_u64(key, static_cast<std::uint64_t>(d.sim.tdma_slot));
+      append_double(key, d.sim.warmup_fraction);
+      append_u64(key, d.sim.min_iterations);
+      append_u64(key, d.sim.max_events);
+      append_u64(key, d.sim.sample_seed);
+      append_u64(key, d.sim.collect_trace ? 1 : 0);
+      break;
+  }
+  return key;
+}
+
+QueryValue AnalysisService::execute(Workbench& wb, const QueryDesc& d) {
+  switch (d.kind) {
+    case QueryKind::Throughput:
+      return wb.throughput(d.app);
+    case QueryKind::Latency:
+      return wb.latency(d.app);
+    case QueryKind::Bottleneck:
+      return wb.bottleneck(d.app);
+    case QueryKind::BufferFrontier:
+      return wb.buffer_frontier(d.app, d.buffers);
+    case QueryKind::Contention:
+      return d.use_case.empty() ? wb.contention(d.estimator)
+                                : wb.contention(d.use_case, d.estimator);
+    case QueryKind::Wcrt:
+      return d.use_case.empty() ? wb.wcrt(d.wcrt) : wb.wcrt(d.use_case, d.wcrt);
+    case QueryKind::Simulate:
+      return d.use_case.empty() ? wb.simulate(d.sim)
+                                : wb.simulate(d.use_case, d.sim);
+  }
+  throw std::logic_error("AnalysisService: unhandled query kind");
+}
+
+QueryTicket AnalysisService::submit(SystemId id, QueryDesc desc) {
+  std::shared_ptr<detail::TicketShared<QueryValue>> state;
+  Session* to_drain = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    Session& s = session_for(id);
+    ++stats_.submitted;
+
+    const std::string key = coalesce_key(s.serial, desc);
+    if (!key.empty()) {
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        // A pending or running twin exists: attach instead of re-running.
+        // (Cancelled entries are replaced — their work will never happen.)
+        std::lock_guard<std::mutex> slock(it->second->m);
+        if (it->second->status != TicketStatus::Cancelled) {
+          ++it->second->clients;
+          ++stats_.coalesced;
+          state = it->second;
+        }
+      }
+    }
+    if (!state) {
+      state = std::make_shared<detail::TicketShared<QueryValue>>();
+      if (!key.empty()) inflight_[key] = state;
+      s.queue.push_back(Job{state, std::move(desc), key});
+      s.last_used = ++clock_;
+      to_drain = schedule(s);
+    }
+  }
+  if (to_drain != nullptr) {
+    pool_.post([this, to_drain] { drain_session(to_drain); });
+  }
+  return QueryTicket(std::move(state));
+}
+
+AnalysisService::Session* AnalysisService::schedule(Session& s) {
+  // One drainer per session at a time serialises Workbench access; the
+  // drainer re-checks the queue before exiting, so a job enqueued while it
+  // winds down is never stranded. While a sweep is waiting the session is
+  // theirs at the next boundary — don't race a fresh drainer against it
+  // (the sweep reposts one for the remaining queue when it finishes). The
+  // session pointer is stable: it is unique_ptr-owned and never evicted
+  // while busy.
+  if (s.busy || s.queue.empty() || s.sweep_waiters > 0) return nullptr;
+  s.busy = true;
+  return &s;
+}
+
+void AnalysisService::drain_session(Session* s) {
+  std::unique_lock<std::mutex> lock(m_);
+  for (;;) {
+    // Yield to a waiting streaming sweep at the next query boundary: a
+    // continuous ticket stream must not starve sweeps (the sweep reposts
+    // this drainer for the remaining queue when it finishes).
+    if (s->queue.empty() || s->sweep_waiters > 0) {
+      s->busy = false;
+      idle_cv_.notify_all();
+      return;
+    }
+    Job job = std::move(s->queue.front());
+    s->queue.pop_front();
+    {
+      std::lock_guard<std::mutex> slock(job.state->m);
+      if (job.state->status == TicketStatus::Cancelled) {
+        // Every client withdrew before execution: drop the work.
+        ++stats_.cancelled;
+        if (!job.key.empty()) {
+          const auto it = inflight_.find(job.key);
+          if (it != inflight_.end() && it->second == job.state) inflight_.erase(it);
+        }
+        continue;
+      }
+      job.state->status = TicketStatus::Running;
+    }
+
+    // Execute without the service lock: other sessions proceed in
+    // parallel; this session is protected by busy == true.
+    lock.unlock();
+    QueryValue value;
+    std::exception_ptr error;
+    try {
+      value = execute(*s->bench, job.desc);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+
+    ++stats_.executed;
+    if (!job.key.empty()) {
+      const auto it = inflight_.find(job.key);
+      if (it != inflight_.end() && it->second == job.state) inflight_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> slock(job.state->m);
+      job.state->status =
+          error ? TicketStatus::Failed : TicketStatus::Done;
+      job.state->error = error;
+      job.state->value = std::move(value);
+    }
+    job.state->cv.notify_all();
+  }
+}
+
+SweepSummary AnalysisService::sweep_use_cases(
+    SystemId id, std::span<const platform::UseCase> use_cases,
+    const SweepOptions& opts, SweepSink& sink) {
+  Session* s = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    s = &session_for(id);
+    // Pin (no eviction while we wait) and signal the drainer to yield at
+    // its next query boundary — sweeps acquire the session after the
+    // currently-running ticket, ahead of queued ones, so a continuous
+    // submit stream cannot starve them. Queued tickets resume afterwards.
+    ++s->pins;
+    ++s->sweep_waiters;
+    idle_cv_.wait(lock, [&] { return !s->busy; });
+    --s->sweep_waiters;
+    --s->pins;
+    s->busy = true;  // exclusive: tickets queue up behind the sweep
+    s->last_used = ++clock_;
+  }
+  SweepSummary summary;
+  Session* to_drain = nullptr;
+  try {
+    summary = s->bench->sweep_use_cases(use_cases, opts, sink);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      s->busy = false;
+      to_drain = schedule(*s);
+      idle_cv_.notify_all();
+    }
+    if (to_drain != nullptr) {
+      pool_.post([this, to_drain] { drain_session(to_drain); });
+    }
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    s->busy = false;
+    to_drain = schedule(*s);  // tickets that queued during the sweep
+    idle_cv_.notify_all();
+  }
+  if (to_drain != nullptr) {
+    pool_.post([this, to_drain] { drain_session(to_drain); });
+  }
+  return summary;
+}
+
+}  // namespace procon::api

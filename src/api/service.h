@@ -1,0 +1,428 @@
+// procon::api::AnalysisService — the asynchronous, multi-tenant front door
+// over Workbench sessions.
+//
+// A Workbench is deliberately a *single-client* object: one stateful
+// session per System, queries strictly serialised, parallelism only inside
+// a query. That is the right shape for one analyst and exactly the wrong
+// shape for a server. The AnalysisService is the layer in between — the
+// session-vs-service split: it owns
+//
+//   * a resident store of registered platform::Systems (tenants),
+//   * a bounded, fingerprint-keyed LRU of live Workbench sessions (one per
+//     distinct registered system *structure*; bitwise-identical
+//     registrations share a session, eviction rebuilds on next touch —
+//     the same eviction discipline as the admission controller's
+//     candidate LRU),
+//   * a shared util::ThreadPool whose work queue executes submitted
+//     queries.
+//
+// The query surface is asynchronous and streaming:
+//
+//   * submit(SystemId, QueryDesc) returns a Ticket — a future-like handle
+//     with wait()/try_get()/get()/cancel(). Queries on one session are
+//     serialised (the Workbench contract); queries on different sessions
+//     run concurrently on the pool workers.
+//   * identical in-flight queries COALESCE: a submit that matches a
+//     pending or running query attaches to its ticket state instead of
+//     enqueueing a duplicate — thousands of clients asking the admission
+//     question of the moment cost one evaluation.
+//   * sweep_use_cases(SystemId, ..., SweepSink&) streams per-use-case
+//     results to the caller as views into session-owned arenas
+//     (Workbench::sweep_use_cases streaming overload): caller-driven
+//     consumption, zero result copies, zero heap allocations once warm.
+//
+// Determinism: a query executes as exactly one Workbench call on exactly
+// one worker, and Workbench queries are pure functions of (system,
+// options). Results are therefore bitwise identical to the equivalent
+// serial Workbench call, for any client count, worker count, submission
+// order or eviction history (asserted by tests/test_service.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "api/report.h"
+#include "api/workbench.h"
+
+namespace procon::api {
+
+/// \brief Handle of a registered tenant system (dense, never reused).
+using SystemId = std::uint32_t;
+
+/// \brief Which Workbench query a ticket runs.
+enum class QueryKind : std::uint8_t {
+  Throughput,      ///< Workbench::throughput(app)
+  Latency,         ///< Workbench::latency(app)
+  Bottleneck,      ///< Workbench::bottleneck(app)
+  BufferFrontier,  ///< Workbench::buffer_frontier(app, buffers)
+  Contention,      ///< Workbench::contention([use_case,] estimator)
+  Wcrt,            ///< Workbench::wcrt([use_case,] wcrt)
+  Simulate,        ///< Workbench::simulate([use_case,] sim)
+};
+
+/// \brief One submitted query: the kind plus every option the kind reads.
+///
+/// Fields irrelevant to `kind` are ignored (and excluded from the
+/// coalescing key). An empty `use_case` means "all applications" for the
+/// whole-system kinds.
+struct QueryDesc {
+  QueryKind kind = QueryKind::Throughput;  ///< which query to run
+  /// Target application (Throughput / Latency / Bottleneck /
+  /// BufferFrontier).
+  sdf::AppId app = 0;
+  /// Restriction for Contention / Wcrt / Simulate; empty = full system.
+  platform::UseCase use_case;
+  prob::EstimatorOptions estimator;  ///< Contention configuration
+  wcrt::WcrtOptions wcrt;            ///< Wcrt configuration
+  sim::SimOptions sim;               ///< Simulate configuration
+  dse::BufferExplorerOptions buffers;  ///< BufferFrontier configuration
+};
+
+/// \brief Every result shape a ticket can carry, in QueryKind order.
+using QueryValue = std::variant<Report<analysis::PeriodResult>,
+                                Report<analysis::GraphLatencyResult>,
+                                Report<analysis::BottleneckReport>,
+                                Report<std::vector<dse::BufferPoint>>,
+                                Report<std::vector<prob::AppEstimate>>,
+                                Report<std::vector<wcrt::AppBound>>,
+                                Report<sim::SimResult>>;
+
+/// \brief Lifecycle of a ticket's underlying query.
+enum class TicketStatus : std::uint8_t {
+  Pending,    ///< queued, not yet picked up by a worker
+  Running,    ///< executing on a worker
+  Done,       ///< finished; the value is available
+  Cancelled,  ///< abandoned before execution (every client cancelled)
+  Failed,     ///< the query threw; get() rethrows the exception
+};
+
+namespace detail {
+
+/// \brief Shared completion state behind one (possibly coalesced) query.
+///
+/// One instance per *executed* query; every coalesced Ticket holds a
+/// reference. Internal — sized and locked by the service and the tickets.
+template <typename T>
+struct TicketShared {
+  std::mutex m;               ///< guards every field below
+  std::condition_variable cv; ///< notified on any terminal transition
+  TicketStatus status = TicketStatus::Pending;  ///< current lifecycle stage
+  T value{};                  ///< the result (valid when status == Done)
+  std::exception_ptr error;   ///< set when status == Failed
+  std::size_t clients = 1;    ///< tickets attached (grows by coalescing)
+  std::size_t cancels = 0;    ///< distinct tickets that cancelled
+};
+
+}  // namespace detail
+
+/// \brief Future-like handle to a submitted query.
+///
+/// Obtained from AnalysisService::submit. Move-only; several tickets may
+/// share one underlying query through coalescing, which cancel() respects
+/// (a query is abandoned only when *every* attached ticket cancels).
+/// Thread-safe: distinct threads may operate on distinct tickets of the
+/// same query concurrently; one ticket is a single-owner object.
+template <typename T>
+class Ticket {
+ public:
+  /// \brief Empty ticket (valid() == false); assign from submit() to use.
+  Ticket() = default;
+
+  Ticket(Ticket&&) noexcept = default;             ///< tickets move
+  Ticket& operator=(Ticket&&) noexcept = default;  ///< tickets move
+  Ticket(const Ticket&) = delete;                  ///< single owner
+  Ticket& operator=(const Ticket&) = delete;       ///< single owner
+
+  /// \brief Whether this ticket refers to a submitted query.
+  /// \return true unless default-constructed or moved-from
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// \brief Current lifecycle stage of the underlying query.
+  /// \return the status at the time of the call (may advance immediately
+  ///         after)
+  [[nodiscard]] TicketStatus status() const {
+    std::lock_guard<std::mutex> lock(check().m);
+    return state_->status;
+  }
+
+  /// \brief Blocks until the query reaches a terminal state (Done,
+  /// Cancelled or Failed).
+  void wait() const {
+    auto& s = check();
+    std::unique_lock<std::mutex> lock(s.m);
+    s.cv.wait(lock, [&] { return terminal(s.status); });
+  }
+
+  /// \brief Non-blocking result access.
+  /// \return pointer to the value when Done (valid while the ticket lives),
+  ///         nullptr in every other state
+  [[nodiscard]] const T* try_get() const {
+    auto& s = check();
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.status == TicketStatus::Done ? &s.value : nullptr;
+  }
+
+  /// \brief Blocking result access: wait(), then the value.
+  ///
+  /// Rethrows the query's exception when it Failed; throws std::logic_error
+  /// when the query was Cancelled.
+  /// \return the query result (valid while the ticket lives)
+  [[nodiscard]] const T& get() const& {
+    auto& s = check();
+    std::unique_lock<std::mutex> lock(s.m);
+    s.cv.wait(lock, [&] { return terminal(s.status); });
+    if (s.status == TicketStatus::Failed) std::rethrow_exception(s.error);
+    if (s.status == TicketStatus::Cancelled) {
+      throw std::logic_error("Ticket::get: query was cancelled");
+    }
+    return s.value;
+  }
+
+  /// \brief Rvalue get(): returns the value BY VALUE, so
+  /// `service.submit(...).get()` is safe — the expiring ticket may be the
+  /// last owner of the shared state a reference would dangle into. Copies
+  /// (never moves): coalesced siblings may still read the same state.
+  /// \return a copy of the query result
+  [[nodiscard]] T get() && {
+    const Ticket& self = *this;
+    return self.get();
+  }
+
+  /// \brief Withdraws this ticket's interest in the query.
+  ///
+  /// The query is abandoned — transitions to Cancelled, never executes —
+  /// only when it is still Pending and every coalesced ticket has
+  /// cancelled; a Running or finished query, and a query other clients
+  /// still await, proceeds unaffected. Idempotent per ticket.
+  /// \return true when this call abandoned the query, false otherwise
+  bool cancel() {
+    auto& s = check();
+    std::lock_guard<std::mutex> lock(s.m);
+    if (cancelled_) return false;
+    cancelled_ = true;
+    ++s.cancels;
+    if (s.status == TicketStatus::Pending && s.cancels >= s.clients) {
+      s.status = TicketStatus::Cancelled;
+      s.cv.notify_all();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class AnalysisService;
+  explicit Ticket(std::shared_ptr<detail::TicketShared<T>> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] static bool terminal(TicketStatus st) noexcept {
+    return st == TicketStatus::Done || st == TicketStatus::Cancelled ||
+           st == TicketStatus::Failed;
+  }
+  [[nodiscard]] detail::TicketShared<T>& check() const {
+    if (!state_) throw std::logic_error("Ticket: empty (default-constructed?)");
+    return *state_;
+  }
+
+  std::shared_ptr<detail::TicketShared<T>> state_;
+  bool cancelled_ = false;
+};
+
+/// \brief The ticket type AnalysisService::submit returns.
+using QueryTicket = Ticket<QueryValue>;
+
+/// \brief Construction options of an AnalysisService.
+struct ServiceOptions {
+  /// Service workers executing tickets (including the calling thread's
+  /// slot, like WorkbenchOptions::threads). 0 = one per hardware thread;
+  /// 1 = no background workers at all — submit() then executes
+  /// synchronously before returning (tickets complete immediately).
+  std::size_t threads = 0;
+  /// Maximum live Workbench sessions; beyond it the least-recently-used
+  /// *idle* session is evicted (rebuilt identically on next touch).
+  /// Clamped to >= 1.
+  std::size_t session_capacity = 8;
+  /// Worker count inside each session's own pool (sharded queries of one
+  /// ticket). Default 1: cross-query parallelism comes from the service
+  /// pool, so per-query sharding usually only adds oversubscription.
+  std::size_t session_threads = 1;
+};
+
+/// \brief Service-level counters (monotonic since construction).
+struct ServiceStats {
+  std::uint64_t submitted = 0;        ///< submit() calls accepted
+  std::uint64_t coalesced = 0;        ///< submits attached to in-flight queries
+  std::uint64_t executed = 0;         ///< queries actually run on a session
+  std::uint64_t cancelled = 0;        ///< queries abandoned before execution
+  std::uint64_t sessions_built = 0;   ///< Workbench constructions (cold + rebuilds)
+  std::uint64_t sessions_evicted = 0; ///< sessions dropped by the LRU bound
+};
+
+/// \brief Asynchronous, multi-tenant analysis server over Workbench
+/// sessions: register Systems, submit ticketed queries, stream sweeps.
+///
+/// See the header comment above for the architecture. Thread-safety: every
+/// public method may be called from any thread concurrently; per-session
+/// execution is serialised internally (the Workbench contract), sessions
+/// run in parallel across the pool. Determinism: results are bitwise
+/// identical to the equivalent serial Workbench call for any client/worker
+/// count and any eviction history.
+class AnalysisService {
+ public:
+  /// \brief Builds an empty service (no tenants, no sessions).
+  /// \param opts worker count, session capacity, per-session threads
+  explicit AnalysisService(const ServiceOptions& opts = {});
+
+  /// \brief Blocks until every submitted query finished, then shuts the
+  /// pool down. Outstanding tickets stay readable (they own their shared
+  /// state); streaming sweeps must have returned.
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;             ///< unique
+  AnalysisService& operator=(const AnalysisService&) = delete;  ///< unique
+
+  /// \brief Registers a tenant system and returns its handle.
+  ///
+  /// Validates like Workbench construction (throws sdf::GraphError on
+  /// invalid systems — registration either yields a servable tenant or
+  /// fails). The system is copied into the resident store; sessions are
+  /// built lazily on first query. Registering a bitwise-identical system
+  /// twice yields two SystemIds that *share* one live session (the
+  /// fingerprint-keyed LRU) — safe because queries never mutate results.
+  /// \param sys the applications + platform + mapping to serve
+  /// \return dense handle for submit()/sweep_use_cases()
+  SystemId register_system(platform::System sys);
+
+  /// \brief The registered system behind a handle (the resident copy).
+  /// \param id handle from register_system; throws std::out_of_range
+  ///        otherwise
+  /// \return the tenant's system
+  [[nodiscard]] const platform::System& system(SystemId id) const;
+
+  /// \brief Number of registered tenants.
+  /// \return registration count (never shrinks)
+  [[nodiscard]] std::size_t tenant_count() const;
+
+  /// \brief Number of live Workbench sessions (<= capacity except while
+  /// every session is busy).
+  /// \return live session count
+  [[nodiscard]] std::size_t session_count() const;
+
+  /// \brief Submits a query against a tenant's session.
+  ///
+  /// Non-blocking (with background workers): the query is enqueued on the
+  /// tenant's session, executed in submission order per session,
+  /// concurrently across sessions. An identical query already pending or
+  /// running on the same session structure coalesces — the returned ticket
+  /// shares its completion state (queries whose options embed
+  /// non-fingerprintable state, i.e. Simulate with stochastic exec_models,
+  /// never coalesce). Throws std::out_of_range for unknown ids; analysis
+  /// errors surface through the ticket as Failed.
+  /// \param id tenant handle
+  /// \param desc the query (kind + options)
+  /// \return ticket tracking the (possibly shared) query
+  [[nodiscard]] QueryTicket submit(SystemId id, QueryDesc desc);
+
+  /// \brief Streams a use-case sweep of a tenant to `sink`, caller-driven.
+  ///
+  /// Blocks until the sweep finishes (or the sink stops it): acquires the
+  /// tenant's session exclusively at the next query boundary — after the
+  /// currently-running ticket but ahead of queued ones, so a continuous
+  /// submit stream cannot starve sweeps (queued tickets resume when the
+  /// sweep returns) — then runs the Workbench streaming sweep on the
+  /// *calling* thread, delivering per-use-case views into session-owned
+  /// arenas. Numbers are bitwise identical to the vector-returning
+  /// Workbench sweep; a warm sweep of a previously-seen use-case list
+  /// performs zero heap allocations inside the sweep itself. Throws
+  /// std::out_of_range for unknown ids.
+  /// \param id tenant handle
+  /// \param use_cases use-cases to evaluate, delivered in input order
+  /// \param opts what to evaluate per use-case (estimates / bounds / sim)
+  /// \param sink receives each result; may stop the sweep early
+  /// \return delivery summary (count, early stop, wall time)
+  SweepSummary sweep_use_cases(SystemId id,
+                               std::span<const platform::UseCase> use_cases,
+                               const SweepOptions& opts, SweepSink& sink);
+
+  /// \brief Snapshot of the service counters.
+  /// \return monotonic totals since construction
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// \brief Blocks until every query submitted so far has finished.
+  void drain();
+
+ private:
+  struct Registration {
+    platform::System system;
+    std::uint64_t fingerprint = 0;
+    /// Serial of the session this tenant last resolved to: the hot-path
+    /// shortcut past the fingerprint scan + structural comparison. Serials
+    /// are never reused, so a stale hint simply misses.
+    std::uint64_t resolved_serial = 0;
+  };
+
+  struct Job {
+    std::shared_ptr<detail::TicketShared<QueryValue>> state;
+    QueryDesc desc;
+    std::string key;  // in-flight coalescing key; empty = not coalescable
+  };
+
+  struct Session {
+    std::uint64_t serial = 0;    // unique forever (coalesce keys, hints)
+    std::uint64_t fingerprint = 0;
+    std::unique_ptr<Workbench> bench;
+    std::deque<Job> queue;       // submitted, not yet executed
+    bool busy = false;           // a drainer or a streaming sweep holds it
+    std::size_t pins = 0;        // sweep acquirers waiting (blocks eviction)
+    std::size_t sweep_waiters = 0;  // drainers yield at the next boundary
+    std::uint64_t last_used = 0; // LRU stamp
+  };
+
+  /// Live session for registration `id` (building / evicting under the
+  /// service lock as needed). The pointer is stable while busy/pinned.
+  Session& session_for(SystemId id);
+  /// Claims `s` for a drainer if it has work and none holds it. Returns
+  /// the session to post a drainer for (nullptr when none needed); the
+  /// caller posts OUTSIDE the service lock — with no background workers
+  /// post() runs the drainer inline, which must not hold the lock.
+  [[nodiscard]] Session* schedule(Session& s);
+  /// Executes `s`'s queue until empty (one drainer at a time per session).
+  void drain_session(Session* s);
+  /// Runs one query on a session's Workbench (no service lock held).
+  static QueryValue execute(Workbench& wb, const QueryDesc& desc);
+  /// Coalescing key of `desc` against session serial `serial` (unique per
+  /// live session, so fingerprint collisions can never cross-attach two
+  /// different tenants' queries); empty when the desc embeds state that
+  /// cannot be keyed (stochastic exec models).
+  static std::string coalesce_key(std::uint64_t serial, const QueryDesc& desc);
+
+  mutable std::mutex m_;
+  std::condition_variable idle_cv_;  // session went idle / queue drained
+  // Deque: registrations are returned by reference (system(id)) and must
+  // stay put while later registrations grow the store.
+  std::deque<Registration> registrations_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::unordered_map<std::string, std::shared_ptr<detail::TicketShared<QueryValue>>>
+      inflight_;
+  ServiceStats stats_;
+  std::uint64_t clock_ = 0;          // LRU stamps
+  std::uint64_t session_serial_ = 0; // unique session ids, never reused
+  std::size_t session_capacity_ = 8;
+  std::size_t session_threads_ = 1;
+  // Declared last: destroyed first, so the pool joins (draining posted
+  // drainers) while every member above is still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace procon::api

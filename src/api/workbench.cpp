@@ -31,6 +31,8 @@ Workbench::Workbench(platform::System sys, const WorkbenchOptions& opts)
   for (const sdf::Graph& app : sys_.apps()) engines_.emplace_back(app);
   hsdf_.resize(sys_.app_count());
   hsdf_ready_.assign(sys_.app_count(), 0);
+  full_uc_ = sys_.full_use_case();
+  ptr_scratch_.reserve(sys_.app_count());
 }
 
 void Workbench::check_app(sdf::AppId app) const {
@@ -62,6 +64,19 @@ std::vector<analysis::ThroughputEngine*> Workbench::engines_for(
     ptrs.push_back(&engines[id]);
   }
   return ptrs;
+}
+
+std::span<analysis::ThroughputEngine* const> Workbench::scratch_engines_for(
+    std::span<const sdf::AppId> uc) {
+  ptr_scratch_.clear();
+  for (const sdf::AppId id : uc) {
+    if (id >= engines_.size()) {
+      throw sdf::GraphError("Workbench: use-case references unknown application");
+    }
+    engines_[id].reset();
+    ptr_scratch_.push_back(&engines_[id]);
+  }
+  return ptr_scratch_;
 }
 
 std::vector<dse::AnalysisWorkspace>& Workbench::worker_sets() {
@@ -157,17 +172,35 @@ Report<std::vector<dse::BufferPoint>> Workbench::buffer_frontier(
 
 Report<std::vector<prob::AppEstimate>> Workbench::contention(
     const prob::EstimatorOptions& opts) {
-  return contention(sys_.full_use_case(), opts);
+  return contention(full_uc_, opts);
 }
 
 Report<std::vector<prob::AppEstimate>> Workbench::contention(
     const platform::UseCase& uc, const prob::EstimatorOptions& opts) {
-  Timer timer;
-  const platform::SystemView view(sys_, uc);  // zero-copy restriction
-  const prob::ContentionEstimator est(opts);
-  auto ptrs = engines_for(engines_, uc);
-  const std::span<analysis::ThroughputEngine* const> engines(ptrs);
+  // Deep-copying shim over the workspace core: same numbers, owning storage.
+  const auto& core = contention_core(uc, opts);
   Report<std::vector<prob::AppEstimate>> report;
+  report.value.assign(core.value.begin(), core.value.end());
+  report.provenance = core.provenance;
+  return report;
+}
+
+const Report<std::span<const prob::AppEstimate>>& Workbench::contention_view(
+    const prob::EstimatorOptions& opts) {
+  return contention_core(full_uc_, opts);
+}
+
+const Report<std::span<const prob::AppEstimate>>& Workbench::contention_view(
+    const platform::UseCase& uc, const prob::EstimatorOptions& opts) {
+  return contention_core(uc, opts);
+}
+
+const Report<std::span<const prob::AppEstimate>>& Workbench::contention_core(
+    const platform::UseCase& uc, const prob::EstimatorOptions& opts) {
+  Timer timer;
+  scratch_view_.rebind(sys_, uc);  // zero-copy restriction, capacity reused
+  const prob::ContentionEstimator est(opts);
+  const auto engines = scratch_engines_for(uc);
   // Duplicate use-case entries alias one engine across view slots; sharding
   // would then race two workers on the same mutable engine, so they force
   // the serial path (results are identical either way).
@@ -186,12 +219,20 @@ Report<std::vector<prob::AppEstimate>> Workbench::contention(
   // single cheap pass is not worth the fan-out overhead.
   const bool deep =
       opts.iterations > 1 && pool_.size() > 1 && uc.size() > 1 && unique_apps;
-  report.value = deep ? est.estimate(view, {}, engines, pool_)
-                      : est.estimate(view, {}, engines);
-  report.provenance = {prob::method_name(opts.method),
-                       static_cast<std::size_t>(opts.iterations),
-                       deep ? pool_.size() : 1, timer.ms()};
-  return report;
+  if (est_pool_.size() < uc.size()) est_pool_.resize(uc.size());
+  est.estimate_into(scratch_view_, {}, engines, est_ws_,
+                    std::span<prob::AppEstimate>(est_pool_.data(), uc.size()),
+                    deep ? &pool_ : nullptr);
+  contention_report_.value =
+      std::span<const prob::AppEstimate>(est_pool_.data(), uc.size());
+  // Assigning a const char* into the retained string reuses its capacity —
+  // the warm path stays heap-free.
+  contention_report_.provenance.method = prob::method_name_c(opts.method);
+  contention_report_.provenance.evaluations =
+      static_cast<std::size_t>(opts.iterations);
+  contention_report_.provenance.threads = deep ? pool_.size() : 1;
+  contention_report_.provenance.wall_ms = timer.ms();
+  return contention_report_;
 }
 
 Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const wcrt::WcrtOptions& opts) {
@@ -287,6 +328,54 @@ Report<std::vector<UseCaseResult>> Workbench::sweep_all_use_cases(
     const SweepOptions& opts) {
   const auto all = gen::all_use_cases(sys_.app_count());
   return sweep_use_cases(all, opts);
+}
+
+SweepSummary Workbench::sweep_use_cases(std::span<const platform::UseCase> use_cases,
+                                        const SweepOptions& opts, SweepSink& sink) {
+  Timer timer;
+  const prob::ContentionEstimator est(opts.estimator);
+  sim::SimEngine* se = opts.with_sim ? &sim_engine() : nullptr;
+
+  SweepSummary summary;
+  for (std::size_t i = 0; i < use_cases.size(); ++i) {
+    const platform::UseCase& uc = use_cases[i];
+    // Zero-copy restriction into the session's scratch view; session
+    // engines reset per item, so each result is a pure function of the
+    // use-case and options — identical bits to the vector-returning sweep.
+    scratch_view_.rebind(sys_, uc);
+    UseCaseView result;
+    result.use_case = std::span<const sdf::AppId>(uc);
+    {
+      const auto engines = scratch_engines_for(uc);
+      if (est_pool_.size() < uc.size()) est_pool_.resize(uc.size());
+      est.estimate_into(scratch_view_, {}, engines, est_ws_,
+                        std::span<prob::AppEstimate>(est_pool_.data(), uc.size()));
+      result.estimates =
+          std::span<const prob::AppEstimate>(est_pool_.data(), uc.size());
+    }
+    if (opts.with_wcrt) {
+      const auto engines = scratch_engines_for(uc);  // reset again, like the
+                                                     // vector sweep's second
+                                                     // engines_for call
+      if (bound_pool_.size() < uc.size()) bound_pool_.resize(uc.size());
+      wcrt::worst_case_bounds_into(
+          scratch_view_, opts.wcrt, engines, wcrt_ws_,
+          std::span<wcrt::AppBound>(bound_pool_.data(), uc.size()));
+      result.bounds = std::span<const wcrt::AppBound>(bound_pool_.data(), uc.size());
+    }
+    if (se != nullptr) {
+      se->reset(uc);
+      sweep_sim_view_ = se->run_view(opts.sim);
+      result.sim = &sweep_sim_view_;
+    }
+    ++summary.delivered;
+    if (!sink.on_use_case(i, result)) {
+      summary.stopped_early = true;
+      break;
+    }
+  }
+  summary.wall_ms = timer.ms();
+  return summary;
 }
 
 Report<std::vector<double>> Workbench::score_mappings(

@@ -21,6 +21,17 @@ SystemView::SystemView(const System& sys) : SystemView(sys, identity_use_case(sy
 
 SystemView::SystemView(const System& sys, UseCase use_case)
     : sys_(&sys), uc_(std::move(use_case)) {
+  rebind(sys, uc_);
+}
+
+void SystemView::rebind(const System& sys, std::span<const sdf::AppId> use_case) {
+  sys_ = &sys;
+  // Self-assignment-safe: the constructor rebinds from its own uc_.
+  if (use_case.data() != uc_.data() || use_case.size() != uc_.size()) {
+    uc_.assign(use_case.begin(), use_case.end());
+  }
+  actor_base_.clear();
+  channel_base_.clear();
   actor_base_.reserve(uc_.size() + 1);
   channel_base_.reserve(uc_.size() + 1);
   std::uint32_t actors = 0;

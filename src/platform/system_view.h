@@ -43,6 +43,11 @@ namespace procon::platform {
 /// is not mutated.
 class SystemView {
  public:
+  /// Unbound view — only valid as a rebind() target (reusable scratch
+  /// storage in session objects); every other member is undefined until the
+  /// first rebind().
+  SystemView() = default;
+
   /// Full view: every application of `sys`, identity remap.
   explicit SystemView(const System& sys);
 
@@ -50,6 +55,14 @@ class SystemView {
   /// in range — throws std::out_of_range like restrict_to did). Entries are
   /// remapped to view ids 0..k-1 in use-case order.
   SystemView(const System& sys, UseCase use_case);
+
+  /// Re-points this view at (`sys`, `use_case`), reusing the remap tables'
+  /// capacity — the steady-state alternative to constructing a fresh view
+  /// per swept use-case (three vector allocations each). After rebinding,
+  /// the view is indistinguishable from SystemView(sys, use_case); warm
+  /// rebinds within previously-seen use-case sizes allocate nothing. The
+  /// same lifetime rules apply to the new parent.
+  void rebind(const System& sys, std::span<const sdf::AppId> use_case);
 
   /// The borrowed parent System.
   [[nodiscard]] const System& parent() const noexcept { return *sys_; }
@@ -101,7 +114,7 @@ class SystemView {
   void validate() const;
 
  private:
-  const System* sys_;
+  const System* sys_ = nullptr;
   UseCase uc_;
   std::vector<std::uint32_t> actor_base_;    // size app_count()+1
   std::vector<std::uint32_t> channel_base_;  // size app_count()+1

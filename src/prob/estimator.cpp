@@ -9,7 +9,7 @@
 
 namespace procon::prob {
 
-std::string method_name(Method m) {
+const char* method_name_c(Method m) noexcept {
   switch (m) {
     case Method::Exact: return "Probabilistic Exact";
     case Method::SecondOrder: return "Probabilistic Second Order";
@@ -22,6 +22,8 @@ std::string method_name(Method m) {
   return "?";
 }
 
+std::string method_name(Method m) { return method_name_c(m); }
+
 ContentionEstimator::ContentionEstimator(EstimatorOptions opts) : opts_(opts) {
   if (opts_.order < 1) throw std::invalid_argument("estimator order must be >= 1");
   if (opts_.iterations < 1) {
@@ -30,12 +32,6 @@ ContentionEstimator::ContentionEstimator(EstimatorOptions opts) : opts_(opts) {
 }
 
 namespace {
-
-/// One actor instance on a node, with its load.
-struct NodeEntry {
-  platform::GlobalActor who;
-  ActorLoad load;
-};
 
 /// Waiting time of `who` given the loads of the other actors on its node.
 /// `others` is a caller-owned scratch buffer filled per actor — the hot
@@ -62,12 +58,20 @@ double waiting_for(const std::vector<ActorLoad>& others,
 }
 
 /// Fills `others` with every load except entries[self].
-void collect_others(const std::vector<NodeEntry>& entries, std::size_t self,
+void collect_others(const std::vector<NodeOccupant>& entries, std::size_t self,
                     std::vector<ActorLoad>& others) {
   others.clear();
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (i != self) others.push_back(entries[i].load);
   }
+}
+
+/// Grows a workspace arena to at least `count` slots without ever shrinking
+/// it — shrinking a vector-of-vectors destroys the inner buffers, which is
+/// exactly the allocation churn the workspace exists to avoid.
+template <typename T>
+void ensure_slots(std::vector<T>& arena, std::size_t count) {
+  if (arena.size() < count) arena.resize(count);
 }
 
 }  // namespace
@@ -138,6 +142,19 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
     const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
     std::span<analysis::ThroughputEngine* const> engines,
     util::ThreadPool* pool) const {
+  // One-shot storage: the value-returning overloads pay a fresh workspace
+  // and result vector per call; steady-state callers hold both and use
+  // estimate_into directly.
+  EstimatorWorkspace ws;
+  std::vector<AppEstimate> out(view.app_count());
+  estimate_into(view, models, engines, ws, out, pool);
+  return out;
+}
+
+void ContentionEstimator::estimate_into(
+    const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
+    std::span<analysis::ThroughputEngine* const> engines, EstimatorWorkspace& ws,
+    std::span<AppEstimate> out, util::ThreadPool* pool) const {
   const std::size_t napps = view.app_count();
   if (!models.empty() && models.size() != napps) {
     throw sdf::GraphError("estimate: execution-time model count mismatch");
@@ -145,23 +162,29 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
   if (engines.size() != napps) {
     throw sdf::GraphError("estimate: engine count mismatch");
   }
+  if (out.size() != napps) {
+    throw sdf::GraphError("estimate: output slot count mismatch");
+  }
   // Per-application sharding hook: every per-app step below writes only to
   // its own slot and touches only its own engine, so running items on the
   // pool (or inline when nested/serial) yields identical bits in any case.
-  const auto for_each_app = [&](const std::function<void(sdf::AppId)>& fn) {
+  // Generic lambda: the serial branch calls the body directly — no
+  // std::function type erasure, so warm serial queries stay heap-free.
+  const auto for_each_app = [&](const auto& fn) {
     if (pool != nullptr && napps > 1) {
       pool->for_each_index(napps, [&](std::size_t item, std::size_t) {
         fn(static_cast<sdf::AppId>(item));
       });
     } else {
-      for (sdf::AppId i = 0; i < napps; ++i) fn(i);
+      for (sdf::AppId i = 0; i < napps; ++i) fn(static_cast<sdf::AppId>(i));
     }
   };
 
-  std::vector<AppEstimate> out(napps);
-  // Mean execution time per actor (equals the graph's fixed times for the
-  // deterministic model).
-  std::vector<std::vector<double>> means(napps);
+  // All temporaries live in the workspace with grow-only capacity: a warm
+  // call of previously-seen shapes touches the heap zero times.
+  ensure_slots(ws.means, napps);
+  ensure_slots(ws.loads, napps);
+  ensure_slots(ws.response, napps);
 
   // Step 1: isolation periods (repetition vectors are cached in the engines).
   for_each_app([&](sdf::AppId i) {
@@ -170,14 +193,17 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
       throw sdf::GraphError("estimate: engine does not match application '" +
                             app.name() + "'");
     }
+    // Mean execution time per actor (equals the graph's fixed times for the
+    // deterministic model, where the slot stays empty).
+    ws.means[i].clear();
     if (!models.empty()) {
       if (models[i].size() != app.actor_count()) {
         throw sdf::GraphError("estimate: execution-time model size mismatch");
       }
-      means[i].reserve(app.actor_count());
-      for (const auto& dist : models[i]) means[i].push_back(dist.mean());
+      ws.means[i].reserve(app.actor_count());
+      for (const auto& dist : models[i]) ws.means[i].push_back(dist.mean());
     }
-    const auto iso = engines[i]->recompute(means[i]);
+    const auto iso = engines[i]->recompute(ws.means[i]);
     if (iso.deadlocked || iso.period <= 0.0) {
       throw sdf::GraphError("estimate: application '" + app.name() +
                             "' has no positive isolation period");
@@ -187,33 +213,36 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
     out[i].actors.resize(app.actor_count());
   });
 
-  std::vector<ActorLoad> others;  // scratch, reused across actors and passes
   for (int pass = 0; pass < opts_.iterations; ++pass) {
     // Step 2: per-actor loads from the current period estimates.
-    std::vector<std::vector<ActorLoad>> loads(napps);
     for_each_app([&](sdf::AppId i) {
       const sdf::RepetitionVector& q = engines[i]->repetition_vector();
-      loads[i] = models.empty()
-                     ? derive_loads(view.app(i), q, out[i].estimated_period)
-                     : derive_loads_stochastic(view.app(i), q,
-                                               out[i].estimated_period, models[i]);
+      if (models.empty()) {
+        derive_loads_into(view.app(i), q, out[i].estimated_period, ws.loads[i]);
+      } else {
+        derive_loads_stochastic_into(view.app(i), q, out[i].estimated_period,
+                                     models[i], ws.loads[i]);
+      }
     });
 
-    // Step 3: group by node.
-    std::vector<std::vector<NodeEntry>> per_node(view.platform().node_count());
+    // Step 3: group by node (the grouping arena keeps each node's slot
+    // capacity across passes and calls).
+    const std::size_t nnodes = view.platform().node_count();
+    ensure_slots(ws.per_node, nnodes);
+    for (std::size_t n = 0; n < nnodes; ++n) ws.per_node[n].clear();
     for (sdf::AppId i = 0; i < napps; ++i) {
       for (sdf::ActorId a = 0; a < view.app(i).actor_count(); ++a) {
         const platform::NodeId node = view.node_of(i, a);
-        per_node[node].push_back(NodeEntry{{i, a}, loads[i][a]});
+        ws.per_node[node].push_back(NodeOccupant{{i, a}, ws.loads[i][a]});
       }
     }
 
     // Step 4: waiting and response times.
-    std::vector<std::vector<double>> response(napps);
     for (sdf::AppId i = 0; i < napps; ++i) {
-      response[i].resize(view.app(i).actor_count(), 0.0);
+      ws.response[i].resize(view.app(i).actor_count(), 0.0);
     }
-    for (const auto& entries : per_node) {
+    for (std::size_t n = 0; n < nnodes; ++n) {
+      const auto& entries = ws.per_node[n];
       if (entries.empty()) continue;
 
       // Node-level composite for the inverse method: one O(n) fold, then an
@@ -221,34 +250,34 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
       // actor saturates P == 1, the paper's non-invertible case).
       Composite node_total = Composite::identity();
       if (opts_.method == Method::CompositionInverse) {
-        for (const NodeEntry& e : entries) {
+        for (const NodeOccupant& e : entries) {
           node_total = compose(node_total, to_composite(e.load));
         }
       }
 
       for (std::size_t s = 0; s < entries.size(); ++s) {
-        const NodeEntry& e = entries[s];
+        const NodeOccupant& e = entries[s];
         double twait = 0.0;
         if (opts_.method == Method::CompositionInverse) {
           const Composite self = to_composite(e.load);
           if (can_invert(self)) {
             twait = decompose(node_total, self).weighted_blocking;
           } else {
-            collect_others(entries, s, others);
-            twait = compose_all(others).weighted_blocking;
+            collect_others(entries, s, ws.others);
+            twait = compose_all(ws.others).weighted_blocking;
           }
         } else {
-          collect_others(entries, s, others);
-          twait = waiting_for(others, e.who, opts_);
+          collect_others(entries, s, ws.others);
+          twait = waiting_for(ws.others, e.who, opts_);
         }
         const double mean_exec =
-            means[e.who.app].empty()
+            ws.means[e.who.app].empty()
                 ? static_cast<double>(view.app(e.who.app).actor(e.who.actor).exec_time)
-                : means[e.who.app][e.who.actor];
+                : ws.means[e.who.app][e.who.actor];
         out[e.who.app].actors[e.who.actor].waiting_time = twait;
-        response[e.who.app][e.who.actor] = mean_exec + twait;
+        ws.response[e.who.app][e.who.actor] = mean_exec + twait;
         out[e.who.app].actors[e.who.actor].response_time =
-            response[e.who.app][e.who.actor];
+            ws.response[e.who.app][e.who.actor];
       }
     }
 
@@ -257,14 +286,13 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
     // solve per application: the dominant cost of deep fixed-point runs,
     // and exactly what the per-app sharding spreads across workers.
     for_each_app([&](sdf::AppId i) {
-      const auto res = engines[i]->recompute(response[i]);
+      const auto res = engines[i]->recompute(ws.response[i]);
       if (res.deadlocked) {
         throw sdf::GraphError("estimate: response-time graph deadlocks");
       }
       out[i].estimated_period = res.period;
     });
   }
-  return out;
 }
 
 }  // namespace procon::prob

@@ -52,6 +52,11 @@ enum class Method {
 /// Human-readable method name ("Probabilistic Second Order" etc.).
 [[nodiscard]] std::string method_name(Method m);
 
+/// Allocation-free variant: the same names as static strings. Steady-state
+/// callers assign the result into a reused std::string (capacity retained),
+/// keeping warm report paths heap-free.
+[[nodiscard]] const char* method_name_c(Method m) noexcept;
+
 struct EstimatorOptions {
   Method method = Method::SecondOrder;
   int order = 2;       ///< truncation order when method == MthOrder
@@ -79,6 +84,29 @@ struct AppEstimate {
   [[nodiscard]] double normalised_period() const noexcept {
     return isolation_period > 0.0 ? estimated_period / isolation_period : 0.0;
   }
+};
+
+/// One actor instance grouped on its node (step 3 of Figure 4) — exposed
+/// only as the element type of EstimatorWorkspace's grouping arena.
+struct NodeOccupant {
+  platform::GlobalActor who;  ///< which actor of which (view) application
+  ActorLoad load;             ///< its probabilistic load summary
+};
+
+/// Reusable scratch for the Figure 4 pipeline: every temporary the
+/// algorithm builds per call/pass (step-1 mean tables, step-2 load tables,
+/// the step-3 per-node grouping, step-4 response times and the
+/// waiting-time fold buffer) lives here with grow-only capacity, so a
+/// warm estimate_into() call of previously-seen shapes performs zero heap
+/// allocations. One workspace per serial caller (it is mutated freely);
+/// sharded callers may share one workspace across a pool because every
+/// per-application slot is written by exactly one work item.
+struct EstimatorWorkspace {
+  std::vector<std::vector<double>> means;        ///< per app: mean exec times
+  std::vector<std::vector<ActorLoad>> loads;     ///< per app: step-2 loads
+  std::vector<std::vector<NodeOccupant>> per_node;  ///< step-3 grouping arena
+  std::vector<std::vector<double>> response;     ///< per app: step-4 responses
+  std::vector<ActorLoad> others;                 ///< step-4 fold scratch
 };
 
 class ContentionEstimator {
@@ -156,6 +184,23 @@ class ContentionEstimator {
   [[nodiscard]] std::vector<AppEstimate> estimate(
       const platform::System& sys, std::span<const sdf::ExecTimeModel> models,
       std::span<analysis::ThroughputEngine* const> engines) const;
+
+  /// Sink-friendly core: writes the estimates into caller-owned slots
+  /// instead of returning a fresh vector. `out` must have exactly
+  /// view.app_count() elements; every field of every slot (including each
+  /// slot's `actors` vector, resized in place) is overwritten, so stale
+  /// contents never leak through. All temporaries come from `ws` with
+  /// grow-only capacity: once the workspace and the out-slots have seen the
+  /// shapes involved, repeated calls perform zero heap allocations — the
+  /// per-use-case pass of api::Workbench's streaming sweeps and the warm
+  /// contention path. `pool` (optional) shards the per-app passes exactly
+  /// like the pool overload of estimate(). Results are bitwise identical to
+  /// estimate() on the same inputs for any pool size.
+  void estimate_into(const platform::SystemView& view,
+                     std::span<const sdf::ExecTimeModel> models,
+                     std::span<analysis::ThroughputEngine* const> engines,
+                     EstimatorWorkspace& ws, std::span<AppEstimate> out,
+                     util::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const EstimatorOptions& options() const noexcept { return opts_; }
 

@@ -13,40 +13,55 @@ double blocking_probability(double exec_time, std::uint64_t repetitions,
 
 double mean_blocking_time(double exec_time) noexcept { return exec_time / 2.0; }
 
-std::vector<ActorLoad> derive_loads_stochastic(const sdf::Graph& g,
-                                               const sdf::RepetitionVector& q,
-                                               double period,
-                                               const sdf::ExecTimeModel& model) {
+void derive_loads_stochastic_into(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                                  double period, const sdf::ExecTimeModel& model,
+                                  std::vector<ActorLoad>& out) {
   if (q.size() != g.actor_count() || model.size() != g.actor_count()) {
     throw sdf::GraphError("derive_loads_stochastic: size mismatch");
   }
   if (period <= 0.0) {
     throw sdf::GraphError("derive_loads_stochastic: period must be positive");
   }
-  std::vector<ActorLoad> loads(g.actor_count());
+  out.clear();
+  out.resize(g.actor_count());
   for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
-    loads[a].exec_time = model[a].mean();
-    loads[a].probability = blocking_probability(model[a].mean(), q[a], period);
-    loads[a].mean_blocking = model[a].mean_residual();
+    out[a].exec_time = model[a].mean();
+    out[a].probability = blocking_probability(model[a].mean(), q[a], period);
+    out[a].mean_blocking = model[a].mean_residual();
   }
+}
+
+std::vector<ActorLoad> derive_loads_stochastic(const sdf::Graph& g,
+                                               const sdf::RepetitionVector& q,
+                                               double period,
+                                               const sdf::ExecTimeModel& model) {
+  std::vector<ActorLoad> loads;
+  derive_loads_stochastic_into(g, q, period, model, loads);
   return loads;
 }
 
-std::vector<ActorLoad> derive_loads(const sdf::Graph& g, const sdf::RepetitionVector& q,
-                                    double period) {
+void derive_loads_into(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                       double period, std::vector<ActorLoad>& out) {
   if (q.size() != g.actor_count()) {
     throw sdf::GraphError("derive_loads: repetition vector size mismatch");
   }
   if (period <= 0.0) {
     throw sdf::GraphError("derive_loads: application period must be positive");
   }
-  std::vector<ActorLoad> loads(g.actor_count());
+  out.clear();
+  out.resize(g.actor_count());
   for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
     const auto tau = static_cast<double>(g.actor(a).exec_time);
-    loads[a].exec_time = tau;
-    loads[a].probability = blocking_probability(tau, q[a], period);
-    loads[a].mean_blocking = mean_blocking_time(tau);
+    out[a].exec_time = tau;
+    out[a].probability = blocking_probability(tau, q[a], period);
+    out[a].mean_blocking = mean_blocking_time(tau);
   }
+}
+
+std::vector<ActorLoad> derive_loads(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                                    double period) {
+  std::vector<ActorLoad> loads;
+  derive_loads_into(g, q, period, loads);
   return loads;
 }
 

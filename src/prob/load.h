@@ -47,11 +47,23 @@ struct ActorLoad {
                                                   const sdf::RepetitionVector& q,
                                                   double period);
 
+/// Reuse variant: clears `out` and refills it in place (same values as
+/// derive_loads). Steady-state callers (the estimator workspace) hand the
+/// same vector back per pass, so warm calls stay within its capacity and
+/// perform no heap allocation.
+void derive_loads_into(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                       double period, std::vector<ActorLoad>& out);
+
 /// Stochastic variant (Section 6 extension): execution times follow the
 /// given distributions. P uses the mean, mu the renewal-theoretic residual
 /// E[tau^2] / (2 E[tau]) - which reduces to tau/2 for constant times.
 [[nodiscard]] std::vector<ActorLoad> derive_loads_stochastic(
     const sdf::Graph& g, const sdf::RepetitionVector& q, double period,
     const sdf::ExecTimeModel& model);
+
+/// Reuse variant of derive_loads_stochastic (see derive_loads_into).
+void derive_loads_stochastic_into(const sdf::Graph& g, const sdf::RepetitionVector& q,
+                                  double period, const sdf::ExecTimeModel& model,
+                                  std::vector<ActorLoad>& out);
 
 }  // namespace procon::prob

@@ -9,20 +9,26 @@ namespace procon::prob {
 namespace {
 
 /// Shared core: evaluates the series truncated at inner degree `max_j`
-/// (max_j = n-1 gives the exact Eq. 4).
+/// (max_j = n-1 gives the exact Eq. 4). Scratch buffers are thread_local —
+/// this sits in the innermost estimation loop (once per actor per node per
+/// pass), so warm calls must not touch the heap, and sharded estimator
+/// passes run it concurrently from pool workers.
 double waiting_time_series(std::span<const ActorLoad> others, std::size_t max_j) {
   const std::size_t n = others.size();
   if (n == 0) return 0.0;
 
-  std::vector<double> probs(n);
+  static thread_local std::vector<double> probs;
+  static thread_local std::vector<double> e;
+  static thread_local std::vector<double> ei;
+  probs.clear();
+  probs.resize(n);
   for (std::size_t i = 0; i < n; ++i) probs[i] = others[i].probability;
-  const std::vector<double> e = util::elementary_symmetric(probs);
+  util::elementary_symmetric_into(probs, e);
 
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     // Elementary symmetric polynomials of the probabilities excluding i.
-    const std::vector<double> ei =
-        util::elementary_symmetric_remove_one(e, probs[i]);
+    util::elementary_symmetric_remove_one_into(e, probs[i], ei);
     double series = 1.0;
     double sign = 1.0;
     const std::size_t limit = std::min(max_j, n - 1);

@@ -17,13 +17,15 @@ constexpr std::uint32_t kNoActor = UINT32_MAX;
 constexpr std::uint32_t kInactive = UINT32_MAX;
 }  // namespace
 
-SimEngine::SimEngine(const platform::System& sys) {
+SimEngine::SimEngine(const platform::System& sys, std::size_t ring_cache_capacity)
+    : ring_capacity_(std::max<std::size_t>(ring_cache_capacity, 1)) {
   sys.validate();
   build(platform::SystemView(sys));
   reset();
 }
 
-SimEngine::SimEngine(const platform::SystemView& view) {
+SimEngine::SimEngine(const platform::SystemView& view, std::size_t ring_cache_capacity)
+    : ring_capacity_(std::max<std::size_t>(ring_cache_capacity, 1)) {
   view.validate();
   build(view);
   reset();
@@ -109,13 +111,44 @@ void SimEngine::install_rings(const platform::UseCase& uc) {
   const auto it = ring_index_.find(uc);
   if (it != ring_index_.end()) {
     rings_idx_ = it->second;  // previously seen: install, nothing to build
+    ring_store_[rings_idx_].last_used = ++ring_clock_;
     return;
   }
+
+  // Capacity bound: evict the least-recently-reset entry before building a
+  // new one. The victim's slot goes on the free list and is rebuilt in
+  // place (vectors keep their capacity); eviction is correctness-neutral
+  // because the build below is a pure function of structure and use-case.
+  // The currently-installed entry is never the victim — a cache of
+  // capacity 1 simply replaces the previous entry on every new use-case.
+  while (ring_index_.size() >= ring_capacity_) {
+    std::size_t victim = SIZE_MAX;
+    for (const auto& [key, idx] : ring_index_) {
+      (void)key;
+      if (idx == rings_idx_ && ring_index_.size() > 1) continue;
+      if (victim == SIZE_MAX ||
+          ring_store_[idx].last_used < ring_store_[victim].last_used) {
+        victim = idx;
+      }
+    }
+    if (victim == SIZE_MAX) break;
+    ring_index_.erase(ring_store_[victim].key);
+    ring_free_.push_back(victim);
+  }
+
   // First sight of this use-case: build its rings in CSR form — members of
   // a node's ring in use-case order then local id, the exact push order a
   // fresh build of the materialised restriction would produce, so
   // round-robin scans and TDMA wheels tie-break identically.
-  RingSet rs;
+  std::size_t slot;
+  if (!ring_free_.empty()) {
+    slot = ring_free_.back();
+    ring_free_.pop_back();
+  } else {
+    slot = ring_store_.size();
+    ring_store_.emplace_back();
+  }
+  RingSet& rs = ring_store_[slot];
   rs.start.assign(node_count_ + 1, 0);
   std::uint32_t total = 0;
   for (const AppId app : uc) {
@@ -134,9 +167,10 @@ void SimEngine::install_rings(const platform::UseCase& uc) {
       rs.flat[cursor[node_of_[a]]++] = a;
     }
   }
-  rings_idx_ = ring_store_.size();
-  ring_store_.push_back(std::move(rs));
-  ring_index_.emplace(uc, rings_idx_);
+  rs.key.assign(uc.begin(), uc.end());
+  rs.last_used = ++ring_clock_;
+  rings_idx_ = slot;
+  ring_index_.emplace(uc, slot);
 }
 
 void SimEngine::reset() { reset(full_uc_); }

@@ -32,6 +32,15 @@
 // with an instrumented allocator; bench_steady_state tracks it per PR).
 // The value-returning run() stays as a deep-copying shim.
 //
+// The ring cache is bounded: a capacity set at construction (default
+// generous) caps the number of distinct use-cases whose rings stay
+// resident, with least-recently-reset eviction beyond it — a long-running
+// server sweeping unbounded distinct use-cases no longer grows without
+// bound. Eviction is correctness-neutral: resetting to an evicted
+// use-case rebuilds its rings bit-identically (the build is a pure
+// function of structure and use-case); only the zero-allocation guarantee
+// narrows to working sets that fit the capacity.
+//
 // An engine is a mutable session object: not thread-safe. Sharded callers
 // (api::Workbench sweeps) keep one engine per worker. Copying an engine
 // clones its cached structure — that is how worker clones are made.
@@ -70,13 +79,21 @@ namespace procon::sim {
 /// worker (copying clones the cached structure and ring cache).
 class SimEngine {
  public:
+  /// \brief Default bound on resident per-use-case ring sets — generous
+  /// enough that fixed sweep lists never evict, small enough that an
+  /// unbounded stream of distinct use-cases stays bounded.
+  static constexpr std::size_t kDefaultRingCacheCapacity = 256;
+
   /// \brief Flattens and validates `sys`.
   ///
   /// Throws sdf::GraphError on validate() failures. The system is copied
   /// into flat tables; the engine does not retain a reference. Arms a
   /// full-system run (no reset() needed before the first run()).
   /// \param sys the applications + platform + mapping to simulate
-  explicit SimEngine(const platform::System& sys);
+  /// \param ring_cache_capacity maximum resident per-use-case ring sets
+  ///        (least-recently-reset eviction beyond it; clamped to >= 1)
+  explicit SimEngine(const platform::System& sys,
+                     std::size_t ring_cache_capacity = kDefaultRingCacheCapacity);
 
   /// \brief Builds the engine over the applications a restriction view
   /// selects.
@@ -88,7 +105,10 @@ class SimEngine {
   /// application ids are the *view's* ids 0..k-1; reset(uc) indexes that
   /// space. The view (and its parent) are not retained.
   /// \param view zero-copy restriction selecting the applications to flatten
-  explicit SimEngine(const platform::SystemView& view);
+  /// \param ring_cache_capacity maximum resident per-use-case ring sets
+  ///        (least-recently-reset eviction beyond it; clamped to >= 1)
+  explicit SimEngine(const platform::SystemView& view,
+                     std::size_t ring_cache_capacity = kDefaultRingCacheCapacity);
 
   /// \brief Number of applications of the underlying system.
   /// \return the flattened application count (view ids 0..app_count()-1)
@@ -105,11 +125,19 @@ class SimEngine {
   /// \brief Number of distinct use-cases whose arbitration rings are cached.
   ///
   /// Grows by one the first time a use-case is reset to (including the
-  /// full-system use-case) and never shrinks; a repeated sweep over a fixed
-  /// use-case list stops growing it after the first pass.
-  /// \return cached ring-set count
+  /// full-system use-case) up to ring_cache_capacity(); beyond that, the
+  /// least-recently-reset set is evicted first. A repeated sweep over a
+  /// fixed use-case list that fits the capacity stops growing it after the
+  /// first pass.
+  /// \return cached ring-set count (<= ring_cache_capacity())
   [[nodiscard]] std::size_t ring_cache_size() const noexcept {
     return ring_index_.size();
+  }
+
+  /// \brief Maximum resident ring sets before least-recently-reset eviction.
+  /// \return the construction-time capacity (>= 1)
+  [[nodiscard]] std::size_t ring_cache_capacity() const noexcept {
+    return ring_capacity_;
   }
 
   /// \brief Arms a full-system run: every application active, all dynamic
@@ -179,6 +207,8 @@ class SimEngine {
   struct RingSet {
     std::vector<std::uint32_t> start;  // node -> offset (size nodes+1)
     std::vector<std::uint32_t> flat;   // active flat actor ids
+    platform::UseCase key;             // owning use-case (for LRU eviction)
+    std::uint64_t last_used = 0;       // reset stamp (LRU order)
   };
 
   void build(const platform::SystemView& view);
@@ -224,13 +254,18 @@ class SimEngine {
   std::vector<std::uint32_t> out_start_;
   std::vector<std::uint32_t> out_list_;
 
-  // --- ring cache (one RingSet per previously-seen use-case) ---------------
+  // --- ring cache (one RingSet per recently-seen use-case) -----------------
   // Entries live in a deque (stable under growth) and are addressed by
   // index, so the engine stays default-copyable: worker clones copy the
-  // cache and their index remains valid. The cache only grows — one entry
-  // per distinct use-case ever reset to.
+  // cache and their index remains valid. Bounded by ring_capacity_ with
+  // least-recently-reset eviction; evicted slots go on the free list and
+  // are rebuilt in place (their vectors keep capacity), never erased from
+  // the deque.
   std::deque<RingSet> ring_store_;
   std::map<platform::UseCase, std::size_t> ring_index_;
+  std::vector<std::size_t> ring_free_;         // evicted ring_store_ slots
+  std::size_t ring_capacity_ = kDefaultRingCacheCapacity;
+  std::uint64_t ring_clock_ = 0;               // stamps installs (LRU order)
   std::size_t rings_idx_ = 0;                  // active entry in ring_store_
 
   // --- per-reset state (active restriction) --------------------------------

@@ -2,29 +2,42 @@
 
 namespace procon::util {
 
-std::vector<double> elementary_symmetric(std::span<const double> xs) {
-  std::vector<double> e(xs.size() + 1, 0.0);
-  e[0] = 1.0;
+void elementary_symmetric_into(std::span<const double> xs, std::vector<double>& out) {
+  out.clear();
+  out.resize(xs.size() + 1, 0.0);
+  out[0] = 1.0;
   std::size_t used = 0;
   for (const double x : xs) {
     ++used;
     // Iterate downwards so each x contributes at most once per degree.
     for (std::size_t j = used; j >= 1; --j) {
-      e[j] += x * e[j - 1];
+      out[j] += x * out[j - 1];
     }
   }
+}
+
+std::vector<double> elementary_symmetric(std::span<const double> xs) {
+  std::vector<double> e;
+  elementary_symmetric_into(xs, e);
   return e;
 }
 
-std::vector<double> elementary_symmetric_remove_one(std::span<const double> e,
-                                                    double removed) {
+void elementary_symmetric_remove_one_into(std::span<const double> e, double removed,
+                                          std::vector<double>& out) {
   // e has n+1 entries; the reduced family has n entries e'_0..e'_{n-1}.
-  std::vector<double> out(e.size() - 1, 0.0);
-  if (out.empty()) return out;
+  out.clear();
+  out.resize(e.size() - 1, 0.0);
+  if (out.empty()) return;
   out[0] = 1.0;
   for (std::size_t j = 1; j < out.size(); ++j) {
     out[j] = e[j] - removed * out[j - 1];
   }
+}
+
+std::vector<double> elementary_symmetric_remove_one(std::span<const double> e,
+                                                    double removed) {
+  std::vector<double> out;
+  elementary_symmetric_remove_one_into(e, removed, out);
   return out;
 }
 

@@ -18,6 +18,11 @@ namespace procon::util {
 /// e_0 is always 1. O(n^2) time, O(n) space.
 [[nodiscard]] std::vector<double> elementary_symmetric(std::span<const double> xs);
 
+/// Reuse variant: fills `out` in place (same values as elementary_symmetric).
+/// Warm calls within the vector's capacity perform no heap allocation — the
+/// hot estimation loop hands the same scratch back per actor.
+void elementary_symmetric_into(std::span<const double> xs, std::vector<double>& out);
+
 /// Given e = e_0..e_n of (x_1..x_n), returns e'_0..e'_{n-1} of the multiset
 /// with one occurrence of `removed` deleted. This is synthetic division of
 /// the generating polynomial prod(1 + x_i t) by (1 + removed * t): O(n).
@@ -25,6 +30,11 @@ namespace procon::util {
 /// Numerically stable forward recurrence: e'_j = e_j - removed * e'_{j-1}.
 [[nodiscard]] std::vector<double> elementary_symmetric_remove_one(
     std::span<const double> e, double removed);
+
+/// Reuse variant of elementary_symmetric_remove_one (see
+/// elementary_symmetric_into).
+void elementary_symmetric_remove_one_into(std::span<const double> e, double removed,
+                                          std::vector<double>& out);
 
 /// Directly computes e_j(xs) for a single j via the full DP (helper mainly
 /// for tests; prefer elementary_symmetric for all orders at once).

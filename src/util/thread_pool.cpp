@@ -53,18 +53,42 @@ void ThreadPool::run_items(const std::function<void(std::size_t, std::size_t)>& 
   tls_pool_context = enclosing;
 }
 
+void ThreadPool::run_task(std::function<void()>& task, std::size_t worker) {
+  // Tasks run under a pool context like loop bodies do, so a task that
+  // calls for_each_index on this pool degrades to the inline serial loop
+  // instead of deadlocking the generation handshake (this worker could
+  // never join the generation it would be waiting on).
+  const PoolContext enclosing = tls_pool_context;
+  tls_pool_context = PoolContext{this, worker};
+  task();  // tasks must not throw; an escaping exception terminates
+  tls_pool_context = enclosing;
+  tasks_inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t)>* job = nullptr;
     std::size_t count = 0;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
-      count = job_count_;
+      wake_.wait(lock,
+                 [&] { return stop_ || generation_ != seen || !tasks_.empty(); });
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (generation_ != seen) {
+        seen = generation_;
+        job = job_;
+        count = job_count_;
+      } else {
+        return;  // stop requested and every posted task drained
+      }
+    }
+    if (task) {
+      run_task(task, worker);
+      continue;
     }
     run_items(*job, count, worker);
     {
@@ -73,6 +97,21 @@ void ThreadPool::worker_loop(std::size_t worker) {
     }
     done_.notify_one();
   }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  tasks_inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (workers_ == 0) {
+    // No background execution available: run inline so posted work always
+    // completes. Callers (the service) treat this as a synchronous submit.
+    run_task(task, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
 }
 
 void ThreadPool::for_each_index(

@@ -23,12 +23,21 @@
 // can unconditionally hand the pool down to composable helpers (the
 // contention estimator's per-app passes) and get parallelism exactly when
 // the outer level is not already sharded.
+//
+// Work queue: beyond the synchronous parallel loop, the pool carries a
+// FIFO task queue (post()) for detached jobs — the execution substrate of
+// api::AnalysisService tickets. Posted tasks run on background workers
+// (inline at post time when the pool has none), interleaved with parallel
+// loops on the same workers; the destructor drains every posted task
+// before joining. A posted task that calls for_each_index on its own pool
+// degrades to the inline serial loop, like any nested call.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,10 +72,28 @@ class ThreadPool {
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t item, std::size_t worker)>& body);
 
+  /// Enqueues a detached task for a background worker (FIFO order across
+  /// posts, concurrent execution across workers). Returns immediately; with
+  /// no background workers (size() == 1) the task runs inline before
+  /// returning, so posted work always completes eventually without anyone
+  /// draining a queue. Tasks must not throw (an escaping exception
+  /// terminates the process) and must not block on work that only this
+  /// pool's workers can perform; a task may call for_each_index on this
+  /// pool — it degrades to the inline serial loop. The destructor drains
+  /// all posted tasks before joining the workers.
+  void post(std::function<void()> task);
+
+  /// Number of posted tasks not yet finished (queued or running). Mainly
+  /// for tests and shutdown diagnostics; racy by nature.
+  [[nodiscard]] std::size_t pending_tasks() const noexcept {
+    return tasks_inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop(std::size_t worker);
   void run_items(const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t count, std::size_t worker);
+  void run_task(std::function<void()>& task, std::size_t worker);
 
   std::size_t workers_ = 0;  // background threads
   std::vector<std::thread> threads_;
@@ -79,6 +106,9 @@ class ThreadPool {
   std::uint64_t generation_ = 0;   // bumps per for_each_index call
   std::size_t finished_ = 0;       // workers done draining this generation
   bool stop_ = false;
+
+  std::deque<std::function<void()>> tasks_;  // posted work, FIFO
+  std::atomic<std::size_t> tasks_inflight_{0};
 
   std::atomic<std::size_t> next_{0};
   std::exception_ptr error_;

@@ -44,11 +44,23 @@ std::vector<AppBound> worst_case_bounds(
 std::vector<AppBound> worst_case_bounds(
     const platform::SystemView& view, const WcrtOptions& opts,
     std::span<analysis::ThroughputEngine* const> engines) {
+  WcrtWorkspace ws;
+  std::vector<AppBound> out(view.app_count());
+  worst_case_bounds_into(view, opts, engines, ws, out);
+  return out;
+}
+
+void worst_case_bounds_into(const platform::SystemView& view,
+                            const WcrtOptions& opts,
+                            std::span<analysis::ThroughputEngine* const> engines,
+                            WcrtWorkspace& ws, std::span<AppBound> out) {
   const std::size_t napps = view.app_count();
   if (engines.size() != napps) {
     throw sdf::GraphError("worst_case_bounds: engine count mismatch");
   }
-  std::vector<AppBound> out(napps);
+  if (out.size() != napps) {
+    throw sdf::GraphError("worst_case_bounds: output slot count mismatch");
+  }
 
   // The isolation and worst-case periods below are two weight assignments
   // over each engine's cached structure.
@@ -63,59 +75,57 @@ std::vector<AppBound> worst_case_bounds(
     out[i].actors.resize(view.app(i).actor_count());
   }
 
-  // Group actor execution times (and TDMA slots) per node.
-  struct Entry {
-    platform::GlobalActor who;
-    double exec;
-    double slot;
-  };
-  std::vector<std::vector<Entry>> per_node(view.platform().node_count());
+  // Group actor execution times (and TDMA slots) per node. The workspace
+  // arenas only ever grow, so warm calls stay within their capacity.
+  const std::size_t nnodes = view.platform().node_count();
+  if (ws.per_node.size() < nnodes) ws.per_node.resize(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) ws.per_node[n].clear();
   for (sdf::AppId i = 0; i < napps; ++i) {
     for (sdf::ActorId a = 0; a < view.app(i).actor_count(); ++a) {
       const auto exec = static_cast<double>(view.app(i).actor(a).exec_time);
       const double slot =
           opts.tdma_slot > 0 ? static_cast<double>(opts.tdma_slot) : exec;
-      per_node[view.node_of(i, a)].push_back(Entry{{i, a}, exec, slot});
+      ws.per_node[view.node_of(i, a)].push_back(NodeDemand{{i, a}, exec, slot});
     }
   }
 
-  std::vector<std::vector<double>> response(napps);
+  if (ws.response.size() < napps) ws.response.resize(napps);
   for (sdf::AppId i = 0; i < napps; ++i) {
-    response[i].resize(view.app(i).actor_count(), 0.0);
+    ws.response[i].resize(view.app(i).actor_count(), 0.0);
   }
-  for (const auto& entries : per_node) {
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    const auto& entries = ws.per_node[n];
     for (std::size_t s = 0; s < entries.size(); ++s) {
-      const Entry& e = entries[s];
-      std::vector<double> others;
-      others.reserve(entries.size() - 1);
+      const NodeDemand& e = entries[s];
+      ws.others.clear();
       for (std::size_t k = 0; k < entries.size(); ++k) {
         if (k == s) continue;
-        others.push_back(opts.policy == Policy::TdmaPreemptive ? entries[k].slot
-                                                               : entries[k].exec);
+        ws.others.push_back(opts.policy == Policy::TdmaPreemptive
+                                ? entries[k].slot
+                                : entries[k].exec);
       }
       double r = 0.0;
       switch (opts.policy) {
         case Policy::RoundRobinNonPreemptive:
-          r = wcrt_round_robin(e.exec, others);
+          r = wcrt_round_robin(e.exec, ws.others);
           break;
         case Policy::TdmaPreemptive:
-          r = wcrt_tdma(e.exec, e.slot, others);
+          r = wcrt_tdma(e.exec, e.slot, ws.others);
           break;
       }
       out[e.who.app].actors[e.who.actor].response_time = r;
       out[e.who.app].actors[e.who.actor].waiting_time = r - e.exec;
-      response[e.who.app][e.who.actor] = r;
+      ws.response[e.who.app][e.who.actor] = r;
     }
   }
 
   for (sdf::AppId i = 0; i < napps; ++i) {
-    const auto res = engines[i]->recompute(response[i]);
+    const auto res = engines[i]->recompute(ws.response[i]);
     if (res.deadlocked) {
       throw sdf::GraphError("worst_case_bounds: response-time graph deadlocks");
     }
     out[i].worst_case_period = res.period;
   }
-  return out;
 }
 
 }  // namespace procon::wcrt

@@ -81,6 +81,34 @@ std::vector<AppBound> worst_case_bounds(const platform::System& sys,
     const platform::SystemView& view, const WcrtOptions& opts,
     std::span<analysis::ThroughputEngine* const> engines);
 
+/// One actor's execution time (and TDMA slot) grouped on its node —
+/// exposed only as the element type of WcrtWorkspace's grouping arena.
+struct NodeDemand {
+  platform::GlobalActor who;
+  double exec = 0.0;
+  double slot = 0.0;
+};
+
+/// Reusable scratch for worst_case_bounds_into: the per-node grouping, the
+/// response-time tables and the other-actor fold buffer, all with grow-only
+/// capacity so warm calls of previously-seen shapes allocate nothing.
+struct WcrtWorkspace {
+  std::vector<std::vector<NodeDemand>> per_node;  ///< node grouping arena
+  std::vector<std::vector<double>> response;      ///< per app: response times
+  std::vector<double> others;                     ///< per-actor fold scratch
+};
+
+/// Sink-friendly core: same bounds as the view overload, written into
+/// caller-owned slots. `out` must have exactly view.app_count() elements;
+/// every field of every slot (including each slot's `actors` vector,
+/// resized in place) is overwritten. With a warmed workspace and out-slots
+/// this performs zero heap allocations — the with_wcrt pass of
+/// api::Workbench's streaming sweeps.
+void worst_case_bounds_into(const platform::SystemView& view,
+                            const WcrtOptions& opts,
+                            std::span<analysis::ThroughputEngine* const> engines,
+                            WcrtWorkspace& ws, std::span<AppBound> out);
+
 /// The raw per-actor WCRT for one actor given the execution times of the
 /// other actors on its node (exposed for tests / direct use).
 [[nodiscard]] double wcrt_round_robin(double own_exec,

@@ -1,0 +1,416 @@
+// api::AnalysisService — the async, multi-tenant front door:
+//
+//  * multi-client stress: N threads hammering one service with mixed
+//    queries over two tenant systems must produce results bitwise
+//    identical to a serial Workbench oracle, for any worker count;
+//  * coalescing: identical in-flight queries share one execution and one
+//    completion state; cancelling one of several attached tickets does
+//    not abandon the query;
+//  * cancellation: a pending query whose every ticket cancelled never
+//    executes and reports Cancelled;
+//  * session LRU: eviction under a capacity bound is correctness-neutral
+//    (rebuilt sessions answer identically), and bitwise-identical
+//    registrations share one live session;
+//  * streaming sweeps: service-level sink sweeps match the Workbench
+//    vector sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "gen/graph_generator.h"
+#include "gen/use_cases.h"
+#include "util/rng.h"
+
+namespace procon {
+namespace {
+
+using api::AnalysisService;
+using api::QueryDesc;
+using api::QueryKind;
+using api::QueryTicket;
+using api::QueryValue;
+using api::ServiceOptions;
+using api::SystemId;
+using api::TicketStatus;
+
+platform::System random_system(std::uint64_t seed, std::size_t apps) {
+  util::Rng rng(seed);
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 3;
+  gopts.max_actors = 6;
+  auto graphs = gen::generate_graphs(rng, gopts, apps);
+  std::size_t max_actors = 0;
+  for (const auto& g : graphs) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(graphs, plat);
+  return platform::System(std::move(graphs), std::move(plat), std::move(map));
+}
+
+void expect_same_estimates(const std::vector<prob::AppEstimate>& a,
+                           const std::vector<prob::AppEstimate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].isolation_period, b[i].isolation_period);
+    EXPECT_EQ(a[i].estimated_period, b[i].estimated_period);
+    ASSERT_EQ(a[i].actors.size(), b[i].actors.size());
+    for (std::size_t k = 0; k < a[i].actors.size(); ++k) {
+      EXPECT_EQ(a[i].actors[k].waiting_time, b[i].actors[k].waiting_time);
+      EXPECT_EQ(a[i].actors[k].response_time, b[i].actors[k].response_time);
+    }
+  }
+}
+
+void expect_same_sim(const sim::SimResult& a, const sim::SimResult& b) {
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.node_utilisation, b.node_utilisation);
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].iterations, b.apps[i].iterations);
+    EXPECT_EQ(a.apps[i].average_period, b.apps[i].average_period);
+    EXPECT_EQ(a.apps[i].worst_period, b.apps[i].worst_period);
+    EXPECT_EQ(a.apps[i].iteration_times, b.apps[i].iteration_times);
+  }
+}
+
+/// The mixed query a stress client submits for slot k of system `sys_apps`.
+QueryDesc mixed_query(std::size_t k, std::size_t sys_apps) {
+  QueryDesc d;
+  switch (k % 4) {
+    case 0:
+      d.kind = QueryKind::Throughput;
+      d.app = static_cast<sdf::AppId>(k % sys_apps);
+      break;
+    case 1:
+      d.kind = QueryKind::Contention;
+      break;
+    case 2:
+      d.kind = QueryKind::Wcrt;
+      break;
+    default:
+      d.kind = QueryKind::Simulate;
+      d.sim.horizon = 20'000;
+      break;
+  }
+  return d;
+}
+
+TEST(AnalysisService, MultiClientStressMatchesSerialWorkbenchOracle) {
+  const platform::System sys_a = random_system(11, 4);
+  const platform::System sys_b = random_system(22, 5);
+
+  // Serial oracles, evaluated once up front on plain Workbenches.
+  api::Workbench oracle_a(sys_a, api::WorkbenchOptions{.threads = 1});
+  api::Workbench oracle_b(sys_b, api::WorkbenchOptions{.threads = 1});
+  const auto period_a0 = oracle_a.throughput(0);
+  const auto period_b0 = oracle_b.throughput(0);
+  const auto est_a = oracle_a.contention();
+  const auto est_b = oracle_b.contention();
+  const auto wc_a = oracle_a.wcrt();
+  const auto wc_b = oracle_b.wcrt();
+  const auto sim_a = oracle_a.simulate(sim::SimOptions{.horizon = 20'000});
+  const auto sim_b = oracle_b.simulate(sim::SimOptions{.horizon = 20'000});
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    AnalysisService service(
+        ServiceOptions{.threads = workers, .session_capacity = 4});
+    const SystemId a = service.register_system(sys_a);
+    const SystemId b = service.register_system(sys_b);
+
+    constexpr std::size_t kClients = 6;
+    constexpr std::size_t kQueries = 24;
+    std::vector<std::vector<QueryTicket>> tickets(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t k = 0; k < kQueries; ++k) {
+          const bool on_a = (c + k) % 2 == 0;
+          tickets[c].push_back(service.submit(
+              on_a ? a : b,
+              mixed_query(k, on_a ? sys_a.app_count() : sys_b.app_count())));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+
+    for (std::size_t c = 0; c < kClients; ++c) {
+      for (std::size_t k = 0; k < kQueries; ++k) {
+        const bool on_a = (c + k) % 2 == 0;
+        const QueryValue& v = tickets[c][k].get();
+        switch (k % 4) {
+          case 0: {
+            const auto& r = std::get<api::Report<analysis::PeriodResult>>(v);
+            if (k % (on_a ? sys_a.app_count() : sys_b.app_count()) == 0) {
+              EXPECT_EQ(r->period, (on_a ? period_a0 : period_b0)->period);
+            }
+            break;
+          }
+          case 1: {
+            const auto& r =
+                std::get<api::Report<std::vector<prob::AppEstimate>>>(v);
+            expect_same_estimates(*r, on_a ? *est_a : *est_b);
+            break;
+          }
+          case 2: {
+            const auto& r = std::get<api::Report<std::vector<wcrt::AppBound>>>(v);
+            const auto& oracle = on_a ? *wc_a : *wc_b;
+            ASSERT_EQ(r->size(), oracle.size());
+            for (std::size_t i = 0; i < oracle.size(); ++i) {
+              EXPECT_EQ((*r)[i].isolation_period, oracle[i].isolation_period);
+              EXPECT_EQ((*r)[i].worst_case_period, oracle[i].worst_case_period);
+            }
+            break;
+          }
+          default: {
+            const auto& r = std::get<api::Report<sim::SimResult>>(v);
+            expect_same_sim(*r, on_a ? *sim_a : *sim_b);
+            break;
+          }
+        }
+      }
+    }
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.submitted, kClients * kQueries);
+    EXPECT_EQ(stats.submitted, stats.coalesced + stats.executed);
+    EXPECT_LE(service.session_count(), 4u);
+  }
+}
+
+TEST(AnalysisService, CoalescingSharesOneExecution) {
+  AnalysisService service(ServiceOptions{.threads = 2});
+  const SystemId id = service.register_system(random_system(7, 3));
+
+  // Occupy the single background worker with a long simulation so the
+  // coalescable twins stay pending long enough to attach.
+  QueryDesc slow;
+  slow.kind = QueryKind::Simulate;
+  slow.sim.horizon = 3'000'000;
+  auto blocker = service.submit(id, slow);
+
+  QueryDesc q;
+  q.kind = QueryKind::Contention;
+  auto first = service.submit(id, q);
+  auto second = service.submit(id, q);
+  auto third = service.submit(id, q);
+
+  // Cancelling one of several attached tickets must NOT abandon the query.
+  EXPECT_FALSE(third.cancel());
+
+  const auto& va = std::get<api::Report<std::vector<prob::AppEstimate>>>(first.get());
+  const auto& vb =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(second.get());
+  // Shared completion state: the coalesced tickets see the same object.
+  EXPECT_EQ(&va, &vb);
+  expect_same_estimates(*va, *vb);
+  blocker.wait();
+
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_GE(stats.coalesced, 1u);
+  // blocker + exactly one contention execution (the twins attached).
+  EXPECT_EQ(stats.executed, stats.submitted - stats.coalesced);
+}
+
+TEST(AnalysisService, CancelAbandonsPendingQueries) {
+  AnalysisService service(ServiceOptions{.threads = 2});
+  const SystemId id = service.register_system(random_system(5, 3));
+
+  QueryDesc slow;
+  slow.kind = QueryKind::Simulate;
+  slow.sim.horizon = 3'000'000;
+  auto blocker = service.submit(id, slow);
+
+  QueryDesc q;
+  q.kind = QueryKind::Wcrt;
+  auto doomed = service.submit(id, q);
+  EXPECT_TRUE(doomed.cancel());
+  EXPECT_EQ(doomed.status(), TicketStatus::Cancelled);
+  EXPECT_EQ(doomed.try_get(), nullptr);
+  EXPECT_THROW((void)doomed.get(), std::logic_error);
+  // Idempotent: a second cancel on the same ticket is a no-op.
+  EXPECT_FALSE(doomed.cancel());
+
+  blocker.wait();
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.executed, stats.submitted - stats.cancelled);
+
+  // Cancelling a finished query changes nothing.
+  EXPECT_FALSE(blocker.cancel());
+  EXPECT_EQ(blocker.status(), TicketStatus::Done);
+}
+
+TEST(AnalysisService, SessionLruEvictionIsCorrectnessNeutral) {
+  const platform::System sys_a = random_system(31, 3);
+  const platform::System sys_b = random_system(32, 4);
+  api::Workbench oracle_a(sys_a, api::WorkbenchOptions{.threads = 1});
+  api::Workbench oracle_b(sys_b, api::WorkbenchOptions{.threads = 1});
+  const auto est_a = oracle_a.contention();
+  const auto est_b = oracle_b.contention();
+
+  // Capacity 1: every alternation evicts and rebuilds the other session.
+  AnalysisService service(
+      ServiceOptions{.threads = 1, .session_capacity = 1});
+  const SystemId a = service.register_system(sys_a);
+  const SystemId b = service.register_system(sys_b);
+
+  QueryDesc q;
+  q.kind = QueryKind::Contention;
+  for (int round = 0; round < 3; ++round) {
+    const auto va = service.submit(a, q).get();  // rvalue get(): safe copy
+    expect_same_estimates(
+        *std::get<api::Report<std::vector<prob::AppEstimate>>>(va), *est_a);
+    const auto vb = service.submit(b, q).get();
+    expect_same_estimates(
+        *std::get<api::Report<std::vector<prob::AppEstimate>>>(vb), *est_b);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(service.session_count(), 1u);
+  EXPECT_EQ(stats.sessions_built, 6u);    // rebuilt on every alternation
+  EXPECT_EQ(stats.sessions_evicted, 5u);  // all but the live one
+}
+
+TEST(AnalysisService, IdenticalRegistrationsShareOneSession) {
+  const platform::System sys = random_system(44, 3);
+  AnalysisService service(ServiceOptions{.threads = 1, .session_capacity = 4});
+  const SystemId a = service.register_system(sys);
+  const SystemId b = service.register_system(sys);  // bitwise identical
+  EXPECT_EQ(service.tenant_count(), 2u);
+
+  QueryDesc q;
+  q.kind = QueryKind::Throughput;
+  q.app = 0;
+  const auto va = service.submit(a, q).get();  // rvalue get(): safe copy
+  const auto vb = service.submit(b, q).get();
+  EXPECT_EQ(std::get<api::Report<analysis::PeriodResult>>(va)->period,
+            std::get<api::Report<analysis::PeriodResult>>(vb)->period);
+  EXPECT_EQ(service.session_count(), 1u);  // one shared session
+  EXPECT_EQ(service.stats().sessions_built, 1u);
+}
+
+TEST(AnalysisService, FailedQueriesSurfaceThroughTheTicket) {
+  AnalysisService service(ServiceOptions{.threads = 1});
+  const SystemId id = service.register_system(random_system(9, 3));
+  QueryDesc q;
+  q.kind = QueryKind::Throughput;
+  q.app = 99;  // out of range: the Workbench throws inside the worker
+  auto t = service.submit(id, q);
+  t.wait();
+  EXPECT_EQ(t.status(), TicketStatus::Failed);
+  EXPECT_THROW((void)t.get(), sdf::GraphError);
+  EXPECT_THROW((void)service.submit(77, q), std::out_of_range);
+}
+
+/// Sink that deep-copies everything (the identity oracle for view sweeps).
+class CollectingSink : public api::SweepSink {
+ public:
+  bool on_use_case(std::size_t index, const api::UseCaseView& r) override {
+    indices.push_back(index);
+    estimates.emplace_back(r.estimates.begin(), r.estimates.end());
+    bounds.emplace_back(r.bounds.begin(), r.bounds.end());
+    sims.push_back(r.sim != nullptr ? r.sim->materialise() : sim::SimResult{});
+    return true;
+  }
+  std::vector<std::size_t> indices;
+  std::vector<std::vector<prob::AppEstimate>> estimates;
+  std::vector<std::vector<wcrt::AppBound>> bounds;
+  std::vector<sim::SimResult> sims;
+};
+
+TEST(AnalysisService, StreamingSweepMatchesVectorSweep) {
+  const platform::System sys = random_system(55, 4);
+  AnalysisService service(ServiceOptions{.threads = 2});
+  const SystemId id = service.register_system(sys);
+
+  util::Rng rng(3);
+  const auto use_cases = gen::sample_use_cases(sys.app_count(), 2, rng);
+  api::SweepOptions sopts;
+  sopts.with_wcrt = true;
+  sopts.with_sim = true;
+  sopts.sim.horizon = 10'000;
+
+  CollectingSink sink;
+  const api::SweepSummary summary =
+      service.sweep_use_cases(id, use_cases, sopts, sink);
+  EXPECT_EQ(summary.delivered, use_cases.size());
+  EXPECT_FALSE(summary.stopped_early);
+
+  api::Workbench oracle(sys, api::WorkbenchOptions{.threads = 1});
+  const auto vec = oracle.sweep_use_cases(use_cases, sopts);
+  ASSERT_EQ(vec->size(), sink.estimates.size());
+  for (std::size_t i = 0; i < vec->size(); ++i) {
+    EXPECT_EQ(sink.indices[i], i);
+    expect_same_estimates(sink.estimates[i], (*vec)[i].estimates);
+    ASSERT_EQ(sink.bounds[i].size(), (*vec)[i].bounds.size());
+    for (std::size_t k = 0; k < sink.bounds[i].size(); ++k) {
+      EXPECT_EQ(sink.bounds[i][k].worst_case_period,
+                (*vec)[i].bounds[k].worst_case_period);
+    }
+    expect_same_sim(sink.sims[i], (*vec)[i].sim);
+  }
+
+  // Early stop: the sink controls consumption.
+  class StopAfterOne : public api::SweepSink {
+   public:
+    bool on_use_case(std::size_t, const api::UseCaseView&) override {
+      ++seen;
+      return false;
+    }
+    std::size_t seen = 0;
+  };
+  StopAfterOne stopper;
+  const auto stopped = service.sweep_use_cases(id, use_cases, {}, stopper);
+  EXPECT_TRUE(stopped.stopped_early);
+  EXPECT_EQ(stopped.delivered, 1u);
+  EXPECT_EQ(stopper.seen, 1u);
+}
+
+TEST(AnalysisService, SweepIsNotStarvedByAContinuousSubmitStream) {
+  const platform::System sys = random_system(66, 4);
+  AnalysisService service(ServiceOptions{.threads = 2});
+  const SystemId id = service.register_system(sys);
+
+  util::Rng rng(5);
+  const auto use_cases = gen::sample_use_cases(sys.app_count(), 2, rng);
+
+  // A client hammering the same session in a tight loop until told to stop:
+  // without boundary-yield the sweep's acquisition predicate would never
+  // see an empty queue.
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    QueryDesc q;
+    q.kind = QueryKind::Throughput;
+    while (!stop.load()) {
+      auto t = service.submit(id, q);
+      t.wait();
+    }
+  });
+
+  class CountSink : public api::SweepSink {
+   public:
+    bool on_use_case(std::size_t, const api::UseCaseView&) override {
+      ++seen;
+      return true;
+    }
+    std::size_t seen = 0;
+  };
+  CountSink sink;
+  const auto summary = service.sweep_use_cases(id, use_cases, {}, sink);
+  EXPECT_EQ(summary.delivered, use_cases.size());
+  EXPECT_EQ(sink.seen, use_cases.size());
+
+  stop.store(true);
+  hammer.join();
+  service.drain();
+  EXPECT_EQ(service.stats().submitted,
+            service.stats().executed + service.stats().coalesced +
+                service.stats().cancelled);
+}
+
+}  // namespace
+}  // namespace procon

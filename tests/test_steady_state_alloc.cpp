@@ -10,7 +10,13 @@
 //  * LRU eviction is correctness-neutral: an evicted candidate re-probes
 //    identically;
 //  * deep fixed-point contention queries are thread-count invariant with
-//    the nested per-app sharding.
+//    the nested per-app sharding;
+//  * warm Workbench::contention_view queries run entirely in the session's
+//    persistent estimator workspace — ZERO heap allocations;
+//  * a warm streaming sweep (estimates + bounds + sim views) of a
+//    previously-seen use-case list performs ZERO heap allocations end to
+//    end, with results identical to the vector-returning sweep;
+//  * the SimEngine ring-cache LRU bound evicts and rebuilds identically.
 #include "util/alloc_probe.h"  // FIRST: replaces global new/delete
 
 #include <gtest/gtest.h>
@@ -200,6 +206,150 @@ TEST(SteadyStateAlloc, LruEvictionReprobesIdentically) {
               first.estimates[i].isolation_period);
     EXPECT_EQ(again.estimates[i].estimated_period,
               first.estimates[i].estimated_period);
+  }
+}
+
+TEST(SteadyStateAlloc, WarmContentionViewIsAllocationFree) {
+  const platform::System sys = random_system(77, 5);
+  api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
+  util::Rng rng(13);
+  const auto use_cases = gen::sample_use_cases(sys.app_count(), 2, rng);
+
+  // Warm-up: one query per shape sizes the workspace, slots and report.
+  (void)wb.contention_view();
+  for (const auto& uc : use_cases) (void)wb.contention_view(uc);
+
+  const auto oracle = wb.contention();  // owning copy, same numbers
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::uint64_t before = allocations();
+    const auto& report = wb.contention_view();
+    const std::uint64_t after = allocations();
+    EXPECT_EQ(after - before, 0u) << "warm contention_view allocated (rep "
+                                  << rep << ")";
+    ASSERT_EQ(report->size(), oracle->size());
+    for (std::size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*report)[i].isolation_period, (*oracle)[i].isolation_period);
+      EXPECT_EQ((*report)[i].estimated_period, (*oracle)[i].estimated_period);
+    }
+  }
+  for (const auto& uc : use_cases) {
+    const auto owning = wb.contention(uc);
+    const std::uint64_t before = allocations();
+    const auto& report = wb.contention_view(uc);
+    const std::uint64_t after = allocations();
+    EXPECT_EQ(after - before, 0u) << "warm restricted contention_view allocated";
+    ASSERT_EQ(report->size(), owning->size());
+    for (std::size_t i = 0; i < owning->size(); ++i) {
+      EXPECT_EQ((*report)[i].estimated_period, (*owning)[i].estimated_period);
+      ASSERT_EQ((*report)[i].actors.size(), (*owning)[i].actors.size());
+      for (std::size_t k = 0; k < (*owning)[i].actors.size(); ++k) {
+        EXPECT_EQ((*report)[i].actors[k].waiting_time,
+                  (*owning)[i].actors[k].waiting_time);
+      }
+    }
+  }
+}
+
+/// Sink for the allocation probe: aggregates into preallocated storage so
+/// the warm sweep's zero-alloc bracket measures the sweep, not the sink.
+class ProbeSink : public api::SweepSink {
+ public:
+  explicit ProbeSink(std::size_t use_cases) {
+    period_sums.resize(use_cases, 0.0);
+    bound_sums.resize(use_cases, 0.0);
+    sim_events.resize(use_cases, 0);
+  }
+  bool on_use_case(std::size_t index, const api::UseCaseView& r) override {
+    double psum = 0.0;
+    for (const auto& e : r.estimates) psum += e.estimated_period;
+    period_sums[index] = psum;
+    double bsum = 0.0;
+    for (const auto& b : r.bounds) bsum += b.worst_case_period;
+    bound_sums[index] = bsum;
+    sim_events[index] = r.sim != nullptr ? r.sim->events_processed : 0;
+    return true;
+  }
+  std::vector<double> period_sums;
+  std::vector<double> bound_sums;
+  std::vector<std::uint64_t> sim_events;
+};
+
+TEST(SteadyStateAlloc, WarmStreamingSweepIsAllocationFree) {
+  const platform::System sys = random_system(88, 5);
+  api::Workbench wb(sys, api::WorkbenchOptions{.threads = 1});
+  util::Rng rng(17);
+  const auto use_cases = gen::sample_use_cases(sys.app_count(), 2, rng);
+  ASSERT_FALSE(use_cases.empty());
+
+  api::SweepOptions opts;
+  opts.with_wcrt = true;
+  opts.with_sim = true;
+  opts.sim.horizon = 10'000;
+
+  ProbeSink warmup(use_cases.size());
+  (void)wb.sweep_use_cases(use_cases, opts, warmup);  // sizes every arena
+
+  ProbeSink probe(use_cases.size());
+  const std::uint64_t before = allocations();
+  const api::SweepSummary summary = wb.sweep_use_cases(use_cases, opts, probe);
+  const std::uint64_t after = allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "warm streaming sweep of a previously-seen use-case list allocated";
+  EXPECT_EQ(summary.delivered, use_cases.size());
+
+  // Identity with the vector-returning sweep (and the warm-up pass).
+  const auto vec = wb.sweep_use_cases(use_cases, opts);
+  ASSERT_EQ(vec->size(), use_cases.size());
+  for (std::size_t i = 0; i < use_cases.size(); ++i) {
+    double psum = 0.0;
+    for (const auto& e : (*vec)[i].estimates) psum += e.estimated_period;
+    EXPECT_EQ(probe.period_sums[i], psum);
+    double bsum = 0.0;
+    for (const auto& b : (*vec)[i].bounds) bsum += b.worst_case_period;
+    EXPECT_EQ(probe.bound_sums[i], bsum);
+    EXPECT_EQ(probe.sim_events[i], (*vec)[i].sim.events_processed);
+    EXPECT_EQ(probe.period_sums[i], warmup.period_sums[i]);
+  }
+}
+
+TEST(SteadyStateAlloc, RingCacheLruEvictsAndRebuildsIdentically) {
+  const platform::System sys = random_system(99, 5);
+  sim::SimOptions opts;
+  opts.horizon = 10'000;
+
+  // Three distinct use-cases against a capacity-2 cache: every pass evicts.
+  const std::vector<platform::UseCase> ucs{{0, 1}, {1, 2, 3}, {0, 4}};
+  sim::SimEngine bounded(sys, /*ring_cache_capacity=*/2);
+  sim::SimEngine unbounded(sys);
+  EXPECT_EQ(bounded.ring_cache_capacity(), 2u);
+
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& uc : ucs) {
+      bounded.reset(uc);
+      const sim::SimResult lru = bounded.run_view(opts).materialise();
+      unbounded.reset(uc);
+      expect_same(lru, unbounded.run_view(opts).materialise());
+      EXPECT_LE(bounded.ring_cache_size(), 2u);
+    }
+  }
+  // The unbounded engine kept everything (3 use-cases + the full system
+  // armed at construction); the bounded one stayed within its capacity.
+  EXPECT_EQ(unbounded.ring_cache_size(), 4u);
+  EXPECT_EQ(bounded.ring_cache_size(), 2u);
+
+  // Within-capacity working sets keep the zero-allocation warm contract.
+  sim::SimEngine snug(sys, /*ring_cache_capacity=*/3);
+  const std::vector<platform::UseCase> pair{{0, 1}, {1, 2, 3}};
+  for (const auto& uc : pair) {
+    snug.reset(uc);
+    (void)snug.run_view(opts);
+  }
+  for (const auto& uc : pair) {
+    const std::uint64_t before = allocations();
+    snug.reset(uc);
+    (void)snug.run_view(opts);
+    EXPECT_EQ(allocations() - before, 0u)
+        << "warm within-capacity reset+run_view allocated";
   }
 }
 

@@ -21,6 +21,12 @@
 //   sweep <file> [--full | --per-size N] [--threads T] [--method ...]
 //       Estimate every (or a sampled set of) use-case(s), sharded across T
 //       workers (0 = one per hardware thread).
+//   serve <file> [--clients N] [--queries Q] [--threads T] [--capacity S]
+//       Drive an api::AnalysisService end to end: register the file's
+//       graphs as two tenant systems, hammer them from N client threads
+//       with mixed ticketed queries, verify every result against a serial
+//       Workbench oracle, then stream a sink-based use-case sweep. Prints
+//       the service counters (coalesce hits, sessions built/evicted).
 //   buffers <file>
 //       Buffer-capacity / period Pareto frontier per graph (incremental
 //       explorer).
@@ -32,9 +38,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/throughput.h"
+#include "api/service.h"
 #include "api/workbench.h"
 #include "gen/graph_generator.h"
 #include "gen/use_cases.h"
@@ -61,6 +69,8 @@ int usage(int code) {
       "                  [--order M] [--iterations K]\n"
       "  procon simulate <file> [--horizon N] [--arbitration fcfs|rr|tdma]\n"
       "  procon sweep    <file> [--full | --per-size N] [--threads T] [--method M]\n"
+      "  procon serve    <file> [--clients N] [--queries Q] [--threads T]\n"
+      "                  [--capacity S]\n"
       "  procon buffers  <file>\n"
       "  procon dot      <file>\n"
       "  procon selftest\n";
@@ -273,6 +283,139 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+/// Streams the first rows of a service-side sink sweep into a table.
+class TableSink : public api::SweepSink {
+ public:
+  TableSink(util::Table& table, const platform::System& sys, std::size_t limit)
+      : table_(table), sys_(sys), limit_(limit) {}
+
+  bool on_use_case(std::size_t index, const api::UseCaseView& r) override {
+    std::string label;
+    for (const auto id : r.use_case) {
+      if (!label.empty()) label += "+";
+      label += sys_.app(id).name();
+    }
+    double worst = 0.0;
+    for (const auto& e : r.estimates) {
+      worst = std::max(worst, e.normalised_period());
+    }
+    table_.add_row({std::to_string(index), label,
+                    std::to_string(r.estimates.size()),
+                    util::format_double(worst, 3)});
+    return index + 1 < limit_;  // caller-driven: stop once the table is full
+  }
+
+ private:
+  util::Table& table_;
+  const platform::System& sys_;
+  std::size_t limit_;
+};
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) return usage(2);
+  const auto clients = static_cast<std::size_t>(
+      std::stoull(flag_value(argc, argv, "--clients", "4")));
+  const auto queries = static_cast<std::size_t>(
+      std::stoull(flag_value(argc, argv, "--queries", "32")));
+  const auto threads = static_cast<std::size_t>(
+      std::stoull(flag_value(argc, argv, "--threads", "0")));
+  const auto capacity = static_cast<std::size_t>(
+      std::stoull(flag_value(argc, argv, "--capacity", "4")));
+
+  auto graphs = load_graphs(argv[2]);
+  // Two tenants from one file: the full set, and the set without its last
+  // application (distinct structure, so the service keeps two sessions).
+  platform::System sys_a = make_system(graphs);
+  if (graphs.size() > 1) graphs.pop_back();
+  platform::System sys_b = make_system(std::move(graphs));
+
+  // Serial oracles: every ticketed result must match these bitwise.
+  api::Workbench oracle_a(sys_a, api::WorkbenchOptions{.threads = 1});
+  api::Workbench oracle_b(sys_b, api::WorkbenchOptions{.threads = 1});
+  const auto est_a = oracle_a.contention();
+  const auto est_b = oracle_b.contention();
+  const auto wc_a = oracle_a.wcrt();
+  const auto wc_b = oracle_b.wcrt();
+
+  api::AnalysisService service(api::ServiceOptions{
+      .threads = threads, .session_capacity = capacity});
+  const api::SystemId a = service.register_system(sys_a);
+  const api::SystemId b = service.register_system(sys_b);
+
+  std::vector<std::vector<api::QueryTicket>> tickets(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (std::size_t k = 0; k < queries; ++k) {
+        api::QueryDesc d;
+        d.kind = (k % 2 == 0) ? api::QueryKind::Contention : api::QueryKind::Wcrt;
+        tickets[c].push_back(service.submit((c + k) % 2 == 0 ? a : b, d));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::size_t verified = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (std::size_t k = 0; k < queries; ++k) {
+      const bool on_a = (c + k) % 2 == 0;
+      const api::QueryValue& v = tickets[c][k].get();
+      bool same = true;
+      if (k % 2 == 0) {
+        const auto& r = std::get<api::Report<std::vector<prob::AppEstimate>>>(v);
+        const auto& oracle = on_a ? *est_a : *est_b;
+        same = r->size() == oracle.size();
+        for (std::size_t i = 0; same && i < oracle.size(); ++i) {
+          same = (*r)[i].estimated_period == oracle[i].estimated_period;
+        }
+      } else {
+        const auto& r = std::get<api::Report<std::vector<wcrt::AppBound>>>(v);
+        const auto& oracle = on_a ? *wc_a : *wc_b;
+        same = r->size() == oracle.size();
+        for (std::size_t i = 0; same && i < oracle.size(); ++i) {
+          same = (*r)[i].worst_case_period == oracle[i].worst_case_period;
+        }
+      }
+      ++verified;
+      if (!same) ++mismatches;
+    }
+  }
+
+  const api::ServiceStats stats = service.stats();
+  util::Table table("AnalysisService: " + std::to_string(clients) +
+                    " client(s) x " + std::to_string(queries) + " queries");
+  table.set_header({"counter", "value"});
+  table.add_row({"tickets verified", std::to_string(verified)});
+  table.add_row({"oracle mismatches", std::to_string(mismatches)});
+  table.add_row({"submitted", std::to_string(stats.submitted)});
+  table.add_row({"coalesced (shared in-flight)", std::to_string(stats.coalesced)});
+  table.add_row({"executed", std::to_string(stats.executed)});
+  table.add_row({"sessions built", std::to_string(stats.sessions_built)});
+  table.add_row({"sessions evicted", std::to_string(stats.sessions_evicted)});
+  table.add_row({"live sessions", std::to_string(service.session_count())});
+  std::cout << table.render();
+
+  // Streaming sweep: per-use-case views delivered to a sink, first 8 rows.
+  util::Rng rng(2007);
+  const auto ucs = gen::sample_use_cases(sys_a.app_count(), 2, rng);
+  util::Table sweep_table("Streaming sweep (sink-delivered views, first 8)");
+  sweep_table.set_header({"#", "use-case", "apps", "worst normalised"});
+  TableSink sink(sweep_table, sys_a, 8);
+  const api::SweepSummary summary = service.sweep_use_cases(a, ucs, {}, sink);
+  std::cout << sweep_table.render();
+  std::cout << "[sweep: " << summary.delivered << " use-case(s) delivered"
+            << (summary.stopped_early ? " (stopped by sink)" : "") << ", "
+            << util::format_double(summary.wall_ms, 2) << " ms]\n";
+
+  if (mismatches != 0) {
+    std::cerr << "error: service results diverged from the serial oracle\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_buffers(int argc, char** argv) {
   if (argc < 3) return usage(2);
   api::Workbench wb(make_system(load_graphs(argv[2])),
@@ -366,6 +509,25 @@ int cmd_selftest() {
     CLI_CHECK((*est)[i].estimated_period >= (*est)[i].isolation_period - 1e-9);
     CLI_CHECK(simres->apps[i].converged);
   }
+
+  // The service front door answers exactly like the session underneath.
+  api::AnalysisService service(api::ServiceOptions{.threads = 2});
+  const api::SystemId sid = service.register_system(wb.system());
+  api::QueryDesc q;
+  q.kind = api::QueryKind::Contention;
+  auto t1 = service.submit(sid, q);
+  auto t2 = service.submit(sid, q);  // identical: may coalesce with t1
+  const auto& served =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(t1.get());
+  const auto& served2 =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(t2.get());
+  CLI_CHECK(served->size() == est->size());
+  for (std::size_t i = 0; i < est->size(); ++i) {
+    CLI_CHECK((*served)[i].estimated_period == (*est)[i].estimated_period);
+    CLI_CHECK((*served2)[i].estimated_period == (*est)[i].estimated_period);
+  }
+  const auto sstats = service.stats();
+  CLI_CHECK(sstats.submitted == sstats.executed + sstats.coalesced);
   std::cout << "selftest OK\n";
   return 0;
 }
@@ -382,6 +544,7 @@ int main(int argc, char** argv) {
     if (cmd == "estimate") return cmd_estimate(argc, argv);
     if (cmd == "simulate") return cmd_simulate(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "buffers") return cmd_buffers(argc, argv);
     if (cmd == "dot") return cmd_dot(argc, argv);
     if (cmd == "selftest") return cmd_selftest();
