@@ -8,21 +8,26 @@
 #include <utility>
 
 #include "sdf/algorithms.h"
+#include "sdf/zobrist.h"
 
 namespace procon::admission {
 
 using prob::Composite;
 
-// Structural identity (fingerprint + exact-equality tie-break) is shared
-// with the service session LRU: sdf::graph_fingerprint / sdf::graphs_equal
-// in sdf/algorithms.h — one definition of "same graph" for every
-// structure-keyed cache.
+// Structural identity: the candidate LRU is keyed by the name-free Zobrist
+// graph component (sdf::ZobristHash::graph_component — the same per-app
+// component platform::System maintains incrementally), tie-broken exactly
+// by sdf::graphs_equal. The transposition table keys derive from the same
+// component, so candidate state and memoised periods agree on what "same
+// graph" means.
 
-AdmissionController::AdmissionController(platform::Platform platform,
-                                         std::size_t candidate_cache_capacity)
+AdmissionController::AdmissionController(
+    platform::Platform platform, std::size_t candidate_cache_capacity,
+    std::shared_ptr<analysis::TranspositionTable> table)
     : platform_(std::move(platform)),
       store_({}, platform_, platform::Mapping(std::span<const sdf::Graph>{})),
-      candidate_capacity_(std::max<std::size_t>(candidate_cache_capacity, 1)) {
+      candidate_capacity_(std::max<std::size_t>(candidate_cache_capacity, 1)),
+      table_(std::move(table)) {
   nodes_.assign(platform_.node_count(), Composite::identity());
   candidates_.reserve(candidate_capacity_);
 }
@@ -56,7 +61,7 @@ platform::System AdmissionController::snapshot_system() const {
 
 AdmissionController::CandidateEntry& AdmissionController::candidate_for(
     const sdf::Graph& app) {
-  const std::uint64_t fp = sdf::graph_fingerprint(app);
+  const std::uint64_t fp = sdf::ZobristHash::graph_component(app);
   for (CandidateEntry& e : candidates_) {
     if (e.fingerprint == fp && sdf::graphs_equal(e.graph, app)) {
       e.last_used = ++candidate_clock_;  // hit: O(weights), no rebuild
@@ -107,9 +112,27 @@ void AdmissionController::totals_with(std::span<const platform::NodeId> nodes,
 }
 
 double AdmissionController::predict_period(
-    const sdf::Graph& graph, std::span<const platform::NodeId> nodes,
+    std::uint64_t graph_comp, const sdf::Graph& graph,
+    std::span<const platform::NodeId> nodes,
     std::span<const prob::ActorLoad> loads, analysis::ThroughputEngine& engine,
     std::span<const Composite> node_totals) const {
+  // Transposition probe: the period is a pure function of the graph
+  // structure (loads derive from it deterministically), the node
+  // assignment, and the composites on the assigned nodes — absorb exactly
+  // those, bitwise. A hit returns the stored recompute result verbatim.
+  analysis::TTKey key;
+  if (table_) {
+    analysis::TTKeyBuilder b(graph_comp, analysis::TTQuery::AdmissionPeriod);
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+      const Composite& total = node_totals[nodes[a]];
+      b.absorb(nodes[a]);
+      b.absorb_double(total.probability);
+      b.absorb_double(total.weighted_blocking);
+    }
+    key = b.key();
+    analysis::TTValue v;
+    if (table_->lookup(key, v)) return v.primary;
+  }
   response_scratch_.assign(graph.actor_count(), 0.0);
   for (sdf::ActorId a = 0; a < graph.actor_count(); ++a) {
     const Composite self = prob::to_composite(loads[a]);
@@ -128,6 +151,11 @@ double AdmissionController::predict_period(
   if (res.deadlocked) {
     throw sdf::GraphError("predict_period: response-time graph deadlocks");
   }
+  if (table_) {
+    analysis::TTValue v;
+    v.primary = res.period;
+    table_->store(key, v);
+  }
   return res.period;
 }
 
@@ -137,8 +165,8 @@ void AdmissionController::evaluate_candidate(
   totals_with(nodes, cand.loads, totals_scratch_);
 
   // The candidate's own predicted period.
-  out.predicted_period =
-      predict_period(graph, nodes, cand.loads, *cand.engine, totals_scratch_);
+  out.predicted_period = predict_period(cand.fingerprint, graph, nodes,
+                                        cand.loads, *cand.engine, totals_scratch_);
   if (out.predicted_period > qos.max_period) {
     out.reason = "requesting application's predicted period " +
                  std::to_string(out.predicted_period) +
@@ -153,8 +181,9 @@ void AdmissionController::evaluate_candidate(
       out.peer_periods.push_back(0.0);
       continue;
     }
-    const double p = predict_period(store_.app(h), peer.nodes, peer.loads,
-                                    *peer.engine, totals_scratch_);
+    const double p =
+        predict_period(store_.app_component(h), store_.app(h), peer.nodes,
+                       peer.loads, *peer.engine, totals_scratch_);
     out.peer_periods.push_back(p);
     if (p > peer.qos.max_period) {
       out.reason = "admission would push application '" + store_.app(h).name() +
@@ -315,9 +344,9 @@ WhatIfReport AdmissionController::what_if_remove(
       out.peer_periods.push_back(0.0);
       continue;
     }
-    out.peer_periods.push_back(predict_period(store_.app(h), apps_[h].nodes,
-                                              apps_[h].loads, *apps_[h].engine,
-                                              totals_scratch_));
+    out.peer_periods.push_back(
+        predict_period(store_.app_component(h), store_.app(h), apps_[h].nodes,
+                       apps_[h].loads, *apps_[h].engine, totals_scratch_));
     survivors.push_back(h);
     engines.push_back(apps_[h].engine.get());
   }
@@ -361,8 +390,8 @@ double AdmissionController::predicted_period(AppHandle handle) const {
     throw std::out_of_range("predicted_period: unknown application");
   }
   const AdmittedApp& rec = apps_[handle];
-  return predict_period(store_.app(handle), rec.nodes, rec.loads, *rec.engine,
-                        nodes_);
+  return predict_period(store_.app_component(handle), store_.app(handle),
+                        rec.nodes, rec.loads, *rec.engine, nodes_);
 }
 
 }  // namespace procon::admission

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "analysis/engine.h"
+#include "analysis/transposition_table.h"
 #include "platform/platform.h"
 #include "platform/system.h"
 #include "platform/system_view.h"
@@ -112,7 +113,11 @@ struct WhatIfOptions {
 /// Determinism: decisions and predictions are pure functions of the
 /// admitted set and the probe inputs; the candidate LRU only caches
 /// structure-derived state (engines, isolation periods, loads), never
-/// verdicts, so cache hits and misses produce identical numbers.
+/// verdicts, so cache hits and misses produce identical numbers. The
+/// optional transposition table memoises predicted periods bitwise
+/// (keyed by graph Zobrist component x node assignment x node composites),
+/// so table-backed and table-free controllers also produce identical
+/// numbers — including the reason strings built from them.
 class AdmissionController {
  public:
   /// \brief Constructs a controller over `platform` with an empty admitted
@@ -121,8 +126,13 @@ class AdmissionController {
   /// \param candidate_cache_capacity number of distinct candidate
   ///        applications whose analysis state is retained (LRU evicted
   ///        beyond that); values below 1 are clamped to 1
-  explicit AdmissionController(platform::Platform platform,
-                               std::size_t candidate_cache_capacity = 8);
+  /// \param table optional shared transposition table memoising contention
+  ///        period predictions across probes — and across controllers /
+  ///        Workbench sessions sharing the same table. nullptr disables
+  ///        memoisation (results are bitwise identical either way).
+  explicit AdmissionController(
+      platform::Platform platform, std::size_t candidate_cache_capacity = 8,
+      std::shared_ptr<analysis::TranspositionTable> table = nullptr);
 
   /// \brief Requests admission of `app` with actor a mapped on `nodes[a]`.
   ///
@@ -242,8 +252,11 @@ class AdmissionController {
 
   /// One LRU slot: everything derivable from a candidate graph alone
   /// (independent of its mapping), so a repeated probe skips validation,
-  /// engine construction and load derivation. The graph copy disambiguates
-  /// fingerprint collisions exactly.
+  /// engine construction and load derivation. Keyed by the name-free
+  /// Zobrist graph component (sdf::ZobristHash::graph_component — the same
+  /// value System maintains per resident app), so candidate entries and
+  /// transposition keys agree; the graph copy disambiguates collisions
+  /// exactly (graphs_equal, which does compare names).
   struct CandidateEntry {
     std::uint64_t fingerprint = 0;
     std::uint64_t last_used = 0;
@@ -262,8 +275,13 @@ class AdmissionController {
   /// Predicted period of the app `graph` describes with loads `loads` and
   /// actor a on nodes[a], when node composites are `node_totals` (which
   /// must already include the app's own actors). Reuses response_scratch_.
+  /// `graph_comp` is the graph's Zobrist component (the transposition key
+  /// root); with a table attached, a repeat of the same (graph, nodes,
+  /// relevant composites) is a lookup instead of an engine recompute — the
+  /// stored period is the bitwise result of that recompute.
   [[nodiscard]] double predict_period(
-      const sdf::Graph& graph, std::span<const platform::NodeId> nodes,
+      std::uint64_t graph_comp, const sdf::Graph& graph,
+      std::span<const platform::NodeId> nodes,
       std::span<const prob::ActorLoad> loads, analysis::ThroughputEngine& engine,
       std::span<const prob::Composite> node_totals) const;
 
@@ -302,6 +320,9 @@ class AdmissionController {
   std::vector<CandidateEntry> candidates_;
   std::size_t candidate_capacity_ = 8;
   std::uint64_t candidate_clock_ = 0;
+
+  // Optional shared transposition table (see constructor). nullptr = off.
+  std::shared_ptr<analysis::TranspositionTable> table_;
 
   // Scratch reused across queries (the allocation-free probe path); mutable
   // because const predictions share it — see the thread-safety note.

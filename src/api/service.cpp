@@ -9,24 +9,6 @@ namespace procon::api {
 
 namespace {
 
-/// Structural fingerprint of a whole system: applications (via the shared
-/// sdf::graph_fingerprint), platform nodes, mapping rows. Collisions are
-/// disambiguated by systems_equal.
-std::uint64_t system_fingerprint(const platform::System& sys) noexcept {
-  std::uint64_t h = sdf::fingerprint_mix(0x5EED5EED5EED5EEDULL, sys.app_count());
-  for (const sdf::Graph& g : sys.apps()) h = sdf::graph_fingerprint(g, h);
-  h = sdf::fingerprint_mix(h, sys.platform().node_count());
-  for (platform::NodeId n = 0; n < sys.platform().node_count(); ++n) {
-    h = sdf::fingerprint_mix(h, sys.platform().node(n).type);
-  }
-  for (sdf::AppId i = 0; i < sys.app_count(); ++i) {
-    for (sdf::ActorId a = 0; a < sys.app(i).actor_count(); ++a) {
-      h = sdf::fingerprint_mix(h, sys.mapping().node_of(i, a));
-    }
-  }
-  return h;
-}
-
 /// Exact structural equality of two systems (the fingerprint tie-breaker):
 /// identical analysis inputs, hence identical results from a shared session.
 bool systems_equal(const platform::System& a, const platform::System& b) noexcept {
@@ -65,6 +47,10 @@ void append_double(std::string& key, double v) {
 AnalysisService::AnalysisService(const ServiceOptions& opts)
     : session_capacity_(std::max<std::size_t>(opts.session_capacity, 1)),
       session_threads_(opts.session_threads),
+      table_(opts.transposition_capacity > 0
+                 ? std::make_shared<analysis::TranspositionTable>(
+                       opts.transposition_capacity, opts.transposition_shards)
+                 : nullptr),
       pool_(opts.threads) {}
 
 AnalysisService::~AnalysisService() { drain(); }
@@ -81,7 +67,11 @@ void AnalysisService::drain() {
 
 SystemId AnalysisService::register_system(platform::System sys) {
   sys.validate();  // fail at the door, not inside a worker
-  const std::uint64_t fp = system_fingerprint(sys);
+  // The system's incrementally-maintained Zobrist fingerprint: O(1) to read
+  // (no structural walk) and name-free, so renamed-but-identical tenants
+  // land on the same value. Collisions are disambiguated by systems_equal,
+  // which compares names too — sharing stays exact.
+  const std::uint64_t fp = sys.fingerprint();
   std::lock_guard<std::mutex> lock(m_);
   registrations_.push_back(Registration{std::move(sys), fp});
   return static_cast<SystemId>(registrations_.size() - 1);
@@ -105,6 +95,12 @@ std::size_t AnalysisService::session_count() const {
 ServiceStats AnalysisService::stats() const {
   std::lock_guard<std::mutex> lock(m_);
   return stats_;
+}
+
+analysis::TranspositionTable::Stats AnalysisService::transposition_stats() const {
+  // No service lock: the table aggregates under its own shard mutexes and
+  // the shared_ptr member is immutable after construction.
+  return table_ ? table_->stats() : analysis::TranspositionTable::Stats{};
 }
 
 AnalysisService::Session& AnalysisService::session_for(SystemId id) {
@@ -156,7 +152,8 @@ AnalysisService::Session& AnalysisService::session_for(SystemId id) {
   fresh->serial = ++session_serial_;
   fresh->fingerprint = reg.fingerprint;
   fresh->bench = std::make_unique<Workbench>(
-      reg.system, WorkbenchOptions{.threads = session_threads_});
+      reg.system,
+      WorkbenchOptions{.threads = session_threads_, .table = table_});
   fresh->last_used = ++clock_;
   reg.resolved_serial = fresh->serial;
   ++stats_.sessions_built;

@@ -257,6 +257,17 @@ struct ServiceOptions {
   /// ticket). Default 1: cross-query parallelism comes from the service
   /// pool, so per-query sharding usually only adds oversubscription.
   std::size_t session_threads = 1;
+  /// Entry capacity of the service-wide analysis::TranspositionTable,
+  /// shared by every session the service builds. Because Zobrist
+  /// fingerprints are name-free, structurally identical tenants hit each
+  /// other's entries — and entries outlive session eviction, so a rebuilt
+  /// session starts warm. 0 disables the table entirely (sessions run
+  /// table-free, bitwise identical results either way).
+  std::size_t transposition_capacity = std::size_t{1} << 16;
+  /// Shard count of the shared table (rounded down to a power of two,
+  /// clamped to >= 1). More shards = less lock contention between sessions
+  /// executing on different pool workers.
+  std::size_t transposition_shards = 16;
 };
 
 /// \brief Service-level counters (monotonic since construction).
@@ -359,6 +370,12 @@ class AnalysisService {
   /// \return monotonic totals since construction
   [[nodiscard]] ServiceStats stats() const;
 
+  /// \brief Snapshot of the shared transposition table's counters
+  /// (aggregated and per shard). All zeros when the table is disabled
+  /// (ServiceOptions::transposition_capacity == 0).
+  /// \return hits / misses / stores / evictions / verify failures
+  [[nodiscard]] analysis::TranspositionTable::Stats transposition_stats() const;
+
   /// \brief Blocks until every query submitted so far has finished.
   void drain();
 
@@ -420,6 +437,11 @@ class AnalysisService {
   std::uint64_t session_serial_ = 0; // unique session ids, never reused
   std::size_t session_capacity_ = 8;
   std::size_t session_threads_ = 1;
+  // One table for the whole service: every session shares it, so a tenant's
+  // warm entries serve every structurally identical tenant. shared_ptr so
+  // sessions (whose Workbench holds a reference) can outlive nothing —
+  // the service owns both — but the Workbench API takes shared ownership.
+  std::shared_ptr<analysis::TranspositionTable> table_;
   // Declared last: destroyed first, so the pool joins (draining posted
   // drainers) while every member above is still alive.
   util::ThreadPool pool_;

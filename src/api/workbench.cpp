@@ -22,10 +22,76 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Per-application WCRT transposition probe/store. Bounds are memoised as
+/// one (isolation, worst-case) entry per app plus one (waiting, response)
+/// entry per actor, all keyed by the restriction fingerprint and the WCRT
+/// options; a query hits only if *every* entry is present (all-or-nothing),
+/// otherwise it recomputes and stores the full set. `Sys` is a
+/// platform::System or platform::SystemView (both expose app()).
+template <typename Sys>
+bool probe_wcrt(analysis::TranspositionTable* table, std::uint64_t fp,
+                const wcrt::WcrtOptions& opts, const Sys& sys,
+                std::vector<wcrt::AppBound>& out) {
+  if (table == nullptr) return false;
+  const std::size_t napps = sys.app_count();
+  out.clear();
+  out.resize(napps);
+  for (std::size_t i = 0; i < napps; ++i) {
+    analysis::TTKeyBuilder app_key(fp, analysis::TTQuery::WcrtAppBound);
+    app_key.absorb(static_cast<std::uint64_t>(opts.policy));
+    app_key.absorb(static_cast<std::uint64_t>(opts.tdma_slot));
+    app_key.absorb(i);
+    analysis::TTValue v;
+    if (!table->lookup(app_key.key(), v)) return false;
+    out[i].isolation_period = v.primary;
+    out[i].worst_case_period = v.secondary;
+    const std::size_t nactors = sys.app(static_cast<sdf::AppId>(i)).actor_count();
+    out[i].actors.resize(nactors);
+    for (std::size_t a = 0; a < nactors; ++a) {
+      analysis::TTKeyBuilder actor_key(fp, analysis::TTQuery::WcrtActorBound);
+      actor_key.absorb(static_cast<std::uint64_t>(opts.policy));
+      actor_key.absorb(static_cast<std::uint64_t>(opts.tdma_slot));
+      actor_key.absorb(i);
+      actor_key.absorb(a);
+      if (!table->lookup(actor_key.key(), v)) return false;
+      out[i].actors[a].waiting_time = v.primary;
+      out[i].actors[a].response_time = v.secondary;
+    }
+  }
+  return true;
+}
+
+void store_wcrt(analysis::TranspositionTable* table, std::uint64_t fp,
+                const wcrt::WcrtOptions& opts,
+                std::span<const wcrt::AppBound> bounds) {
+  if (table == nullptr) return;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    analysis::TTKeyBuilder app_key(fp, analysis::TTQuery::WcrtAppBound);
+    app_key.absorb(static_cast<std::uint64_t>(opts.policy));
+    app_key.absorb(static_cast<std::uint64_t>(opts.tdma_slot));
+    app_key.absorb(i);
+    analysis::TTValue v;
+    v.primary = bounds[i].isolation_period;
+    v.secondary = bounds[i].worst_case_period;
+    table->store(app_key.key(), v);
+    for (std::size_t a = 0; a < bounds[i].actors.size(); ++a) {
+      analysis::TTKeyBuilder actor_key(fp, analysis::TTQuery::WcrtActorBound);
+      actor_key.absorb(static_cast<std::uint64_t>(opts.policy));
+      actor_key.absorb(static_cast<std::uint64_t>(opts.tdma_slot));
+      actor_key.absorb(i);
+      actor_key.absorb(a);
+      analysis::TTValue av;
+      av.primary = bounds[i].actors[a].waiting_time;
+      av.secondary = bounds[i].actors[a].response_time;
+      table->store(actor_key.key(), av);
+    }
+  }
+}
+
 }  // namespace
 
 Workbench::Workbench(platform::System sys, const WorkbenchOptions& opts)
-    : sys_(std::move(sys)), pool_(opts.threads) {
+    : sys_(std::move(sys)), table_(opts.table), pool_(opts.threads) {
   sys_.validate();
   engines_.reserve(sys_.app_count());
   for (const sdf::Graph& app : sys_.apps()) engines_.emplace_back(app);
@@ -108,8 +174,27 @@ Report<analysis::PeriodResult> Workbench::throughput(sdf::AppId app) {
   check_app(app);
   Timer timer;
   Report<analysis::PeriodResult> report;
+  analysis::TTKey key;
+  if (table_ != nullptr) {
+    key = analysis::TTKeyBuilder(sys_.app_component(app),
+                                 analysis::TTQuery::IsolationPeriod)
+              .key();
+    analysis::TTValue v;
+    if (table_->lookup(key, v)) {
+      report.value.deadlocked = (v.flags & analysis::TTValue::kDeadlocked) != 0;
+      report.value.period = v.primary;
+      report.provenance = {"hsdf-mcr (Howard, cached structure)", 1, 1, timer.ms()};
+      return report;
+    }
+  }
   engines_[app].reset();
   report.value = engines_[app].recompute();
+  if (table_ != nullptr) {
+    analysis::TTValue v;
+    v.primary = report.value.period;
+    v.flags = report.value.deadlocked ? analysis::TTValue::kDeadlocked : 0;
+    table_->store(key, v);
+  }
   report.provenance = {"hsdf-mcr (Howard, cached structure)", 1, 1, timer.ms()};
   return report;
 }
@@ -117,6 +202,20 @@ Report<analysis::PeriodResult> Workbench::throughput(sdf::AppId app) {
 Report<analysis::GraphLatencyResult> Workbench::latency(sdf::AppId app) {
   check_app(app);
   Timer timer;
+  analysis::TTKey key;
+  if (table_ != nullptr) {
+    key = analysis::TTKeyBuilder(sys_.app_component(app), analysis::TTQuery::Latency)
+              .key();
+    analysis::TTValue v;
+    if (table_->lookup(key, v)) {
+      Report<analysis::GraphLatencyResult> report;
+      report.value.latency = v.primary;
+      report.value.critical_actors.assign(v.ids, v.ids + v.id_count);
+      report.provenance = {"longest zero-token path (cached expansion)", 1, 1,
+                           timer.ms()};
+      return report;
+    }
+  }
   const analysis::Hsdf& h = cached_hsdf(app);
   const analysis::LatencyResult r = analysis::iteration_latency(h);
   Report<analysis::GraphLatencyResult> report;
@@ -129,6 +228,17 @@ Report<analysis::GraphLatencyResult> Workbench::latency(sdf::AppId app) {
       report.value.critical_actors.push_back(a);
     }
   }
+  if (table_ != nullptr &&
+      report.value.critical_actors.size() <= analysis::TTValue::kMaxIds) {
+    // Results whose critical-actor list does not fit the compact entry are
+    // simply not cached (never truncated).
+    analysis::TTValue v;
+    v.primary = report.value.latency;
+    v.id_count = static_cast<std::uint8_t>(report.value.critical_actors.size());
+    std::copy(report.value.critical_actors.begin(),
+              report.value.critical_actors.end(), v.ids);
+    table_->store(key, v);
+  }
   report.provenance = {"longest zero-token path (cached expansion)", 1, 1,
                        timer.ms()};
   return report;
@@ -137,6 +247,21 @@ Report<analysis::GraphLatencyResult> Workbench::latency(sdf::AppId app) {
 Report<analysis::BottleneckReport> Workbench::bottleneck(sdf::AppId app) {
   check_app(app);
   Timer timer;
+  analysis::TTKey key;
+  if (table_ != nullptr) {
+    key = analysis::TTKeyBuilder(sys_.app_component(app),
+                                 analysis::TTQuery::Bottleneck)
+              .key();
+    analysis::TTValue v;
+    if (table_->lookup(key, v)) {
+      Report<analysis::BottleneckReport> report;
+      report.value.deadlocked = (v.flags & analysis::TTValue::kDeadlocked) != 0;
+      report.value.period = v.primary;
+      report.value.actors.assign(v.ids, v.ids + v.id_count);
+      report.provenance = {"Howard policy-graph critical cycle", 1, 1, timer.ms()};
+      return report;
+    }
+  }
   const analysis::Hsdf& h = cached_hsdf(app);
   const analysis::CriticalCycleResult cc = analysis::mcr_with_critical_cycle(h);
   Report<analysis::BottleneckReport> report;
@@ -151,6 +276,14 @@ Report<analysis::BottleneckReport> Workbench::bottleneck(sdf::AppId app) {
     }
   }
   std::sort(report.value.actors.begin(), report.value.actors.end());
+  if (table_ != nullptr && report.value.actors.size() <= analysis::TTValue::kMaxIds) {
+    analysis::TTValue v;
+    v.primary = report.value.period;
+    v.flags = report.value.deadlocked ? analysis::TTValue::kDeadlocked : 0;
+    v.id_count = static_cast<std::uint8_t>(report.value.actors.size());
+    std::copy(report.value.actors.begin(), report.value.actors.end(), v.ids);
+    table_->store(key, v);
+  }
   report.provenance = {"Howard policy-graph critical cycle", 1, 1, timer.ms()};
   return report;
 }
@@ -160,7 +293,7 @@ Report<std::vector<dse::BufferPoint>> Workbench::buffer_frontier(
   check_app(app);
   Timer timer;
   Report<std::vector<dse::BufferPoint>> report;
-  report.value = dse::explore_buffer_tradeoff(sys_.app(app), opts);
+  report.value = dse::explore_buffer_tradeoff(sys_.app(app), opts, table_.get());
   report.provenance = {opts.incremental
                            ? "greedy frontier (incremental reverse-channel patch)"
                            : "greedy frontier (engine per candidate)",
@@ -237,10 +370,17 @@ const Report<std::span<const prob::AppEstimate>>& Workbench::contention_core(
 
 Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const wcrt::WcrtOptions& opts) {
   Timer timer;
-  auto ptrs = engines_for(engines_, sys_.full_use_case());
   Report<std::vector<wcrt::AppBound>> report;
+  // The full-system restriction is the identity remap, so its fingerprint
+  // is the system's own (maintained) one — no view needed to probe.
+  if (probe_wcrt(table_.get(), sys_.fingerprint(), opts, sys_, report.value)) {
+    report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
+    return report;
+  }
+  auto ptrs = engines_for(engines_, sys_.full_use_case());
   report.value = wcrt::worst_case_bounds(
       sys_, opts, std::span<analysis::ThroughputEngine* const>(ptrs));
+  store_wcrt(table_.get(), sys_.fingerprint(), opts, report.value);
   report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
   return report;
 }
@@ -249,10 +389,16 @@ Report<std::vector<wcrt::AppBound>> Workbench::wcrt(const platform::UseCase& uc,
                                                     const wcrt::WcrtOptions& opts) {
   Timer timer;
   const platform::SystemView view(sys_, uc);  // zero-copy restriction
-  auto ptrs = engines_for(engines_, uc);
   Report<std::vector<wcrt::AppBound>> report;
+  const std::uint64_t fp = table_ != nullptr ? view.fingerprint() : 0;
+  if (probe_wcrt(table_.get(), fp, opts, view, report.value)) {
+    report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
+    return report;
+  }
+  auto ptrs = engines_for(engines_, uc);
   report.value = wcrt::worst_case_bounds(
       view, opts, std::span<analysis::ThroughputEngine* const>(ptrs));
+  store_wcrt(table_.get(), fp, opts, report.value);
   report.provenance = {"Analyzed Worst Case", 1, 1, timer.ms()};
   return report;
 }
@@ -391,11 +537,31 @@ Report<std::vector<double>> Workbench::score_mappings(
   pool_.for_each_index(candidates.size(), [&](std::size_t i, std::size_t w) {
     dse::AnalysisWorkspace& ws = workers[w];
     ws.sys.set_mapping(candidates[i]);
+    // Transposition probe on the clone's live fingerprint (set_mapping
+    // keeps it current in O(1)); the key matches the mapper's MappingScore
+    // entries, so scores flow between score_mappings and optimise_mapping.
+    analysis::TTKey key;
+    if (table_ != nullptr) {
+      analysis::TTKeyBuilder b(ws.sys.fingerprint(),
+                               analysis::TTQuery::MappingScore);
+      dse::absorb_estimator_options(b, opts);
+      key = b.key();
+      analysis::TTValue v;
+      if (table_->lookup(key, v)) {
+        report.value[i] = v.primary;
+        return;
+      }
+    }
     auto ptrs = engines_for(ws.engines, full);
     double worst = 0.0;
     for (const auto& e : est.estimate(
              ws.sys, {}, std::span<analysis::ThroughputEngine* const>(ptrs))) {
       worst = std::max(worst, e.normalised_period());
+    }
+    if (table_ != nullptr) {
+      analysis::TTValue v;
+      v.primary = worst;
+      table_->store(key, v);
     }
     report.value[i] = worst;
   });
@@ -411,10 +577,14 @@ Report<dse::MapperResult> Workbench::optimise_mapping(const dse::MapperOptions& 
   // repeated mapper queries skip the per-call graph copies and engine
   // construction the free function pays.
   report.value = dse::optimise_mapping(sys_.apps(), sys_.platform(), sys_.mapping(),
-                                       opts, &pool_, worker_sets());
+                                       opts, &pool_, worker_sets(), table_.get());
   report.provenance = {"simulated annealing (speculative scoring)",
                        report.value.scored_candidates, pool_.size(), timer.ms()};
   return report;
+}
+
+analysis::TranspositionTable::Stats Workbench::transposition_stats() const {
+  return table_ != nullptr ? table_->stats() : analysis::TranspositionTable::Stats{};
 }
 
 }  // namespace procon::api

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "analysis/hsdf.h"
 #include "analysis/latency.h"
 #include "analysis/throughput.h"
+#include "analysis/transposition_table.h"
 #include "api/report.h"
 #include "dse/buffer_explorer.h"
 #include "dse/mapper.h"
@@ -57,6 +59,14 @@ struct WorkbenchOptions {
   /// Worker count for sharded queries (sweeps, mapper scoring). 0 = one per
   /// hardware thread. 1 = fully serial (no background threads at all).
   std::size_t threads = 0;
+  /// Optional shared transposition table memoising compact analysis results
+  /// (periods, latencies, bottleneck/WCRT summaries, mapping scores) under
+  /// this session's queries, keyed by the session system's Zobrist
+  /// fingerprints. Sessions over structurally identical systems sharing one
+  /// table share each other's results (fingerprints are name-free); every
+  /// query returns bitwise-identical values with or without a table.
+  /// nullptr disables memoisation.
+  std::shared_ptr<analysis::TranspositionTable> table = nullptr;
 };
 
 /// \brief Per-use-case results of a sweep.
@@ -269,6 +279,21 @@ class Workbench {
   [[nodiscard]] Report<dse::MapperResult> optimise_mapping(
       const dse::MapperOptions& opts = {});
 
+  // ---- introspection -------------------------------------------------------
+
+  /// Counter snapshot of the session's transposition table (all zeros when
+  /// the session was built without one). The table may be shared: counters
+  /// cover every session/controller attached to it, not just this one.
+  [[nodiscard]] analysis::TranspositionTable::Stats transposition_stats() const;
+
+  /// The session's transposition table (nullptr when memoisation is off) —
+  /// lets callers attach further consumers (e.g. an AdmissionController)
+  /// to the same table.
+  [[nodiscard]] const std::shared_ptr<analysis::TranspositionTable>&
+  transposition_table() const noexcept {
+    return table_;
+  }
+
  private:
   void check_app(sdf::AppId app) const;
   const analysis::Hsdf& cached_hsdf(sdf::AppId app);
@@ -294,6 +319,7 @@ class Workbench {
   std::vector<sim::SimEngine>& sim_worker_engines();
 
   platform::System sys_;
+  std::shared_ptr<analysis::TranspositionTable> table_;  // nullptr = off
   std::vector<analysis::ThroughputEngine> engines_;  // one per application
   std::vector<analysis::Hsdf> hsdf_;                 // lazy, for latency/bottleneck
   std::vector<std::uint8_t> hsdf_ready_;

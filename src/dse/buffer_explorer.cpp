@@ -7,6 +7,7 @@
 #include "analysis/engine.h"
 #include "analysis/howard.h"
 #include "analysis/hsdf.h"
+#include "sdf/zobrist.h"
 
 namespace procon::dse {
 namespace {
@@ -126,6 +127,12 @@ class BoundedPeriodEvaluator {
 
 std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
                                                  const BufferExplorerOptions& options) {
+  return explore_buffer_tradeoff(g, options, nullptr);
+}
+
+std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
+                                                 const BufferExplorerOptions& options,
+                                                 analysis::TranspositionTable* table) {
   // Hoisted once for the whole exploration: the self-loop closure and its
   // repetition vector. Bounding a channel appends a reverse "space" channel
   // whose rates are the forward rates swapped, so every bounded variant
@@ -165,8 +172,49 @@ std::vector<BufferPoint> explore_buffer_tradeoff(const sdf::Graph& g,
     };
   }
 
-  const double unbounded =
-      analysis::ThroughputEngine(closed, eng_opts).recompute().period;
+  if (table != nullptr) {
+    // Memoise per capacity vector: the bounded period is a pure function of
+    // (graph structure, caps) — the incremental evaluator's diff-patching
+    // tolerates skipped evaluations, since it patches against the caps it
+    // last *computed*, not the caps it was last asked about.
+    const std::uint64_t gcomp = sdf::ZobristHash::graph_component(g);
+    bounded_period = [table, gcomp, raw = std::move(bounded_period)](
+                         const std::vector<std::uint64_t>& caps) {
+      analysis::TTKeyBuilder b(gcomp, analysis::TTQuery::BufferPeriod);
+      b.absorb(caps.size());
+      for (const std::uint64_t c : caps) b.absorb(c);
+      const analysis::TTKey key = b.key();
+      analysis::TTValue v;
+      if (table->lookup(key, v)) return v.primary;
+      v.primary = raw(caps);
+      table->store(key, v);
+      return v.primary;
+    };
+  }
+
+  double unbounded = 0.0;
+  {
+    // The unbounded reference period, keyed on the *closed* graph's
+    // component so it never aliases entries computed from the open graph.
+    analysis::TTKey key;
+    analysis::TTValue v;
+    bool hit = false;
+    if (table != nullptr) {
+      analysis::TTKeyBuilder b(sdf::ZobristHash::graph_component(closed),
+                               analysis::TTQuery::IsolationPeriod);
+      key = b.key();
+      hit = table->lookup(key, v);
+    }
+    if (hit) {
+      unbounded = v.primary;
+    } else {
+      unbounded = analysis::ThroughputEngine(closed, eng_opts).recompute().period;
+      if (table != nullptr) {
+        v.primary = unbounded;
+        table->store(key, v);
+      }
+    }
+  }
   std::vector<std::uint64_t> caps = sdf::minimal_feasible_capacities(g);
 
   std::vector<BufferPoint> frontier;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/transposition_table.h"
 #include "sdf/graph.h"
 #include "sdf/transform.h"
 
@@ -50,5 +51,17 @@ struct BufferExplorerOptions {
 /// api::Workbench::buffer_frontier, same bits plus provenance.)
 [[nodiscard]] std::vector<BufferPoint> explore_buffer_tradeoff(
     const sdf::Graph& g, const BufferExplorerOptions& options = {});
+
+/// Table-backed variant: memoises the per-capacity-vector bounded period
+/// (and the unbounded reference period) in `table`, keyed by the graph's
+/// Zobrist component x the caps vector. The greedy walk re-evaluates
+/// neighbouring capacity vectors constantly — and repeated explorations of
+/// structurally identical graphs (e.g. across tenants) re-evaluate all of
+/// them — so warm walks skip the Howard solves entirely. Periods are
+/// stored bitwise; the frontier is identical with table == nullptr (which
+/// is exactly the two-argument overload).
+[[nodiscard]] std::vector<BufferPoint> explore_buffer_tradeoff(
+    const sdf::Graph& g, const BufferExplorerOptions& options,
+    analysis::TranspositionTable* table);
 
 }  // namespace procon::dse

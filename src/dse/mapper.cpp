@@ -40,7 +40,37 @@ util::Rng step_rng(std::uint64_t seed, std::size_t step) {
   return util::Rng(seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(step) + 1)));
 }
 
+/// Probes `table` for the score of `sys`'s current mapping; computes and
+/// stores it on a miss. With no table this is exactly score_system. The
+/// key roots at the system's live Zobrist fingerprint (maintained through
+/// set_mapping in O(1)), so structurally identical candidates — across
+/// steps, queries or sessions — resolve to the same entry.
+double scored_system(const platform::System& sys, const prob::ContentionEstimator& est,
+                     std::span<analysis::ThroughputEngine> engines,
+                     const prob::EstimatorOptions& opts,
+                     analysis::TranspositionTable* table) {
+  if (table == nullptr) return score_system(sys, est, engines);
+  analysis::TTKeyBuilder b(sys.fingerprint(), analysis::TTQuery::MappingScore);
+  absorb_estimator_options(b, opts);
+  const analysis::TTKey key = b.key();
+  analysis::TTValue v;
+  if (table->lookup(key, v)) return v.primary;
+  const double score = score_system(sys, est, engines);
+  v.primary = score;
+  table->store(key, v);
+  return score;
+}
+
 }  // namespace
+
+void absorb_estimator_options(analysis::TTKeyBuilder& builder,
+                              const prob::EstimatorOptions& options) noexcept {
+  builder.absorb(static_cast<std::uint64_t>(options.method));
+  builder.absorb(static_cast<std::uint64_t>(options.order));
+  builder.absorb(static_cast<std::uint64_t>(options.iterations));
+  builder.absorb(options.mc_trials);
+  builder.absorb(options.mc_seed);
+}
 
 double evaluate_mapping(std::span<const sdf::Graph> apps,
                         const platform::Platform& platform,
@@ -78,7 +108,8 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
                               const platform::Mapping& start,
                               const MapperOptions& options,
                               util::ThreadPool* pool,
-                              std::span<AnalysisWorkspace> workspaces) {
+                              std::span<AnalysisWorkspace> workspaces,
+                              analysis::TranspositionTable* table) {
   if (platform.node_count() < 2) {
     // Nothing to move; the start mapping is the only candidate.
     MapperResult r;
@@ -104,7 +135,8 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
   MapperResult result;
   result.mapping = start;
   state[0].sys.set_mapping(start);
-  result.score = score_system(state[0].sys, est, state[0].engines);
+  result.score = scored_system(state[0].sys, est, state[0].engines,
+                               options.estimator, table);
   result.initial_score = result.score;
   result.evaluations = 1;
   result.scored_candidates = 1;
@@ -162,7 +194,8 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
       platform::Mapping candidate = current;
       candidate.assign(batch[b].slot.app, batch[b].slot.actor, batch[b].new_node);
       ws.sys.set_mapping(candidate);
-      batch[b].score = score_system(ws.sys, est, ws.engines);
+      batch[b].score =
+          scored_system(ws.sys, est, ws.engines, options.estimator, table);
     };
     // The pool hands out worker ids up to its own size, so sharding needs a
     // workspace per pool worker; with fewer workspaces score serially.

@@ -23,12 +23,21 @@
 #include <vector>
 
 #include "analysis/engine.h"
+#include "analysis/transposition_table.h"
 #include "platform/system.h"
 #include "prob/estimator.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace procon::dse {
+
+/// Mixes every EstimatorOptions field into a transposition key. One shared
+/// definition for all mapping-score consumers (the mapper, Workbench
+/// score/optimise queries), so their MappingScore entries interoperate:
+/// the same (system fingerprint, estimator configuration) always builds
+/// the same key.
+void absorb_estimator_options(analysis::TTKeyBuilder& builder,
+                              const prob::EstimatorOptions& options) noexcept;
 
 struct MapperOptions {
   std::size_t iterations = 2000;   ///< annealing steps
@@ -90,11 +99,17 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
 /// (fewer fall back to serial scoring and also narrow the speculation
 /// width). The workspaces' mappings are overwritten. Results are identical
 /// to the building overload for any workspace count.
-[[nodiscard]] MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
-                                            const platform::Platform& platform,
-                                            const platform::Mapping& start,
-                                            const MapperOptions& options,
-                                            util::ThreadPool* pool,
-                                            std::span<AnalysisWorkspace> workspaces);
+///
+/// `table` (optional) memoises candidate scores keyed by the workspace
+/// system's live Zobrist fingerprint x the estimator configuration: a
+/// candidate mapping already scored — by this run, an earlier query, or
+/// another session sharing the table — skips the estimator entirely.
+/// Scores are stored bitwise, so the annealing trajectory (and result) is
+/// unchanged by the table; only the time per step varies.
+[[nodiscard]] MapperResult optimise_mapping(
+    std::span<const sdf::Graph> apps, const platform::Platform& platform,
+    const platform::Mapping& start, const MapperOptions& options,
+    util::ThreadPool* pool, std::span<AnalysisWorkspace> workspaces,
+    analysis::TranspositionTable* table = nullptr);
 
 }  // namespace procon::dse

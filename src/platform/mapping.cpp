@@ -7,10 +7,18 @@
 
 namespace procon::platform {
 
+namespace {
+using sdf::ZobristHash;
+}  // namespace
+
 Mapping::Mapping(std::span<const sdf::Graph> apps) {
   node_of_.reserve(apps.size());
+  row_comp_.reserve(apps.size());
   for (const sdf::Graph& g : apps) {
     node_of_.emplace_back(g.actor_count(), kInvalidNode);
+    row_comp_.push_back(ZobristHash::mapping_row_component(node_of_.back()));
+    fp_ ^= ZobristHash::place(ZobristHash::kMappingTag, node_of_.size() - 1,
+                              row_comp_.back());
   }
 }
 
@@ -18,16 +26,31 @@ void Mapping::assign(sdf::AppId app, sdf::ActorId actor, NodeId node) {
   if (app >= node_of_.size() || actor >= node_of_[app].size()) {
     throw std::out_of_range("Mapping::assign: invalid actor");
   }
-  node_of_[app][actor] = node;
+  NodeId& slot = node_of_[app][actor];
+  if (slot != node) {
+    // O(1) fingerprint maintenance: swap the row's old placed component for
+    // the new one, and the actor's old feature for the new inside the row.
+    fp_ ^= ZobristHash::place(ZobristHash::kMappingTag, app, row_comp_[app]);
+    row_comp_[app] ^= ZobristHash::mapping_feature(actor, slot) ^
+                      ZobristHash::mapping_feature(actor, node);
+    fp_ ^= ZobristHash::place(ZobristHash::kMappingTag, app, row_comp_[app]);
+    slot = node;
+  }
 }
 
 void Mapping::push_app(std::span<const NodeId> nodes) {
   node_of_.emplace_back(nodes.begin(), nodes.end());
+  row_comp_.push_back(ZobristHash::mapping_row_component(nodes));
+  fp_ ^= ZobristHash::place(ZobristHash::kMappingTag, node_of_.size() - 1,
+                            row_comp_.back());
 }
 
 void Mapping::pop_app() {
   if (node_of_.empty()) throw std::out_of_range("Mapping::pop_app: no applications");
+  fp_ ^= ZobristHash::place(ZobristHash::kMappingTag, node_of_.size() - 1,
+                            row_comp_.back());
   node_of_.pop_back();
+  row_comp_.pop_back();
 }
 
 NodeId Mapping::node_of(sdf::AppId app, sdf::ActorId actor) const {

@@ -7,11 +7,13 @@
 // for design-space exploration.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "platform/platform.h"
 #include "sdf/graph.h"
+#include "sdf/zobrist.h"
 #include "util/rng.h"
 
 namespace procon::platform {
@@ -64,8 +66,25 @@ class Mapping {
   static Mapping load_balanced(std::span<const sdf::Graph> apps,
                                const Platform& platform);
 
+  /// Live Zobrist fingerprint of the whole mapping:
+  /// XOR_i place(kMappingTag, i, row_component(i)). Maintained incrementally
+  /// by assign/push_app/pop_app in O(delta), never recomputed from scratch
+  /// after construction. Name-free (mappings carry no names anyway); two
+  /// mappings with identical rows fingerprint equal.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fp_; }
+
+  /// Slot-free Zobrist component of application `app`'s row (XOR of
+  /// mapping features; see sdf::ZobristHash::mapping_row_component).
+  /// SystemView re-places these at view slots to derive use-case
+  /// fingerprints without rehashing. Throws std::out_of_range on a bad app.
+  [[nodiscard]] std::uint64_t row_component(sdf::AppId app) const {
+    return row_comp_.at(app);
+  }
+
  private:
   std::vector<std::vector<NodeId>> node_of_;  // [app][actor]
+  std::vector<std::uint64_t> row_comp_;       // slot-free per-row components
+  std::uint64_t fp_ = 0;                      // XOR of placed row components
 };
 
 }  // namespace procon::platform

@@ -6,16 +6,44 @@
 
 #include "sdf/algorithms.h"
 #include "sdf/repetition.h"
+#include "sdf/zobrist.h"
 
 namespace procon::platform {
 
+namespace {
+using sdf::ZobristHash;
+
+std::uint64_t placed_platform_component(const Platform& p) noexcept {
+  std::uint64_t comp = 0;
+  for (NodeId n = 0; n < p.node_count(); ++n) {
+    comp ^= ZobristHash::node_feature(n, p.node(n).type);
+  }
+  return ZobristHash::place(ZobristHash::kPlatformTag, 0, comp);
+}
+}  // namespace
+
+System::System() : System({}, Platform{}, Mapping{}) {}
+
+// The constructor is the from-scratch fingerprint computation — the oracle
+// every incremental update (set_mapping/append_app/pop_app) is tested
+// against. Mapping maintains its own fingerprint, so only the platform and
+// per-app graph components are hashed here.
 System::System(std::vector<sdf::Graph> apps, Platform platform, Mapping mapping)
-    : apps_(std::move(apps)), platform_(std::move(platform)), mapping_(std::move(mapping)) {}
+    : apps_(std::move(apps)), platform_(std::move(platform)), mapping_(std::move(mapping)) {
+  platform_placed_ = placed_platform_component(platform_);
+  app_comp_.reserve(apps_.size());
+  for (sdf::AppId i = 0; i < apps_.size(); ++i) {
+    app_comp_.push_back(ZobristHash::graph_component(apps_[i]));
+    apps_fp_ ^= ZobristHash::place(ZobristHash::kAppTag, i, app_comp_.back());
+  }
+}
 
 void System::set_mapping(Mapping mapping) {
   if (mapping.app_count() != apps_.size()) {
     throw sdf::GraphError("System::set_mapping: mapping/application count mismatch");
   }
+  // The incoming Mapping carries its own live fingerprint, so the system
+  // fingerprint (which XORs it in on read) needs no extra work here.
   mapping_ = std::move(mapping);
 }
 
@@ -34,11 +62,18 @@ void System::append_app(sdf::Graph app, std::span<const NodeId> nodes) {
   }
   apps_.push_back(std::move(app));
   mapping_.push_app(nodes);
+  // O(new app) fingerprint delta: hash only the appended graph.
+  app_comp_.push_back(ZobristHash::graph_component(apps_.back()));
+  apps_fp_ ^= ZobristHash::place(ZobristHash::kAppTag, apps_.size() - 1,
+                                 app_comp_.back());
 }
 
 void System::pop_app() {
   if (apps_.empty()) throw std::out_of_range("System::pop_app: no applications");
+  apps_fp_ ^= ZobristHash::place(ZobristHash::kAppTag, apps_.size() - 1,
+                                 app_comp_.back());
   apps_.pop_back();
+  app_comp_.pop_back();
   mapping_.pop_app();
 }
 

@@ -3,6 +3,7 @@
 // applications that run concurrently (the paper's central notion).
 #pragma once
 
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -18,7 +19,8 @@ using UseCase = std::vector<sdf::AppId>;
 
 class System {
  public:
-  System() = default;
+  /// Empty system (fingerprint-consistent with System({}, {}, {})).
+  System();
   System(std::vector<sdf::Graph> apps, Platform platform, Mapping mapping);
 
   [[nodiscard]] std::span<const sdf::Graph> apps() const noexcept { return apps_; }
@@ -63,10 +65,41 @@ class System {
   /// Throws sdf::GraphError with a descriptive message on violation.
   void validate() const;
 
+  /// Live Zobrist fingerprint of the whole system:
+  ///   place(kPlatformTag, 0, platform component)
+  ///   ^ XOR_i place(kAppTag, i, app_component(i))
+  ///   ^ mapping().fingerprint().
+  /// Computed once in the constructor (the from-scratch oracle) and
+  /// XOR-updated in O(delta) by set_mapping/append_app/pop_app. Name-free:
+  /// structurally identical systems under different names fingerprint
+  /// equal, which is what lets transposition entries be shared across
+  /// tenants. Exact-identity caches must still tie-break with a structural
+  /// comparison that includes names.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return platform_placed_ ^ apps_fp_ ^ mapping_.fingerprint();
+  }
+
+  /// Slot-free Zobrist component of application `id`'s graph (cached at
+  /// append time; see sdf::ZobristHash::graph_component). SystemView
+  /// re-places these at view slots to derive per-use-case fingerprints in
+  /// O(use-case size). Throws std::out_of_range on a bad id.
+  [[nodiscard]] std::uint64_t app_component(sdf::AppId id) const {
+    return app_comp_.at(id);
+  }
+
+  /// The platform's placed Zobrist term (slot 0 under kPlatformTag) —
+  /// restriction never changes the platform, so views reuse it verbatim.
+  [[nodiscard]] std::uint64_t platform_fingerprint() const noexcept {
+    return platform_placed_;
+  }
+
  private:
   std::vector<sdf::Graph> apps_;
   Platform platform_;
   Mapping mapping_;
+  std::vector<std::uint64_t> app_comp_;  // slot-free per-app graph components
+  std::uint64_t apps_fp_ = 0;            // XOR of placed app components
+  std::uint64_t platform_placed_ = 0;    // placed platform component
 };
 
 }  // namespace procon::platform

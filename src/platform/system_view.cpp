@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sdf/algorithms.h"
+#include "sdf/zobrist.h"
 
 namespace procon::platform {
 
@@ -45,6 +46,22 @@ void SystemView::rebind(const System& sys, std::span<const sdf::AppId> use_case)
   }
   actor_base_.push_back(actors);
   channel_base_.push_back(channels);
+}
+
+std::uint64_t SystemView::fingerprint() const {
+  // Re-place the parent's cached slot-free components at view slots —
+  // bitwise what materialise()'s System constructor would compute, at O(1)
+  // per selected application and with no allocation. Reads the mapping row
+  // components live, so parent set_mapping rebinds are reflected.
+  std::uint64_t fp = sys_->platform_fingerprint();
+  for (sdf::AppId view_app = 0; view_app < uc_.size(); ++view_app) {
+    const sdf::AppId id = uc_[view_app];
+    fp ^= sdf::ZobristHash::place(sdf::ZobristHash::kAppTag, view_app,
+                                  sys_->app_component(id)) ^
+          sdf::ZobristHash::place(sdf::ZobristHash::kMappingTag, view_app,
+                                  sys_->mapping().row_component(id));
+  }
+  return fp;
 }
 
 sdf::AppId SystemView::app_of_actor(std::uint32_t flat) const {

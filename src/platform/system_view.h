@@ -103,6 +103,17 @@ class SystemView {
   /// View application owning flat actor id `flat` (binary search).
   [[nodiscard]] sdf::AppId app_of_actor(std::uint32_t flat) const;
 
+  /// Zobrist fingerprint of the restriction, bitwise equal to
+  /// materialise().fingerprint() — derived on demand from the parent's
+  /// cached per-app components re-placed at view slots, in O(use-case
+  /// size) instead of O(selected structure) and without allocating.
+  /// Computed per call (not cached) so mapping rebinds on the parent
+  /// (System::set_mapping), which are visible through the view by design,
+  /// are reflected. Like the System fingerprint it is name-free, so
+  /// structurally identical use-cases of different tenants fingerprint
+  /// equal (the transposition-sharing hook).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   /// Deep copy: a standalone System equal to what restrict_to returns
   /// (graphs in view order, mapping rows remapped).
   [[nodiscard]] System materialise() const;

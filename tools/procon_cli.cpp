@@ -26,7 +26,8 @@
 //       graphs as two tenant systems, hammer them from N client threads
 //       with mixed ticketed queries, verify every result against a serial
 //       Workbench oracle, then stream a sink-based use-case sweep. Prints
-//       the service counters (coalesce hits, sessions built/evicted).
+//       the service counters (coalesce hits, sessions built/evicted) and a
+//       tt-stats line for the shared transposition table.
 //   buffers <file>
 //       Buffer-capacity / period Pareto frontier per graph (incremental
 //       explorer).
@@ -42,6 +43,7 @@
 #include <vector>
 
 #include "analysis/throughput.h"
+#include "analysis/transposition_table.h"
 #include "api/service.h"
 #include "api/workbench.h"
 #include "gen/graph_generator.h"
@@ -396,6 +398,15 @@ int cmd_serve(int argc, char** argv) {
   table.add_row({"sessions evicted", std::to_string(stats.sessions_evicted)});
   table.add_row({"live sessions", std::to_string(service.session_count())});
   std::cout << table.render();
+
+  // Shared transposition table: one line so an operator can see at a glance
+  // whether cross-tenant memoisation is doing any work.
+  const analysis::TranspositionTable::Stats tt = service.transposition_stats();
+  std::cout << "[tt-stats: " << tt.hits << " hit(s), " << tt.misses
+            << " miss(es), hit-rate "
+            << util::format_double(100.0 * tt.hit_rate(), 1) << "%, "
+            << tt.evictions << " eviction(s), " << tt.verify_failures
+            << " verify failure(s)]\n";
 
   // Streaming sweep: per-use-case views delivered to a sink, first 8 rows.
   util::Rng rng(2007);
