@@ -1,0 +1,300 @@
+// The net:: cluster tier under load: queries/sec scaling from 1 to 4
+// analysis shards, and tail latency under a skewed (zipfian) tenant mix —
+// the PR-over-PR tracker for the distributed front door.
+//
+// Workload: 8 tenant systems (3 generated applications each) spread over
+// in-process loopback AnalysisServers by fingerprint routing. Client
+// threads draw tenants from a zipf(1) distribution — a few tenants take
+// most of the traffic, as a real multi-tenant service sees — and rotate
+// through Contention / Wcrt / Throughput queries.
+//
+// Three measurements:
+//
+//  1. queries/sec vs shard count (1, 2, 4): every shard's resident service
+//     is pinned to 2 worker threads (a fixed-core "machine"), and the
+//     timed queries are unique-seed stochastic simulations — no two
+//     coalesce and none hits the result cache, so the fleet's aggregate
+//     compute is the bottleneck and shards scale it. Tenants are drawn
+//     uniformly here: queries of ONE tenant serialise on its session's
+//     FIFO by design (determinism), so a zipfian head tenant would cap
+//     aggregate q/s at its own serial rate no matter the shard count.
+//     The JSON records hardware_threads alongside: shards only scale
+//     q/s when the machine has cores to back them (on a 1-core runner
+//     every fleet size shares the same CPU and the curve is flat — the
+//     identity claim is what that configuration still proves).
+//
+//  2. tail latency (p50 / p95 / p99) of synchronous routed queries on the
+//     4-shard fleet under the zipfian mix, over the hot serving path
+//     (repeated queries, served from the shards' result arenas).
+//
+//  3. bitwise identity: EVERY routed result's value payload (provenance
+//     excluded — wall time is not a result) is compared against a direct
+//     in-process AnalysisService oracle. The 4-shard run additionally
+//     starts as a 2-shard fleet and grows mid-run, so the identity claim
+//     covers a non-trivial migration history too. `identical` in the JSON
+//     is the AND over every comparison in every configuration.
+//
+// Emits BENCH_cluster.json; CI smoke-runs it and gates releases on
+// `identical`.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "gen/graph_generator.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace procon;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kTenants = 8;
+constexpr std::size_t kClients = 4;
+constexpr std::size_t kQueriesPerConfig = 256;
+constexpr std::size_t kLatencyQueries = 256;
+
+platform::System random_system(std::uint64_t seed, std::size_t apps) {
+  util::Rng rng(seed);
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 3;
+  gopts.max_actors = 6;
+  auto graphs = gen::generate_graphs(rng, gopts, apps);
+  std::size_t max_actors = 0;
+  for (const auto& g : graphs) {
+    max_actors = std::max(max_actors, g.actor_count());
+  }
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(graphs, plat);
+  return platform::System(std::move(graphs), std::move(plat), std::move(map));
+}
+
+/// Zipf(1) over kTenants ranks: tenant r drawn with weight 1/(r+1).
+std::size_t zipf_tenant(util::Rng& rng) {
+  static const std::vector<double> cdf = [] {
+    std::vector<double> c;
+    double total = 0.0;
+    for (std::size_t r = 0; r < kTenants; ++r) total += 1.0 / double(r + 1);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < kTenants; ++r) {
+      acc += 1.0 / double(r + 1) / total;
+      c.push_back(acc);
+    }
+    return c;
+  }();
+  const double u = rng.uniform01();
+  return static_cast<std::size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+api::QueryDesc desc_for(std::size_t k) {
+  api::QueryDesc d;
+  switch (k % 3) {
+    case 0: d.kind = api::QueryKind::Contention; break;
+    case 1: d.kind = api::QueryKind::Wcrt; break;
+    default: d.kind = api::QueryKind::Throughput; break;
+  }
+  return d;
+}
+
+/// A unique compute-bound query: a stochastic simulation whose sample seed
+/// no other query shares, so it can neither coalesce nor hit the result
+/// cache — it must execute on its home shard.
+api::QueryDesc sim_desc(std::uint64_t sample_seed) {
+  api::QueryDesc d;
+  d.kind = api::QueryKind::Simulate;
+  d.sim.horizon = 300'000;
+  d.sim.sample_seed = sample_seed;
+  return d;
+}
+
+std::vector<std::uint8_t> payload_bytes(const api::QueryValue& v) {
+  net::WireWriter w;
+  net::encode_query_payload(w, v);
+  return w.take();
+}
+
+}  // namespace
+
+int main(int, char**) {
+  const std::uint64_t seed = 2007;
+
+  std::vector<platform::System> systems;
+  systems.reserve(kTenants);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    systems.push_back(random_system(seed + t, 3));
+  }
+
+  // The oracle: one direct in-process service, and the expected payload
+  // bytes per (tenant, query-kind) — the routed fleet must reproduce these
+  // for any shard count, client count, and migration history.
+  api::AnalysisService oracle(api::ServiceOptions{});
+  std::vector<api::SystemId> oracle_ids;
+  for (const auto& sys : systems) {
+    oracle_ids.push_back(oracle.register_system(sys));
+  }
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::uint8_t>>
+      expected;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      expected[{t, k}] =
+          payload_bytes(oracle.submit(oracle_ids[t], desc_for(k)).get());
+    }
+  }
+
+  bool identical = true;
+  std::size_t migrated = 0;
+
+  // ---- 1. queries/sec vs shard count --------------------------------------
+  std::map<std::size_t, double> qps;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<std::unique_ptr<net::AnalysisServer>> fleet;
+    std::vector<std::string> endpoints;
+    for (std::size_t s = 0; s < shards; ++s) {
+      net::ServerOptions sopts;
+      sopts.service.threads = 2;  // a fixed-core "machine" per shard
+      fleet.push_back(std::make_unique<net::AnalysisServer>(sopts));
+      endpoints.push_back(":" + std::to_string(fleet.back()->port()));
+    }
+    // The 4-shard fleet starts at half size and grows mid-run: the
+    // identity numbers below therefore cover tenant migration.
+    const bool grow = shards == 4;
+    std::vector<std::string> initial = endpoints;
+    if (grow) initial.resize(2);
+    net::ClusterClient cluster(net::ClusterOptions{.endpoints = initial});
+    std::vector<net::TenantId> ids;
+    for (const auto& sys : systems) {
+      ids.push_back(cluster.register_system(sys));
+    }
+
+    // Warm every (tenant, kind) once so the timed window measures the
+    // serving path, not cold session construction.
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        identical = identical &&
+                    payload_bytes(cluster.query(ids[t], desc_for(k))) ==
+                        expected[{t, k}];
+      }
+    }
+    if (grow) migrated = cluster.set_endpoints(endpoints);
+
+    // Timed window: unique-seed simulations, pipelined in windows of 16.
+    // Each worker records (tenant, seed, payload) so identity can be
+    // verified against the oracle after the clock stops.
+    struct Routed {
+      std::size_t tenant;
+      std::uint64_t sample_seed;
+      std::vector<std::uint8_t> payload;
+    };
+    std::vector<std::vector<Routed>> routed(kClients);
+    std::vector<char> worker_ok(kClients, 1);
+    const auto t0 = Clock::now();
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      workers.emplace_back([&, c] {
+        util::Rng rng(seed * 31 + shards * 7 + c);
+        const std::size_t total = kQueriesPerConfig / kClients;
+        std::size_t done = 0;
+        while (done < total) {
+          const std::size_t batch = std::min<std::size_t>(16, total - done);
+          std::vector<net::PendingQuery> pending;
+          pending.reserve(batch);
+          for (std::size_t i = 0; i < batch; ++i) {
+            const std::size_t tenant = static_cast<std::size_t>(
+                rng.uniform_int(0, kTenants - 1));
+            // Globally unique: (shards, client, index) never repeats.
+            const std::uint64_t s_seed =
+                shards * 1'000'000 + c * 100'000 + done + i;
+            routed[c].push_back(Routed{tenant, s_seed, {}});
+            pending.push_back(cluster.submit(ids[tenant], sim_desc(s_seed)));
+          }
+          for (std::size_t i = 0; i < batch; ++i) {
+            routed[c][done + i].payload =
+                payload_bytes(cluster.await(pending[i]));
+          }
+          done += batch;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    qps[shards] = double(kQueriesPerConfig) / secs;
+
+    // Untimed identity pass: replay every routed query on the oracle.
+    for (std::size_t c = 0; c < kClients; ++c) {
+      for (const Routed& q : routed[c]) {
+        const auto direct = payload_bytes(
+            oracle.submit(oracle_ids[q.tenant], sim_desc(q.sample_seed))
+                .get());
+        if (q.payload != direct) worker_ok[c] = 0;
+      }
+    }
+    for (const char ok : worker_ok) identical = identical && ok != 0;
+
+    // ---- 2. tail latency on the grown (post-migration) 4-shard fleet ----
+    if (grow) {
+      std::vector<std::vector<double>> lat_us(kClients);
+      std::vector<std::thread> probes;
+      for (std::size_t c = 0; c < kClients; ++c) {
+        probes.emplace_back([&, c] {
+          util::Rng rng(seed * 77 + c);
+          for (std::size_t k = 0; k < kLatencyQueries / kClients; ++k) {
+            const std::size_t tenant = zipf_tenant(rng);
+            const std::size_t kind = k % 3;
+            const auto q0 = Clock::now();
+            const api::QueryValue v = cluster.query(ids[tenant], desc_for(kind));
+            lat_us[c].push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                    .count());
+            if (payload_bytes(v) != expected[{tenant, kind}]) {
+              worker_ok[c] = 0;
+            }
+          }
+        });
+      }
+      for (auto& p : probes) p.join();
+      for (const char ok : worker_ok) identical = identical && ok != 0;
+      std::vector<double> all;
+      for (const auto& l : lat_us) all.insert(all.end(), l.begin(), l.end());
+      std::sort(all.begin(), all.end());
+      const auto pct = [&](double p) {
+        return all[std::min(all.size() - 1,
+                            static_cast<std::size_t>(p * double(all.size())))];
+      };
+      char json[768];
+      std::snprintf(
+          json, sizeof(json),
+          "{\"bench\":\"cluster\",\"seed\":%llu,\"tenants\":%zu,"
+          "\"clients\":%zu,\"queries_per_config\":%zu,"
+          "\"hardware_threads\":%u,"
+          "\"qps_shards_1\":%.0f,\"qps_shards_2\":%.0f,\"qps_shards_4\":%.0f,"
+          "\"zipf_p50_us\":%.1f,\"zipf_p95_us\":%.1f,\"zipf_p99_us\":%.1f,"
+          "\"migrated_tenants\":%zu,\"identical\":%s}",
+          static_cast<unsigned long long>(seed), kTenants, kClients,
+          kQueriesPerConfig, std::thread::hardware_concurrency(), qps[1],
+          qps[2], qps[4], pct(0.50), pct(0.95), pct(0.99), migrated,
+          identical ? "true" : "false");
+      std::cout << json << "\n";
+      std::ofstream out("BENCH_cluster.json");
+      out << json << "\n";
+    }
+  }
+
+  if (!identical) {
+    std::cerr << "FAIL: routed results diverged from the direct "
+                 "AnalysisService oracle\n";
+    return 1;
+  }
+  return 0;
+}

@@ -180,11 +180,17 @@ int main(int argc, char** argv) {
     }
     for (auto& t : threads) t.join();
     const auto stats = service.stats();
-    coalesce_rate = stats.submitted > 0
-                        ? static_cast<double>(stats.coalesced) /
-                              static_cast<double>(stats.submitted)
-                        : 0.0;
-    identical = identical && stats.submitted == stats.executed + stats.coalesced;
+    // Shared rate: submits served without a fresh execution, whether by
+    // attaching to an in-flight twin or from the completed-result arena
+    // (the result cache now absorbs what pure coalescing used to race for).
+    coalesce_rate =
+        stats.submitted > 0
+            ? static_cast<double>(stats.coalesced + stats.result_hits) /
+                  static_cast<double>(stats.submitted)
+            : 0.0;
+    identical = identical && stats.submitted == stats.executed +
+                                                    stats.coalesced +
+                                                    stats.result_hits;
   }
 
   char json[1024];

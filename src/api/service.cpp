@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "sdf/algorithms.h"
 
@@ -42,10 +43,38 @@ void append_double(std::string& key, double v) {
   append_u64(key, bits);
 }
 
+/// 128-bit content hash accumulator for coalescing keys of payloads too
+/// large to spell out (stochastic exec-time models). Two independently
+/// seeded splitmix64 chains, same collision standard as the transposition
+/// table's primary+verify pair: a wrong coalesce requires a simultaneous
+/// 128-bit collision.
+struct ContentHash {
+  std::uint64_t a = 0x9E3779B97F4A7C15ull;
+  std::uint64_t b = 0xD1B54A32D192ED03ull;
+
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+  void absorb(std::uint64_t v) noexcept {
+    a = mix(a ^ v);
+    b = mix(b + (v ^ 0xA5A5A5A5A5A5A5A5ull));
+  }
+  void absorb_double(double v) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    absorb(bits);
+  }
+};
+
 }  // namespace
 
 AnalysisService::AnalysisService(const ServiceOptions& opts)
-    : session_capacity_(std::max<std::size_t>(opts.session_capacity, 1)),
+    : result_cache_epochs_(opts.result_cache_epochs),
+      result_cache_stride_(std::max<std::size_t>(opts.result_cache_stride, 1)),
+      session_capacity_(std::max<std::size_t>(opts.session_capacity, 1)),
       session_threads_(opts.session_threads),
       table_(opts.transposition_capacity > 0
                  ? std::make_shared<analysis::TranspositionTable>(
@@ -103,62 +132,124 @@ analysis::TranspositionTable::Stats AnalysisService::transposition_stats() const
   return table_ ? table_->stats() : analysis::TranspositionTable::Stats{};
 }
 
-AnalysisService::Session& AnalysisService::session_for(SystemId id) {
+AnalysisService::Session* AnalysisService::find_serial(
+    std::uint64_t serial) noexcept {
+  for (auto& s : sessions_) {
+    if (s->serial == serial) return s.get();
+  }
+  return nullptr;
+}
+
+AnalysisService::Session& AnalysisService::session_for(
+    std::unique_lock<std::mutex>& lock, SystemId id) {
   Registration& reg = registrations_.at(id);
 
-  // Hot path: the session this tenant resolved to last time, matched by
-  // its never-reused serial — no structural comparison at all.
-  for (auto& s : sessions_) {
-    if (reg.resolved_serial != 0 && s->serial == reg.resolved_serial) {
-      s->last_used = ++clock_;
-      return *s;
-    }
-  }
+  for (;;) {
+    Session* found = nullptr;
 
-  // Shared hit: any live session built from a bitwise-identical system
-  // serves this tenant (fingerprint first, exact equality as tie-breaker).
-  for (auto& s : sessions_) {
-    if (s->fingerprint == reg.fingerprint &&
-        systems_equal(s->bench->system(), reg.system)) {
-      s->last_used = ++clock_;
-      reg.resolved_serial = s->serial;
-      return *s;
-    }
-  }
+    // Hot path: the session this tenant resolved to last time, matched by
+    // its never-reused serial — no structural comparison at all.
+    if (reg.resolved_serial != 0) found = find_serial(reg.resolved_serial);
 
-  // Miss: evict idle least-recently-used sessions down to capacity. Busy,
-  // queued or pinned sessions are never evicted (their addresses are live
-  // in workers); if everything is busy the store temporarily overflows and
-  // is trimmed by a later miss.
-  while (sessions_.size() >= session_capacity_) {
-    std::size_t victim = sessions_.size();
-    for (std::size_t i = 0; i < sessions_.size(); ++i) {
-      const Session& s = *sessions_[i];
-      if (s.busy || s.pins > 0 || !s.queue.empty()) continue;
-      if (victim == sessions_.size() ||
-          s.last_used < sessions_[victim]->last_used) {
-        victim = i;
+    // Shared hit: any live session (being) built from a bitwise-identical
+    // system serves this tenant (fingerprint first, exact equality as
+    // tie-breaker against the session's origin registration — constructing
+    // placeholders have no Workbench yet but always have an origin).
+    if (found == nullptr) {
+      for (auto& s : sessions_) {
+        if (s->fingerprint == reg.fingerprint &&
+            systems_equal(*s->origin, reg.system)) {
+          found = s.get();
+          break;
+        }
       }
     }
-    if (victim == sessions_.size()) break;  // everything busy: overflow
-    sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(victim));
-    ++stats_.sessions_evicted;
-  }
 
-  // Build the session from the resident registration. Rebuilds after
-  // eviction are identical by construction: a Workbench is a pure function
-  // of its System, and queries never depend on session history.
-  auto fresh = std::make_unique<Session>();
-  fresh->serial = ++session_serial_;
-  fresh->fingerprint = reg.fingerprint;
-  fresh->bench = std::make_unique<Workbench>(
-      reg.system,
-      WorkbenchOptions{.threads = session_threads_, .table = table_});
-  fresh->last_used = ++clock_;
-  reg.resolved_serial = fresh->serial;
-  ++stats_.sessions_built;
-  sessions_.push_back(std::move(fresh));
-  return *sessions_.back();
+    if (found != nullptr) {
+      if (!found->constructing) {
+        found->last_used = ++clock_;
+        reg.resolved_serial = found->serial;
+        return *found;
+      }
+      // Another resolver is building this structure's Workbench outside
+      // the lock. Wait for it instead of building a duplicate; re-find by
+      // serial on every wake — the build may have failed and erased the
+      // placeholder, in which case we retry from scratch.
+      const std::uint64_t serial = found->serial;
+      construct_cv_.wait(lock, [&] {
+        Session* s = find_serial(serial);
+        return s == nullptr || !s->constructing;
+      });
+      continue;
+    }
+
+    // Miss: evict idle least-recently-used sessions down to capacity.
+    // Busy, queued, pinned or constructing sessions are never evicted
+    // (their addresses are live in workers/builders); if everything is
+    // busy the store temporarily overflows and is trimmed by a later miss.
+    while (sessions_.size() >= session_capacity_) {
+      std::size_t victim = sessions_.size();
+      for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        const Session& s = *sessions_[i];
+        if (s.busy || s.pins > 0 || s.constructing || !s.queue.empty()) continue;
+        if (victim == sessions_.size() ||
+            s.last_used < sessions_[victim]->last_used) {
+          victim = i;
+        }
+      }
+      if (victim == sessions_.size()) break;  // everything busy: overflow
+      sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(victim));
+      ++stats_.sessions_evicted;
+    }
+
+    // Cold build, latched: publish a constructing placeholder, then build
+    // the Workbench with the service lock RELEASED — hot tenants' submits
+    // proceed concurrently instead of stalling behind a cold tenant's
+    // session construction. Rebuilds after eviction are identical by
+    // construction: a Workbench is a pure function of its System, and
+    // queries never depend on session history.
+    auto placeholder = std::make_unique<Session>();
+    const std::uint64_t serial = ++session_serial_;
+    placeholder->serial = serial;
+    placeholder->fingerprint = reg.fingerprint;
+    placeholder->origin = &reg.system;
+    placeholder->constructing = true;
+    placeholder->last_used = ++clock_;
+    sessions_.push_back(std::move(placeholder));
+
+    lock.unlock();
+    std::unique_ptr<Workbench> bench;
+    try {
+      bench = std::make_unique<Workbench>(
+          reg.system,
+          WorkbenchOptions{.threads = session_threads_, .table = table_});
+    } catch (...) {
+      lock.lock();
+      Session* mine = find_serial(serial);
+      if (mine != nullptr) {
+        for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+          if (it->get() == mine) {
+            sessions_.erase(it);
+            break;
+          }
+        }
+      }
+      construct_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+
+    // The placeholder cannot have been evicted (constructing sessions are
+    // skipped above), so the re-find always succeeds.
+    Session* mine = find_serial(serial);
+    mine->bench = std::move(bench);
+    mine->constructing = false;
+    mine->last_used = ++clock_;
+    reg.resolved_serial = serial;
+    ++stats_.sessions_built;
+    construct_cv_.notify_all();
+    return *mine;
+  }
 }
 
 std::string AnalysisService::coalesce_key(std::uint64_t serial,
@@ -193,9 +284,27 @@ std::string AnalysisService::coalesce_key(std::uint64_t serial,
       append_u64(key, static_cast<std::uint64_t>(d.wcrt.tdma_slot));
       break;
     case QueryKind::Simulate:
-      // Stochastic execution-time models cannot be keyed cheaply; such
-      // queries simply never coalesce.
-      if (!d.sim.exec_models.empty()) return {};
+      // Stochastic execution-time models are too large to spell into the
+      // key; absorb their full content (outcome values + weights bitwise)
+      // into a 128-bit hash instead. Simulation is deterministic given
+      // sample_seed, so content-equal models coalescing is exact up to a
+      // 128-bit collision — the transposition table's standard.
+      if (!d.sim.exec_models.empty()) {
+        ContentHash h;
+        h.absorb(d.sim.exec_models.size());
+        for (const sdf::ExecTimeModel& m : d.sim.exec_models) {
+          h.absorb(m.size());
+          for (const sdf::ExecTimeDistribution& dist : m) {
+            h.absorb(dist.outcomes().size());
+            for (const auto& o : dist.outcomes()) {
+              h.absorb(static_cast<std::uint64_t>(o.value));
+              h.absorb_double(o.weight);
+            }
+          }
+        }
+        append_u64(key, h.a);
+        append_u64(key, h.b);
+      }
       for (const sdf::AppId a : d.use_case) append_u64(key, a);
       append_u64(key, static_cast<std::uint64_t>(d.sim.horizon));
       append_u64(key, static_cast<std::uint64_t>(d.sim.arbitration));
@@ -236,8 +345,8 @@ QueryTicket AnalysisService::submit(SystemId id, QueryDesc desc) {
   std::shared_ptr<detail::TicketShared<QueryValue>> state;
   Session* to_drain = nullptr;
   {
-    std::lock_guard<std::mutex> lock(m_);
-    Session& s = session_for(id);
+    std::unique_lock<std::mutex> lock(m_);
+    Session& s = session_for(lock, id);
     ++stats_.submitted;
 
     const std::string key = coalesce_key(s.serial, desc);
@@ -251,6 +360,19 @@ QueryTicket AnalysisService::submit(SystemId id, QueryDesc desc) {
           ++it->second->clients;
           ++stats_.coalesced;
           state = it->second;
+        }
+      }
+      if (!state) {
+        // Coalescing-after-completion: a recently executed twin's result
+        // is still in the arena — alias its slot in an already-Done
+        // ticket. Bitwise-identical by the purity contract, zero copies.
+        const auto hit = results_.find(key);
+        if (hit != results_.end()) {
+          hit->second.epoch = result_epoch_;  // refresh: hot entries live on
+          state = std::make_shared<detail::TicketShared<QueryValue>>();
+          state->status = TicketStatus::Done;
+          state->value = hit->second.value;
+          ++stats_.result_hits;
         }
       }
     }
@@ -309,12 +431,14 @@ void AnalysisService::drain_session(Session* s) {
     }
 
     // Execute without the service lock: other sessions proceed in
-    // parallel; this session is protected by busy == true.
+    // parallel; this session is protected by busy == true. The result
+    // lands directly in its shared arena slot — every consumer (coalesced
+    // tickets, share() holders, the result cache) aliases it, none copies.
     lock.unlock();
-    QueryValue value;
+    std::shared_ptr<QueryValue> value;
     std::exception_ptr error;
     try {
-      value = execute(*s->bench, job.desc);
+      value = std::make_shared<QueryValue>(execute(*s->bench, job.desc));
     } catch (...) {
       error = std::current_exception();
     }
@@ -325,14 +449,36 @@ void AnalysisService::drain_session(Session* s) {
       const auto it = inflight_.find(job.key);
       if (it != inflight_.end() && it->second == job.state) inflight_.erase(it);
     }
+    std::shared_ptr<const QueryValue> published = std::move(value);
+    if (!error && !job.key.empty()) store_result(job.key, published);
     {
       std::lock_guard<std::mutex> slock(job.state->m);
       job.state->status =
           error ? TicketStatus::Failed : TicketStatus::Done;
       job.state->error = error;
-      job.state->value = std::move(value);
+      job.state->value = std::move(published);
     }
     job.state->cv.notify_all();
+  }
+}
+
+void AnalysisService::store_result(const std::string& key,
+                                   std::shared_ptr<const QueryValue> value) {
+  if (result_cache_epochs_ == 0) return;
+  results_[key] = CachedResult{std::move(value), result_epoch_};
+  // Epoch-based reclamation: every stride executions the epoch advances
+  // and entries not hit for result_cache_epochs_ epochs are forgotten.
+  // Holders of the value (tickets, share() handles) are unaffected — the
+  // arena slot is a shared_ptr, reclamation only drops the cache's ref.
+  if (++epoch_executed_ >= result_cache_stride_) {
+    epoch_executed_ = 0;
+    ++result_epoch_;
+    if (result_epoch_ >= result_cache_epochs_) {
+      const std::uint64_t horizon = result_epoch_ - result_cache_epochs_;
+      for (auto it = results_.begin(); it != results_.end();) {
+        it = it->second.epoch <= horizon ? results_.erase(it) : std::next(it);
+      }
+    }
   }
 }
 
@@ -342,7 +488,7 @@ SweepSummary AnalysisService::sweep_use_cases(
   Session* s = nullptr;
   {
     std::unique_lock<std::mutex> lock(m_);
-    s = &session_for(id);
+    s = &session_for(lock, id);
     // Pin (no eviction while we wait) and signal the drainer to yield at
     // its next query boundary — sweeps acquire the session after the
     // currently-running ticket, ahead of queued ones, so a continuous

@@ -113,13 +113,19 @@ namespace detail {
 /// \brief Shared completion state behind one (possibly coalesced) query.
 ///
 /// One instance per *executed* query; every coalesced Ticket holds a
-/// reference. Internal — sized and locked by the service and the tickets.
+/// reference. The result itself is a shared arena slot
+/// (shared_ptr<const T>): the service's result cache, coalesced siblings
+/// and Ticket::share() callers all alias one immutable value instead of
+/// deep-copying Reports per client. Internal — sized and locked by the
+/// service and the tickets.
 template <typename T>
 struct TicketShared {
   std::mutex m;               ///< guards every field below
   std::condition_variable cv; ///< notified on any terminal transition
   TicketStatus status = TicketStatus::Pending;  ///< current lifecycle stage
-  T value{};                  ///< the result (valid when status == Done)
+  /// The result slot (non-null exactly when status == Done). Immutable
+  /// once published; aliased by the service's result cache.
+  std::shared_ptr<const T> value;
   std::exception_ptr error;   ///< set when status == Failed
   std::size_t clients = 1;    ///< tickets attached (grows by coalescing)
   std::size_t cancels = 0;    ///< distinct tickets that cancelled
@@ -171,7 +177,7 @@ class Ticket {
   [[nodiscard]] const T* try_get() const {
     auto& s = check();
     std::lock_guard<std::mutex> lock(s.m);
-    return s.status == TicketStatus::Done ? &s.value : nullptr;
+    return s.status == TicketStatus::Done ? s.value.get() : nullptr;
   }
 
   /// \brief Blocking result access: wait(), then the value.
@@ -187,7 +193,7 @@ class Ticket {
     if (s.status == TicketStatus::Cancelled) {
       throw std::logic_error("Ticket::get: query was cancelled");
     }
-    return s.value;
+    return *s.value;
   }
 
   /// \brief Rvalue get(): returns the value BY VALUE, so
@@ -198,6 +204,23 @@ class Ticket {
   [[nodiscard]] T get() && {
     const Ticket& self = *this;
     return self.get();
+  }
+
+  /// \brief Zero-copy result access: wait(), then shared ownership of the
+  /// immutable value — no deep copy, valid after the ticket (and the
+  /// service) are gone. The handle the AnalysisServer's completion path
+  /// uses to encode results without copying Reports. Throws exactly like
+  /// get() on Failed/Cancelled queries.
+  /// \return shared handle to the query result
+  [[nodiscard]] std::shared_ptr<const T> share() const {
+    auto& s = check();
+    std::unique_lock<std::mutex> lock(s.m);
+    s.cv.wait(lock, [&] { return terminal(s.status); });
+    if (s.status == TicketStatus::Failed) std::rethrow_exception(s.error);
+    if (s.status == TicketStatus::Cancelled) {
+      throw std::logic_error("Ticket::share: query was cancelled");
+    }
+    return s.value;
   }
 
   /// \brief Withdraws this ticket's interest in the query.
@@ -268,6 +291,16 @@ struct ServiceOptions {
   /// clamped to >= 1). More shards = less lock contention between sessions
   /// executing on different pool workers.
   std::size_t transposition_shards = 16;
+  /// Epochs a completed result stays in the service's result cache. A
+  /// submit whose coalescing key matches a cached result completes
+  /// immediately — same shared value slot, zero re-execution, zero copy
+  /// (bitwise-identical by the purity contract). 0 disables the cache.
+  std::size_t result_cache_epochs = 4;
+  /// Executed queries per reclamation epoch: every this-many executions
+  /// the epoch advances and entries older than result_cache_epochs are
+  /// dropped. Outstanding Ticket/share() holders keep their values alive
+  /// (shared_ptr); reclamation only forgets the cache's reference.
+  std::size_t result_cache_stride = 64;
 };
 
 /// \brief Service-level counters (monotonic since construction).
@@ -278,6 +311,7 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;        ///< queries abandoned before execution
   std::uint64_t sessions_built = 0;   ///< Workbench constructions (cold + rebuilds)
   std::uint64_t sessions_evicted = 0; ///< sessions dropped by the LRU bound
+  std::uint64_t result_hits = 0;      ///< submits served from the result cache
 };
 
 /// \brief Asynchronous, multi-tenant analysis server over Workbench
@@ -398,7 +432,12 @@ class AnalysisService {
   struct Session {
     std::uint64_t serial = 0;    // unique forever (coalesce keys, hints)
     std::uint64_t fingerprint = 0;
-    std::unique_ptr<Workbench> bench;
+    std::unique_ptr<Workbench> bench;  // null while constructing
+    // The registration's resident system this session is (being) built
+    // from: the structural-equality anchor while bench is still null.
+    // Stable — registrations_ is a deque that only grows.
+    const platform::System* origin = nullptr;
+    bool constructing = false;   // placeholder: Workbench build in flight
     std::deque<Job> queue;       // submitted, not yet executed
     bool busy = false;           // a drainer or a streaming sweep holds it
     std::size_t pins = 0;        // sweep acquirers waiting (blocks eviction)
@@ -406,9 +445,28 @@ class AnalysisService {
     std::uint64_t last_used = 0; // LRU stamp
   };
 
-  /// Live session for registration `id` (building / evicting under the
-  /// service lock as needed). The pointer is stable while busy/pinned.
-  Session& session_for(SystemId id);
+  /// One completed result kept for coalescing-after-completion, stamped
+  /// with the epoch of its last hit (epoch-based reclamation).
+  struct CachedResult {
+    std::shared_ptr<const QueryValue> value;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Live session for registration `id`. The construction latch: a cold
+  /// build publishes a `constructing` placeholder, releases `lock`, builds
+  /// the Workbench, then relocks and fills the placeholder in — hot
+  /// tenants' submits only ever wait for the map scan, never for a build.
+  /// Concurrent resolvers of the same structure wait on construct_cv_ and
+  /// re-find the session by serial. The pointer is stable while
+  /// busy/pinned/constructing.
+  Session& session_for(std::unique_lock<std::mutex>& lock, SystemId id);
+  /// The live session with serial `serial`, or nullptr (under the lock).
+  [[nodiscard]] Session* find_serial(std::uint64_t serial) noexcept;
+  /// Publishes a completed result under `key` at the current epoch and
+  /// advances the reclamation epoch every result_cache_stride executions
+  /// (under the lock).
+  void store_result(const std::string& key,
+                    std::shared_ptr<const QueryValue> value);
   /// Claims `s` for a drainer if it has work and none holds it. Returns
   /// the session to post a drainer for (nullptr when none needed); the
   /// caller posts OUTSIDE the service lock — with no background workers
@@ -420,18 +478,28 @@ class AnalysisService {
   static QueryValue execute(Workbench& wb, const QueryDesc& desc);
   /// Coalescing key of `desc` against session serial `serial` (unique per
   /// live session, so fingerprint collisions can never cross-attach two
-  /// different tenants' queries); empty when the desc embeds state that
-  /// cannot be keyed (stochastic exec models).
+  /// different tenants' queries). Stochastic exec-time models are keyed by
+  /// a 128-bit content hash over their outcome lists (values + weights
+  /// bitwise) — the same collision standard as the transposition table's
+  /// verify tags, so such Simulate queries coalesce and cache too.
   static std::string coalesce_key(std::uint64_t serial, const QueryDesc& desc);
 
   mutable std::mutex m_;
   std::condition_variable idle_cv_;  // session went idle / queue drained
+  std::condition_variable construct_cv_;  // a session build finished/failed
   // Deque: registrations are returned by reference (system(id)) and must
   // stay put while later registrations grow the store.
   std::deque<Registration> registrations_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::unordered_map<std::string, std::shared_ptr<detail::TicketShared<QueryValue>>>
       inflight_;
+  // Completed-result arena: coalescing keys -> shared value slots, pruned
+  // by epoch (see ServiceOptions::result_cache_epochs).
+  std::unordered_map<std::string, CachedResult> results_;
+  std::uint64_t result_epoch_ = 0;      // advances per stride executions
+  std::uint64_t epoch_executed_ = 0;    // executions in the current epoch
+  std::size_t result_cache_epochs_ = 4;
+  std::size_t result_cache_stride_ = 64;
   ServiceStats stats_;
   std::uint64_t clock_ = 0;          // LRU stamps
   std::uint64_t session_serial_ = 0; // unique session ids, never reused

@@ -1,0 +1,580 @@
+#include "net/codec.h"
+
+namespace procon::net {
+namespace {
+
+// ---- small vector helpers -------------------------------------------------
+
+void put_u32_count(WireWriter& w, std::size_t n) {
+  if (n > 0xFFFFFFFFu) throw CodecError("codec: count exceeds u32");
+  w.u32(static_cast<std::uint32_t>(n));
+}
+
+// ---- exec-time distributions ----------------------------------------------
+
+void encode_distribution(WireWriter& w, const sdf::ExecTimeDistribution& d) {
+  put_u32_count(w, d.outcomes().size());
+  for (const auto& o : d.outcomes()) {
+    w.i64(o.value);
+    w.f64(o.weight);
+  }
+}
+
+sdf::ExecTimeDistribution decode_distribution(WireReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n == 0) throw CodecError("codec: empty distribution");
+  std::vector<sdf::ExecTimeDistribution::Outcome> outcomes;
+  outcomes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const sdf::Time v = r.i64();
+    const double wt = r.f64();
+    outcomes.push_back({v, wt});
+  }
+  try {
+    // Outcomes were stored normalised; rebuilding without re-normalising is
+    // what keeps the decoded moments bitwise equal to the encoded ones.
+    return sdf::ExecTimeDistribution::from_normalised(std::move(outcomes));
+  } catch (const std::invalid_argument& e) {
+    throw CodecError(std::string("codec: bad distribution: ") + e.what());
+  }
+}
+
+// ---- report provenance / payload bodies -----------------------------------
+
+void encode_provenance(WireWriter& w, const api::Provenance& p) {
+  w.str(p.method);
+  w.u64(p.evaluations);
+  w.u64(p.threads);
+  w.f64(p.wall_ms);
+}
+
+api::Provenance decode_provenance(WireReader& r) {
+  api::Provenance p;
+  p.method = r.str();
+  p.evaluations = static_cast<std::size_t>(r.u64());
+  p.threads = static_cast<std::size_t>(r.u64());
+  p.wall_ms = r.f64();
+  return p;
+}
+
+void encode_body(WireWriter& w, const analysis::PeriodResult& v) {
+  w.u8(v.deadlocked ? 1 : 0);
+  w.f64(v.period);
+}
+
+void decode_body(WireReader& r, analysis::PeriodResult& v) {
+  v.deadlocked = r.u8() != 0;
+  v.period = r.f64();
+}
+
+void encode_body(WireWriter& w, const analysis::GraphLatencyResult& v) {
+  w.f64(v.latency);
+  put_u32_count(w, v.critical_actors.size());
+  for (const sdf::ActorId a : v.critical_actors) w.u32(a);
+}
+
+void decode_body(WireReader& r, analysis::GraphLatencyResult& v) {
+  v.latency = r.f64();
+  const std::uint32_t n = r.u32();
+  v.critical_actors.resize(n);
+  for (auto& a : v.critical_actors) a = r.u32();
+}
+
+void encode_body(WireWriter& w, const analysis::BottleneckReport& v) {
+  w.u8(v.deadlocked ? 1 : 0);
+  w.f64(v.period);
+  put_u32_count(w, v.actors.size());
+  for (const sdf::ActorId a : v.actors) w.u32(a);
+}
+
+void decode_body(WireReader& r, analysis::BottleneckReport& v) {
+  v.deadlocked = r.u8() != 0;
+  v.period = r.f64();
+  const std::uint32_t n = r.u32();
+  v.actors.resize(n);
+  for (auto& a : v.actors) a = r.u32();
+}
+
+void encode_body(WireWriter& w, const std::vector<dse::BufferPoint>& v) {
+  put_u32_count(w, v.size());
+  for (const dse::BufferPoint& p : v) {
+    put_u32_count(w, p.capacities.size());
+    for (const std::uint64_t c : p.capacities) w.u64(c);
+    w.u64(p.total_tokens);
+    w.f64(p.period);
+  }
+}
+
+void decode_body(WireReader& r, std::vector<dse::BufferPoint>& v) {
+  v.resize(r.u32());
+  for (dse::BufferPoint& p : v) {
+    p.capacities.resize(r.u32());
+    for (auto& c : p.capacities) c = r.u64();
+    p.total_tokens = r.u64();
+    p.period = r.f64();
+  }
+}
+
+void encode_body(WireWriter& w, const std::vector<prob::AppEstimate>& v) {
+  put_u32_count(w, v.size());
+  for (const prob::AppEstimate& a : v) {
+    w.f64(a.isolation_period);
+    w.f64(a.estimated_period);
+    put_u32_count(w, a.actors.size());
+    for (const prob::ActorEstimate& e : a.actors) {
+      w.f64(e.waiting_time);
+      w.f64(e.response_time);
+    }
+  }
+}
+
+void decode_body(WireReader& r, std::vector<prob::AppEstimate>& v) {
+  v.resize(r.u32());
+  for (prob::AppEstimate& a : v) {
+    a.isolation_period = r.f64();
+    a.estimated_period = r.f64();
+    a.actors.resize(r.u32());
+    for (prob::ActorEstimate& e : a.actors) {
+      e.waiting_time = r.f64();
+      e.response_time = r.f64();
+    }
+  }
+}
+
+void encode_body(WireWriter& w, const std::vector<wcrt::AppBound>& v) {
+  put_u32_count(w, v.size());
+  for (const wcrt::AppBound& a : v) {
+    w.f64(a.isolation_period);
+    w.f64(a.worst_case_period);
+    put_u32_count(w, a.actors.size());
+    for (const wcrt::ActorBound& b : a.actors) {
+      w.f64(b.waiting_time);
+      w.f64(b.response_time);
+    }
+  }
+}
+
+void decode_body(WireReader& r, std::vector<wcrt::AppBound>& v) {
+  v.resize(r.u32());
+  for (wcrt::AppBound& a : v) {
+    a.isolation_period = r.f64();
+    a.worst_case_period = r.f64();
+    a.actors.resize(r.u32());
+    for (wcrt::ActorBound& b : a.actors) {
+      b.waiting_time = r.f64();
+      b.response_time = r.f64();
+    }
+  }
+}
+
+void encode_body(WireWriter& w, const sim::SimResult& v) {
+  put_u32_count(w, v.apps.size());
+  for (const sim::AppSimResult& a : v.apps) {
+    w.u64(a.iterations);
+    w.u8(a.converged ? 1 : 0);
+    w.f64(a.average_period);
+    w.f64(a.worst_period);
+    put_u32_count(w, a.actors.size());
+    for (const sim::ActorStats& s : a.actors) {
+      w.u64(s.firings);
+      w.i64(s.total_waiting);
+      w.i64(s.total_service);
+    }
+    put_u32_count(w, a.iteration_times.size());
+    for (const sdf::Time t : a.iteration_times) w.i64(t);
+  }
+  put_u32_count(w, v.node_utilisation.size());
+  for (const double u : v.node_utilisation) w.f64(u);
+  w.u64(v.events_processed);
+  w.i64(v.horizon);
+  put_u32_count(w, v.trace.size());
+  for (const sim::TraceEvent& e : v.trace) {
+    w.i64(e.start);
+    w.i64(e.end);
+    w.u32(e.app);
+    w.u32(e.actor);
+    w.u32(e.node);
+  }
+}
+
+void decode_body(WireReader& r, sim::SimResult& v) {
+  v.apps.resize(r.u32());
+  for (sim::AppSimResult& a : v.apps) {
+    a.iterations = r.u64();
+    a.converged = r.u8() != 0;
+    a.average_period = r.f64();
+    a.worst_period = r.f64();
+    a.actors.resize(r.u32());
+    for (sim::ActorStats& s : a.actors) {
+      s.firings = r.u64();
+      s.total_waiting = r.i64();
+      s.total_service = r.i64();
+    }
+    a.iteration_times.resize(r.u32());
+    for (auto& t : a.iteration_times) t = r.i64();
+  }
+  v.node_utilisation.resize(r.u32());
+  for (auto& u : v.node_utilisation) u = r.f64();
+  v.events_processed = r.u64();
+  v.horizon = r.i64();
+  v.trace.resize(r.u32());
+  for (sim::TraceEvent& e : v.trace) {
+    e.start = r.i64();
+    e.end = r.i64();
+    e.app = r.u32();
+    e.actor = r.u32();
+    e.node = r.u32();
+  }
+}
+
+// The variant alternative decoded at index I (QueryKind order).
+template <std::size_t I>
+api::QueryValue decode_alternative(WireReader& r, api::Provenance provenance) {
+  std::variant_alternative_t<I, api::QueryValue> report;
+  report.provenance = std::move(provenance);
+  decode_body(r, report.value);
+  return api::QueryValue(std::in_place_index<I>, std::move(report));
+}
+
+}  // namespace
+
+// ---- graphs and systems ---------------------------------------------------
+
+void encode_graph(WireWriter& w, const sdf::Graph& g) {
+  w.str(g.name());
+  put_u32_count(w, g.actor_count());
+  for (const sdf::Actor& a : g.actors()) {
+    w.str(a.name);
+    w.i64(a.exec_time);
+  }
+  put_u32_count(w, g.channel_count());
+  for (const sdf::Channel& c : g.channels()) {
+    w.u32(c.src);
+    w.u32(c.dst);
+    w.u32(c.prod_rate);
+    w.u32(c.cons_rate);
+    w.u64(c.initial_tokens);
+  }
+}
+
+sdf::Graph decode_graph(WireReader& r) {
+  sdf::Graph g(r.str());
+  const std::uint32_t actors = r.u32();
+  try {
+    for (std::uint32_t i = 0; i < actors; ++i) {
+      std::string name = r.str();
+      const sdf::Time tau = r.i64();
+      g.add_actor(std::move(name), tau);
+    }
+    const std::uint32_t channels = r.u32();
+    for (std::uint32_t i = 0; i < channels; ++i) {
+      const sdf::ActorId src = r.u32();
+      const sdf::ActorId dst = r.u32();
+      const std::uint32_t prod = r.u32();
+      const std::uint32_t cons = r.u32();
+      const std::uint64_t tokens = r.u64();
+      g.add_channel(src, dst, prod, cons, tokens);
+    }
+  } catch (const sdf::GraphError& e) {
+    throw CodecError(std::string("codec: bad graph: ") + e.what());
+  }
+  return g;
+}
+
+void encode_exec_model(WireWriter& w, const sdf::ExecTimeModel& model) {
+  put_u32_count(w, model.size());
+  for (const sdf::ExecTimeDistribution& d : model) encode_distribution(w, d);
+}
+
+sdf::ExecTimeModel decode_exec_model(WireReader& r) {
+  const std::uint32_t n = r.u32();
+  sdf::ExecTimeModel model;
+  model.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) model.push_back(decode_distribution(r));
+  return model;
+}
+
+void encode_system(WireWriter& w, const platform::System& sys) {
+  put_u32_count(w, sys.app_count());
+  for (const sdf::Graph& g : sys.apps()) encode_graph(w, g);
+  const platform::Platform& plat = sys.platform();
+  put_u32_count(w, plat.node_count());
+  for (std::size_t i = 0; i < plat.node_count(); ++i) {
+    const platform::Node& n = plat.node(static_cast<platform::NodeId>(i));
+    w.str(n.name);
+    w.u32(n.type);
+  }
+  const platform::Mapping& map = sys.mapping();
+  put_u32_count(w, map.app_count());
+  for (std::size_t a = 0; a < map.app_count(); ++a) {
+    const std::size_t actors = sys.app(static_cast<sdf::AppId>(a)).actor_count();
+    put_u32_count(w, actors);
+    for (std::size_t i = 0; i < actors; ++i) {
+      w.u32(map.node_of(static_cast<sdf::AppId>(a), static_cast<sdf::ActorId>(i)));
+    }
+  }
+}
+
+platform::System decode_system(WireReader& r) {
+  const std::uint32_t app_count = r.u32();
+  std::vector<sdf::Graph> apps;
+  apps.reserve(app_count);
+  for (std::uint32_t i = 0; i < app_count; ++i) apps.push_back(decode_graph(r));
+
+  platform::Platform plat;
+  const std::uint32_t nodes = r.u32();
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    std::string name = r.str();
+    const platform::NodeType type = r.u32();
+    plat.add_node(std::move(name), type);
+  }
+
+  platform::Mapping map(apps);
+  const std::uint32_t rows = r.u32();
+  if (rows != app_count) throw CodecError("codec: mapping row count mismatch");
+  try {
+    for (std::uint32_t a = 0; a < rows; ++a) {
+      const std::uint32_t actors = r.u32();
+      if (actors != apps[a].actor_count()) {
+        throw CodecError("codec: mapping row size mismatch");
+      }
+      for (std::uint32_t i = 0; i < actors; ++i) {
+        const platform::NodeId node = r.u32();
+        if (node != platform::kInvalidNode) {
+          map.assign(static_cast<sdf::AppId>(a), static_cast<sdf::ActorId>(i), node);
+        }
+      }
+    }
+    return platform::System(std::move(apps), std::move(plat), std::move(map));
+  } catch (const sdf::GraphError& e) {
+    throw CodecError(std::string("codec: bad system: ") + e.what());
+  } catch (const std::out_of_range& e) {
+    throw CodecError(std::string("codec: bad system: ") + e.what());
+  }
+}
+
+// ---- query descriptors ----------------------------------------------------
+
+void encode_query_desc(WireWriter& w, const api::QueryDesc& d) {
+  w.u8(static_cast<std::uint8_t>(d.kind));
+  w.u32(d.app);
+  put_u32_count(w, d.use_case.size());
+  for (const sdf::AppId a : d.use_case) w.u32(a);
+
+  w.u8(static_cast<std::uint8_t>(d.estimator.method));
+  w.i64(d.estimator.order);
+  w.i64(d.estimator.iterations);
+  w.u64(d.estimator.mc_trials);
+  w.u64(d.estimator.mc_seed);
+
+  w.u8(static_cast<std::uint8_t>(d.wcrt.policy));
+  w.i64(d.wcrt.tdma_slot);
+
+  w.i64(d.sim.horizon);
+  w.u8(static_cast<std::uint8_t>(d.sim.arbitration));
+  w.i64(d.sim.tdma_slot);
+  w.f64(d.sim.warmup_fraction);
+  w.u64(d.sim.min_iterations);
+  w.u64(d.sim.max_events);
+  put_u32_count(w, d.sim.exec_models.size());
+  for (const sdf::ExecTimeModel& m : d.sim.exec_models) encode_exec_model(w, m);
+  w.u64(d.sim.sample_seed);
+  w.u8(d.sim.collect_trace ? 1 : 0);
+
+  w.u64(d.buffers.max_steps);
+  w.f64(d.buffers.convergence);
+  w.u8(d.buffers.incremental ? 1 : 0);
+}
+
+api::QueryDesc decode_query_desc(WireReader& r) {
+  api::QueryDesc d;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(api::QueryKind::Simulate)) {
+    throw CodecError("codec: unknown query kind");
+  }
+  d.kind = static_cast<api::QueryKind>(kind);
+  d.app = r.u32();
+  d.use_case.resize(r.u32());
+  for (auto& a : d.use_case) a = r.u32();
+
+  const std::uint8_t method = r.u8();
+  if (method > static_cast<std::uint8_t>(prob::Method::MonteCarlo)) {
+    throw CodecError("codec: unknown estimator method");
+  }
+  d.estimator.method = static_cast<prob::Method>(method);
+  d.estimator.order = static_cast<int>(r.i64());
+  d.estimator.iterations = static_cast<int>(r.i64());
+  d.estimator.mc_trials = static_cast<std::size_t>(r.u64());
+  d.estimator.mc_seed = r.u64();
+
+  const std::uint8_t policy = r.u8();
+  if (policy > static_cast<std::uint8_t>(wcrt::Policy::TdmaPreemptive)) {
+    throw CodecError("codec: unknown wcrt policy");
+  }
+  d.wcrt.policy = static_cast<wcrt::Policy>(policy);
+  d.wcrt.tdma_slot = r.i64();
+
+  d.sim.horizon = r.i64();
+  const std::uint8_t arb = r.u8();
+  if (arb > static_cast<std::uint8_t>(sim::Arbitration::Tdma)) {
+    throw CodecError("codec: unknown arbitration");
+  }
+  d.sim.arbitration = static_cast<sim::Arbitration>(arb);
+  d.sim.tdma_slot = r.i64();
+  d.sim.warmup_fraction = r.f64();
+  d.sim.min_iterations = r.u64();
+  d.sim.max_events = r.u64();
+  const std::uint32_t models = r.u32();
+  d.sim.exec_models.reserve(models);
+  for (std::uint32_t i = 0; i < models; ++i) {
+    d.sim.exec_models.push_back(decode_exec_model(r));
+  }
+  d.sim.sample_seed = r.u64();
+  d.sim.collect_trace = r.u8() != 0;
+
+  d.buffers.max_steps = static_cast<std::size_t>(r.u64());
+  d.buffers.convergence = r.f64();
+  d.buffers.incremental = r.u8() != 0;
+  return d;
+}
+
+// ---- query results --------------------------------------------------------
+
+void encode_query_payload(WireWriter& w, const api::QueryValue& v) {
+  w.u8(static_cast<std::uint8_t>(v.index()));
+  std::visit([&w](const auto& report) { encode_body(w, report.value); }, v);
+}
+
+void encode_query_value(WireWriter& w, const api::QueryValue& v) {
+  w.u8(static_cast<std::uint8_t>(v.index()));
+  std::visit(
+      [&w](const auto& report) {
+        encode_provenance(w, report.provenance);
+        encode_body(w, report.value);
+      },
+      v);
+}
+
+api::QueryValue decode_query_value(WireReader& r) {
+  const std::uint8_t index = r.u8();
+  api::Provenance p = decode_provenance(r);
+  switch (index) {
+    case 0: return decode_alternative<0>(r, std::move(p));
+    case 1: return decode_alternative<1>(r, std::move(p));
+    case 2: return decode_alternative<2>(r, std::move(p));
+    case 3: return decode_alternative<3>(r, std::move(p));
+    case 4: return decode_alternative<4>(r, std::move(p));
+    case 5: return decode_alternative<5>(r, std::move(p));
+    case 6: return decode_alternative<6>(r, std::move(p));
+    default: throw CodecError("codec: unknown result variant");
+  }
+}
+
+// ---- stats ----------------------------------------------------------------
+
+void encode_stats(WireWriter& w, const WireStats& s) {
+  w.u64(s.service.submitted);
+  w.u64(s.service.coalesced);
+  w.u64(s.service.executed);
+  w.u64(s.service.cancelled);
+  w.u64(s.service.sessions_built);
+  w.u64(s.service.sessions_evicted);
+  w.u64(s.service.result_hits);
+  w.u64(s.table.hits);
+  w.u64(s.table.misses);
+  w.u64(s.table.stores);
+  w.u64(s.table.evictions);
+  w.u64(s.table.verify_failures);
+  put_u32_count(w, s.table.shards.size());
+  for (const auto& sh : s.table.shards) {
+    w.u64(sh.hits);
+    w.u64(sh.misses);
+    w.u64(sh.stores);
+    w.u64(sh.evictions);
+    w.u64(sh.verify_failures);
+  }
+}
+
+WireStats decode_stats(WireReader& r) {
+  WireStats s;
+  s.service.submitted = r.u64();
+  s.service.coalesced = r.u64();
+  s.service.executed = r.u64();
+  s.service.cancelled = r.u64();
+  s.service.sessions_built = r.u64();
+  s.service.sessions_evicted = r.u64();
+  s.service.result_hits = r.u64();
+  s.table.hits = r.u64();
+  s.table.misses = r.u64();
+  s.table.stores = r.u64();
+  s.table.evictions = r.u64();
+  s.table.verify_failures = r.u64();
+  s.table.shards.resize(r.u32());
+  for (auto& sh : s.table.shards) {
+    sh.hits = r.u64();
+    sh.misses = r.u64();
+    sh.stores = r.u64();
+    sh.evictions = r.u64();
+    sh.verify_failures = r.u64();
+  }
+  return s;
+}
+
+// ---- framing --------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kFrameHeader = 4;         // the length prefix itself
+constexpr std::size_t kFrameOverhead = 1 + 8;   // type + request_id
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t request_id, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw CodecError("codec: frame payload too large");
+  }
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(kFrameOverhead + payload.size()));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(request_id);
+  w.bytes(payload);
+  const auto bytes = w.view();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> try_extract_frame(std::vector<std::uint8_t>& buf) {
+  if (buf.size() < kFrameHeader) return std::nullopt;
+  WireReader header(std::span<const std::uint8_t>(buf.data(), kFrameHeader));
+  const std::uint32_t len = header.u32();
+  if (len < kFrameOverhead || len > kFrameOverhead + kMaxFramePayload) {
+    throw CodecError("codec: corrupt frame length");
+  }
+  if (buf.size() < kFrameHeader + len) return std::nullopt;
+  WireReader body(std::span<const std::uint8_t>(buf.data() + kFrameHeader, len));
+  Frame f;
+  f.type = static_cast<FrameType>(body.u8());
+  f.request_id = body.u64();
+  f.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeader + kFrameOverhead),
+                   buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeader + len));
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeader + len));
+  return f;
+}
+
+std::vector<std::uint8_t> hello_payload() {
+  WireWriter w;
+  w.u32(kProtocolMagic);
+  w.u16(kProtocolVersion);
+  return w.take();
+}
+
+void check_hello(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  if (r.u32() != kProtocolMagic) throw CodecError("codec: bad protocol magic");
+  const std::uint16_t version = r.u16();
+  if (version != kProtocolVersion) {
+    throw CodecError("codec: protocol version mismatch (peer " +
+                     std::to_string(version) + ", local " +
+                     std::to_string(kProtocolVersion) + ")");
+  }
+}
+
+}  // namespace procon::net

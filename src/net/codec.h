@@ -1,0 +1,258 @@
+// procon::net — the cluster tier's binary wire protocol.
+//
+// A compact, versioned, length-prefixed binary codec for everything the
+// analysis service speaks over a socket: application graphs (with optional
+// stochastic execution-time models), whole tenant systems, query
+// descriptors, query results (Report<T> envelopes) and error frames.
+// sdf::io's line format is the human-readable seed; this codec is its
+// machine twin with three hard guarantees:
+//
+//   * doubles travel BITWISE (IEEE-754 bit pattern, little-endian): a
+//     decoded result re-encodes to the same bytes, which is what lets the
+//     cluster assert bitwise identity between a routed query and the
+//     single-process AnalysisService oracle;
+//   * the encoding is GOLDEN-FILE STABLE: fixed-width little-endian fields
+//     in declaration order, no varints, no padding, no map iteration — the
+//     same value encodes to the same bytes on every platform and build
+//     (tests/test_codec.cpp pins a golden hex dump);
+//   * every frame is VERSIONED and length-prefixed: peers handshake with
+//     Hello/HelloAck carrying kProtocolMagic + kProtocolVersion, and a
+//     frame is parsed only once fully buffered, so a slow or malicious
+//     peer can never wedge a reader mid-message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/service.h"
+#include "platform/system.h"
+#include "sdf/exec_time.h"
+#include "sdf/graph.h"
+
+namespace procon::net {
+
+/// \brief Thrown on malformed, truncated or version-incompatible wire data.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief Protocol magic carried by Hello frames ("PCON").
+inline constexpr std::uint32_t kProtocolMagic = 0x50434F4Eu;
+/// \brief Wire protocol version; bumped on any encoding change.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// \brief Upper bound on one frame's payload (guards against corrupted or
+/// hostile length prefixes wedging a reader into a giant allocation).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// \brief Every message kind the cluster tier exchanges.
+enum class FrameType : std::uint8_t {
+  Hello = 1,        ///< client → server: magic + version (handshake)
+  HelloAck,         ///< server → client: negotiated version
+  RegisterSystem,   ///< client → server: encoded platform::System (tenant)
+  RegisterAck,      ///< server → client: the shard-local api::SystemId
+  Query,            ///< client → server: SystemId + encoded api::QueryDesc
+  QueryResult,      ///< server → client: encoded api::QueryValue
+  Error,            ///< server → client: human-readable failure message
+  StatsRequest,     ///< client → server: ask for the shard's counters
+  StatsReply,       ///< server → client: ServiceStats + transposition stats
+  SnapshotRequest,  ///< client → server: SystemId to snapshot (migration)
+  SnapshotReply,    ///< server → client: the tenant's resident System
+};
+
+/// \brief Append-only little-endian byte sink every encoder writes into.
+///
+/// Fixed-width fields only — the golden-stability contract. Reuse one
+/// writer across messages via clear() to keep buffer capacity.
+class WireWriter {
+ public:
+  /// \brief Appends one byte.
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// \brief Appends a 16-bit value, little-endian.
+  void u16(std::uint16_t v) { word(v, 2); }
+  /// \brief Appends a 32-bit value, little-endian.
+  void u32(std::uint32_t v) { word(v, 4); }
+  /// \brief Appends a 64-bit value, little-endian.
+  void u64(std::uint64_t v) { word(v, 8); }
+  /// \brief Appends a signed 64-bit value (two's-complement bit pattern).
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// \brief Appends a double BITWISE (IEEE-754 bits, little-endian).
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// \brief Appends a length-prefixed (u32) UTF-8/byte string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// \brief Appends raw bytes (no length prefix).
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// \brief The bytes written so far.
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept { return buf_; }
+  /// \brief Moves the accumulated bytes out (writer becomes empty).
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  /// \brief Discards the content, keeping capacity.
+  void clear() noexcept { buf_.clear(); }
+  /// \brief Bytes written so far.
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void word(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// \brief Bounds-checked little-endian reader over an encoded buffer.
+///
+/// Every accessor throws CodecError on truncation — decoders never read
+/// past the frame they were handed.
+class WireReader {
+ public:
+  /// \brief Reads from `data` (not owned; must outlive the reader).
+  explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  /// \brief Reads one byte.
+  [[nodiscard]] std::uint8_t u8() { return take(1)[0]; }
+  /// \brief Reads a 16-bit little-endian value.
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(word(2)); }
+  /// \brief Reads a 32-bit little-endian value.
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(word(4)); }
+  /// \brief Reads a 64-bit little-endian value.
+  [[nodiscard]] std::uint64_t u64() { return word(8); }
+  /// \brief Reads a signed 64-bit value.
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  /// \brief Reads a double from its IEEE-754 bit pattern.
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  /// \brief Reads a length-prefixed string.
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  /// \brief Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  /// \brief Throws CodecError unless the frame was consumed exactly.
+  void expect_end() const {
+    if (remaining() != 0) throw CodecError("codec: trailing bytes in frame");
+  }
+
+ private:
+  [[nodiscard]] std::span<const std::uint8_t> take(std::size_t n) {
+    if (remaining() < n) throw CodecError("codec: truncated input");
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  [[nodiscard]] std::uint64_t word(int bytes) {
+    const auto b = take(static_cast<std::size_t>(bytes));
+    std::uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- value codecs ---------------------------------------------------------
+
+/// \brief Encodes one SDF application graph (name, actors, channels).
+void encode_graph(WireWriter& w, const sdf::Graph& g);
+/// \brief Decodes a graph encoded by encode_graph.
+[[nodiscard]] sdf::Graph decode_graph(WireReader& r);
+
+/// \brief Encodes a stochastic execution-time model (normalised outcomes,
+/// weights bitwise).
+void encode_exec_model(WireWriter& w, const sdf::ExecTimeModel& model);
+/// \brief Decodes an execution-time model; distributions are rebuilt via
+/// ExecTimeDistribution::from_normalised, so the round trip is bitwise.
+[[nodiscard]] sdf::ExecTimeModel decode_exec_model(WireReader& r);
+
+/// \brief Encodes a whole tenant system: applications, platform nodes
+/// (name + type) and the actor-to-node mapping.
+void encode_system(WireWriter& w, const platform::System& sys);
+/// \brief Decodes a system; the reconstruction fingerprints identically to
+/// the original (the codec preserves every hashed feature and every name).
+[[nodiscard]] platform::System decode_system(WireReader& r);
+
+/// \brief Encodes a query descriptor (kind + every option the kind reads,
+/// including stochastic exec-time models for Simulate).
+void encode_query_desc(WireWriter& w, const api::QueryDesc& d);
+/// \brief Decodes a query descriptor.
+[[nodiscard]] api::QueryDesc decode_query_desc(WireReader& r);
+
+/// \brief Encodes a full query result: variant index, Report provenance
+/// (method, evaluations, threads, wall time) and the value payload.
+void encode_query_value(WireWriter& w, const api::QueryValue& v);
+/// \brief Decodes a query result encoded by encode_query_value.
+[[nodiscard]] api::QueryValue decode_query_value(WireReader& r);
+
+/// \brief Encodes ONLY the value payload (variant index + value, no
+/// provenance). Provenance carries wall-clock time, which legitimately
+/// differs between two runs of the same query — identity checks (cluster
+/// vs single-process oracle) therefore compare these bytes, which must be
+/// equal for bitwise-identical results.
+void encode_query_payload(WireWriter& w, const api::QueryValue& v);
+
+/// \brief A shard's counters as they travel in StatsReply frames.
+struct WireStats {
+  api::ServiceStats service;                  ///< front-door counters
+  analysis::TranspositionTable::Stats table;  ///< shared-table counters
+};
+/// \brief Encodes a stats snapshot (per-shard table breakdown included).
+void encode_stats(WireWriter& w, const WireStats& s);
+/// \brief Decodes a stats snapshot.
+[[nodiscard]] WireStats decode_stats(WireReader& r);
+
+// ---- framing --------------------------------------------------------------
+
+/// \brief One parsed frame: kind, correlation id, payload bytes.
+///
+/// request_id correlates a response with its request (clients pipeline:
+/// several requests may be in flight on one connection, and responses
+/// complete out of order across sessions).
+struct Frame {
+  FrameType type = FrameType::Error;  ///< message kind
+  std::uint64_t request_id = 0;       ///< request/response correlation id
+  std::vector<std::uint8_t> payload;  ///< encoded body (codec above)
+};
+
+/// \brief Appends one wire frame to `out`:
+/// `u32 length | u8 type | u64 request_id | payload`, where length counts
+/// everything after itself. Throws CodecError if payload exceeds
+/// kMaxFramePayload.
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t request_id, std::span<const std::uint8_t> payload);
+
+/// \brief Extracts the first complete frame from a receive buffer (erasing
+/// its bytes), or nullopt when the buffer holds only a partial frame.
+/// Throws CodecError on a corrupt length prefix (> kMaxFramePayload).
+[[nodiscard]] std::optional<Frame> try_extract_frame(std::vector<std::uint8_t>& buf);
+
+/// \brief Builds a Hello payload (magic + version).
+[[nodiscard]] std::vector<std::uint8_t> hello_payload();
+/// \brief Validates a Hello payload; throws CodecError on a bad magic or a
+/// version mismatch.
+void check_hello(std::span<const std::uint8_t> payload);
+
+}  // namespace procon::net

@@ -1,0 +1,69 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procon::net {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::string> endpoints, std::size_t virtual_nodes)
+    : endpoints_(std::move(endpoints)) {
+  if (endpoints_.empty()) {
+    throw std::invalid_argument("Router: empty endpoint list");
+  }
+  virtual_nodes = std::max<std::size_t>(virtual_nodes, 1);
+  {
+    std::vector<std::string> sorted = endpoints_;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("Router: duplicate endpoint");
+    }
+  }
+  ring_.reserve(endpoints_.size() * virtual_nodes);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::uint64_t base = fnv1a(endpoints_[i]);
+    for (std::size_t r = 0; r < virtual_nodes; ++r) {
+      // Mixing the endpoint hash with the replica index scatters each
+      // endpoint's points uniformly; identical across any client holding
+      // the same endpoint strings.
+      ring_.push_back(Point{splitmix64(base ^ splitmix64(r)),
+                            static_cast<std::uint32_t>(i)});
+    }
+  }
+  // Tie-break by shard index so the ring (hence routing) is independent of
+  // construction order even in the astronomically unlikely position tie.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.position != b.position ? a.position < b.position : a.shard < b.shard;
+  });
+}
+
+std::size_t Router::shard_for(std::uint64_t fingerprint) const noexcept {
+  // Re-mix the fingerprint: Zobrist values are uniform, but independence
+  // from the ring-point mixing keeps placement unbiased.
+  const std::uint64_t pos = splitmix64(fingerprint);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), pos,
+      [](const Point& p, std::uint64_t v) { return p.position < v; });
+  return it != ring_.end() ? it->shard : ring_.front().shard;
+}
+
+}  // namespace procon::net

@@ -1,0 +1,67 @@
+// net::Router — deterministic consistent-hash routing of tenants to shards.
+//
+// The cluster tier spreads tenant systems across N AnalysisServer shards,
+// keyed by the O(1)-readable platform::System::fingerprint(). Routing must
+// be (a) deterministic across independent clients — two clients holding
+// the same endpoint list send a tenant to the same shard without any
+// coordination — and (b) stable under membership change: growing from N to
+// N+1 shards moves only ~1/(N+1) of the tenants (the classic consistent
+// hashing argument), each relocation driven by the snapshot/migration
+// frames (see net::ClusterClient).
+//
+// Implementation: a hash ring with `virtual_nodes` points per endpoint
+// (FNV-1a over the endpoint string, splitmix64-mixed per replica; more
+// points = smoother balance). A fingerprint routes to the owner of the
+// first ring point at or after its mixed position, wrapping at the top.
+// Structurally identical tenants fingerprint equal (Zobrist, name-free)
+// and therefore land on the same shard, which is what lets that shard's
+// session LRU and transposition table share work between them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace procon::net {
+
+/// \brief Consistent-hash ring over shard endpoints.
+class Router {
+ public:
+  /// \brief Builds the ring. Endpoint strings are opaque ring keys (the
+  /// client treats them as "host:port"); order does not matter — any
+  /// permutation of the same set yields the identical ring.
+  /// \param endpoints one entry per shard; must be non-empty and unique
+  /// \param virtual_nodes ring points per endpoint (balance smoothness)
+  /// Throws std::invalid_argument on an empty or duplicated endpoint list.
+  explicit Router(std::vector<std::string> endpoints,
+                  std::size_t virtual_nodes = 64);
+
+  /// \brief Shard index owning `fingerprint` (index into endpoints()).
+  [[nodiscard]] std::size_t shard_for(std::uint64_t fingerprint) const noexcept;
+
+  /// \brief The endpoint string of shard_for(fingerprint).
+  [[nodiscard]] const std::string& endpoint_for(std::uint64_t fingerprint) const noexcept {
+    return endpoints_[shard_for(fingerprint)];
+  }
+
+  /// \brief The endpoint list, in construction order.
+  [[nodiscard]] const std::vector<std::string>& endpoints() const noexcept {
+    return endpoints_;
+  }
+
+  /// \brief Number of shards.
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return endpoints_.size();
+  }
+
+ private:
+  struct Point {
+    std::uint64_t position = 0;
+    std::uint32_t shard = 0;
+  };
+
+  std::vector<std::string> endpoints_;
+  std::vector<Point> ring_;  // sorted by (position, shard)
+};
+
+}  // namespace procon::net

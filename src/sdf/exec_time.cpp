@@ -36,6 +36,40 @@ ExecTimeDistribution::ExecTimeDistribution(std::vector<Outcome> outcomes)
   cumulative_.back() = 1.0;  // guard against rounding drift
 }
 
+ExecTimeDistribution::ExecTimeDistribution(std::vector<Outcome> outcomes, Normalised)
+    : outcomes_(std::move(outcomes)) {
+  if (outcomes_.empty()) {
+    throw std::invalid_argument("ExecTimeDistribution: empty outcome set");
+  }
+  cumulative_.reserve(outcomes_.size());
+  double acc = 0.0;
+  Time prev = -1;
+  for (const Outcome& o : outcomes_) {
+    if (o.value < 0 || o.value <= prev) {
+      throw std::invalid_argument(
+          "ExecTimeDistribution: from_normalised requires ascending values");
+    }
+    if (o.weight <= 0.0) {
+      throw std::invalid_argument("ExecTimeDistribution: non-positive weight");
+    }
+    prev = o.value;
+    // Same accumulation order as the normalising constructor, minus the
+    // division — feeding outcomes() back in reproduces every derived field
+    // bitwise.
+    acc += o.weight;
+    cumulative_.push_back(acc);
+    const auto v = static_cast<double>(o.value);
+    mean_ += o.weight * v;
+    m2_ += o.weight * v * v;
+  }
+  cumulative_.back() = 1.0;  // guard against rounding drift
+}
+
+ExecTimeDistribution ExecTimeDistribution::from_normalised(
+    std::vector<Outcome> outcomes) {
+  return ExecTimeDistribution(std::move(outcomes), Normalised{});
+}
+
 ExecTimeDistribution ExecTimeDistribution::constant(Time value) {
   return ExecTimeDistribution({Outcome{value, 1.0}});
 }

@@ -37,6 +37,14 @@ class ExecTimeDistribution {
   };
   static ExecTimeDistribution discrete(std::vector<Outcome> outcomes);
 
+  /// Trusted reconstruction from an already-normalised outcome list (values
+  /// ascending, weights summing to ~1), as produced by outcomes(). Skips
+  /// the normalising division, so a distribution rebuilt from its own
+  /// outcomes() is *bitwise* identical (weights, mean, moments, sampling) —
+  /// the contract serialisers (sdf::io, net::codec) rely on. Throws
+  /// std::invalid_argument on empty, unsorted or non-positive input.
+  static ExecTimeDistribution from_normalised(std::vector<Outcome> outcomes);
+
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double second_moment() const noexcept { return m2_; }
   [[nodiscard]] double variance() const noexcept { return m2_ - mean_ * mean_; }
@@ -60,6 +68,8 @@ class ExecTimeDistribution {
 
  private:
   explicit ExecTimeDistribution(std::vector<Outcome> outcomes);
+  struct Normalised {};  // tag: outcomes are already sorted + normalised
+  ExecTimeDistribution(std::vector<Outcome> outcomes, Normalised);
 
   std::vector<Outcome> outcomes_;  // normalised weights, values ascending
   std::vector<double> cumulative_;

@@ -1,5 +1,7 @@
 #include "sdf/io.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 
@@ -10,12 +12,59 @@ namespace {
   throw ParseError("line " + std::to_string(line) + ": " + what);
 }
 
+/// Weights travel as C99 hexfloats: exact round-trip, no decimal rounding.
+std::string weight_to_text(double w) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", w);
+  return buf;
+}
+
+double weight_from_text(std::size_t line, const std::string& token) {
+  char* end = nullptr;
+  const double w = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == token.c_str()) {
+    fail(line, "malformed weight '" + token + "'");
+  }
+  return w;
+}
+
 }  // namespace
 
 void write_graph(std::ostream& os, const Graph& g) {
   os << "graph " << (g.name().empty() ? "unnamed" : g.name()) << '\n';
   for (const Actor& a : g.actors()) {
     os << "actor " << a.name << ' ' << a.exec_time << '\n';
+  }
+  for (const Channel& c : g.channels()) {
+    os << "channel " << g.actor(c.src).name << ' ' << g.actor(c.dst).name << ' '
+       << c.prod_rate << ' ' << c.cons_rate << ' ' << c.initial_tokens << '\n';
+  }
+  os << "end\n";
+}
+
+void write_graph(std::ostream& os, const Graph& g, const ExecTimeModel& model) {
+  if (model.size() != g.actor_count()) {
+    throw std::invalid_argument(
+        "write_graph: exec-time model size does not match actor count");
+  }
+  os << "graph " << (g.name().empty() ? "unnamed" : g.name()) << '\n';
+  for (const Actor& a : g.actors()) {
+    os << "actor " << a.name << ' ' << a.exec_time << '\n';
+  }
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const ExecTimeDistribution& d = model[i];
+    const std::string& name = g.actor(static_cast<ActorId>(i)).name;
+    if (d.is_constant()) {
+      os << "dist " << name << " constant " << d.outcomes().front().value << '\n';
+    } else {
+      // Outcomes are stored sorted + normalised; written as-is they parse
+      // back through from_normalised bitwise (uniform shapes included).
+      os << "dist " << name << " discrete " << d.outcomes().size();
+      for (const auto& o : d.outcomes()) {
+        os << ' ' << o.value << ' ' << weight_to_text(o.weight);
+      }
+      os << '\n';
+    }
   }
   for (const Channel& c : g.channels()) {
     os << "channel " << g.actor(c.src).name << ' ' << g.actor(c.dst).name << ' '
@@ -33,10 +82,28 @@ std::string to_text(const Graph& g) {
 namespace {
 
 // Reads one graph starting at the current stream position. Returns nullopt
-// if the stream is exhausted before a "graph" keyword is found.
-std::optional<Graph> read_one(std::istream& is, std::size_t& line_no) {
+// if the stream is exhausted before a "graph" keyword is found. `model`
+// receives the graph's `dist` lines (defaulted to constant(exec_time));
+// nullptr REJECTS dist lines — a model-free parse must not silently drop a
+// stochastic model.
+std::optional<Graph> read_one(std::istream& is, std::size_t& line_no,
+                              ExecTimeModel* model) {
   std::string line;
   std::optional<Graph> g;
+  std::vector<std::optional<ExecTimeDistribution>> dists;
+  const auto finish = [&](Graph done) {
+    if (model != nullptr) {
+      model->clear();
+      model->reserve(done.actor_count());
+      for (std::size_t i = 0; i < done.actor_count(); ++i) {
+        model->push_back(i < dists.size() && dists[i]
+                             ? *std::move(dists[i])
+                             : ExecTimeDistribution::constant(
+                                   done.actor(static_cast<ActorId>(i)).exec_time));
+      }
+    }
+    return done;
+  };
   while (std::getline(is, line)) {
     ++line_no;
     std::istringstream ls(line);
@@ -46,6 +113,49 @@ std::optional<Graph> read_one(std::istream& is, std::size_t& line_no) {
       std::string name;
       if (!(ls >> name)) fail(line_no, "graph requires a name");
       g.emplace(name);
+      dists.clear();
+    } else if (keyword == "dist") {
+      if (!g) fail(line_no, "dist before graph");
+      if (model == nullptr) {
+        fail(line_no,
+             "stochastic exec-time model present; use the model-aware "
+             "read_graph/read_graphs overload");
+      }
+      std::string actor_name, shape;
+      if (!(ls >> actor_name >> shape)) {
+        fail(line_no, "dist requires <actor> <constant|uniform|discrete> ...");
+      }
+      const ActorId a = g->find_actor(actor_name);
+      if (a == kInvalidActor) fail(line_no, "unknown actor " + actor_name);
+      if (a < dists.size() && dists[a]) fail(line_no, "duplicate dist for " + actor_name);
+      if (dists.size() <= a) dists.resize(a + 1);
+      try {
+        if (shape == "constant") {
+          Time v = 0;
+          if (!(ls >> v)) fail(line_no, "constant requires <value>");
+          dists[a] = ExecTimeDistribution::constant(v);
+        } else if (shape == "uniform") {
+          Time lo = 0, hi = 0;
+          if (!(ls >> lo >> hi)) fail(line_no, "uniform requires <lo> <hi>");
+          dists[a] = ExecTimeDistribution::uniform(lo, hi);
+        } else if (shape == "discrete") {
+          std::size_t k = 0;
+          if (!(ls >> k) || k == 0) fail(line_no, "discrete requires <k> > 0");
+          std::vector<ExecTimeDistribution::Outcome> outcomes;
+          outcomes.reserve(k);
+          for (std::size_t i = 0; i < k; ++i) {
+            Time v = 0;
+            std::string w;
+            if (!(ls >> v >> w)) fail(line_no, "discrete requires k <value weight> pairs");
+            outcomes.push_back({v, weight_from_text(line_no, w)});
+          }
+          dists[a] = ExecTimeDistribution::from_normalised(std::move(outcomes));
+        } else {
+          fail(line_no, "unknown dist shape '" + shape + "'");
+        }
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
     } else if (keyword == "actor") {
       if (!g) fail(line_no, "actor before graph");
       std::string name;
@@ -78,7 +188,7 @@ std::optional<Graph> read_one(std::istream& is, std::size_t& line_no) {
       }
     } else if (keyword == "end") {
       if (!g) fail(line_no, "end before graph");
-      return g;
+      return finish(*std::move(g));
     } else {
       fail(line_no, "unknown keyword '" + keyword + "'");
     }
@@ -91,7 +201,14 @@ std::optional<Graph> read_one(std::istream& is, std::size_t& line_no) {
 
 Graph read_graph(std::istream& is) {
   std::size_t line_no = 0;
-  auto g = read_one(is, line_no);
+  auto g = read_one(is, line_no, nullptr);
+  if (!g) throw ParseError("no graph found in input");
+  return *std::move(g);
+}
+
+Graph read_graph(std::istream& is, ExecTimeModel& model) {
+  std::size_t line_no = 0;
+  auto g = read_one(is, line_no, &model);
   if (!g) throw ParseError("no graph found in input");
   return *std::move(g);
 }
@@ -104,8 +221,21 @@ Graph graph_from_text(const std::string& text) {
 std::vector<Graph> read_graphs(std::istream& is) {
   std::vector<Graph> graphs;
   std::size_t line_no = 0;
-  while (auto g = read_one(is, line_no)) {
+  while (auto g = read_one(is, line_no, nullptr)) {
     graphs.push_back(*std::move(g));
+  }
+  return graphs;
+}
+
+std::vector<Graph> read_graphs(std::istream& is,
+                               std::vector<ExecTimeModel>& models) {
+  std::vector<Graph> graphs;
+  models.clear();
+  std::size_t line_no = 0;
+  ExecTimeModel model;
+  while (auto g = read_one(is, line_no, &model)) {
+    graphs.push_back(*std::move(g));
+    models.push_back(std::move(model));
   }
   return graphs;
 }

@@ -1,0 +1,307 @@
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/workbench.h"
+#include "helpers.h"
+
+namespace procon::net {
+namespace {
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    char tmp[3];
+    std::snprintf(tmp, sizeof tmp, "%02x", b);
+    out += tmp;
+  }
+  return out;
+}
+
+TEST(Codec, PrimitivesRoundTripLittleEndian) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-0.1);  // not exactly representable: bitwise is the only equality
+  w.str("procon");
+  WireReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), -0.1);
+  EXPECT_EQ(r.str(), "procon");
+  r.expect_end();
+}
+
+TEST(Codec, ReaderThrowsOnTruncationAndTrailingBytes) {
+  WireWriter w;
+  w.u32(7);
+  {
+    WireReader r(w.view());
+    (void)r.u16();
+    EXPECT_THROW((void)r.u32(), CodecError);  // only 2 bytes left
+  }
+  {
+    WireReader r(w.view());
+    (void)r.u16();
+    EXPECT_THROW(r.expect_end(), CodecError);
+  }
+  {
+    // A string length prefix larger than the buffer must not allocate.
+    WireWriter bad;
+    bad.u32(0xFFFFFFFFu);
+    WireReader r(bad.view());
+    EXPECT_THROW((void)r.str(), CodecError);
+  }
+}
+
+TEST(Codec, GraphRoundTrip) {
+  const sdf::Graph g = procon::testing::fig2_graph_a();
+  WireWriter w;
+  encode_graph(w, g);
+  WireReader r(w.view());
+  const sdf::Graph g2 = decode_graph(r);
+  r.expect_end();
+  EXPECT_EQ(g2.name(), g.name());
+  ASSERT_EQ(g2.actor_count(), g.actor_count());
+  ASSERT_EQ(g2.channel_count(), g.channel_count());
+  for (sdf::ActorId a = 0; a < g.actor_count(); ++a) {
+    EXPECT_EQ(g2.actor(a).name, g.actor(a).name);
+    EXPECT_EQ(g2.actor(a).exec_time, g.actor(a).exec_time);
+  }
+  for (sdf::ChannelId c = 0; c < g.channel_count(); ++c) {
+    EXPECT_EQ(g2.channel(c).src, g.channel(c).src);
+    EXPECT_EQ(g2.channel(c).dst, g.channel(c).dst);
+    EXPECT_EQ(g2.channel(c).prod_rate, g.channel(c).prod_rate);
+    EXPECT_EQ(g2.channel(c).cons_rate, g.channel(c).cons_rate);
+    EXPECT_EQ(g2.channel(c).initial_tokens, g.channel(c).initial_tokens);
+  }
+}
+
+TEST(Codec, GraphEncodingIsGoldenStable) {
+  // Pins the wire bytes of a tiny fixed graph. If this test breaks, the
+  // encoding changed: bump kProtocolVersion and regenerate the constant.
+  sdf::Graph g("gg");
+  const auto x = g.add_actor("x", 3);
+  const auto y = g.add_actor("y", 5);
+  g.add_channel(x, y, 1, 2, 0);
+  g.add_channel(y, x, 2, 1, 4);
+  WireWriter w;
+  encode_graph(w, g);
+  EXPECT_EQ(to_hex(w.view()),
+            "02000000"                  // name length
+            "6767"                      // "gg"
+            "02000000"                  // actor count
+            "01000000" "78" "0300000000000000"   // "x", tau=3
+            "01000000" "79" "0500000000000000"   // "y", tau=5
+            "02000000"                  // channel count
+            "00000000" "01000000" "01000000" "02000000"
+            "0000000000000000"          // x->y 1/2, 0 tokens
+            "01000000" "00000000" "02000000" "01000000"
+            "0400000000000000");        // y->x 2/1, 4 tokens
+}
+
+TEST(Codec, ExecModelRoundTripBitwise) {
+  sdf::ExecTimeModel model;
+  model.push_back(sdf::ExecTimeDistribution::uniform(2, 9));
+  model.push_back(sdf::ExecTimeDistribution::discrete(
+      {{1, 0.1}, {4, 0.6}, {9, 0.3}}));
+  model.push_back(sdf::ExecTimeDistribution::constant(7));
+  WireWriter w;
+  encode_exec_model(w, model);
+  WireReader r(w.view());
+  const sdf::ExecTimeModel back = decode_exec_model(r);
+  r.expect_end();
+  ASSERT_EQ(back.size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(back[i].outcomes().size(), model[i].outcomes().size());
+    for (std::size_t k = 0; k < model[i].outcomes().size(); ++k) {
+      EXPECT_EQ(back[i].outcomes()[k].value, model[i].outcomes()[k].value);
+      EXPECT_EQ(back[i].outcomes()[k].weight, model[i].outcomes()[k].weight);
+    }
+    EXPECT_EQ(back[i].mean(), model[i].mean());
+    EXPECT_EQ(back[i].second_moment(), model[i].second_moment());
+  }
+}
+
+TEST(Codec, SystemRoundTripPreservesFingerprint) {
+  const platform::System sys = procon::testing::fig2_system();
+  WireWriter w;
+  encode_system(w, sys);
+  WireReader r(w.view());
+  const platform::System back = decode_system(r);
+  r.expect_end();
+  // The fingerprint keys shard routing AND session sharing: a decoded
+  // tenant must hash exactly like the original or the cluster falls apart.
+  EXPECT_EQ(back.fingerprint(), sys.fingerprint());
+  EXPECT_EQ(back.app_count(), sys.app_count());
+  // Re-encoding the decoded system reproduces the bytes (stability).
+  WireWriter w2;
+  encode_system(w2, back);
+  ASSERT_EQ(w2.size(), w.size());
+  EXPECT_TRUE(std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
+}
+
+TEST(Codec, QueryDescRoundTripAllKinds) {
+  for (int kind = 0; kind < 7; ++kind) {
+    api::QueryDesc d;
+    d.kind = static_cast<api::QueryKind>(kind);
+    d.app = 1;
+    d.use_case = {0, 2};
+    d.estimator.order = 4;
+    d.estimator.iterations = 17;
+    d.wcrt.tdma_slot = 12;
+    d.sim.horizon = 12345;
+    d.sim.warmup_fraction = 0.375;
+    d.sim.sample_seed = 99;
+    d.sim.exec_models.push_back(
+        {sdf::ExecTimeDistribution::uniform(1, 6)});
+    d.buffers.max_steps = 77;
+    WireWriter w;
+    encode_query_desc(w, d);
+    WireReader r(w.view());
+    const api::QueryDesc back = decode_query_desc(r);
+    r.expect_end();
+    EXPECT_EQ(back.kind, d.kind);
+    EXPECT_EQ(back.app, d.app);
+    EXPECT_EQ(back.use_case, d.use_case);
+    EXPECT_EQ(back.estimator.order, d.estimator.order);
+    EXPECT_EQ(back.estimator.iterations, d.estimator.iterations);
+    EXPECT_EQ(back.wcrt.tdma_slot, d.wcrt.tdma_slot);
+    EXPECT_EQ(back.sim.horizon, d.sim.horizon);
+    EXPECT_EQ(back.sim.warmup_fraction, d.sim.warmup_fraction);
+    EXPECT_EQ(back.sim.sample_seed, d.sim.sample_seed);
+    ASSERT_EQ(back.sim.exec_models.size(), 1u);
+    EXPECT_EQ(back.buffers.max_steps, d.buffers.max_steps);
+  }
+}
+
+TEST(Codec, QueryDescRejectsOutOfRangeEnum) {
+  api::QueryDesc d;
+  WireWriter w;
+  encode_query_desc(w, d);
+  std::vector<std::uint8_t> bytes(w.view().begin(), w.view().end());
+  bytes[0] = 200;  // kind is the first byte; 200 is no QueryKind
+  WireReader r(bytes);
+  EXPECT_THROW((void)decode_query_desc(r), CodecError);
+}
+
+TEST(Codec, QueryValueRoundTripBitwise) {
+  // Real results from a real Workbench: every variant alternative the
+  // service can produce must survive the wire bitwise.
+  api::Workbench wb(procon::testing::fig2_system(),
+                    api::WorkbenchOptions{.threads = 1});
+  std::vector<api::QueryValue> values;
+  values.emplace_back(wb.throughput(0));
+  values.emplace_back(wb.latency(0));
+  values.emplace_back(wb.bottleneck(0));
+  values.emplace_back(wb.contention());
+  values.emplace_back(wb.wcrt());
+  for (const api::QueryValue& v : values) {
+    WireWriter w;
+    encode_query_value(w, v);
+    WireReader r(w.view());
+    const api::QueryValue back = decode_query_value(r);
+    r.expect_end();
+    EXPECT_EQ(back.index(), v.index());
+    // Bitwise identity via the payload bytes (provenance excluded there,
+    // but this decode carried provenance through as well).
+    WireWriter pa;
+    WireWriter pb;
+    encode_query_payload(pa, v);
+    encode_query_payload(pb, back);
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_TRUE(
+        std::equal(pa.view().begin(), pa.view().end(), pb.view().begin()));
+    // Full re-encode (with provenance) is byte-stable too.
+    WireWriter w2;
+    encode_query_value(w2, back);
+    ASSERT_EQ(w2.size(), w.size());
+    EXPECT_TRUE(
+        std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
+  }
+}
+
+TEST(Codec, StatsRoundTrip) {
+  WireStats s;
+  s.service.submitted = 10;
+  s.service.coalesced = 2;
+  s.service.result_hits = 3;
+  s.service.executed = 5;
+  s.service.sessions_built = 4;
+  s.service.sessions_evicted = 1;
+  s.table.hits = 100;
+  s.table.misses = 50;
+  s.table.stores = 49;
+  s.table.evictions = 7;
+  s.table.verify_failures = 0;
+  s.table.shards.push_back({60, 30, 29, 4, 0});
+  s.table.shards.push_back({40, 20, 20, 3, 0});
+  WireWriter w;
+  encode_stats(w, s);
+  WireReader r(w.view());
+  const WireStats back = decode_stats(r);
+  r.expect_end();
+  EXPECT_EQ(back.service.submitted, s.service.submitted);
+  EXPECT_EQ(back.service.coalesced, s.service.coalesced);
+  EXPECT_EQ(back.service.result_hits, s.service.result_hits);
+  EXPECT_EQ(back.service.executed, s.service.executed);
+  EXPECT_EQ(back.table.hits, s.table.hits);
+  ASSERT_EQ(back.table.shards.size(), 2u);
+  EXPECT_EQ(back.table.shards[1].hits, 40u);
+}
+
+TEST(Codec, FramingHandlesPartialDelivery) {
+  std::vector<std::uint8_t> wire;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  append_frame(wire, FrameType::Query, 42, payload);
+  append_frame(wire, FrameType::StatsRequest, 43, {});
+
+  // Feed the stream one byte at a time: frames must pop out exactly when
+  // complete, never early.
+  std::vector<std::uint8_t> rx;
+  std::vector<Frame> got;
+  for (const std::uint8_t b : wire) {
+    rx.push_back(b);
+    while (auto f = try_extract_frame(rx)) got.push_back(*std::move(f));
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, FrameType::Query);
+  EXPECT_EQ(got[0].request_id, 42u);
+  EXPECT_EQ(got[0].payload, payload);
+  EXPECT_EQ(got[1].type, FrameType::StatsRequest);
+  EXPECT_EQ(got[1].request_id, 43u);
+  EXPECT_TRUE(got[1].payload.empty());
+  EXPECT_TRUE(rx.empty());
+}
+
+TEST(Codec, FramingRejectsHostileLengthPrefix) {
+  // A length prefix beyond kMaxFramePayload must throw instead of waiting
+  // for (or allocating) a gigabyte.
+  std::vector<std::uint8_t> rx{0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW((void)try_extract_frame(rx), CodecError);
+}
+
+TEST(Codec, HelloHandshake) {
+  const auto ok = hello_payload();
+  EXPECT_NO_THROW(check_hello(ok));
+  auto bad_magic = ok;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(check_hello(bad_magic), CodecError);
+  auto bad_version = ok;
+  bad_version[4] ^= 0xFF;  // version lives after the u32 magic
+  EXPECT_THROW(check_hello(bad_version), CodecError);
+}
+
+}  // namespace
+}  // namespace procon::net

@@ -98,6 +98,65 @@ TEST(Io, ErrorMentionsLineNumber) {
   }
 }
 
+TEST(Io, RoundTripStochasticModelBitwise) {
+  const Graph g = procon::testing::fig2_graph_a();
+  ExecTimeModel model;
+  model.push_back(ExecTimeDistribution::uniform(2, 7));
+  model.push_back(ExecTimeDistribution::discrete(
+      {{3, 0.2}, {5, 0.5}, {11, 0.3}}));
+  for (ActorId a = 2; a < g.actor_count(); ++a) {
+    model.push_back(ExecTimeDistribution::constant(g.actor(a).exec_time));
+  }
+
+  std::ostringstream os;
+  write_graph(os, g, model);
+  std::istringstream is(os.str());
+  ExecTimeModel back;
+  const Graph g2 = read_graph(is, back);
+
+  EXPECT_EQ(g2.actor_count(), g.actor_count());
+  ASSERT_EQ(back.size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(back[i].outcomes().size(), model[i].outcomes().size());
+    for (std::size_t k = 0; k < model[i].outcomes().size(); ++k) {
+      EXPECT_EQ(back[i].outcomes()[k].value, model[i].outcomes()[k].value);
+      // Hexfloat weights + from_normalised: bitwise, not approximate.
+      EXPECT_EQ(back[i].outcomes()[k].weight, model[i].outcomes()[k].weight);
+    }
+    EXPECT_EQ(back[i].mean(), model[i].mean());
+    EXPECT_EQ(back[i].second_moment(), model[i].second_moment());
+    // Sampling reads the cumulative table: identical draws prove it was
+    // rebuilt bitwise too.
+    util::Rng rng_a(99);
+    util::Rng rng_b(99);
+    for (int d = 0; d < 64; ++d) {
+      EXPECT_EQ(back[i].sample(rng_a), model[i].sample(rng_b));
+    }
+  }
+}
+
+TEST(Io, ModelAwareReadDefaultsMissingDistToConstant) {
+  const std::string text =
+      "graph g\nactor a 4\nactor b 6\ndist a uniform 3 5\n"
+      "channel a b 1 1 0\nchannel b a 1 1 1\nend\n";
+  std::istringstream is(text);
+  ExecTimeModel model;
+  const Graph g = read_graph(is, model);
+  ASSERT_EQ(model.size(), 2u);
+  EXPECT_FALSE(model[0].is_constant());
+  ASSERT_TRUE(model[1].is_constant());
+  EXPECT_EQ(model[1].outcomes()[0].value, g.actor(1).exec_time);
+}
+
+TEST(Io, ModelFreeReadRejectsDistLines) {
+  // The model-free parser must not silently drop a stochastic model.
+  const std::string text =
+      "graph g\nactor a 4\ndist a uniform 3 5\nend\n";
+  EXPECT_THROW(graph_from_text(text), ParseError);
+  std::istringstream is(text);
+  EXPECT_THROW((void)read_graphs(is), ParseError);
+}
+
 TEST(Io, DotContainsActorsAndRates) {
   const std::string dot = to_dot(procon::testing::fig2_graph_a());
   EXPECT_NE(dot.find("digraph"), std::string::npos);

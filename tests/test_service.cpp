@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -175,7 +177,10 @@ TEST(AnalysisService, MultiClientStressMatchesSerialWorkbenchOracle) {
 
     const auto stats = service.stats();
     EXPECT_EQ(stats.submitted, kClients * kQueries);
-    EXPECT_EQ(stats.submitted, stats.coalesced + stats.executed);
+    // Every accepted submit is accounted exactly once: attached to an
+    // in-flight twin, served from the completed-result arena, or executed.
+    EXPECT_EQ(stats.submitted,
+              stats.coalesced + stats.result_hits + stats.executed);
     EXPECT_LE(service.session_count(), 4u);
   }
 }
@@ -409,7 +414,142 @@ TEST(AnalysisService, SweepIsNotStarvedByAContinuousSubmitStream) {
   service.drain();
   EXPECT_EQ(service.stats().submitted,
             service.stats().executed + service.stats().coalesced +
-                service.stats().cancelled);
+                service.stats().result_hits + service.stats().cancelled);
+}
+
+TEST(AnalysisService, CancelAfterCoalesceDoesNotAbandonTheLeader) {
+  AnalysisService service(ServiceOptions{.threads = 2});
+  const SystemId id = service.register_system(random_system(61, 3));
+
+  QueryDesc slow;
+  slow.kind = QueryKind::Simulate;
+  slow.sim.horizon = 3'000'000;
+  auto blocker = service.submit(id, slow);
+
+  QueryDesc q;
+  q.kind = QueryKind::Contention;
+  auto leader = service.submit(id, q);
+  auto twin = service.submit(id, q);  // coalesces onto the leader's state
+
+  // The twin bails out after having coalesced: the query must survive (the
+  // leader is still attached). Status is shared, so the withdrawn twin
+  // still observes the query's outcome — cancel() withdraws interest, it
+  // does not sever the attachment.
+  EXPECT_FALSE(twin.cancel());
+  EXPECT_NE(twin.status(), TicketStatus::Cancelled);
+
+  const auto& v =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(leader.get());
+  EXPECT_FALSE(v->empty());
+  // The withdrawn twin reads the very same shared value.
+  EXPECT_EQ(&std::get<api::Report<std::vector<prob::AppEstimate>>>(twin.get()),
+            &v);
+  blocker.wait();
+  service.drain();
+  EXPECT_EQ(service.stats().cancelled, 0u);  // never abandoned
+}
+
+TEST(AnalysisService, CoalescedFollowerOutlivesACancelledLeader) {
+  AnalysisService service(ServiceOptions{.threads = 2});
+  const SystemId id = service.register_system(random_system(62, 3));
+
+  QueryDesc slow;
+  slow.kind = QueryKind::Simulate;
+  slow.sim.horizon = 3'000'000;
+  auto blocker = service.submit(id, slow);
+
+  QueryDesc q;
+  q.kind = QueryKind::Wcrt;
+  auto leader = service.submit(id, q);
+  auto follower = service.submit(id, q);
+
+  // The ticket that *created* the query cancels; the coalesced follower
+  // keeps it alive and still gets the result.
+  EXPECT_FALSE(leader.cancel());
+  const auto& v =
+      std::get<api::Report<std::vector<wcrt::AppBound>>>(follower.get());
+  EXPECT_FALSE(v->empty());
+
+  // Only when the LAST attached ticket cancels is the query abandoned:
+  // rehearse on a fresh pending pair.
+  QueryDesc q2;
+  q2.kind = QueryKind::Contention;
+  auto a = service.submit(id, q2);
+  auto b = service.submit(id, q2);
+  const bool abandoned_by_a = a.cancel();
+  const bool abandoned_by_b = b.cancel();
+  // Exactly the second cancel abandons — unless the worker already picked
+  // the query up (Running is never abandoned), in which case neither did.
+  EXPECT_FALSE(abandoned_by_a && abandoned_by_b);
+  if (abandoned_by_b) {
+    EXPECT_EQ(a.status(), TicketStatus::Cancelled);
+    EXPECT_EQ(b.status(), TicketStatus::Cancelled);
+  }
+  blocker.wait();
+  service.drain();
+}
+
+TEST(AnalysisService, DestructionWithInFlightCoalescedTicketsIsSafe) {
+  std::optional<QueryTicket> leader;
+  std::optional<QueryTicket> twin;
+  std::optional<QueryTicket> cancelled;
+  {
+    AnalysisService service(ServiceOptions{.threads = 2});
+    const SystemId id = service.register_system(random_system(63, 3));
+    QueryDesc slow;
+    slow.kind = QueryKind::Simulate;
+    slow.sim.horizon = 1'000'000;
+    auto blocker = service.submit(id, slow);
+
+    QueryDesc q;
+    q.kind = QueryKind::Contention;
+    leader.emplace(service.submit(id, q));
+    twin.emplace(service.submit(id, q));
+    cancelled.emplace(service.submit(id, q));
+    EXPECT_FALSE(cancelled->cancel());
+    // The service dies here with the coalesced pair still in flight: the
+    // destructor drains, so both tickets complete.
+  }
+  // Tickets own their shared state — readable after the service is gone.
+  EXPECT_EQ(leader->status(), TicketStatus::Done);
+  const auto& va =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(leader->get());
+  const auto& vb =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(twin->get());
+  EXPECT_EQ(&va, &vb);  // one shared execution, one shared value
+  // The withdrawn ticket shares the same state: the query survived it, so
+  // it too reads Done and the same value.
+  EXPECT_EQ(cancelled->status(), TicketStatus::Done);
+  EXPECT_EQ(&std::get<api::Report<std::vector<prob::AppEstimate>>>(
+                cancelled->get()),
+            &va);
+}
+
+TEST(AnalysisService, ResultCacheServesRepeatsWithoutReExecution) {
+  AnalysisService service(ServiceOptions{.threads = 1});
+  const SystemId id = service.register_system(random_system(64, 3));
+  QueryDesc q;
+  q.kind = QueryKind::Contention;
+
+  const auto first = service.submit(id, q);
+  first.wait();
+  // A repeat after completion (nothing in flight to coalesce with) must be
+  // served from the shared-result arena, aliasing the same value.
+  const auto repeat = service.submit(id, q);
+  const auto& va =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(first.get());
+  const auto& vb =
+      std::get<api::Report<std::vector<prob::AppEstimate>>>(repeat.get());
+  EXPECT_EQ(&va, &vb);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.result_hits, 1u);
+
+  // share(): the arena slot outlives every ticket AND the service.
+  std::shared_ptr<const QueryValue> kept = repeat.share();
+  EXPECT_EQ(&std::get<api::Report<std::vector<prob::AppEstimate>>>(*kept),
+            &va);
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+// procon_server - one analysis shard of the net:: cluster tier.
+//
+// Hosts a resident api::AnalysisService behind net::AnalysisServer and
+// serves the binary wire protocol (see src/net/codec.h) over TCP. Tenants
+// arrive over the wire (RegisterSystem frames) — the binary takes no input
+// file. A fleet of these processes plus any number of `procon client`
+// invocations form the cluster: clients route tenants to shards by system
+// fingerprint, so no shard needs to know about the others.
+//
+//   procon_server [--port P] [--bind-any] [--threads T] [--capacity S]
+//                 [--completion C]
+//
+//   --port P        TCP port (default 0 = ephemeral; the chosen port is
+//                   printed, so scripts can scrape it)
+//   --bind-any      bind 0.0.0.0 instead of loopback
+//   --threads T     AnalysisService worker threads (0 = hardware)
+//   --capacity S    session LRU capacity (default 8)
+//   --completion C  completion-writer threads (default 4)
+//
+// Runs until stdin reaches EOF or SIGINT/SIGTERM arrives, then prints the
+// resident service's counters and the shared transposition-table stats —
+// the same numbers a remote client can fetch live with a StatsRequest
+// frame.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "analysis/transposition_table.h"
+#include "net/server.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace procon;
+
+std::string flag_value(int argc, char** argv, const std::string& flag,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    std::cout << "usage: procon_server [--port P] [--bind-any] [--threads T]"
+                 " [--capacity S] [--completion C]\n";
+    return 0;
+  }
+  try {
+    net::ServerOptions opts;
+    opts.port = static_cast<std::uint16_t>(
+        std::stoul(flag_value(argc, argv, "--port", "0")));
+    opts.bind_any = has_flag(argc, argv, "--bind-any");
+    opts.completion_threads = static_cast<std::size_t>(
+        std::stoull(flag_value(argc, argv, "--completion", "4")));
+    opts.service.threads = static_cast<std::size_t>(
+        std::stoull(flag_value(argc, argv, "--threads", "0")));
+    opts.service.session_capacity = static_cast<std::size_t>(
+        std::stoull(flag_value(argc, argv, "--capacity", "8")));
+
+    net::AnalysisServer server(opts);
+    // One parseable line, flushed before anything blocks: launch scripts
+    // scrape the ephemeral port from it.
+    std::cout << "procon_server: listening on "
+              << (opts.bind_any ? "0.0.0.0" : "127.0.0.1") << ":"
+              << server.port() << std::endl;
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // Park on stdin: EOF (pipe closed by the launcher) or a signal ends the
+    // shard. Polling keeps the signal path responsive without a handler
+    // that must wake a blocked read.
+    std::string line;
+    while (g_signalled == 0 && std::getline(std::cin, line)) {
+      if (line == "quit" || line == "stop") break;
+    }
+    server.stop();
+
+    const api::ServiceStats stats = server.service().stats();
+    util::Table table("procon_server: final counters");
+    table.set_header({"counter", "value"});
+    table.add_row({"submitted", std::to_string(stats.submitted)});
+    table.add_row({"coalesced (shared in-flight)",
+                   std::to_string(stats.coalesced)});
+    table.add_row({"result-cache hits", std::to_string(stats.result_hits)});
+    table.add_row({"executed", std::to_string(stats.executed)});
+    table.add_row({"sessions built", std::to_string(stats.sessions_built)});
+    table.add_row({"sessions evicted",
+                   std::to_string(stats.sessions_evicted)});
+    std::cout << table.render();
+    const analysis::TranspositionTable::Stats tt =
+        server.service().transposition_stats();
+    std::cout << "[tt-stats: " << tt.hits << " hit(s), " << tt.misses
+              << " miss(es), hit-rate "
+              << util::format_double(100.0 * tt.hit_rate(), 1) << "%, "
+              << tt.evictions << " eviction(s), " << tt.verify_failures
+              << " verify failure(s)]\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "procon_server: error: " << e.what() << "\n";
+    return 1;
+  }
+}
