@@ -1,0 +1,205 @@
+// dse::Racer — full-precision evaluations saved by best-arm racing, the
+// PR-over-PR tracker for the fidelity-ladder DSE paths.
+//
+// Two measurements on the paper workload:
+//
+//  1. mapping race: C random candidate mappings scored by the exhaustive
+//     path (racer oracle mode — every candidate to full precision) vs the
+//     racing path (estimator fidelity ladder, max_survivors = 2). Gates:
+//     the racer performs >= 5x fewer full-precision evaluations, its
+//     winner's full-precision score is within 5% of the exhaustive
+//     optimum, and the raced result is bitwise identical for 1 vs 4
+//     worker threads (the determinism contract).
+//
+//  2. buffer frontier: the greedy capacity walk of a deep pipeline,
+//     exhaustive (every channel re-evaluated per step) vs raced (cached
+//     priors, one survivor full-evaluated per step, periodic re-sync
+//     sweeps). Gates: >= 5x fewer bounded-period candidate evaluations
+//     (FrontierResult::evaluations, counted identically on both walks),
+//     final period within 5%, and two raced walks are bitwise identical.
+//
+// Emits BENCH_racer.json; CI smoke-runs it with tiny counts and the
+// Release gate checks the eval-ratio / quality / identity flags on the
+// committed copy.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/workbench.h"
+#include "dse/buffer_explorer.h"
+#include "dse/racer.h"
+#include "harness.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace procon;
+
+/// Deep pipeline with a token-limited feedback ring: the buffer walk has
+/// many improving steps before it converges, so racing has work to save.
+sdf::Graph deep_pipeline(std::size_t stages) {
+  sdf::Graph g("pipe");
+  std::vector<sdf::ActorId> actors;
+  actors.reserve(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    actors.push_back(g.add_actor("s" + std::to_string(i),
+                                 static_cast<sdf::Time>(5 + (3 * i) % 11)));
+  }
+  for (std::size_t i = 0; i + 1 < stages; ++i) {
+    g.add_channel(actors[i], actors[i + 1], 1, 1, 0);
+  }
+  g.add_channel(actors[stages - 1], actors[0], 1, 1,
+                static_cast<std::uint64_t>(stages));
+  return g;
+}
+
+bool outcomes_equal(const dse::ArmOutcome& a, const dse::ArmOutcome& b) {
+  return a.score == b.score && a.full == b.full && a.pulls == b.pulls &&
+         a.eliminated_round == b.eliminated_round;
+}
+
+bool races_identical(const dse::MappingRace& a, const dse::MappingRace& b) {
+  if (a.best != b.best || a.scores.size() != b.scores.size()) return false;
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    if (a.scores[i] != b.scores[i]) return false;
+    if (!outcomes_equal(a.outcomes[i], b.outcomes[i])) return false;
+  }
+  return a.stats.full_evals == b.stats.full_evals &&
+         a.stats.eliminated == b.stats.eliminated &&
+         a.stats.estimator_pulls == b.stats.estimator_pulls &&
+         a.stats.sim_pulls == b.stats.sim_pulls;
+}
+
+bool frontiers_identical(const dse::FrontierResult& a,
+                         const dse::FrontierResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t k = 0; k < a.points.size(); ++k) {
+    if (a.points[k].capacities != b.points[k].capacities) return false;
+    if (a.points[k].total_tokens != b.points[k].total_tokens) return false;
+    if (a.points[k].period != b.points[k].period) return false;
+  }
+  return a.racer.full_evals == b.racer.full_evals &&
+         a.racer.exhaustive_evals == b.racer.exhaustive_evals &&
+         a.evaluations == b.evaluations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const platform::System sys = bench::make_workload(opts);
+
+  // ---- 1. mapping race ----------------------------------------------------
+  const std::size_t kCandidates = 16 * std::max<std::size_t>(opts.apps / 2, 2);
+  util::Rng rng(opts.seed + 1);
+  std::vector<platform::Mapping> candidates;
+  candidates.reserve(kCandidates);
+  for (std::size_t i = 0; i < kCandidates; ++i) {
+    candidates.push_back(
+        platform::Mapping::random(sys.apps(), sys.platform(), rng));
+  }
+  prob::EstimatorOptions estimator;
+  estimator.iterations = 4;  // full precision = deep fixed point
+
+  dse::RacerOptions oracle;
+  oracle.enabled = false;
+  dse::RacerOptions racing;
+  racing.enabled = true;
+  racing.estimator_pulls = 2;
+  racing.sim_pulls = 0;
+  racing.max_survivors = 2;
+
+  api::Workbench exhaustive_wb(sys, api::WorkbenchOptions{.threads = 4});
+  bench::Stopwatch clock;
+  const auto exhaustive = *exhaustive_wb.race_mappings(candidates, estimator, oracle);
+  const double map_exhaustive_s = clock.seconds();
+
+  api::Workbench raced_wb(sys, api::WorkbenchOptions{.threads = 4});
+  clock = bench::Stopwatch();
+  const auto raced = *raced_wb.race_mappings(candidates, estimator, racing);
+  const double map_raced_s = clock.seconds();
+
+  // Determinism gate: the same race on a serial session, bitwise.
+  api::Workbench serial_wb(sys, api::WorkbenchOptions{.threads = 1});
+  const auto raced_serial = *serial_wb.race_mappings(candidates, estimator, racing);
+  bool identical = races_identical(raced, raced_serial);
+
+  const double map_best_exhaustive = exhaustive.scores[exhaustive.best];
+  const double map_best_raced = raced.scores[raced.best];
+  const double map_quality =
+      map_best_exhaustive > 0.0
+          ? (map_best_raced - map_best_exhaustive) / map_best_exhaustive
+          : 0.0;
+  const double map_ratio = raced.stats.eval_ratio();
+
+  // ---- 2. buffer frontier -------------------------------------------------
+  const sdf::Graph pipe = deep_pipeline(12);
+  dse::BufferExplorerOptions bopts;
+  bopts.max_steps = 128;
+
+  clock = bench::Stopwatch();
+  const dse::FrontierResult buf_exhaustive = dse::explore_buffer_frontier(pipe, bopts);
+  const double buf_exhaustive_s = clock.seconds();
+
+  dse::BufferExplorerOptions braced = bopts;
+  braced.racer.enabled = true;
+  braced.racer.estimator_pulls = 2;
+  braced.racer.max_survivors = 1;
+  braced.racer.resync_every = 24;
+  clock = bench::Stopwatch();
+  const dse::FrontierResult buf_raced = dse::explore_buffer_frontier(pipe, braced);
+  const double buf_raced_s = clock.seconds();
+  identical = identical &&
+              frontiers_identical(buf_raced, dse::explore_buffer_frontier(pipe, braced));
+
+  const double buf_final_exhaustive = buf_exhaustive.points.back().period;
+  const double buf_final_raced = buf_raced.points.back().period;
+  const double buf_quality =
+      buf_final_exhaustive > 0.0
+          ? (buf_final_raced - buf_final_exhaustive) / buf_final_exhaustive
+          : 0.0;
+  const double buf_ratio =
+      buf_raced.evaluations > 0
+          ? static_cast<double>(buf_exhaustive.evaluations) /
+                static_cast<double>(buf_raced.evaluations)
+          : 1.0;
+
+  const bool gates_ok = map_ratio >= 5.0 && buf_ratio >= 5.0 &&
+                        map_quality <= 0.05 && buf_quality <= 0.05 && identical;
+
+  char json[896];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"racer\",\"seed\":%llu,\"apps\":%zu,\"candidates\":%zu,"
+      "\"mapping_full_evals\":%llu,\"mapping_exhaustive_evals\":%llu,"
+      "\"mapping_eval_ratio\":%.2f,\"mapping_exhaustive_ms\":%.2f,"
+      "\"mapping_raced_ms\":%.2f,\"mapping_speedup\":%.2f,"
+      "\"mapping_quality_delta\":%.4f,"
+      "\"buffer_full_evals\":%llu,\"buffer_exhaustive_evals\":%llu,"
+      "\"buffer_eval_ratio\":%.2f,\"buffer_exhaustive_ms\":%.2f,"
+      "\"buffer_raced_ms\":%.2f,\"buffer_speedup\":%.2f,"
+      "\"buffer_quality_delta\":%.4f,\"identical\":%s}",
+      static_cast<unsigned long long>(opts.seed), opts.apps, kCandidates,
+      static_cast<unsigned long long>(raced.stats.full_evals),
+      static_cast<unsigned long long>(raced.stats.exhaustive_evals), map_ratio,
+      1e3 * map_exhaustive_s, 1e3 * map_raced_s,
+      map_raced_s > 0.0 ? map_exhaustive_s / map_raced_s : 0.0, map_quality,
+      static_cast<unsigned long long>(buf_raced.evaluations),
+      static_cast<unsigned long long>(buf_exhaustive.evaluations),
+      buf_ratio, 1e3 * buf_exhaustive_s, 1e3 * buf_raced_s,
+      buf_raced_s > 0.0 ? buf_exhaustive_s / buf_raced_s : 0.0, buf_quality,
+      identical ? "true" : "false");
+
+  std::cout << json << "\n";
+  std::ofstream out("BENCH_racer.json");
+  out << json << "\n";
+
+  if (!gates_ok) {
+    std::cerr << "FAIL: racing saved < 5x full evaluations, lost > 5% "
+                 "quality, or broke the bitwise determinism contract\n";
+    return 1;
+  }
+  return 0;
+}

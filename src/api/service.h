@@ -87,14 +87,16 @@ struct QueryDesc {
   prob::EstimatorOptions estimator;  ///< Contention configuration
   wcrt::WcrtOptions wcrt;            ///< Wcrt configuration
   sim::SimOptions sim;               ///< Simulate configuration
-  dse::BufferExplorerOptions buffers;  ///< BufferFrontier configuration
+  /// BufferFrontier configuration, including its racing options
+  /// (buffers.racer — enabled=false keeps the exhaustive greedy walk).
+  dse::BufferExplorerOptions buffers;
 };
 
 /// \brief Every result shape a ticket can carry, in QueryKind order.
 using QueryValue = std::variant<Report<analysis::PeriodResult>,
                                 Report<analysis::GraphLatencyResult>,
                                 Report<analysis::BottleneckReport>,
-                                Report<std::vector<dse::BufferPoint>>,
+                                Report<dse::FrontierResult>,
                                 Report<std::vector<prob::AppEstimate>>,
                                 Report<std::vector<wcrt::AppBound>>,
                                 Report<sim::SimResult>>;
@@ -410,6 +412,13 @@ class AnalysisService {
   /// \return hits / misses / stores / evictions / verify failures
   [[nodiscard]] analysis::TranspositionTable::Stats transposition_stats() const;
 
+  /// Aggregated dse::Racer statistics across every session of this service
+  /// (live idle sessions plus everything retired by eviction; sessions
+  /// currently executing a query are skipped and show up at the next idle
+  /// snapshot). Behind the CLI's `[racer: ...]` line, mirroring
+  /// transposition_stats().
+  [[nodiscard]] dse::RacerStats racer_stats() const;
+
   /// \brief Blocks until every query submitted so far has finished.
   void drain();
 
@@ -501,6 +510,7 @@ class AnalysisService {
   std::size_t result_cache_epochs_ = 4;
   std::size_t result_cache_stride_ = 64;
   ServiceStats stats_;
+  dse::RacerStats retired_racer_;  // racer counters of evicted sessions
   std::uint64_t clock_ = 0;          // LRU stamps
   std::uint64_t session_serial_ = 0; // unique session ids, never reused
   std::size_t session_capacity_ = 8;

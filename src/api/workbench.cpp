@@ -149,7 +149,10 @@ std::vector<dse::AnalysisWorkspace>& Workbench::worker_sets() {
   if (workers_.empty()) {
     workers_.reserve(pool_.size());
     for (std::size_t w = 0; w < pool_.size(); ++w) {
-      workers_.push_back(dse::AnalysisWorkspace{sys_, engines_});
+      dse::AnalysisWorkspace ws;
+      ws.sys = sys_;
+      ws.engines = engines_;
+      workers_.push_back(std::move(ws));
     }
   }
   return workers_;
@@ -288,16 +291,19 @@ Report<analysis::BottleneckReport> Workbench::bottleneck(sdf::AppId app) {
   return report;
 }
 
-Report<std::vector<dse::BufferPoint>> Workbench::buffer_frontier(
+Report<dse::FrontierResult> Workbench::buffer_frontier(
     sdf::AppId app, const dse::BufferExplorerOptions& opts) {
   check_app(app);
   Timer timer;
-  Report<std::vector<dse::BufferPoint>> report;
-  report.value = dse::explore_buffer_tradeoff(sys_.app(app), opts, table_.get());
-  report.provenance = {opts.incremental
-                           ? "greedy frontier (incremental reverse-channel patch)"
-                           : "greedy frontier (engine per candidate)",
-                       report.value.size(), 1, timer.ms()};
+  Report<dse::FrontierResult> report;
+  report.value = dse::explore_buffer_frontier(sys_.app(app), opts, table_.get());
+  racer_stats_.merge(report.value.racer);
+  report.provenance = {opts.racer.enabled
+                           ? "greedy frontier (raced candidates)"
+                           : opts.incremental
+                               ? "greedy frontier (incremental reverse-channel patch)"
+                               : "greedy frontier (engine per candidate)",
+                       report.value.points.size(), 1, timer.ms()};
   return report;
 }
 
@@ -527,45 +533,33 @@ SweepSummary Workbench::sweep_use_cases(std::span<const platform::UseCase> use_c
 Report<std::vector<double>> Workbench::score_mappings(
     std::span<const platform::Mapping> candidates,
     const prob::EstimatorOptions& opts) {
+  // Shim over the racer's oracle mode: every unique candidate is evaluated
+  // to full precision (same estimator pipeline, same MappingScore keys),
+  // structurally identical candidates share one evaluation and one table
+  // entry — per-candidate values are unchanged.
   Timer timer;
-  const prob::ContentionEstimator est(opts);
-  auto& workers = worker_sets();
-  const platform::UseCase full = sys_.full_use_case();
-
+  dse::RacerOptions oracle;
+  oracle.enabled = false;
+  dse::MappingRace race = dse::race_mapping_scores(
+      candidates, opts, oracle, &pool_, worker_sets(), table_.get());
+  racer_stats_.merge(race.stats);
   Report<std::vector<double>> report;
-  report.value.resize(candidates.size(), 0.0);
-  pool_.for_each_index(candidates.size(), [&](std::size_t i, std::size_t w) {
-    dse::AnalysisWorkspace& ws = workers[w];
-    ws.sys.set_mapping(candidates[i]);
-    // Transposition probe on the clone's live fingerprint (set_mapping
-    // keeps it current in O(1)); the key matches the mapper's MappingScore
-    // entries, so scores flow between score_mappings and optimise_mapping.
-    analysis::TTKey key;
-    if (table_ != nullptr) {
-      analysis::TTKeyBuilder b(ws.sys.fingerprint(),
-                               analysis::TTQuery::MappingScore);
-      dse::absorb_estimator_options(b, opts);
-      key = b.key();
-      analysis::TTValue v;
-      if (table_->lookup(key, v)) {
-        report.value[i] = v.primary;
-        return;
-      }
-    }
-    auto ptrs = engines_for(ws.engines, full);
-    double worst = 0.0;
-    for (const auto& e : est.estimate(
-             ws.sys, {}, std::span<analysis::ThroughputEngine* const>(ptrs))) {
-      worst = std::max(worst, e.normalised_period());
-    }
-    if (table_ != nullptr) {
-      analysis::TTValue v;
-      v.primary = worst;
-      table_->store(key, v);
-    }
-    report.value[i] = worst;
-  });
+  report.value = std::move(race.scores);
   report.provenance = {"mapping score: " + prob::method_name(opts.method),
+                       candidates.size(), pool_.size(), timer.ms()};
+  return report;
+}
+
+Report<dse::MappingRace> Workbench::race_mappings(
+    std::span<const platform::Mapping> candidates,
+    const prob::EstimatorOptions& opts, const dse::RacerOptions& racer) {
+  Timer timer;
+  Report<dse::MappingRace> report;
+  report.value = dse::race_mapping_scores(candidates, opts, racer, &pool_,
+                                          worker_sets(), table_.get());
+  racer_stats_.merge(report.value.stats);
+  report.provenance = {racer.enabled ? "mapping race (fidelity ladder)"
+                                     : "mapping race (oracle mode)",
                        candidates.size(), pool_.size(), timer.ms()};
   return report;
 }
@@ -578,7 +572,10 @@ Report<dse::MapperResult> Workbench::optimise_mapping(const dse::MapperOptions& 
   // construction the free function pays.
   report.value = dse::optimise_mapping(sys_.apps(), sys_.platform(), sys_.mapping(),
                                        opts, &pool_, worker_sets(), table_.get());
-  report.provenance = {"simulated annealing (speculative scoring)",
+  racer_stats_.merge(report.value.racer);
+  report.provenance = {opts.racer.enabled
+                           ? "simulated annealing (raced candidates)"
+                           : "simulated annealing (speculative scoring)",
                        report.value.scored_candidates, pool_.size(), timer.ms()};
   return report;
 }

@@ -187,8 +187,11 @@ class Workbench {
   /// Critical-cycle actors (== analysis::find_bottleneck).
   [[nodiscard]] Report<analysis::BottleneckReport> bottleneck(sdf::AppId app);
 
-  /// Buffer-size / period Pareto frontier (== dse::explore_buffer_tradeoff).
-  [[nodiscard]] Report<std::vector<dse::BufferPoint>> buffer_frontier(
+  /// Buffer-size / period Pareto frontier plus racing statistics
+  /// (== dse::explore_buffer_frontier; with opts.racer.enabled == false the
+  /// points are bitwise dse::explore_buffer_tradeoff and the statistics are
+  /// all zero).
+  [[nodiscard]] Report<dse::FrontierResult> buffer_frontier(
       sdf::AppId app, const dse::BufferExplorerOptions& opts = {});
 
   // ---- whole-system queries ----------------------------------------------
@@ -273,6 +276,17 @@ class Workbench {
       std::span<const platform::Mapping> candidates,
       const prob::EstimatorOptions& opts = {});
 
+  /// Races candidate mappings through the dse::Racer fidelity ladder
+  /// (== dse::race_mapping_scores on the session's cached workspaces, pool
+  /// and transposition table). With racer.enabled == false this is the
+  /// exhaustive path — per-candidate values bitwise score_mappings —
+  /// plus the winner index and (zero-saving) statistics. Deterministic for
+  /// any thread count either way; score_mappings is a shim over that mode.
+  [[nodiscard]] Report<dse::MappingRace> race_mappings(
+      std::span<const platform::Mapping> candidates,
+      const prob::EstimatorOptions& opts = {},
+      const dse::RacerOptions& racer = {});
+
   /// Simulated-annealing mapping exploration from the session's current
   /// mapping, with speculative candidate scoring on the pool
   /// (== dse::optimise_mapping; deterministic for any thread count).
@@ -292,6 +306,15 @@ class Workbench {
   [[nodiscard]] const std::shared_ptr<analysis::TranspositionTable>&
   transposition_table() const noexcept {
     return table_;
+  }
+
+  /// Aggregated racing statistics over every DSE query of this session
+  /// (buffer_frontier, race_mappings / score_mappings, optimise_mapping) —
+  /// the session-level counterpart of transposition_stats(), behind the
+  /// CLI's `[racer: ...]` line. Oracle-mode queries contribute races with
+  /// zero savings (eval_ratio 1).
+  [[nodiscard]] const dse::RacerStats& racer_stats() const noexcept {
+    return racer_stats_;
   }
 
  private:
@@ -340,6 +363,7 @@ class Workbench {
   std::vector<wcrt::AppBound> bound_pool_;           // grow-only result slots
   Report<std::span<const prob::AppEstimate>> contention_report_;
   sim::SimResultView sweep_sim_view_;                // per-use-case sim views
+  dse::RacerStats racer_stats_;                      // merged across DSE queries
 };
 
 }  // namespace procon::api

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/transposition_table.h"
+#include "dse/racer.h"
 #include "sdf/graph.h"
 #include "sdf/transform.h"
 
@@ -41,6 +42,32 @@ struct BufferExplorerOptions {
   /// candidate instead of rebuilding an engine from scratch. Identical
   /// results; false keeps the reference path (and the bench baseline).
   bool incremental = true;
+  /// Candidate racing (dse::Racer): when enabled, each greedy step races
+  /// the per-channel growth candidates on cached priors instead of
+  /// re-evaluating every channel — full (Howard-solve) evaluations go only
+  /// to the `racer.max_survivors` most promising channels, with periodic
+  /// full re-sync sweeps (`racer.resync_every`). Plateau verdicts need no
+  /// verification sweep: the grow-all fallback's capacities dominate every
+  /// single-bump candidate componentwise, and the period is monotone
+  /// non-increasing in capacities, so a failing grow-all proves no single
+  /// bump could have improved. Off by default: the exhaustive greedy walk,
+  /// bitwise-stable across releases.
+  RacerOptions racer{.enabled = false};
+};
+
+/// Frontier plus racing introspection (the session-facing result of
+/// api::Workbench::buffer_frontier).
+struct FrontierResult {
+  /// The Pareto staircase (first point = minimal feasible configuration).
+  std::vector<BufferPoint> points;
+  /// Racing statistics (all-zero when options.racer.enabled == false).
+  RacerStats racer;
+  /// Bounded-period candidate evaluations the walk requested (transposition
+  /// hits included, so the count is table-state invariant). Counted on both
+  /// the exhaustive and the racing walk — the honest numerator/denominator
+  /// for racer-vs-exhaustive cost comparisons, including re-sync sweeps and
+  /// grow-all probes.
+  std::uint64_t evaluations = 0;
 };
 
 /// Explores the trade-off for one application graph. The first point is the
@@ -63,5 +90,16 @@ struct BufferExplorerOptions {
 [[nodiscard]] std::vector<BufferPoint> explore_buffer_tradeoff(
     const sdf::Graph& g, const BufferExplorerOptions& options,
     analysis::TranspositionTable* table);
+
+/// Full-result variant: the frontier plus the racing statistics. With
+/// options.racer.enabled == false the points are bitwise identical to
+/// explore_buffer_tradeoff (which is a shim over this function) and the
+/// statistics are all zero. With racing enabled the walk is still fully
+/// deterministic (priors and sweeps are serial and counter-free); the
+/// frontier may differ from the exhaustive one within the racer's
+/// confidence tolerance, for a fraction of its full evaluations.
+[[nodiscard]] FrontierResult explore_buffer_frontier(
+    const sdf::Graph& g, const BufferExplorerOptions& options = {},
+    analysis::TranspositionTable* table = nullptr);
 
 }  // namespace procon::dse

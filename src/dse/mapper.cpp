@@ -63,15 +63,6 @@ double scored_system(const platform::System& sys, const prob::ContentionEstimato
 
 }  // namespace
 
-void absorb_estimator_options(analysis::TTKeyBuilder& builder,
-                              const prob::EstimatorOptions& options) noexcept {
-  builder.absorb(static_cast<std::uint64_t>(options.method));
-  builder.absorb(static_cast<std::uint64_t>(options.order));
-  builder.absorb(static_cast<std::uint64_t>(options.iterations));
-  builder.absorb(options.mc_trials);
-  builder.absorb(options.mc_seed);
-}
-
 double evaluate_mapping(std::span<const sdf::Graph> apps,
                         const platform::Platform& platform,
                         const platform::Mapping& mapping,
@@ -95,10 +86,11 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
   std::vector<AnalysisWorkspace> workspaces;
   workspaces.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    workspaces.push_back(AnalysisWorkspace{
-        platform::System(std::vector<sdf::Graph>(apps.begin(), apps.end()),
-                         platform, start),
-        prototype});
+    AnalysisWorkspace ws;
+    ws.sys = platform::System(std::vector<sdf::Graph>(apps.begin(), apps.end()),
+                              platform, start);
+    ws.engines = prototype;
+    workspaces.push_back(std::move(ws));
   }
   return optimise_mapping(apps, platform, start, options, pool, workspaces);
 }
@@ -165,8 +157,76 @@ MapperResult optimise_mapping(std::span<const sdf::Graph> apps,
     double score = 0.0;
   };
   std::vector<Proposal> batch;
-
   std::size_t step = 0;
+
+  if (options.racer.enabled) {
+    // Racing mode: each round proposes a fixed-width batch of moves from
+    // the current state (proposal b of the round draws from the counter
+    // stream at global proposal index step + b), races the batch through
+    // the fidelity ladder, and applies one Metropolis test to the
+    // full-precision winner. The width is options.racer.batch — fixed, not
+    // worker-count derived — so the trajectory, every statistic and even
+    // scored_candidates are bitwise identical for any thread count.
+    Racer racer;
+    MappingArms arms(workspaces, options.estimator, options.racer, table);
+    std::vector<platform::Mapping> candidates;
+    std::vector<ArmOutcome> outcomes;
+    util::ThreadPool* shard =
+        pool != nullptr && workspaces.size() >= pool->size() ? pool : nullptr;
+    const std::size_t batch_width = std::max<std::size_t>(1, options.racer.batch);
+    std::size_t round = 0;
+    while (step < options.iterations) {
+      const std::size_t width =
+          std::min(batch_width, options.iterations - step);
+      batch.assign(width, Proposal{});
+      candidates.assign(width, current);
+      for (std::size_t b = 0; b < width; ++b) {
+        util::Rng rng = util::counter_rng(options.seed, 1, step + b);
+        Proposal& p = batch[b];
+        p.slot = slots[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1))];
+        p.old_node = current.node_of(p.slot.app, p.slot.actor);
+        auto node = static_cast<platform::NodeId>(rng.uniform_int(
+            0, static_cast<std::int64_t>(platform.node_count()) - 2));
+        if (node >= p.old_node) ++node;
+        p.new_node = node;
+        candidates[b].assign(p.slot.app, p.slot.actor, p.new_node);
+      }
+      arms.bind(candidates);
+      outcomes.assign(width, ArmOutcome{});
+      const std::size_t best = racer.race(options.racer, width, arms,
+                                          std::span<ArmOutcome>(outcomes), shard);
+      // Exhaustive speculation would have full-evaluated the whole batch.
+      racer.stats().exhaustive_evals += width;
+      result.scored_candidates += width;
+
+      const double temperature =
+          options.initial_temperature *
+          std::pow(options.cooling, static_cast<double>(step));
+      const double winner_score = outcomes[best].score;
+      const double delta = winner_score - current_score;
+      const double draw = util::counter_rng(options.seed, 2, round).uniform01();
+      const bool accept =
+          delta <= 0.0 ||
+          (temperature > 0.0 && draw < std::exp(-delta / temperature));
+      if (accept) {
+        current.assign(batch[best].slot.app, batch[best].slot.actor,
+                       batch[best].new_node);
+        current_score = winner_score;
+        ++result.accepted_moves;
+        if (winner_score < result.score) {
+          result.score = winner_score;
+          result.mapping = current;
+        }
+      }
+      step += width;
+      ++round;
+    }
+    result.evaluations = 1 + static_cast<std::size_t>(racer.stats().full_evals);
+    result.racer = racer.stats();
+    return result;
+  }
+
   while (step < options.iterations) {
     // Speculate the next W steps from the current state. Proposals and
     // acceptance draws are functions of (seed, step index) and the current

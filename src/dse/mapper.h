@@ -24,6 +24,7 @@
 
 #include "analysis/engine.h"
 #include "analysis/transposition_table.h"
+#include "dse/racer.h"
 #include "platform/system.h"
 #include "prob/estimator.h"
 #include "util/rng.h"
@@ -31,34 +32,35 @@
 
 namespace procon::dse {
 
-/// Mixes every EstimatorOptions field into a transposition key. One shared
-/// definition for all mapping-score consumers (the mapper, Workbench
-/// score/optimise queries), so their MappingScore entries interoperate:
-/// the same (system fingerprint, estimator configuration) always builds
-/// the same key.
-void absorb_estimator_options(analysis::TTKeyBuilder& builder,
-                              const prob::EstimatorOptions& options) noexcept;
-
 struct MapperOptions {
-  std::size_t iterations = 2000;   ///< annealing steps
+  std::size_t iterations = 2000;   ///< annealing steps (proposals, in racing mode)
   double initial_temperature = 1.0;
   double cooling = 0.995;          ///< geometric temperature decay per step
   std::uint64_t seed = 1;
   prob::EstimatorOptions estimator;  ///< scoring method (2nd order default)
+  /// Candidate racing (dse::Racer): when enabled, each annealing round
+  /// proposes `racer.batch` moves, races them through the fidelity ladder
+  /// and applies one Metropolis test to the full-precision winner — far
+  /// fewer full evaluations per proposal. Off by default (the exhaustive
+  /// speculative-annealing path, bitwise-stable across releases).
+  RacerOptions racer{.enabled = false};
 };
 
 struct MapperResult {
   platform::Mapping mapping;
   double score = 0.0;         ///< worst estimated slowdown of `mapping`
   double initial_score = 0.0; ///< score of the starting mapping
-  /// Committed trajectory evaluations (start + one per annealing step);
-  /// independent of worker count.
+  /// Committed full-precision evaluations (start + one per annealing step;
+  /// in racing mode, start + one per survivor); independent of worker count.
   std::size_t evaluations = 0;
   std::size_t accepted_moves = 0;
   /// Total candidates scored including speculation discarded past an
-  /// accepted move. Depends on the speculation width (= worker count) —
-  /// diagnostic only, not part of the deterministic contract.
+  /// accepted move. Depends on the speculation width (= worker count) in
+  /// the exhaustive path — diagnostic only there; in racing mode the width
+  /// is the fixed racer.batch, so the count is deterministic too.
   std::size_t scored_candidates = 0;
+  /// Racing statistics (all-zero when options.racer.enabled == false).
+  RacerStats racer;
 };
 
 /// Scores one complete mapping: max over applications of the estimated
@@ -68,16 +70,6 @@ struct MapperResult {
                                       const platform::Platform& platform,
                                       const platform::Mapping& mapping,
                                       const prob::EstimatorOptions& estimator = {});
-
-/// Worker-local mutable scoring state: a system whose mapping is rebound
-/// per candidate plus one engine per application (built from apps()[i]).
-/// Sessions (api::Workbench) keep one per pool worker and hand them to
-/// optimise_mapping so repeated queries skip the per-call graph copies and
-/// engine construction.
-struct AnalysisWorkspace {
-  platform::System sys;
-  std::vector<analysis::ThroughputEngine> engines;
-};
 
 /// Simulated annealing from `start` (use Mapping::by_index / random /
 /// load_balanced to seed it). Deterministic for a fixed options.seed — the

@@ -1,0 +1,367 @@
+#include "dse/racer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace procon::dse {
+
+void absorb_estimator_options(analysis::TTKeyBuilder& builder,
+                              const prob::EstimatorOptions& options) noexcept {
+  builder.absorb(static_cast<std::uint64_t>(options.method));
+  builder.absorb(static_cast<std::uint64_t>(options.order));
+  builder.absorb(static_cast<std::uint64_t>(options.iterations));
+  builder.absorb(options.mc_trials);
+  builder.absorb(options.mc_seed);
+}
+
+void RacerStats::merge(const RacerStats& other) noexcept {
+  races += other.races;
+  arms += other.arms;
+  pruned_similar += other.pruned_similar;
+  estimator_pulls += other.estimator_pulls;
+  sim_pulls += other.sim_pulls;
+  full_evals += other.full_evals;
+  eliminated += other.eliminated;
+  exhaustive_evals += other.exhaustive_evals;
+  rounds += other.rounds;
+  for (std::size_t r = 0; r < kMaxRounds; ++r) {
+    eliminated_per_round[r] += other.eliminated_per_round[r];
+  }
+}
+
+double ArmSource::radius_hint(std::size_t /*arm*/) const { return 0.0; }
+
+std::size_t Racer::race(const RacerOptions& opts, std::size_t arm_count,
+                        ArmSource& source, std::span<ArmOutcome> outcomes,
+                        util::ThreadPool* pool) {
+  if (arm_count == 0) throw std::invalid_argument("Racer::race: no arms");
+  if (outcomes.size() != arm_count) {
+    throw std::invalid_argument("Racer::race: outcomes span size mismatch");
+  }
+  ++stats_.races;
+  stats_.arms += arm_count;
+
+  // Similarity pruning: group arms by non-zero fingerprint; the lowest
+  // index of each group races, the rest inherit its outcome bitwise.
+  rep_.resize(arm_count);
+  for (std::size_t i = 0; i < arm_count; ++i) {
+    rep_[i] = static_cast<std::uint32_t>(i);
+  }
+  fp_sort_.clear();
+  for (std::size_t i = 0; i < arm_count; ++i) {
+    const std::uint64_t fp = source.arm_fingerprint(i);
+    if (fp != 0) fp_sort_.emplace_back(fp, static_cast<std::uint32_t>(i));
+  }
+  std::sort(fp_sort_.begin(), fp_sort_.end());
+  for (std::size_t k = 1; k < fp_sort_.size(); ++k) {
+    if (fp_sort_[k].first == fp_sort_[k - 1].first) {
+      rep_[fp_sort_[k].second] = rep_[fp_sort_[k - 1].second];
+    }
+  }
+  active_.clear();
+  for (std::size_t i = 0; i < arm_count; ++i) {
+    if (rep_[i] == i) {
+      active_.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      ++stats_.pruned_similar;
+    }
+  }
+  arms_.assign(arm_count, ArmState{});
+  for (std::size_t i = 0; i < arm_count; ++i) outcomes[i] = ArmOutcome{};
+
+  const std::size_t cap = std::max<std::size_t>(1, opts.max_survivors);
+  const std::size_t ladder =
+      opts.enabled ? opts.estimator_pulls + opts.sim_pulls : 0;
+  const auto radius = [&](std::uint32_t arm) {
+    const ArmState& s = arms_[arm];
+    const double var = s.pulls > 1 ? s.m2 / static_cast<double>(s.pulls - 1) : 0.0;
+    const double stderr_ =
+        s.pulls > 0 ? std::sqrt(var / static_cast<double>(s.pulls)) : 0.0;
+    return opts.confidence * stderr_ + opts.rel_slack * std::abs(s.mean) +
+           source.radius_hint(arm);
+  };
+
+  std::size_t spent = 0;
+  std::size_t round = 0;
+  for (std::size_t rung = 0; rung < ladder; ++rung) {
+    if (active_.size() <= cap) break;
+    if (opts.budget != 0 && spent + active_.size() > opts.budget) break;
+    const bool tier_a = ArmSource::is_estimator_rung(opts, rung);
+    if (pull_slots_.size() < active_.size()) pull_slots_.resize(active_.size());
+    const auto body = [&](std::size_t k, std::size_t w) {
+      pull_slots_[k] = source.pull(active_[k], rung, w);
+    };
+    // Tier-(a) pulls land in per-arm slots and are pure per (arm, rung),
+    // so sharding cannot change any value. Tier-(b) pulls stay serial:
+    // arm-engine caches are shared state.
+    if (tier_a && pool != nullptr && active_.size() > 1) {
+      pool->for_each_index(active_.size(), body);
+    } else {
+      for (std::size_t k = 0; k < active_.size(); ++k) body(k, 0);
+    }
+    spent += active_.size();
+    (tier_a ? stats_.estimator_pulls : stats_.sim_pulls) += active_.size();
+
+    // Aggregation and elimination run serially in arm order — the
+    // deterministic half of the contract.
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      ArmState& s = arms_[active_[k]];
+      ++s.pulls;
+      const double d = pull_slots_[k] - s.mean;
+      s.mean += d / static_cast<double>(s.pulls);
+      s.m2 += d * (pull_slots_[k] - s.mean);
+    }
+    std::size_t best_k = 0;
+    for (std::size_t k = 1; k < active_.size(); ++k) {
+      if (arms_[active_[k]].mean < arms_[active_[best_k]].mean) best_k = k;
+    }
+    const std::uint32_t best = active_[best_k];
+    const double best_ucb = arms_[best].mean + radius(best);
+    std::size_t kept = 0;
+    std::uint64_t cut = 0;
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      const std::uint32_t a = active_[k];
+      if (a != best && arms_[a].mean - radius(a) > best_ucb) {
+        outcomes[a].eliminated_round = static_cast<std::int32_t>(round);
+        ++cut;
+      } else {
+        active_[kept++] = a;
+      }
+    }
+    active_.resize(kept);
+    stats_.eliminated += cut;
+    stats_.eliminated_per_round[std::min(round, RacerStats::kMaxRounds - 1)] +=
+        cut;
+    ++round;
+    ++stats_.rounds;
+  }
+
+  // Survivor cap: keep the best-mean arms (ties to the lowest index). Only
+  // meaningful once at least one round gathered evidence — oracle mode and
+  // budget-starved races evaluate every remaining arm instead.
+  if (round > 0 && active_.size() > cap) {
+    std::sort(active_.begin(), active_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (arms_[a].mean != arms_[b].mean) {
+                  return arms_[a].mean < arms_[b].mean;
+                }
+                return a < b;
+              });
+    const std::uint64_t cut = active_.size() - cap;
+    for (std::size_t k = cap; k < active_.size(); ++k) {
+      outcomes[active_[k]].eliminated_round = static_cast<std::int32_t>(round);
+    }
+    stats_.eliminated += cut;
+    stats_.eliminated_per_round[std::min(round, RacerStats::kMaxRounds - 1)] +=
+        cut;
+    active_.resize(cap);
+    std::sort(active_.begin(), active_.end());  // back to arm order
+  }
+  for (const std::uint32_t a : active_) arms_[a].survivor = true;
+
+  // Tier (c): full-precision evaluations, one per-arm slot each.
+  const auto eval_body = [&](std::size_t k, std::size_t w) {
+    const std::uint32_t a = active_[k];
+    outcomes[a].score = source.full_eval(a, w);
+  };
+  if (pool != nullptr && active_.size() > 1) {
+    pool->for_each_index(active_.size(), eval_body);
+  } else {
+    for (std::size_t k = 0; k < active_.size(); ++k) eval_body(k, 0);
+  }
+  stats_.full_evals += active_.size();
+
+  for (std::size_t i = 0; i < arm_count; ++i) {
+    if (rep_[i] != i) continue;
+    outcomes[i].pulls = arms_[i].pulls;
+    if (arms_[i].survivor) {
+      outcomes[i].full = true;
+    } else {
+      outcomes[i].score = arms_[i].mean;
+    }
+  }
+  for (std::size_t i = 0; i < arm_count; ++i) {
+    if (rep_[i] != i) outcomes[i] = outcomes[rep_[i]];
+  }
+
+  std::size_t winner = active_[0];
+  for (const std::uint32_t a : active_) {
+    if (outcomes[a].score < outcomes[winner].score) winner = a;
+  }
+  return winner;
+}
+
+// ---- mapping arms ----------------------------------------------------------
+
+namespace {
+
+/// Tier-(a) ladder rung k: a second-order estimate whose fixed-point depth
+/// doubles toward the full-precision depth — the top rung runs at
+/// full.iterations, the rung below it at half that, and so on (floored at
+/// one pass). The waiting-time fixed point converges as a damped
+/// oscillation, so only depths on the full target's side of the oscillation
+/// rank candidates consistently; a linear 1, 2, 3, ... climb alternates
+/// between over- and under-estimates and poisons the interval means. The
+/// variance across rungs still feeds the arm's confidence interval, and
+/// when the top rung's options coincide with the caller's full-precision
+/// configuration a survivor's tier-(c) evaluation is a transposition hit.
+prob::EstimatorOptions tier_a_options(const prob::EstimatorOptions& full,
+                                      const RacerOptions& racer,
+                                      std::size_t rung) {
+  prob::EstimatorOptions o = full;
+  o.method = prob::Method::SecondOrder;
+  const std::size_t back = racer.estimator_pulls - 1 - rung;
+  o.iterations = back >= 31 ? 1 : std::max(1, full.iterations >> back);
+  return o;
+}
+
+}  // namespace
+
+MappingArms::MappingArms(std::span<AnalysisWorkspace> workspaces,
+                         const prob::EstimatorOptions& full_precision,
+                         const RacerOptions& racer,
+                         analysis::TranspositionTable* table)
+    : workspaces_(workspaces), full_(full_precision), racer_(racer), table_(table) {
+  if (workspaces_.empty()) {
+    throw std::invalid_argument("MappingArms: need at least one workspace");
+  }
+}
+
+void MappingArms::bind(std::span<const platform::Mapping> candidates) {
+  candidates_ = candidates;
+  if (fps_.size() < candidates.size()) fps_.resize(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    fps_[i] = candidates[i].fingerprint();
+  }
+  if (sim_slots_.size() < candidates.size()) {
+    sim_slots_.resize(candidates.size());
+    sim_slot_fp_.resize(candidates.size(), 0);
+  }
+}
+
+std::uint64_t MappingArms::arm_fingerprint(std::size_t arm) const {
+  return fps_[arm];
+}
+
+double MappingArms::estimator_score(std::size_t worker,
+                                    const prob::EstimatorOptions& opts) {
+  AnalysisWorkspace& ws = workspaces_[worker];
+  analysis::TTKey key{};
+  if (table_ != nullptr) {
+    analysis::TTKeyBuilder b(ws.sys.fingerprint(), analysis::TTQuery::MappingScore);
+    absorb_estimator_options(b, opts);
+    key = b.key();
+    analysis::TTValue v;
+    if (table_->lookup(key, v)) return v.primary;
+  }
+  if (ws.full_uc.size() != ws.sys.app_count()) ws.full_uc = ws.sys.full_use_case();
+  ws.view.rebind(ws.sys, ws.full_uc);
+  ws.ptrs.clear();
+  for (analysis::ThroughputEngine& e : ws.engines) {
+    e.reset();  // cold start: the score is a pure function of the mapping
+    ws.ptrs.push_back(&e);
+  }
+  if (ws.est_slots.size() < ws.engines.size()) ws.est_slots.resize(ws.engines.size());
+  const prob::ContentionEstimator est(opts);
+  est.estimate_into(ws.view, {}, ws.ptrs, ws.est_ws,
+                    std::span<prob::AppEstimate>(ws.est_slots.data(),
+                                                 ws.engines.size()));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ws.engines.size(); ++i) {
+    worst = std::max(worst, ws.est_slots[i].normalised_period());
+  }
+  if (table_ != nullptr) {
+    analysis::TTValue v;
+    v.primary = worst;
+    table_->store(key, v);
+  }
+  return worst;
+}
+
+void MappingArms::ensure_isolation() {
+  if (isolation_ready_) return;
+  AnalysisWorkspace& ws = workspaces_.front();
+  isolation_.resize(ws.engines.size());
+  for (std::size_t i = 0; i < ws.engines.size(); ++i) {
+    ws.engines[i].reset();
+    isolation_[i] = ws.engines[i].recompute().period;
+  }
+  isolation_ready_ = true;
+}
+
+double MappingArms::pull(std::size_t arm, std::size_t rung, std::size_t worker) {
+  if (ArmSource::is_estimator_rung(racer_, rung)) {
+    AnalysisWorkspace& ws = workspaces_[worker];
+    ws.sys.set_mapping(candidates_[arm]);
+    return estimator_score(worker, tier_a_options(full_, racer_, rung));
+  }
+  // Tier (b): short-horizon simulation on the arm-cached engine. Serial by
+  // the Racer contract (the slot cache is shared across workers), so
+  // workspace 0 is always the scratch.
+  ensure_isolation();
+  if (sim_slots_[arm] == nullptr || sim_slot_fp_[arm] != fps_[arm]) {
+    AnalysisWorkspace& ws = workspaces_.front();
+    ws.sys.set_mapping(candidates_[arm]);
+    sim_slots_[arm] = std::make_unique<sim::SimEngine>(ws.sys);
+    sim_slot_fp_[arm] = fps_[arm];
+  }
+  const std::size_t j = rung - racer_.estimator_pulls;
+  sim::SimOptions so;
+  so.horizon = racer_.sim_horizon * static_cast<sdf::Time>(j + 1);
+  so.sample_seed = util::counter_seed(racer_.seed, fps_[arm], rung);
+  sim::SimEngine& engine = *sim_slots_[arm];
+  engine.reset();
+  const sim::SimResultView r = engine.run_view(so);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    const double iso = isolation_[i];
+    const double avg = r.apps[i].average_period;
+    // A horizon too short to observe a steady state pins the arm at a
+    // large finite sentinel instead of a spuriously perfect 0.
+    worst = std::max(worst, avg > 0.0 && iso > 0.0 ? avg / iso : 1e9);
+  }
+  return worst;
+}
+
+double MappingArms::full_eval(std::size_t arm, std::size_t worker) {
+  AnalysisWorkspace& ws = workspaces_[worker];
+  ws.sys.set_mapping(candidates_[arm]);
+  return estimator_score(worker, full_);
+}
+
+MappingRace race_mapping_scores(std::span<const platform::Mapping> candidates,
+                                const prob::EstimatorOptions& estimator,
+                                const RacerOptions& racer,
+                                util::ThreadPool* pool,
+                                std::span<AnalysisWorkspace> workspaces,
+                                analysis::TranspositionTable* table) {
+  if (workspaces.empty()) {
+    throw std::invalid_argument("race_mapping_scores: need at least one workspace");
+  }
+  MappingRace out;
+  out.scores.resize(candidates.size(), 0.0);
+  out.outcomes.resize(candidates.size());
+  if (candidates.empty()) return out;
+
+  MappingArms arms(workspaces, estimator, racer, table);
+  arms.bind(candidates);
+  Racer r;
+  // The pool hands out worker ids up to its own size, so sharding needs a
+  // workspace per pool worker; with fewer, race serially.
+  util::ThreadPool* shard =
+      pool != nullptr && workspaces.size() >= pool->size() ? pool : nullptr;
+  out.best = r.race(racer, candidates.size(), arms,
+                    std::span<ArmOutcome>(out.outcomes), shard);
+  // The exhaustive path scores every candidate to full precision.
+  r.stats().exhaustive_evals += candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    out.scores[i] = out.outcomes[i].score;
+  }
+  out.stats = r.stats();
+  return out;
+}
+
+}  // namespace procon::dse

@@ -95,24 +95,54 @@ void decode_body(WireReader& r, analysis::BottleneckReport& v) {
   for (auto& a : v.actors) a = r.u32();
 }
 
-void encode_body(WireWriter& w, const std::vector<dse::BufferPoint>& v) {
-  put_u32_count(w, v.size());
-  for (const dse::BufferPoint& p : v) {
+void encode_racer_stats(WireWriter& w, const dse::RacerStats& s) {
+  w.u64(s.races);
+  w.u64(s.arms);
+  w.u64(s.pruned_similar);
+  w.u64(s.estimator_pulls);
+  w.u64(s.sim_pulls);
+  w.u64(s.full_evals);
+  w.u64(s.eliminated);
+  w.u64(s.exhaustive_evals);
+  w.u64(s.rounds);
+  for (const std::uint64_t e : s.eliminated_per_round) w.u64(e);
+}
+
+void decode_racer_stats(WireReader& r, dse::RacerStats& s) {
+  s.races = r.u64();
+  s.arms = r.u64();
+  s.pruned_similar = r.u64();
+  s.estimator_pulls = r.u64();
+  s.sim_pulls = r.u64();
+  s.full_evals = r.u64();
+  s.eliminated = r.u64();
+  s.exhaustive_evals = r.u64();
+  s.rounds = r.u64();
+  for (std::uint64_t& e : s.eliminated_per_round) e = r.u64();
+}
+
+void encode_body(WireWriter& w, const dse::FrontierResult& v) {
+  put_u32_count(w, v.points.size());
+  for (const dse::BufferPoint& p : v.points) {
     put_u32_count(w, p.capacities.size());
     for (const std::uint64_t c : p.capacities) w.u64(c);
     w.u64(p.total_tokens);
     w.f64(p.period);
   }
+  encode_racer_stats(w, v.racer);
+  w.u64(v.evaluations);
 }
 
-void decode_body(WireReader& r, std::vector<dse::BufferPoint>& v) {
-  v.resize(r.u32());
-  for (dse::BufferPoint& p : v) {
+void decode_body(WireReader& r, dse::FrontierResult& v) {
+  v.points.resize(r.u32());
+  for (dse::BufferPoint& p : v.points) {
     p.capacities.resize(r.u32());
     for (auto& c : p.capacities) c = r.u64();
     p.total_tokens = r.u64();
     p.period = r.f64();
   }
+  decode_racer_stats(r, v.racer);
+  v.evaluations = r.u64();
 }
 
 void encode_body(WireWriter& w, const std::vector<prob::AppEstimate>& v) {
@@ -384,6 +414,18 @@ void encode_query_desc(WireWriter& w, const api::QueryDesc& d) {
   w.u64(d.buffers.max_steps);
   w.f64(d.buffers.convergence);
   w.u8(d.buffers.incremental ? 1 : 0);
+  w.u8(d.buffers.racer.enabled ? 1 : 0);
+  w.u64(d.buffers.racer.estimator_pulls);
+  w.u64(d.buffers.racer.sim_pulls);
+  w.i64(d.buffers.racer.sim_horizon);
+  w.f64(d.buffers.racer.confidence);
+  w.f64(d.buffers.racer.rel_slack);
+  w.u64(d.buffers.racer.max_survivors);
+  w.u64(d.buffers.racer.budget);
+  w.u64(d.buffers.racer.batch);
+  w.u64(d.buffers.racer.resync_every);
+  w.f64(d.buffers.racer.staleness_slack);
+  w.u64(d.buffers.racer.seed);
 }
 
 api::QueryDesc decode_query_desc(WireReader& r) {
@@ -435,6 +477,18 @@ api::QueryDesc decode_query_desc(WireReader& r) {
   d.buffers.max_steps = static_cast<std::size_t>(r.u64());
   d.buffers.convergence = r.f64();
   d.buffers.incremental = r.u8() != 0;
+  d.buffers.racer.enabled = r.u8() != 0;
+  d.buffers.racer.estimator_pulls = static_cast<std::size_t>(r.u64());
+  d.buffers.racer.sim_pulls = static_cast<std::size_t>(r.u64());
+  d.buffers.racer.sim_horizon = r.i64();
+  d.buffers.racer.confidence = r.f64();
+  d.buffers.racer.rel_slack = r.f64();
+  d.buffers.racer.max_survivors = static_cast<std::size_t>(r.u64());
+  d.buffers.racer.budget = static_cast<std::size_t>(r.u64());
+  d.buffers.racer.batch = static_cast<std::size_t>(r.u64());
+  d.buffers.racer.resync_every = static_cast<std::size_t>(r.u64());
+  d.buffers.racer.staleness_slack = r.f64();
+  d.buffers.racer.seed = r.u64();
   return d;
 }
 

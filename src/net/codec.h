@@ -47,7 +47,9 @@ class CodecError : public std::runtime_error {
 /// \brief Protocol magic carried by Hello frames ("PCON").
 inline constexpr std::uint32_t kProtocolMagic = 0x50434F4Eu;
 /// \brief Wire protocol version; bumped on any encoding change.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: BufferFrontier results carry dse::FrontierResult (points + racing
+/// statistics) and query descriptors carry dse::RacerOptions.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 /// \brief Upper bound on one frame's payload (guards against corrupted or
 /// hostile length prefixes wedging a reader into a giant allocation).
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;

@@ -38,13 +38,22 @@ System::System(std::vector<sdf::Graph> apps, Platform platform, Mapping mapping)
   }
 }
 
-void System::set_mapping(Mapping mapping) {
+void System::set_mapping(Mapping&& mapping) {
   if (mapping.app_count() != apps_.size()) {
     throw sdf::GraphError("System::set_mapping: mapping/application count mismatch");
   }
   // The incoming Mapping carries its own live fingerprint, so the system
   // fingerprint (which XORs it in on read) needs no extra work here.
   mapping_ = std::move(mapping);
+}
+
+void System::set_mapping(const Mapping& mapping) {
+  if (mapping.app_count() != apps_.size()) {
+    throw sdf::GraphError("System::set_mapping: mapping/application count mismatch");
+  }
+  // Copy-assign in place: same-shape rows reuse the resident rows' heap
+  // storage, keeping warm explorer/racer rebinds allocation-free.
+  mapping_ = mapping;
 }
 
 const sdf::Graph& System::app(sdf::AppId id) const {

@@ -33,7 +33,11 @@ class System {
   /// Lets mapping explorers rebind the same system per candidate instead of
   /// re-copying every application graph. Throws sdf::GraphError if the
   /// mapping's application count does not match.
-  void set_mapping(Mapping mapping);
+  void set_mapping(Mapping&& mapping);
+  /// Copying overload: assigns into the resident mapping's storage, so
+  /// rebinding a same-shape candidate performs no heap allocation (the
+  /// racer's warm-pull contract rides on this).
+  void set_mapping(const Mapping& mapping);
 
   /// Restriction of this system to a use-case: keeps only the selected
   /// applications (re-indexed 0..k-1) and their mapping entries.

@@ -60,4 +60,19 @@ bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
 
 Rng Rng::split() noexcept { return Rng((*this)()); }
 
+std::uint64_t counter_seed(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t index) noexcept {
+  // Two dependent splitmix64 rounds: the first absorbs the stream id, the
+  // second the index, so (s, k) and (s', k') collide only if the mix does.
+  std::uint64_t x = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  x = splitmix64(x);
+  x ^= 0xD1B54A32D192ED03ULL * (index + 1);
+  return splitmix64(x);
+}
+
+Rng counter_rng(std::uint64_t seed, std::uint64_t stream,
+                std::uint64_t index) noexcept {
+  return Rng(counter_seed(seed, stream, index));
+}
+
 }  // namespace procon::util

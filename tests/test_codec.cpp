@@ -167,6 +167,20 @@ TEST(Codec, QueryDescRoundTripAllKinds) {
     d.sim.exec_models.push_back(
         {sdf::ExecTimeDistribution::uniform(1, 6)});
     d.buffers.max_steps = 77;
+    // Racing options travel with BufferFrontier descriptors (v2): set every
+    // field off its default.
+    d.buffers.racer.enabled = true;
+    d.buffers.racer.estimator_pulls = 3;
+    d.buffers.racer.sim_pulls = 1;
+    d.buffers.racer.sim_horizon = 7'500;
+    d.buffers.racer.confidence = 1.75;
+    d.buffers.racer.rel_slack = 0.0625;
+    d.buffers.racer.max_survivors = 4;
+    d.buffers.racer.budget = 96;
+    d.buffers.racer.batch = 5;
+    d.buffers.racer.resync_every = 9;
+    d.buffers.racer.staleness_slack = 0.03125;
+    d.buffers.racer.seed = 0xDEADBEEFu;
     WireWriter w;
     encode_query_desc(w, d);
     WireReader r(w.view());
@@ -183,7 +197,77 @@ TEST(Codec, QueryDescRoundTripAllKinds) {
     EXPECT_EQ(back.sim.sample_seed, d.sim.sample_seed);
     ASSERT_EQ(back.sim.exec_models.size(), 1u);
     EXPECT_EQ(back.buffers.max_steps, d.buffers.max_steps);
+    EXPECT_EQ(back.buffers.racer.enabled, d.buffers.racer.enabled);
+    EXPECT_EQ(back.buffers.racer.estimator_pulls, d.buffers.racer.estimator_pulls);
+    EXPECT_EQ(back.buffers.racer.sim_pulls, d.buffers.racer.sim_pulls);
+    EXPECT_EQ(back.buffers.racer.sim_horizon, d.buffers.racer.sim_horizon);
+    EXPECT_EQ(back.buffers.racer.confidence, d.buffers.racer.confidence);
+    EXPECT_EQ(back.buffers.racer.rel_slack, d.buffers.racer.rel_slack);
+    EXPECT_EQ(back.buffers.racer.max_survivors, d.buffers.racer.max_survivors);
+    EXPECT_EQ(back.buffers.racer.budget, d.buffers.racer.budget);
+    EXPECT_EQ(back.buffers.racer.batch, d.buffers.racer.batch);
+    EXPECT_EQ(back.buffers.racer.resync_every, d.buffers.racer.resync_every);
+    EXPECT_EQ(back.buffers.racer.staleness_slack, d.buffers.racer.staleness_slack);
+    EXPECT_EQ(back.buffers.racer.seed, d.buffers.racer.seed);
   }
+}
+
+TEST(Codec, FrontierResultRoundTripCarriesRacerStats) {
+  // A BufferFrontier result (v2): points plus the racing statistics.
+  api::QueryValue v;
+  api::Report<dse::FrontierResult> report;
+  report.provenance.method = "greedy frontier (raced candidates)";
+  report.provenance.evaluations = 12;
+  dse::FrontierResult fr;
+  fr.points.push_back({{2, 2, 3}, 7, 300.0});
+  fr.points.push_back({{2, 3, 3}, 8, 250.5});
+  fr.racer.races = 6;
+  fr.racer.arms = 18;
+  fr.racer.pruned_similar = 1;
+  fr.racer.estimator_pulls = 30;
+  fr.racer.sim_pulls = 4;
+  fr.racer.full_evals = 9;
+  fr.racer.eliminated = 8;
+  fr.racer.exhaustive_evals = 54;
+  fr.racer.rounds = 11;
+  for (std::size_t r = 0; r < dse::RacerStats::kMaxRounds; ++r) {
+    fr.racer.eliminated_per_round[r] = 100 + r;
+  }
+  fr.evaluations = 77;
+  report.value = fr;
+  v = std::move(report);
+  WireWriter w;
+  encode_query_value(w, v);
+  WireReader r(w.view());
+  const api::QueryValue back = decode_query_value(r);
+  r.expect_end();
+  const auto* decoded = std::get_if<api::Report<dse::FrontierResult>>(&back);
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_EQ(decoded->value.points.size(), fr.points.size());
+  for (std::size_t k = 0; k < fr.points.size(); ++k) {
+    EXPECT_EQ(decoded->value.points[k].capacities, fr.points[k].capacities);
+    EXPECT_EQ(decoded->value.points[k].total_tokens, fr.points[k].total_tokens);
+    EXPECT_EQ(decoded->value.points[k].period, fr.points[k].period);  // bitwise
+  }
+  const dse::RacerStats& s = decoded->value.racer;
+  EXPECT_EQ(s.races, fr.racer.races);
+  EXPECT_EQ(s.arms, fr.racer.arms);
+  EXPECT_EQ(s.pruned_similar, fr.racer.pruned_similar);
+  EXPECT_EQ(s.estimator_pulls, fr.racer.estimator_pulls);
+  EXPECT_EQ(s.sim_pulls, fr.racer.sim_pulls);
+  EXPECT_EQ(s.full_evals, fr.racer.full_evals);
+  EXPECT_EQ(s.eliminated, fr.racer.eliminated);
+  EXPECT_EQ(s.exhaustive_evals, fr.racer.exhaustive_evals);
+  EXPECT_EQ(s.rounds, fr.racer.rounds);
+  for (std::size_t k = 0; k < dse::RacerStats::kMaxRounds; ++k) {
+    EXPECT_EQ(s.eliminated_per_round[k], fr.racer.eliminated_per_round[k]);
+  }
+  EXPECT_EQ(decoded->value.evaluations, fr.evaluations);
+  // Re-encoding reproduces the bytes (golden stability).
+  WireWriter w2;
+  encode_query_value(w2, back);
+  ASSERT_EQ(w2.size(), w.size());
+  EXPECT_TRUE(std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
 }
 
 TEST(Codec, QueryDescRejectsOutOfRangeEnum) {

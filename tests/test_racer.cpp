@@ -1,0 +1,409 @@
+// dse::Racer — determinism, oracle equivalence, elimination accounting and
+// similarity pruning.
+//
+// The racer's contract is the repo's standing one: the winner, every
+// per-arm outcome and every statistic are bitwise identical for any thread
+// count, pool size and transposition-table state; oracle mode
+// (enabled = false) reproduces the exhaustive paths bitwise; and racing
+// mode trades full-precision evaluations for a bounded quality loss.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/workbench.h"
+#include "dse/buffer_explorer.h"
+#include "dse/mapper.h"
+#include "dse/racer.h"
+#include "gen/graph_generator.h"
+#include "helpers.h"
+#include "platform/system.h"
+#include "util/rng.h"
+
+namespace procon {
+namespace {
+
+using api::Workbench;
+using api::WorkbenchOptions;
+using procon::testing::fig2_system;
+
+platform::System random_system(std::uint64_t seed, std::size_t apps) {
+  util::Rng rng(seed);
+  gen::GeneratorOptions gopts;
+  gopts.min_actors = 4;
+  gopts.max_actors = 7;
+  auto graphs = gen::generate_graphs(rng, gopts, apps);
+  std::size_t max_actors = 0;
+  for (const auto& g : graphs) max_actors = std::max(max_actors, g.actor_count());
+  platform::Platform plat = platform::Platform::homogeneous(max_actors);
+  platform::Mapping map = platform::Mapping::by_index(graphs, plat);
+  return platform::System(std::move(graphs), std::move(plat), std::move(map));
+}
+
+std::vector<platform::Mapping> random_candidates(const platform::System& sys,
+                                                 std::size_t count,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<platform::Mapping> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(
+        platform::Mapping::random(sys.apps(), sys.platform(), rng));
+  }
+  return out;
+}
+
+void expect_outcomes_equal(const dse::ArmOutcome& a, const dse::ArmOutcome& b) {
+  EXPECT_EQ(a.score, b.score);  // bitwise: both sides are doubles
+  EXPECT_EQ(a.full, b.full);
+  EXPECT_EQ(a.pulls, b.pulls);
+  EXPECT_EQ(a.eliminated_round, b.eliminated_round);
+}
+
+void expect_stats_equal(const dse::RacerStats& a, const dse::RacerStats& b) {
+  EXPECT_EQ(a.races, b.races);
+  EXPECT_EQ(a.arms, b.arms);
+  EXPECT_EQ(a.pruned_similar, b.pruned_similar);
+  EXPECT_EQ(a.estimator_pulls, b.estimator_pulls);
+  EXPECT_EQ(a.sim_pulls, b.sim_pulls);
+  EXPECT_EQ(a.full_evals, b.full_evals);
+  EXPECT_EQ(a.eliminated, b.eliminated);
+  EXPECT_EQ(a.rounds, b.rounds);
+  for (std::size_t r = 0; r < dse::RacerStats::kMaxRounds; ++r) {
+    EXPECT_EQ(a.eliminated_per_round[r], b.eliminated_per_round[r]);
+  }
+}
+
+// Three-stage pipeline with a feedback ring: the frontier walks several
+// points from the minimal configuration down to the unbounded period.
+sdf::Graph pipeline_graph() {
+  sdf::Graph g("pipe3");
+  const auto a = g.add_actor("a", 5);
+  const auto b = g.add_actor("b", 7);
+  const auto c = g.add_actor("c", 9);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, c, 1, 1, 0);
+  g.add_channel(c, a, 1, 1, 6);
+  return g;
+}
+
+dse::RacerOptions racing_on() {
+  dse::RacerOptions r;
+  r.enabled = true;
+  r.estimator_pulls = 2;
+  r.sim_pulls = 1;
+  r.sim_horizon = 5'000;
+  r.max_survivors = 2;
+  return r;
+}
+
+// ---- thread-count invariance ----------------------------------------------
+
+TEST(Racer, MappingRaceBitwiseIdenticalAcrossThreadCounts) {
+  const platform::System sys = random_system(42, 3);
+  const auto candidates = random_candidates(sys, 12, 7);
+  std::vector<dse::MappingRace> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Workbench wb(sys, WorkbenchOptions{.threads = threads});
+    runs.push_back(*wb.race_mappings(candidates, {}, racing_on()));
+  }
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    EXPECT_EQ(runs[k].best, runs[0].best);
+    ASSERT_EQ(runs[k].scores.size(), runs[0].scores.size());
+    for (std::size_t i = 0; i < runs[0].scores.size(); ++i) {
+      EXPECT_EQ(runs[k].scores[i], runs[0].scores[i]);  // bitwise
+      expect_outcomes_equal(runs[k].outcomes[i], runs[0].outcomes[i]);
+    }
+    expect_stats_equal(runs[k].stats, runs[0].stats);
+  }
+}
+
+TEST(Racer, RacingMapperBitwiseIdenticalAcrossThreadCounts) {
+  const platform::System sys = random_system(5, 3);
+  dse::MapperOptions opts;
+  opts.iterations = 60;
+  opts.seed = 9;
+  opts.racer = racing_on();
+  opts.racer.batch = 6;
+  std::vector<dse::MapperResult> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Workbench wb(sys, WorkbenchOptions{.threads = threads});
+    runs.push_back(*wb.optimise_mapping(opts));
+  }
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    EXPECT_EQ(runs[k].score, runs[0].score);  // bitwise
+    EXPECT_EQ(runs[k].initial_score, runs[0].initial_score);
+    EXPECT_EQ(runs[k].evaluations, runs[0].evaluations);
+    EXPECT_EQ(runs[k].accepted_moves, runs[0].accepted_moves);
+    EXPECT_EQ(runs[k].scored_candidates, runs[0].scored_candidates);
+    expect_stats_equal(runs[k].racer, runs[0].racer);
+    // The winning mapping itself, actor by actor.
+    for (std::size_t app = 0; app < sys.apps().size(); ++app) {
+      for (std::size_t actor = 0; actor < sys.apps()[app].actor_count(); ++actor) {
+        EXPECT_EQ(runs[k].mapping.node_of(static_cast<sdf::AppId>(app),
+                                          static_cast<sdf::ActorId>(actor)),
+                  runs[0].mapping.node_of(static_cast<sdf::AppId>(app),
+                                          static_cast<sdf::ActorId>(actor)));
+      }
+    }
+  }
+}
+
+TEST(Racer, TranspositionTableStateDoesNotChangeTheRace) {
+  const platform::System sys = random_system(42, 3);
+  const auto candidates = random_candidates(sys, 12, 7);
+  Workbench cold(sys, WorkbenchOptions{.threads = 2});
+  const auto first = *cold.race_mappings(candidates, {}, racing_on());
+  // Same session again: every tier now hits the table.
+  const auto warm = *cold.race_mappings(candidates, {}, racing_on());
+  EXPECT_EQ(warm.best, first.best);
+  for (std::size_t i = 0; i < first.scores.size(); ++i) {
+    EXPECT_EQ(warm.scores[i], first.scores[i]);
+    expect_outcomes_equal(warm.outcomes[i], first.outcomes[i]);
+  }
+}
+
+// ---- oracle mode ----------------------------------------------------------
+
+TEST(Racer, OracleModeMatchesScoreMappingsAndEvaluateMapping) {
+  const platform::System sys = random_system(17, 3);
+  const auto candidates = random_candidates(sys, 8, 3);
+  Workbench wb(sys, WorkbenchOptions{.threads = 2});
+  dse::RacerOptions oracle;
+  oracle.enabled = false;
+  const auto race = *wb.race_mappings(candidates, {}, oracle);
+  const auto scores = *wb.score_mappings(candidates);
+  ASSERT_EQ(race.scores.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(race.scores[i], scores[i]);  // bitwise
+    EXPECT_EQ(race.scores[i],
+              dse::evaluate_mapping(sys.apps(), sys.platform(), candidates[i]));
+    EXPECT_TRUE(race.outcomes[i].full);
+  }
+  // The winner is the argmin of the exhaustive scores (ties to lowest index).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[best]) best = i;
+  }
+  EXPECT_EQ(race.best, best);
+  // Oracle races save nothing.
+  EXPECT_EQ(race.stats.full_evals, candidates.size() - race.stats.pruned_similar);
+  EXPECT_EQ(race.stats.eliminated, 0u);
+  EXPECT_EQ(race.stats.estimator_pulls, 0u);
+  EXPECT_EQ(race.stats.sim_pulls, 0u);
+}
+
+TEST(Racer, BufferFrontierOracleMatchesLegacyExplorer) {
+  const sdf::Graph g = pipeline_graph();
+  dse::BufferExplorerOptions opts;
+  opts.max_steps = 32;
+  const auto legacy = dse::explore_buffer_tradeoff(g, opts);
+  const dse::FrontierResult full = dse::explore_buffer_frontier(g, opts);
+  ASSERT_EQ(full.points.size(), legacy.size());
+  for (std::size_t k = 0; k < legacy.size(); ++k) {
+    EXPECT_EQ(full.points[k].capacities, legacy[k].capacities);
+    EXPECT_EQ(full.points[k].total_tokens, legacy[k].total_tokens);
+    EXPECT_EQ(full.points[k].period, legacy[k].period);  // bitwise
+  }
+  EXPECT_EQ(full.racer.races, 0u);
+  EXPECT_EQ(full.racer.full_evals, 0u);
+}
+
+// ---- quality vs. the exhaustive path --------------------------------------
+
+TEST(Racer, RacedWinnerQualityWithinToleranceOfExhaustive) {
+  for (const std::uint64_t seed : {3u, 11u, 29u}) {
+    const platform::System sys = random_system(seed, 3);
+    const auto candidates = random_candidates(sys, 16, seed + 1);
+    Workbench wb(sys, WorkbenchOptions{.threads = 2});
+    dse::RacerOptions oracle;
+    oracle.enabled = false;
+    const auto exhaustive = *wb.race_mappings(candidates, {}, oracle);
+    const auto raced = *wb.race_mappings(candidates, {}, racing_on());
+    const double best_exhaustive = exhaustive.scores[exhaustive.best];
+    const double best_raced = raced.scores[raced.best];
+    // The raced winner is full-precision scored, so it can only be worse
+    // than the true optimum — and only within the confidence tolerance.
+    EXPECT_GE(best_raced, best_exhaustive - 1e-12);
+    EXPECT_LE(best_raced, best_exhaustive * 1.10)
+        << "seed " << seed << ": raced winner lost more than 10%";
+    // And it must genuinely save full evaluations on 16 arms.
+    EXPECT_LT(raced.stats.full_evals, candidates.size());
+  }
+}
+
+TEST(Racer, RacedBufferFrontierQualityWithinTolerance) {
+  const sdf::Graph g = pipeline_graph();
+  dse::BufferExplorerOptions opts;
+  opts.max_steps = 48;
+  const auto exhaustive = dse::explore_buffer_frontier(g, opts);
+  dse::BufferExplorerOptions raced_opts = opts;
+  raced_opts.racer = racing_on();
+  raced_opts.racer.max_survivors = 1;
+  raced_opts.racer.resync_every = 12;
+  const auto raced = dse::explore_buffer_frontier(g, raced_opts);
+  ASSERT_FALSE(exhaustive.points.empty());
+  ASSERT_FALSE(raced.points.empty());
+  // Both walks start at the minimal feasible configuration...
+  EXPECT_EQ(raced.points.front().capacities, exhaustive.points.front().capacities);
+  EXPECT_EQ(raced.points.front().period, exhaustive.points.front().period);
+  // ...and the raced walk must reach a final period within tolerance of the
+  // exhaustive one (greedy detours may cost some extra tokens).
+  EXPECT_LE(raced.points.back().period,
+            exhaustive.points.back().period * 1.05);
+  EXPECT_GT(raced.racer.races, 0u);
+}
+
+// ---- elimination accounting -----------------------------------------------
+
+TEST(Racer, EliminationAccountingIsConsistent) {
+  const platform::System sys = random_system(23, 3);
+  const auto candidates = random_candidates(sys, 14, 4);
+  Workbench wb(sys, WorkbenchOptions{.threads = 2});
+  const auto race = *wb.race_mappings(candidates, {}, racing_on());
+  const dse::RacerStats& s = race.stats;
+  EXPECT_EQ(s.races, 1u);
+  EXPECT_EQ(s.arms, candidates.size());
+  // Every arm is eliminated, pruned as a duplicate, or fully evaluated.
+  EXPECT_EQ(s.eliminated + s.pruned_similar + s.full_evals, s.arms);
+  // Per-round buckets add up to the elimination total.
+  std::uint64_t bucketed = 0;
+  for (std::size_t r = 0; r < dse::RacerStats::kMaxRounds; ++r) {
+    bucketed += s.eliminated_per_round[r];
+  }
+  EXPECT_EQ(bucketed, s.eliminated);
+  std::uint64_t full_outcomes = 0;
+  std::uint64_t eliminated_outcomes = 0;
+  for (std::size_t i = 0; i < race.outcomes.size(); ++i) {
+    const dse::ArmOutcome& o = race.outcomes[i];
+    if (o.full) {
+      // Survivors (and pruned duplicates of survivors) carry full scores
+      // and no elimination round.
+      EXPECT_EQ(o.eliminated_round, -1);
+      EXPECT_EQ(race.scores[i], o.score);
+      ++full_outcomes;
+    } else {
+      // An arm eliminated in round r was pulled once per rung 0..r (pruned
+      // duplicates copy their representative, including its pull count).
+      ASSERT_GE(o.eliminated_round, 0);
+      EXPECT_EQ(o.pulls, static_cast<std::uint32_t>(o.eliminated_round + 1));
+      ++eliminated_outcomes;
+    }
+  }
+  // Every outcome is one or the other; pruned duplicates mirror their
+  // representative, so the per-kind counts can only exceed the unique-arm
+  // statistics by the duplicate count.
+  EXPECT_EQ(full_outcomes + eliminated_outcomes, race.outcomes.size());
+  EXPECT_GE(full_outcomes, s.full_evals);
+  EXPECT_GE(eliminated_outcomes, s.eliminated);
+  EXPECT_EQ(full_outcomes + eliminated_outcomes,
+            s.full_evals + s.eliminated + s.pruned_similar);
+}
+
+// ---- similarity pruning ---------------------------------------------------
+
+TEST(Racer, DuplicateCandidatesShareOutcomesBitwise) {
+  const platform::System sys = random_system(31, 3);
+  auto candidates = random_candidates(sys, 6, 13);
+  // Duplicate two candidates (same mapping content => same fingerprint).
+  candidates.push_back(candidates[0]);
+  candidates.push_back(candidates[3]);
+  Workbench wb(sys, WorkbenchOptions{.threads = 2});
+  const auto race = *wb.race_mappings(candidates, {}, racing_on());
+  EXPECT_EQ(race.stats.pruned_similar, 2u);
+  expect_outcomes_equal(race.outcomes[6], race.outcomes[0]);
+  expect_outcomes_equal(race.outcomes[7], race.outcomes[3]);
+  EXPECT_EQ(race.scores[6], race.scores[0]);  // bitwise
+  EXPECT_EQ(race.scores[7], race.scores[3]);
+  // The winner never points at a pruned duplicate (ties break low).
+  EXPECT_LT(race.best, 6u);
+}
+
+TEST(Racer, DuplicatesDoNotChangeTheUniqueArmsRace) {
+  const platform::System sys = random_system(31, 3);
+  const auto unique = random_candidates(sys, 6, 13);
+  auto padded = unique;
+  padded.push_back(unique[2]);
+  Workbench wb_a(sys, WorkbenchOptions{.threads = 1});
+  Workbench wb_b(sys, WorkbenchOptions{.threads = 1});
+  const auto race_unique = *wb_a.race_mappings(unique, {}, racing_on());
+  const auto race_padded = *wb_b.race_mappings(padded, {}, racing_on());
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    EXPECT_EQ(race_padded.scores[i], race_unique.scores[i]);  // bitwise
+    expect_outcomes_equal(race_padded.outcomes[i], race_unique.outcomes[i]);
+  }
+  EXPECT_EQ(race_padded.best, race_unique.best);
+}
+
+// ---- direct core API ------------------------------------------------------
+
+// A synthetic source with known scores: arm i's cheap pulls and full
+// evaluation all return base + i (zero variance), so the racer must keep
+// arm 0 and eliminate everything outside the guard band.
+class LinearArms final : public dse::ArmSource {
+ public:
+  explicit LinearArms(double base) : base_(base) {}
+  [[nodiscard]] std::uint64_t arm_fingerprint(std::size_t arm) const override {
+    return 0x1000 + arm;  // all distinct: no pruning
+  }
+  [[nodiscard]] double pull(std::size_t arm, std::size_t, std::size_t) override {
+    ++cheap_;
+    return base_ + static_cast<double>(arm);
+  }
+  [[nodiscard]] double full_eval(std::size_t arm, std::size_t) override {
+    ++full_;
+    return base_ + static_cast<double>(arm);
+  }
+  std::size_t cheap_ = 0;
+  std::size_t full_ = 0;
+
+ private:
+  double base_;
+};
+
+TEST(Racer, CoreEliminatesDominatedArmsAndKeepsTheBest) {
+  dse::Racer racer;
+  LinearArms arms(1.0);
+  dse::RacerOptions opts;
+  opts.enabled = true;
+  opts.estimator_pulls = 2;
+  opts.sim_pulls = 0;
+  opts.max_survivors = 1;
+  std::vector<dse::ArmOutcome> outcomes(8);
+  const std::size_t best = racer.race(opts, 8, arms, outcomes);
+  EXPECT_EQ(best, 0u);
+  EXPECT_TRUE(outcomes[0].full);
+  EXPECT_EQ(outcomes[0].score, 1.0);
+  // With zero variance and 2% slack around mean 1.0, arms >= 2 are clearly
+  // separated and must have been eliminated before full precision.
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_FALSE(outcomes[i].full) << "arm " << i;
+    EXPECT_GE(outcomes[i].eliminated_round, 0);
+  }
+  EXPECT_LT(arms.full_, 8u);
+  EXPECT_EQ(racer.stats().races, 1u);
+}
+
+TEST(Racer, CoreOracleModeFullEvaluatesEveryArm) {
+  dse::Racer racer;
+  LinearArms arms(1.0);
+  dse::RacerOptions opts;
+  opts.enabled = false;
+  std::vector<dse::ArmOutcome> outcomes(5);
+  const std::size_t best = racer.race(opts, 5, arms, outcomes);
+  EXPECT_EQ(best, 0u);
+  EXPECT_EQ(arms.cheap_, 0u);
+  EXPECT_EQ(arms.full_, 5u);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.full);
+}
+
+TEST(Racer, CoreRejectsMismatchedOutcomeSpan) {
+  dse::Racer racer;
+  LinearArms arms(1.0);
+  std::vector<dse::ArmOutcome> outcomes(3);
+  EXPECT_THROW((void)racer.race({}, 4, arms, outcomes), std::invalid_argument);
+  EXPECT_THROW((void)racer.race({}, 0, arms, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace procon

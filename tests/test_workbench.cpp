@@ -148,11 +148,11 @@ TEST(Workbench, BufferFrontierMatchesExplorerBothPaths) {
     const auto reference =
         dse::explore_buffer_tradeoff(wb.system().app(i), reference_opts);
     const auto incremental = wb.buffer_frontier(i);  // incremental by default
-    ASSERT_EQ(incremental->size(), reference.size());
+    ASSERT_EQ(incremental->points.size(), reference.size());
     for (std::size_t k = 0; k < reference.size(); ++k) {
-      EXPECT_EQ((*incremental)[k].capacities, reference[k].capacities);
-      EXPECT_EQ((*incremental)[k].total_tokens, reference[k].total_tokens);
-      EXPECT_EQ((*incremental)[k].period, reference[k].period);
+      EXPECT_EQ(incremental->points[k].capacities, reference[k].capacities);
+      EXPECT_EQ(incremental->points[k].total_tokens, reference[k].total_tokens);
+      EXPECT_EQ(incremental->points[k].period, reference[k].period);
     }
   }
 }
