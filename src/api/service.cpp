@@ -344,6 +344,45 @@ std::string AnalysisService::coalesce_key(std::uint64_t serial,
       append_u64(key, d.sim.sample_seed);
       append_u64(key, d.sim.collect_trace ? 1 : 0);
       break;
+    case QueryKind::TopologySweep: {
+      // The candidate list is arbitrarily long; absorb it into a 128-bit
+      // content hash like Simulate's exec-time models. Link endpoints are
+      // canonical from (kind, dims), so only the mutable attributes
+      // (widths, latencies) need hashing beyond the shape.
+      ContentHash h;
+      h.absorb(d.topologies.size());
+      for (const platform::Topology& t : d.topologies) {
+        h.absorb(static_cast<std::uint64_t>(t.kind()));
+        h.absorb(t.node_count());
+        h.absorb(t.rows());
+        h.absorb(t.cols());
+        for (std::size_t l = 0; l < t.link_count(); ++l) {
+          const platform::Link& lk = t.link(static_cast<platform::LinkId>(l));
+          h.absorb(lk.width);
+          h.absorb(static_cast<std::uint64_t>(lk.latency));
+        }
+      }
+      append_u64(key, h.a);
+      append_u64(key, h.b);
+      for (const sdf::AppId a : d.use_case) append_u64(key, a);
+      append_u64(key, static_cast<std::uint64_t>(d.estimator.method));
+      append_u64(key, static_cast<std::uint64_t>(d.estimator.order));
+      append_u64(key, static_cast<std::uint64_t>(d.estimator.iterations));
+      append_u64(key, d.estimator.mc_trials);
+      append_u64(key, d.estimator.mc_seed);
+      append_u64(key, d.topo_with_sim ? 1 : 0);
+      if (d.topo_with_sim) {
+        append_u64(key, static_cast<std::uint64_t>(d.sim.horizon));
+        append_u64(key, static_cast<std::uint64_t>(d.sim.arbitration));
+        append_u64(key, static_cast<std::uint64_t>(d.sim.tdma_slot));
+        append_double(key, d.sim.warmup_fraction);
+        append_u64(key, d.sim.min_iterations);
+        append_u64(key, d.sim.max_events);
+        append_u64(key, d.sim.sample_seed);
+        append_u64(key, d.sim.collect_trace ? 1 : 0);
+      }
+      break;
+    }
   }
   return key;
 }
@@ -366,6 +405,14 @@ QueryValue AnalysisService::execute(Workbench& wb, const QueryDesc& d) {
     case QueryKind::Simulate:
       return d.use_case.empty() ? wb.simulate(d.sim)
                                 : wb.simulate(d.use_case, d.sim);
+    case QueryKind::TopologySweep: {
+      TopologySweepOptions topts;
+      topts.estimator = d.estimator;
+      topts.with_sim = d.topo_with_sim;
+      topts.sim = d.sim;
+      topts.use_case = d.use_case;
+      return wb.sweep_topologies(d.topologies, topts);
+    }
   }
   throw std::logic_error("AnalysisService: unhandled query kind");
 }

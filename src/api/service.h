@@ -70,6 +70,7 @@ enum class QueryKind : std::uint8_t {
   Contention,      ///< Workbench::contention([use_case,] estimator)
   Wcrt,            ///< Workbench::wcrt([use_case,] wcrt)
   Simulate,        ///< Workbench::simulate([use_case,] sim)
+  TopologySweep,   ///< Workbench::sweep_topologies(topologies, ...)
 };
 
 /// \brief One submitted query: the kind plus every option the kind reads.
@@ -90,6 +91,11 @@ struct QueryDesc {
   /// BufferFrontier configuration, including its racing options
   /// (buffers.racer — enabled=false keeps the exhaustive greedy walk).
   dse::BufferExplorerOptions buffers;
+  /// Candidate interconnects for TopologySweep, evaluated in order (the
+  /// sweep reads `estimator`, `sim` and `use_case` above for its options).
+  std::vector<platform::Topology> topologies;
+  /// Whether TopologySweep also runs the routed simulation per candidate.
+  bool topo_with_sim = true;
 };
 
 /// \brief Every result shape a ticket can carry, in QueryKind order.
@@ -99,7 +105,8 @@ using QueryValue = std::variant<Report<analysis::PeriodResult>,
                                 Report<dse::FrontierResult>,
                                 Report<std::vector<prob::AppEstimate>>,
                                 Report<std::vector<wcrt::AppBound>>,
-                                Report<sim::SimResult>>;
+                                Report<sim::SimResult>,
+                                Report<std::vector<TopologyResult>>>;
 
 /// \brief Lifecycle of a ticket's underlying query.
 enum class TicketStatus : std::uint8_t {

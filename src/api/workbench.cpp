@@ -530,6 +530,59 @@ SweepSummary Workbench::sweep_use_cases(std::span<const platform::UseCase> use_c
   return summary;
 }
 
+Report<std::vector<TopologyResult>> Workbench::sweep_topologies(
+    std::span<const platform::Topology> topologies,
+    const TopologySweepOptions& opts) {
+  Timer timer;
+  const prob::ContentionEstimator est(opts.estimator);
+  const platform::UseCase& uc = opts.use_case.empty() ? full_uc_ : opts.use_case;
+  if (topo_scratch_.empty()) topo_scratch_.push_back(sys_);
+  platform::System& scratch = topo_scratch_.front();
+
+  Report<std::vector<TopologyResult>> report;
+  report.value.resize(topologies.size());
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    scratch.set_topology(topologies[i]);
+    const platform::SystemView view(scratch, uc);
+    TopologyResult& out = report.value[i];
+    {
+      // Session engines: topology changes neither application structure nor
+      // the mapping, so the per-app ThroughputEngines apply unchanged.
+      const auto engines = scratch_engines_for(uc);
+      out.estimates = est.estimate(view, {}, engines);
+    }
+    if (opts.with_sim) {
+      sim::SimEngine& se = topology_sim_engine(scratch);
+      se.reset(uc);
+      out.sim = se.run(opts.sim);
+    }
+  }
+  report.provenance = {"topology sweep: " + prob::method_name(opts.estimator.method),
+                       topologies.size(), 1, timer.ms()};
+  return report;
+}
+
+sim::SimEngine& Workbench::topology_sim_engine(const platform::System& scratch) {
+  const std::uint64_t fp = scratch.fingerprint();
+  for (TopologySimEntry& e : topo_sim_cache_) {
+    if (e.fingerprint == fp) {
+      e.stamp = ++topo_sim_clock_;
+      return *e.engine;
+    }
+  }
+  if (topo_sim_cache_.size() >= kTopologySimCacheCapacity) {
+    std::size_t victim = 0;
+    for (std::size_t j = 1; j < topo_sim_cache_.size(); ++j) {
+      if (topo_sim_cache_[j].stamp < topo_sim_cache_[victim].stamp) victim = j;
+    }
+    topo_sim_cache_.erase(topo_sim_cache_.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+  }
+  topo_sim_cache_.push_back(TopologySimEntry{
+      fp, ++topo_sim_clock_, std::make_unique<sim::SimEngine>(scratch)});
+  return *topo_sim_cache_.back().engine;
+}
+
 Report<std::vector<double>> Workbench::score_mappings(
     std::span<const platform::Mapping> candidates,
     const prob::EstimatorOptions& opts) {

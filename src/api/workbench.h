@@ -144,6 +144,26 @@ struct SweepSummary {
   double wall_ms = 0.0;       ///< wall-clock time of the sweep
 };
 
+/// \brief What a topology sweep evaluates per candidate interconnect.
+struct TopologySweepOptions {
+  /// Link-aware estimator configuration (method, fixed-point passes).
+  prob::EstimatorOptions estimator;
+  /// Also run the routed discrete-event simulation per topology.
+  bool with_sim = true;
+  /// Simulation configuration (when with_sim).
+  sim::SimOptions sim;
+  /// Restriction applied to every candidate; empty = full system.
+  platform::UseCase use_case;
+};
+
+/// \brief One candidate interconnect's results, in input order.
+struct TopologyResult {
+  /// Link-aware contention estimates (apps in use-case order).
+  std::vector<prob::AppEstimate> estimates;
+  /// Routed reference simulation (empty unless with_sim).
+  sim::SimResult sim;
+};
+
 /// \brief One stateful analysis session over a platform::System — every
 /// analysis and DSE entry point as a uniform, Report-returning query.
 ///
@@ -269,6 +289,23 @@ class Workbench {
   SweepSummary sweep_use_cases(std::span<const platform::UseCase> use_cases,
                                const SweepOptions& opts, SweepSink& sink);
 
+  /// Evaluates the session's applications under each candidate interconnect
+  /// topology: the sweep retargets a lazily-built clone of the session
+  /// system per candidate (the session's own system, engines and SimEngine
+  /// are untouched — a sweep never perturbs later plain queries), runs the
+  /// link-aware estimator through the session's ThroughputEngines (topology
+  /// does not change application structure, so they are shared as-is), and,
+  /// when opts.with_sim, the routed simulation on a per-topology SimEngine
+  /// cache keyed by the retargeted system's fingerprint (LRU-bounded:
+  /// re-sweeping a seen topology list reuses flattened engines instead of
+  /// rebuilding). Candidates with TopologyKind::None reproduce the
+  /// topology-free contention/simulate results bitwise. Throws
+  /// std::invalid_argument when a candidate's node count does not match the
+  /// platform.
+  [[nodiscard]] Report<std::vector<TopologyResult>> sweep_topologies(
+      std::span<const platform::Topology> topologies,
+      const TopologySweepOptions& opts = {});
+
   /// Scores candidate mappings of the session's applications (max estimated
   /// slowdown; == dse::evaluate_mapping per candidate), sharded across the
   /// pool. Results in input order, bitwise identical for any thread count.
@@ -340,6 +377,10 @@ class Workbench {
   sim::SimEngine& sim_engine();
   /// One SimEngine clone per pool worker for with_sim sweeps (lazy).
   std::vector<sim::SimEngine>& sim_worker_engines();
+  /// SimEngine for the current topology of `scratch` from the per-topology
+  /// cache (flattens on first sight of a structure, LRU-evicts beyond
+  /// kTopologySimCacheCapacity).
+  sim::SimEngine& topology_sim_engine(const platform::System& scratch);
 
   platform::System sys_;
   std::shared_ptr<analysis::TranspositionTable> table_;  // nullptr = off
@@ -364,6 +405,21 @@ class Workbench {
   Report<std::span<const prob::AppEstimate>> contention_report_;
   sim::SimResultView sweep_sim_view_;                // per-use-case sim views
   dse::RacerStats racer_stats_;                      // merged across DSE queries
+
+  // Topology-sweep state: a lazily-built clone of the session system that
+  // sweep_topologies retargets per candidate, plus a fingerprint-keyed LRU
+  // of flattened SimEngines — one per distinct retargeted structure, so a
+  // re-swept topology list skips the rebuild (the session's 9th family of
+  // cached objects).
+  static constexpr std::size_t kTopologySimCacheCapacity = 8;
+  struct TopologySimEntry {
+    std::uint64_t fingerprint = 0;              // retargeted system fingerprint
+    std::uint64_t stamp = 0;                    // LRU clock value at last use
+    std::unique_ptr<sim::SimEngine> engine;     // flattened routed engine
+  };
+  std::vector<platform::System> topo_scratch_;  // lazy, 0 or 1 entries
+  std::vector<TopologySimEntry> topo_sim_cache_;
+  std::uint64_t topo_sim_clock_ = 0;
 };
 
 }  // namespace procon::api

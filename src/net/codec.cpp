@@ -10,6 +10,19 @@ void put_u32_count(WireWriter& w, std::size_t n) {
   w.u32(static_cast<std::uint32_t>(n));
 }
 
+// Robustness guard for every count a decoder resizes or reserves from: a
+// wire count may not promise more elements than the remaining frame bytes
+// can possibly hold (each element occupies >= min_bytes on the wire), so a
+// corrupted or hostile count fails cleanly here instead of driving a giant
+// allocation before the reader runs off the end.
+std::uint32_t get_count(WireReader& r, std::size_t min_bytes) {
+  const std::uint32_t n = r.u32();
+  if (min_bytes > 0 && n > r.remaining() / min_bytes) {
+    throw CodecError("codec: count exceeds frame");
+  }
+  return n;
+}
+
 // ---- exec-time distributions ----------------------------------------------
 
 void encode_distribution(WireWriter& w, const sdf::ExecTimeDistribution& d) {
@@ -21,7 +34,7 @@ void encode_distribution(WireWriter& w, const sdf::ExecTimeDistribution& d) {
 }
 
 sdf::ExecTimeDistribution decode_distribution(WireReader& r) {
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = get_count(r, 16);
   if (n == 0) throw CodecError("codec: empty distribution");
   std::vector<sdf::ExecTimeDistribution::Outcome> outcomes;
   outcomes.reserve(n);
@@ -75,7 +88,7 @@ void encode_body(WireWriter& w, const analysis::GraphLatencyResult& v) {
 
 void decode_body(WireReader& r, analysis::GraphLatencyResult& v) {
   v.latency = r.f64();
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = get_count(r, 4);
   v.critical_actors.resize(n);
   for (auto& a : v.critical_actors) a = r.u32();
 }
@@ -90,7 +103,7 @@ void encode_body(WireWriter& w, const analysis::BottleneckReport& v) {
 void decode_body(WireReader& r, analysis::BottleneckReport& v) {
   v.deadlocked = r.u8() != 0;
   v.period = r.f64();
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = get_count(r, 4);
   v.actors.resize(n);
   for (auto& a : v.actors) a = r.u32();
 }
@@ -134,9 +147,9 @@ void encode_body(WireWriter& w, const dse::FrontierResult& v) {
 }
 
 void decode_body(WireReader& r, dse::FrontierResult& v) {
-  v.points.resize(r.u32());
+  v.points.resize(get_count(r, 20));
   for (dse::BufferPoint& p : v.points) {
-    p.capacities.resize(r.u32());
+    p.capacities.resize(get_count(r, 8));
     for (auto& c : p.capacities) c = r.u64();
     p.total_tokens = r.u64();
     p.period = r.f64();
@@ -159,11 +172,11 @@ void encode_body(WireWriter& w, const std::vector<prob::AppEstimate>& v) {
 }
 
 void decode_body(WireReader& r, std::vector<prob::AppEstimate>& v) {
-  v.resize(r.u32());
+  v.resize(get_count(r, 20));
   for (prob::AppEstimate& a : v) {
     a.isolation_period = r.f64();
     a.estimated_period = r.f64();
-    a.actors.resize(r.u32());
+    a.actors.resize(get_count(r, 16));
     for (prob::ActorEstimate& e : a.actors) {
       e.waiting_time = r.f64();
       e.response_time = r.f64();
@@ -185,11 +198,11 @@ void encode_body(WireWriter& w, const std::vector<wcrt::AppBound>& v) {
 }
 
 void decode_body(WireReader& r, std::vector<wcrt::AppBound>& v) {
-  v.resize(r.u32());
+  v.resize(get_count(r, 20));
   for (wcrt::AppBound& a : v) {
     a.isolation_period = r.f64();
     a.worst_case_period = r.f64();
-    a.actors.resize(r.u32());
+    a.actors.resize(get_count(r, 16));
     for (wcrt::ActorBound& b : a.actors) {
       b.waiting_time = r.f64();
       b.response_time = r.f64();
@@ -215,6 +228,8 @@ void encode_body(WireWriter& w, const sim::SimResult& v) {
   }
   put_u32_count(w, v.node_utilisation.size());
   for (const double u : v.node_utilisation) w.f64(u);
+  put_u32_count(w, v.link_utilisation.size());
+  for (const double u : v.link_utilisation) w.f64(u);
   w.u64(v.events_processed);
   w.i64(v.horizon);
   put_u32_count(w, v.trace.size());
@@ -228,32 +243,50 @@ void encode_body(WireWriter& w, const sim::SimResult& v) {
 }
 
 void decode_body(WireReader& r, sim::SimResult& v) {
-  v.apps.resize(r.u32());
+  v.apps.resize(get_count(r, 33));
   for (sim::AppSimResult& a : v.apps) {
     a.iterations = r.u64();
     a.converged = r.u8() != 0;
     a.average_period = r.f64();
     a.worst_period = r.f64();
-    a.actors.resize(r.u32());
+    a.actors.resize(get_count(r, 24));
     for (sim::ActorStats& s : a.actors) {
       s.firings = r.u64();
       s.total_waiting = r.i64();
       s.total_service = r.i64();
     }
-    a.iteration_times.resize(r.u32());
+    a.iteration_times.resize(get_count(r, 8));
     for (auto& t : a.iteration_times) t = r.i64();
   }
-  v.node_utilisation.resize(r.u32());
+  v.node_utilisation.resize(get_count(r, 8));
   for (auto& u : v.node_utilisation) u = r.f64();
+  v.link_utilisation.resize(get_count(r, 8));
+  for (auto& u : v.link_utilisation) u = r.f64();
   v.events_processed = r.u64();
   v.horizon = r.i64();
-  v.trace.resize(r.u32());
+  v.trace.resize(get_count(r, 28));
   for (sim::TraceEvent& e : v.trace) {
     e.start = r.i64();
     e.end = r.i64();
     e.app = r.u32();
     e.actor = r.u32();
     e.node = r.u32();
+  }
+}
+
+void encode_body(WireWriter& w, const std::vector<api::TopologyResult>& v) {
+  put_u32_count(w, v.size());
+  for (const api::TopologyResult& t : v) {
+    encode_body(w, t.estimates);
+    encode_body(w, t.sim);
+  }
+}
+
+void decode_body(WireReader& r, std::vector<api::TopologyResult>& v) {
+  v.resize(get_count(r, 36));
+  for (api::TopologyResult& t : v) {
+    decode_body(r, t.estimates);
+    decode_body(r, t.sim);
   }
 }
 
@@ -317,11 +350,100 @@ void encode_exec_model(WireWriter& w, const sdf::ExecTimeModel& model) {
 }
 
 sdf::ExecTimeModel decode_exec_model(WireReader& r) {
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = get_count(r, 4);
   sdf::ExecTimeModel model;
   model.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) model.push_back(decode_distribution(r));
   return model;
+}
+
+void encode_topology(WireWriter& w, const platform::Topology& t) {
+  w.u8(static_cast<std::uint8_t>(t.kind()));
+  if (t.none()) return;
+  put_u32_count(w, t.node_count());
+  w.u32(t.rows());
+  w.u32(t.cols());
+  put_u32_count(w, t.link_count());
+  for (std::size_t l = 0; l < t.link_count(); ++l) {
+    const platform::Link& lk = t.link(static_cast<platform::LinkId>(l));
+    w.u32(lk.src);
+    w.u32(lk.dst);
+    w.u32(lk.width);
+    w.i64(lk.latency);
+  }
+}
+
+platform::Topology decode_topology(WireReader& r) {
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(platform::TopologyKind::Mesh2D)) {
+    throw CodecError("codec: unknown topology kind");
+  }
+  if (kind == static_cast<std::uint8_t>(platform::TopologyKind::None)) {
+    return platform::Topology{};
+  }
+  const std::uint32_t nodes = r.u32();
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t cols = r.u32();
+  const std::uint32_t links = get_count(r, 20);
+  // Validate the declared shape BEFORE invoking a factory: the link count
+  // is frame-bounded (get_count above), and every factory allocation is
+  // proportional to it, so a corrupted node/row/col field cannot drive a
+  // giant allocation.
+  std::uint64_t expected = 0;
+  switch (static_cast<platform::TopologyKind>(kind)) {
+    case platform::TopologyKind::Bus:
+      if (nodes == 0) throw CodecError("codec: bad topology: empty bus");
+      expected = 1;
+      break;
+    case platform::TopologyKind::Ring:
+      if (nodes < 2) throw CodecError("codec: bad topology: degenerate ring");
+      expected = 2ull * nodes;
+      break;
+    case platform::TopologyKind::Mesh2D: {
+      if (rows == 0 || cols == 0 ||
+          static_cast<std::uint64_t>(rows) * cols != nodes || nodes < 2) {
+        throw CodecError("codec: bad topology: mesh dims");
+      }
+      const std::uint64_t r64 = rows;
+      const std::uint64_t c64 = cols;
+      expected = 2 * (r64 * (c64 - 1) + c64 * (r64 - 1));
+      break;
+    }
+    default:
+      break;
+  }
+  if (expected != links) throw CodecError("codec: topology link count mismatch");
+  platform::Topology t;
+  try {
+    switch (static_cast<platform::TopologyKind>(kind)) {
+      case platform::TopologyKind::Bus:
+        t = platform::Topology::bus(nodes);
+        break;
+      case platform::TopologyKind::Ring:
+        t = platform::Topology::ring(nodes);
+        break;
+      case platform::TopologyKind::Mesh2D:
+        t = platform::Topology::mesh(rows, cols);
+        break;
+      default:
+        break;
+    }
+  } catch (const std::invalid_argument& e) {
+    throw CodecError(std::string("codec: bad topology: ") + e.what());
+  }
+  for (std::uint32_t l = 0; l < links; ++l) {
+    const platform::NodeId src = r.u32();
+    const platform::NodeId dst = r.u32();
+    const std::uint32_t width = r.u32();
+    const sdf::Time latency = r.i64();
+    const platform::Link& lk = t.link(l);
+    if (lk.src != src || lk.dst != dst) {
+      throw CodecError("codec: topology link endpoints mismatch");
+    }
+    t.set_link_width(l, width);
+    t.set_link_latency(l, latency);
+  }
+  return t;
 }
 
 void encode_system(WireWriter& w, const platform::System& sys) {
@@ -343,10 +465,11 @@ void encode_system(WireWriter& w, const platform::System& sys) {
       w.u32(map.node_of(static_cast<sdf::AppId>(a), static_cast<sdf::ActorId>(i)));
     }
   }
+  encode_topology(w, plat.topology());
 }
 
 platform::System decode_system(WireReader& r) {
-  const std::uint32_t app_count = r.u32();
+  const std::uint32_t app_count = get_count(r, 12);
   std::vector<sdf::Graph> apps;
   apps.reserve(app_count);
   for (std::uint32_t i = 0; i < app_count; ++i) apps.push_back(decode_graph(r));
@@ -375,10 +498,17 @@ platform::System decode_system(WireReader& r) {
         }
       }
     }
+    // Attach the topology before constructing the System so the constructor
+    // computes the full (node ^ topology) platform fingerprint — the decoded
+    // system fingerprints identically to the encoded one.
+    platform::Topology topo = decode_topology(r);
+    if (!topo.none()) plat.set_topology(std::move(topo));
     return platform::System(std::move(apps), std::move(plat), std::move(map));
   } catch (const sdf::GraphError& e) {
     throw CodecError(std::string("codec: bad system: ") + e.what());
   } catch (const std::out_of_range& e) {
+    throw CodecError(std::string("codec: bad system: ") + e.what());
+  } catch (const std::invalid_argument& e) {
     throw CodecError(std::string("codec: bad system: ") + e.what());
   }
 }
@@ -426,17 +556,21 @@ void encode_query_desc(WireWriter& w, const api::QueryDesc& d) {
   w.u64(d.buffers.racer.resync_every);
   w.f64(d.buffers.racer.staleness_slack);
   w.u64(d.buffers.racer.seed);
+
+  put_u32_count(w, d.topologies.size());
+  for (const platform::Topology& t : d.topologies) encode_topology(w, t);
+  w.u8(d.topo_with_sim ? 1 : 0);
 }
 
 api::QueryDesc decode_query_desc(WireReader& r) {
   api::QueryDesc d;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(api::QueryKind::Simulate)) {
+  if (kind > static_cast<std::uint8_t>(api::QueryKind::TopologySweep)) {
     throw CodecError("codec: unknown query kind");
   }
   d.kind = static_cast<api::QueryKind>(kind);
   d.app = r.u32();
-  d.use_case.resize(r.u32());
+  d.use_case.resize(get_count(r, 4));
   for (auto& a : d.use_case) a = r.u32();
 
   const std::uint8_t method = r.u8();
@@ -466,7 +600,7 @@ api::QueryDesc decode_query_desc(WireReader& r) {
   d.sim.warmup_fraction = r.f64();
   d.sim.min_iterations = r.u64();
   d.sim.max_events = r.u64();
-  const std::uint32_t models = r.u32();
+  const std::uint32_t models = get_count(r, 4);
   d.sim.exec_models.reserve(models);
   for (std::uint32_t i = 0; i < models; ++i) {
     d.sim.exec_models.push_back(decode_exec_model(r));
@@ -489,6 +623,13 @@ api::QueryDesc decode_query_desc(WireReader& r) {
   d.buffers.racer.resync_every = static_cast<std::size_t>(r.u64());
   d.buffers.racer.staleness_slack = r.f64();
   d.buffers.racer.seed = r.u64();
+
+  const std::uint32_t topologies = get_count(r, 1);
+  d.topologies.reserve(topologies);
+  for (std::uint32_t i = 0; i < topologies; ++i) {
+    d.topologies.push_back(decode_topology(r));
+  }
+  d.topo_with_sim = r.u8() != 0;
   return d;
 }
 
@@ -520,6 +661,7 @@ api::QueryValue decode_query_value(WireReader& r) {
     case 4: return decode_alternative<4>(r, std::move(p));
     case 5: return decode_alternative<5>(r, std::move(p));
     case 6: return decode_alternative<6>(r, std::move(p));
+    case 7: return decode_alternative<7>(r, std::move(p));
     default: throw CodecError("codec: unknown result variant");
   }
 }
@@ -563,7 +705,7 @@ WireStats decode_stats(WireReader& r) {
   s.table.stores = r.u64();
   s.table.evictions = r.u64();
   s.table.verify_failures = r.u64();
-  s.table.shards.resize(r.u32());
+  s.table.shards.resize(get_count(r, 40));
   for (auto& sh : s.table.shards) {
     sh.hits = r.u64();
     sh.misses = r.u64();

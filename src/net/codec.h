@@ -49,7 +49,10 @@ inline constexpr std::uint32_t kProtocolMagic = 0x50434F4Eu;
 /// \brief Wire protocol version; bumped on any encoding change.
 /// v2: BufferFrontier results carry dse::FrontierResult (points + racing
 /// statistics) and query descriptors carry dse::RacerOptions.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3: systems carry an optional interconnect topology, SimResult carries
+/// per-link utilisation, and query descriptors/results add the
+/// TopologySweep kind (candidate topology list + per-topology results).
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// \brief Upper bound on one frame's payload (guards against corrupted or
 /// hostile length prefixes wedging a reader into a giant allocation).
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
@@ -190,8 +193,20 @@ void encode_exec_model(WireWriter& w, const sdf::ExecTimeModel& model);
 /// ExecTimeDistribution::from_normalised, so the round trip is bitwise.
 [[nodiscard]] sdf::ExecTimeModel decode_exec_model(WireReader& r);
 
+/// \brief Encodes an interconnect topology: kind, then (unless None) node
+/// count, mesh dims and the per-link width/latency attributes. Link
+/// endpoints are written too, purely as a cross-check — the decoder
+/// rebuilds the canonical structure from (kind, dims) and rejects frames
+/// whose endpoints disagree.
+void encode_topology(WireWriter& w, const platform::Topology& t);
+/// \brief Decodes a topology encoded by encode_topology. Throws CodecError
+/// on unknown kinds, shape/endpoint mismatches or counts that cannot fit
+/// the remaining frame bytes.
+[[nodiscard]] platform::Topology decode_topology(WireReader& r);
+
 /// \brief Encodes a whole tenant system: applications, platform nodes
-/// (name + type) and the actor-to-node mapping.
+/// (name + type), the actor-to-node mapping and (v3) the platform's
+/// interconnect topology.
 void encode_system(WireWriter& w, const platform::System& sys);
 /// \brief Decodes a system; the reconstruction fingerprints identically to
 /// the original (the codec preserves every hashed feature and every name).

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,18 @@ struct Node {
   NodeType type = 0;
 };
 
-/// A set of processing nodes.
+class Topology;  // platform/topology.h
+
+/// A set of processing nodes, optionally joined by an interconnect.
 class Platform {
  public:
-  Platform() = default;
+  Platform();
+  Platform(const Platform&);
+  Platform(Platform&&) noexcept;
+  Platform& operator=(const Platform&);
+  Platform& operator=(Platform&&) noexcept;
+  ~Platform();
+
   /// Convenience: creates `count` nodes named "<prefix>0".."<prefix>N-1",
   /// all of type 0.
   static Platform homogeneous(std::size_t count, const std::string& prefix = "Proc");
@@ -46,8 +55,28 @@ class Platform {
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] NodeId find_node(const std::string& name) const noexcept;
 
+  /// Attaches an interconnect. A non-None topology must span exactly
+  /// node_count() nodes (throws std::invalid_argument otherwise); passing a
+  /// default-constructed Topology detaches the interconnect. When the
+  /// platform lives inside a platform::System, mutate through
+  /// System::set_topology instead so the system fingerprint tracks.
+  void set_topology(Topology topology);
+
+  /// The attached interconnect (kind None when there is none).
+  [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
+  /// Mutable access to the attached interconnect, for fingerprint-tracked
+  /// link mutation (System::set_link_width / set_link_latency). Replacing
+  /// the whole topology must go through set_topology, which validates the
+  /// node count.
+  [[nodiscard]] Topology& mutable_topology() noexcept { return *topology_; }
+  /// True when a non-None interconnect is attached.
+  [[nodiscard]] bool has_topology() const noexcept;
+
  private:
   std::vector<Node> nodes_;
+  // Owned indirectly to keep platform.h free of the topology definition
+  // (topology.h includes this header for NodeId). Never null.
+  std::unique_ptr<Topology> topology_;
 };
 
 }  // namespace procon::platform

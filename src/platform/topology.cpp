@@ -1,0 +1,160 @@
+#include "platform/topology.h"
+
+#include <stdexcept>
+
+namespace procon::platform {
+
+namespace {
+
+std::uint32_t clamp_width(std::uint32_t width) noexcept {
+  return width == 0 ? 1u : width;
+}
+
+sdf::Time clamp_latency(sdf::Time latency) noexcept {
+  return latency < 0 ? sdf::Time{0} : latency;
+}
+
+std::uint32_t checked_node_count(std::size_t nodes) {
+  if (nodes > 0xFFFFFFFFu) throw std::invalid_argument("Topology: too many nodes");
+  return static_cast<std::uint32_t>(nodes);
+}
+
+}  // namespace
+
+Topology Topology::bus(std::size_t nodes, std::uint32_t width, sdf::Time latency) {
+  if (nodes == 0) throw std::invalid_argument("Topology::bus: no nodes");
+  Topology t;
+  t.kind_ = TopologyKind::Bus;
+  t.nodes_ = checked_node_count(nodes);
+  t.links_.push_back(
+      Link{kInvalidNode, kInvalidNode, clamp_width(width), clamp_latency(latency)});
+  return t;
+}
+
+Topology Topology::ring(std::size_t nodes, std::uint32_t width, sdf::Time latency) {
+  if (nodes < 2) throw std::invalid_argument("Topology::ring: need >= 2 nodes");
+  Topology t;
+  t.kind_ = TopologyKind::Ring;
+  t.nodes_ = checked_node_count(nodes);
+  t.links_.reserve(2 * nodes);
+  const std::uint32_t w = clamp_width(width);
+  const sdf::Time l = clamp_latency(latency);
+  for (std::uint32_t i = 0; i < t.nodes_; ++i) {
+    t.links_.push_back(Link{i, (i + 1) % t.nodes_, w, l});            // 2i: clockwise
+    t.links_.push_back(Link{i, (i + t.nodes_ - 1) % t.nodes_, w, l}); // 2i+1: ccw
+  }
+  return t;
+}
+
+Topology Topology::mesh(std::size_t rows, std::size_t cols, std::uint32_t width,
+                        sdf::Time latency) {
+  if (rows == 0 || cols == 0 || rows * cols < 2) {
+    throw std::invalid_argument("Topology::mesh: need >= 2 nodes");
+  }
+  Topology t;
+  t.kind_ = TopologyKind::Mesh2D;
+  t.nodes_ = checked_node_count(rows * cols);
+  t.rows_ = static_cast<std::uint32_t>(rows);
+  t.cols_ = static_cast<std::uint32_t>(cols);
+  t.dir_link_.assign(static_cast<std::size_t>(t.nodes_) * 4, kInvalidLink);
+  const std::uint32_t w = clamp_width(width);
+  const sdf::Time l = clamp_latency(latency);
+  // Canonical enumeration: per node in id order, east / west / south / north.
+  for (std::uint32_t n = 0; n < t.nodes_; ++n) {
+    const std::uint32_t r = n / t.cols_;
+    const std::uint32_t c = n % t.cols_;
+    const auto add = [&](std::size_t dir, std::uint32_t dst) {
+      t.dir_link_[static_cast<std::size_t>(n) * 4 + dir] =
+          static_cast<LinkId>(t.links_.size());
+      t.links_.push_back(Link{n, dst, w, l});
+    };
+    if (c + 1 < t.cols_) add(0, n + 1);
+    if (c > 0) add(1, n - 1);
+    if (r + 1 < t.rows_) add(2, n + t.cols_);
+    if (r > 0) add(3, n - t.cols_);
+  }
+  return t;
+}
+
+const Link& Topology::link(LinkId id) const {
+  if (id >= links_.size()) throw std::out_of_range("Topology::link: bad id");
+  return links_[id];
+}
+
+void Topology::set_link_width(LinkId id, std::uint32_t width) {
+  if (id >= links_.size()) throw std::out_of_range("Topology::set_link_width: bad id");
+  links_[id].width = clamp_width(width);
+}
+
+void Topology::set_link_latency(LinkId id, sdf::Time latency) {
+  if (id >= links_.size()) {
+    throw std::out_of_range("Topology::set_link_latency: bad id");
+  }
+  links_[id].latency = clamp_latency(latency);
+}
+
+std::size_t Topology::route(NodeId src, NodeId dst, std::vector<LinkId>& out) const {
+  if (kind_ == TopologyKind::None) return 0;
+  if (src >= nodes_ || dst >= nodes_) {
+    throw std::out_of_range("Topology::route: node outside topology");
+  }
+  if (src == dst) return 0;
+  switch (kind_) {
+    case TopologyKind::Bus:
+      out.push_back(0);
+      return 1;
+    case TopologyKind::Ring: {
+      // Minimal direction; an equidistant tie goes clockwise so the route is
+      // a pure function of (src, dst).
+      const std::uint32_t cw = (dst + nodes_ - src) % nodes_;
+      const std::uint32_t ccw = (src + nodes_ - dst) % nodes_;
+      std::size_t hops = 0;
+      std::uint32_t at = src;
+      if (cw <= ccw) {
+        for (std::uint32_t h = 0; h < cw; ++h, ++hops) {
+          out.push_back(2 * at);
+          at = (at + 1) % nodes_;
+        }
+      } else {
+        for (std::uint32_t h = 0; h < ccw; ++h, ++hops) {
+          out.push_back(2 * at + 1);
+          at = (at + nodes_ - 1) % nodes_;
+        }
+      }
+      return hops;
+    }
+    case TopologyKind::Mesh2D: {
+      // XY dimension order: correct the column first, then the row.
+      std::size_t hops = 0;
+      std::uint32_t at = src;
+      const std::uint32_t dc = dst % cols_;
+      const std::uint32_t dr = dst / cols_;
+      while (at % cols_ != dc) {
+        const std::size_t dir = (at % cols_ < dc) ? 0 : 1;
+        out.push_back(dir_link_[static_cast<std::size_t>(at) * 4 + dir]);
+        at = links_[out.back()].dst;
+        ++hops;
+      }
+      while (at / cols_ != dr) {
+        const std::size_t dir = (at / cols_ < dr) ? 2 : 3;
+        out.push_back(dir_link_[static_cast<std::size_t>(at) * 4 + dir]);
+        at = links_[out.back()].dst;
+        ++hops;
+      }
+      return hops;
+    }
+    case TopologyKind::None:
+      break;
+  }
+  return 0;
+}
+
+sdf::Time Topology::service_time(LinkId id, std::uint64_t tokens) const {
+  if (id >= links_.size()) throw std::out_of_range("Topology::service_time: bad id");
+  if (tokens == 0) return 0;
+  const Link& l = links_[id];
+  const std::uint64_t slots = (tokens + l.width - 1) / l.width;
+  return l.latency + static_cast<sdf::Time>(slots);
+}
+
+}  // namespace procon::platform

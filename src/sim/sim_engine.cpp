@@ -15,6 +15,9 @@ using sdf::Time;
 namespace {
 constexpr std::uint32_t kNoActor = UINT32_MAX;
 constexpr std::uint32_t kInactive = UINT32_MAX;
+// Heap events with this bit set in Event::actor are link completions; the
+// low bits index msg_pool_. Flat actor counts stay far below 2^31.
+constexpr std::uint32_t kLinkFlag = 0x80000000u;
 }  // namespace
 
 SimEngine::SimEngine(const platform::System& sys, std::size_t ring_cache_capacity)
@@ -38,6 +41,7 @@ void SimEngine::build(const platform::SystemView& view) {
   // is gathered in per-actor buckets first, then packed into CSR arrays.
   std::vector<std::vector<std::uint32_t>> in_of;
   std::vector<std::vector<std::uint32_t>> out_of;
+  std::vector<std::uint32_t> chan_src;  // flat channel -> producer flat actor
   std::uint32_t chan_base = 0;
   for (AppId i = 0; i < view.app_count(); ++i) {
     const sdf::Graph& g = view.app(i);
@@ -60,6 +64,7 @@ void SimEngine::build(const platform::SystemView& view) {
       chan_cons_.push_back(ch.cons_rate);
       chan_prod_.push_back(ch.prod_rate);
       chan_dst_.push_back(app_actor_base_[i] + ch.dst);
+      chan_src.push_back(app_actor_base_[i] + ch.src);
       in_of[app_actor_base_[i] + ch.dst].push_back(cid);
       out_of[app_actor_base_[i] + ch.src].push_back(cid);
     }
@@ -83,6 +88,27 @@ void SimEngine::build(const platform::SystemView& view) {
   pack(in_of, in_start_, in_list_);
   pack(out_of, out_start_, out_list_);
 
+  // Bake interconnect routes: a pure function of (topology, mapping), so a
+  // rebuilt engine reproduces them bit-identically. Per-hop service times
+  // are precomputed for the channel's production burst.
+  const platform::Topology& topo = view.platform().topology();
+  link_count_ = static_cast<std::uint32_t>(topo.link_count());
+  const std::size_t chan_count = init_tokens_.size();
+  route_start_.assign(chan_count + 1, 0);
+  for (std::size_t c = 0; c < chan_count; ++c) {
+    route_start_[c] = static_cast<std::uint32_t>(route_links_.size());
+    if (!topo.none() && node_of_[chan_src[c]] != node_of_[chan_dst_[c]]) {
+      topo.route(node_of_[chan_src[c]], node_of_[chan_dst_[c]], route_links_);
+    }
+  }
+  route_start_[chan_count] = static_cast<std::uint32_t>(route_links_.size());
+  route_service_.reserve(route_links_.size());
+  for (std::size_t c = 0; c < chan_count; ++c) {
+    for (std::uint32_t k = route_start_[c]; k < route_start_[c + 1]; ++k) {
+      route_service_.push_back(topo.service_time(route_links_[k], chan_prod_[c]));
+    }
+  }
+
   full_uc_.resize(app_count());
   for (AppId i = 0; i < full_uc_.size(); ++i) full_uc_[i] = i;
 
@@ -104,7 +130,12 @@ void SimEngine::build(const platform::SystemView& view) {
   rr_next_.resize(node_count_);
   node_busy_.resize(node_count_);
   node_busy_time_.resize(node_count_);
-  events_.reserve(actor_count_ + 16);
+  link_queue_.resize(link_count_);
+  link_head_.resize(link_count_);
+  link_busy_.resize(link_count_);
+  link_busy_time_.resize(link_count_);
+  link_util_.resize(link_count_);
+  events_.reserve(actor_count_ + link_count_ + 16);
 }
 
 void SimEngine::install_rings(const platform::UseCase& uc) {
@@ -199,6 +230,12 @@ void SimEngine::reset(const platform::UseCase& uc) {
   std::fill(actor_stats_.begin(), actor_stats_.end(), ActorStats{});
   for (auto& q : fcfs_queue_) q.clear();
   std::fill(fcfs_head_.begin(), fcfs_head_.end(), std::size_t{0});
+  for (auto& q : link_queue_) q.clear();
+  std::fill(link_head_.begin(), link_head_.end(), std::size_t{0});
+  std::fill(link_busy_.begin(), link_busy_.end(), std::uint8_t{0});
+  std::fill(link_busy_time_.begin(), link_busy_time_.end(), Time{0});
+  msg_pool_.clear();
+  msg_free_.clear();
   events_.clear();
   next_seq_ = 0;
   trace_.clear();
@@ -283,7 +320,11 @@ SimResultView SimEngine::run_view(const SimOptions& opts) {
     std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
     events_.pop_back();
     ++processed;
-    on_completion(ev.actor, ev.time);
+    if (ev.actor & kLinkFlag) {
+      on_link_completion(ev.actor & ~kLinkFlag, ev.time);
+    } else {
+      on_completion(ev.actor, ev.time);
+    }
   }
   return finalise_view(processed);
 }
@@ -420,10 +461,15 @@ void SimEngine::try_dispatch(NodeId node, Time t) {
 }
 
 void SimEngine::on_completion(std::uint32_t a, Time t) {
-  // Produce outputs.
+  // Produce outputs: instantly on unrouted channels, as an interconnect
+  // message on routed ones (tokens arrive when the last hop completes).
   for (std::uint32_t k = out_start_[a]; k < out_start_[a + 1]; ++k) {
     const std::uint32_t c = out_list_[k];
-    tokens_[c] += chan_prod_[c];
+    if (route_start_[c] == route_start_[c + 1]) {
+      tokens_[c] += chan_prod_[c];
+    } else {
+      send_message(c, t);
+    }
   }
   state_[a] = ActorState::Idle;
   ++completions_[a];
@@ -444,6 +490,62 @@ void SimEngine::on_completion(std::uint32_t a, Time t) {
   try_dispatch(node_of_[a], t);
   for (std::uint32_t k = out_start_[a]; k < out_start_[a + 1]; ++k) {
     try_dispatch(node_of_[chan_dst_[out_list_[k]]], t);
+  }
+}
+
+void SimEngine::send_message(std::uint32_t chan, Time t) {
+  std::uint32_t m;
+  if (!msg_free_.empty()) {
+    m = msg_free_.back();
+    msg_free_.pop_back();
+    msg_pool_[m] = Msg{chan, 0};
+  } else {
+    m = static_cast<std::uint32_t>(msg_pool_.size());
+    msg_pool_.push_back(Msg{chan, 0});
+  }
+  link_queue_[route_links_[route_start_[chan]]].push_back(m);
+  try_dispatch_link(route_links_[route_start_[chan]], t);
+}
+
+void SimEngine::try_dispatch_link(platform::LinkId link, Time t) {
+  if (link_busy_[link]) return;
+  auto& q = link_queue_[link];
+  std::size_t& head = link_head_[link];
+  if (head == q.size()) return;
+  const std::uint32_t m = q[head++];
+  // Same amortised compaction as the node ready lists.
+  if (head >= 4096 && head * 2 >= q.size()) {
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(head));
+    head = 0;
+  }
+  link_busy_[link] = 1;
+  const Msg& msg = msg_pool_[m];
+  const Time service = route_service_[route_start_[msg.chan] + msg.hop];
+  link_busy_time_[link] +=
+      std::min(t + service, opts_.horizon) - std::min(t, opts_.horizon);
+  events_.push_back(Event{t + service, next_seq_++, kLinkFlag | m});
+  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+}
+
+void SimEngine::on_link_completion(std::uint32_t m, Time t) {
+  const Msg msg = msg_pool_[m];
+  const platform::LinkId link = route_links_[route_start_[msg.chan] + msg.hop];
+  link_busy_[link] = 0;
+  const std::uint32_t next_hop = msg.hop + 1;
+  if (route_start_[msg.chan] + next_hop == route_start_[msg.chan + 1]) {
+    // Final hop: the tokens arrive at the consumer.
+    tokens_[msg.chan] += chan_prod_[msg.chan];
+    msg_free_.push_back(m);
+    const std::uint32_t dst = chan_dst_[msg.chan];
+    try_enqueue(dst, t);
+    try_dispatch_link(link, t);
+    try_dispatch(node_of_[dst], t);
+  } else {
+    // Forward to the next hop, then backfill the link just released.
+    msg_pool_[m].hop = next_hop;
+    link_queue_[route_links_[route_start_[msg.chan] + next_hop]].push_back(m);
+    try_dispatch_link(route_links_[route_start_[msg.chan] + next_hop], t);
+    try_dispatch_link(link, t);
   }
 }
 
@@ -483,9 +585,16 @@ SimResultView SimEngine::finalise_view(std::uint64_t processed) {
             ? static_cast<double>(node_busy_time_[n]) / static_cast<double>(opts_.horizon)
             : 0.0;
   }
+  for (std::uint32_t l = 0; l < link_count_; ++l) {
+    link_util_[l] =
+        opts_.horizon > 0
+            ? static_cast<double>(link_busy_time_[l]) / static_cast<double>(opts_.horizon)
+            : 0.0;
+  }
   SimResultView result;
   result.apps = view_apps_;
   result.node_utilisation = node_util_;
+  result.link_utilisation = link_util_;
   result.events_processed = processed;
   result.horizon = opts_.horizon;
   result.trace = trace_;

@@ -41,6 +41,21 @@
 // function of structure and use-case); only the zero-allocation guarantee
 // narrows to working sets that fit the capacity.
 //
+// Interconnect: when the platform carries a topology (platform::Topology),
+// every channel whose producer and consumer sit on different nodes is
+// routed over its deterministic link sequence at build time. A producer
+// firing then emits a *message* instead of depositing tokens instantly;
+// the message queues FCFS at each link in turn (per-link vector + head
+// cursor rings, pooled message arena), occupies each link for the
+// precomputed per-hop service time, and deposits the tokens at the
+// consumer when the last hop completes. Link events ride the same
+// preallocated heap, tagged in the high bit of Event::actor, and count
+// toward events_processed; per-link busy fractions are reported as
+// SimResultView::link_utilisation. Links arbitrate FCFS under every
+// arbitration mode (node arbitration stays as configured). With no
+// topology attached no message is ever created and runs are bitwise
+// identical to the pre-interconnect engine.
+//
 // An engine is a mutable session object: not thread-safe. Sharded callers
 // (api::Workbench sweeps) keep one engine per worker. Copying an engine
 // clones its cached structure — that is how worker clones are made.
@@ -211,6 +226,14 @@ class SimEngine {
     std::uint64_t last_used = 0;       // reset stamp (LRU order)
   };
 
+  /// One inter-node transfer in flight on the interconnect: the producing
+  /// channel and the hop it currently occupies. Pooled with a free list so
+  /// warm runs reuse capacity (zero-alloc steady state).
+  struct Msg {
+    std::uint32_t chan = 0;
+    std::uint32_t hop = 0;
+  };
+
   void build(const platform::SystemView& view);
   void bind_options(const SimOptions& opts);
   /// Installs (building + caching on first sight) the rings of `uc`.
@@ -230,6 +253,9 @@ class SimEngine {
   [[nodiscard]] std::uint32_t pick_next(platform::NodeId node);
   void try_dispatch(platform::NodeId node, sdf::Time t);
   void on_completion(std::uint32_t a, sdf::Time t);
+  void send_message(std::uint32_t chan, sdf::Time t);
+  void try_dispatch_link(platform::LinkId link, sdf::Time t);
+  void on_link_completion(std::uint32_t msg, sdf::Time t);
   void update_iterations(std::uint32_t active_app, sdf::Time t);
   [[nodiscard]] SimResultView finalise_view(std::uint64_t processed);
 
@@ -253,6 +279,16 @@ class SimEngine {
   std::vector<std::uint32_t> in_list_;         // flat channel ids
   std::vector<std::uint32_t> out_start_;
   std::vector<std::uint32_t> out_list_;
+
+  // Interconnect routes, baked at build time from the platform's topology:
+  // channel c crosses links route_links_[route_start_[c] .. route_start_[c+1])
+  // in order, occupying hop k for route_service_[k] time units (the transfer
+  // of chan_prod_[c] tokens). Channels with an empty range (same node, or no
+  // topology) deposit tokens instantly — the legacy model, bit-identical.
+  std::uint32_t link_count_ = 0;
+  std::vector<std::uint32_t> route_start_;     // flat channel -> offset (size C+1)
+  std::vector<platform::LinkId> route_links_;
+  std::vector<sdf::Time> route_service_;
 
   // --- ring cache (one RingSet per recently-seen use-case) -----------------
   // Entries live in a deque (stable under growth) and are addressed by
@@ -293,6 +329,18 @@ class SimEngine {
   std::vector<Event> events_;                  // binary min-heap (std::*_heap)
   std::uint64_t next_seq_ = 0;
 
+  // Interconnect dynamic state: per-link FCFS queues of in-flight messages
+  // (vector + head cursor, like the node ready lists) and a pooled message
+  // arena with a free list. Links arbitrate FCFS under every arbitration
+  // mode; their events ride the one preallocated heap, tagged by the high
+  // bit of Event::actor.
+  std::vector<Msg> msg_pool_;
+  std::vector<std::uint32_t> msg_free_;
+  std::vector<std::vector<std::uint32_t>> link_queue_;
+  std::vector<std::size_t> link_head_;
+  std::vector<std::uint8_t> link_busy_;
+  std::vector<sdf::Time> link_busy_time_;
+
   // Metrics arenas (flat-actor arrays are full-size; per-app arrays use the
   // first active-count slots and never shrink, so capacity survives resets).
   std::vector<std::uint64_t> completions_;
@@ -304,6 +352,7 @@ class SimEngine {
   // Result-view arenas (reused per run; run_view returns spans over these).
   std::vector<AppSimView> view_apps_;
   std::vector<double> node_util_;
+  std::vector<double> link_util_;
 };
 
 /// \brief Runs the applications selected by a zero-copy restriction view.

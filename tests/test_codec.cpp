@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <exception>
+#include <span>
 #include <string>
+#include <typeinfo>
 #include <vector>
 
 #include "api/workbench.h"
 #include "helpers.h"
+#include "util/rng.h"
 
 namespace procon::net {
 namespace {
@@ -153,7 +157,7 @@ TEST(Codec, SystemRoundTripPreservesFingerprint) {
 }
 
 TEST(Codec, QueryDescRoundTripAllKinds) {
-  for (int kind = 0; kind < 7; ++kind) {
+  for (int kind = 0; kind < 8; ++kind) {
     api::QueryDesc d;
     d.kind = static_cast<api::QueryKind>(kind);
     d.app = 1;
@@ -181,6 +185,10 @@ TEST(Codec, QueryDescRoundTripAllKinds) {
     d.buffers.racer.resync_every = 9;
     d.buffers.racer.staleness_slack = 0.03125;
     d.buffers.racer.seed = 0xDEADBEEFu;
+    // Candidate topologies travel with TopologySweep descriptors (v3).
+    d.topologies.push_back(platform::Topology::ring(4, 2, 3));
+    d.topologies.push_back(platform::Topology::mesh(2, 3, 1, 2));
+    d.topo_with_sim = false;
     WireWriter w;
     encode_query_desc(w, d);
     WireReader r(w.view());
@@ -209,6 +217,11 @@ TEST(Codec, QueryDescRoundTripAllKinds) {
     EXPECT_EQ(back.buffers.racer.resync_every, d.buffers.racer.resync_every);
     EXPECT_EQ(back.buffers.racer.staleness_slack, d.buffers.racer.staleness_slack);
     EXPECT_EQ(back.buffers.racer.seed, d.buffers.racer.seed);
+    ASSERT_EQ(back.topologies.size(), d.topologies.size());
+    for (std::size_t t = 0; t < d.topologies.size(); ++t) {
+      EXPECT_TRUE(back.topologies[t] == d.topologies[t]);
+    }
+    EXPECT_EQ(back.topo_with_sim, d.topo_with_sim);
   }
 }
 
@@ -374,6 +387,102 @@ TEST(Codec, FramingRejectsHostileLengthPrefix) {
   // for (or allocating) a gigabyte.
   std::vector<std::uint8_t> rx{0xFF, 0xFF, 0xFF, 0xFF};
   EXPECT_THROW((void)try_extract_frame(rx), CodecError);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style decoder robustness: seeded byte mutation over valid frames.
+//
+// The decoder faces network input; a flipped bit must never crash, over-read
+// (the ASan/UBSan CI job runs this test), hang, or allocate unboundedly —
+// every failure path is a clean CodecError. Mutants that happen to stay
+// well-formed may decode successfully; anything else thrown is a bug.
+
+/// Decodes `bytes` with `decode`, failing the test on any non-CodecError
+/// escape. Returns true when the mutant decoded cleanly.
+template <typename Decode>
+bool expect_clean_decode(std::span<const std::uint8_t> bytes, Decode&& decode,
+                         std::uint64_t mutant) {
+  try {
+    decode(bytes);
+    return true;
+  } catch (const CodecError&) {
+    return false;  // the designed rejection path
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "mutant " << mutant << " escaped with "
+                  << typeid(e).name() << ": " << e.what();
+    return false;
+  }
+}
+
+/// Applies `flips` random single-byte mutations, then (sometimes) truncates.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base,
+                                 util::Rng& rng) {
+  std::vector<std::uint8_t> out = base;
+  const int flips = static_cast<int>(rng.uniform_int(1, 8));
+  for (int f = 0; f < flips; ++f) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    out[at] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  if (rng.uniform01() < 0.25) {
+    out.resize(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(out.size()))));
+  }
+  return out;
+}
+
+TEST(CodecFuzz, MutatedSystemFramesNeverEscapeCodecError) {
+  // A representative routed system: multiple apps, a non-trivial mapping
+  // and a v3 topology section, so mutations can land in every decoder arm.
+  platform::System sys = testing::fig2_system();
+  sys.set_topology(platform::Topology::ring(3, 2, 1));
+  WireWriter w;
+  encode_system(w, sys);
+  const std::vector<std::uint8_t> valid(w.view().begin(), w.view().end());
+
+  util::Rng rng(0xC0DEC);
+  std::size_t decoded = 0;
+  for (std::uint64_t mutant = 0; mutant < 6'000; ++mutant) {
+    const std::vector<std::uint8_t> bytes = mutate(valid, rng);
+    decoded += expect_clean_decode(
+        bytes,
+        [](std::span<const std::uint8_t> b) {
+          WireReader r(b);
+          (void)decode_system(r);
+          r.expect_end();
+        },
+        mutant);
+  }
+  // The unmutated frame (and a fraction of benign mutants) must decode; if
+  // nothing ever decodes the harness is mutating a stale frame layout.
+  WireReader r{std::span<const std::uint8_t>(valid)};
+  EXPECT_NO_THROW((void)decode_system(r));
+  (void)decoded;
+}
+
+TEST(CodecFuzz, MutatedQueryDescFramesNeverEscapeCodecError) {
+  api::QueryDesc d;
+  d.kind = api::QueryKind::TopologySweep;
+  d.use_case = {0, 1};
+  d.sim.exec_models.push_back({sdf::ExecTimeDistribution::uniform(1, 6)});
+  d.topologies.push_back(platform::Topology::mesh(2, 2, 1, 2));
+  d.topologies.push_back(platform::Topology::bus(4));
+  WireWriter w;
+  encode_query_desc(w, d);
+  const std::vector<std::uint8_t> valid(w.view().begin(), w.view().end());
+
+  util::Rng rng(0xFA22);
+  for (std::uint64_t mutant = 0; mutant < 6'000; ++mutant) {
+    const std::vector<std::uint8_t> bytes = mutate(valid, rng);
+    expect_clean_decode(
+        bytes,
+        [](std::span<const std::uint8_t> b) {
+          WireReader r(b);
+          (void)decode_query_desc(r);
+          r.expect_end();
+        },
+        mutant);
+  }
 }
 
 TEST(Codec, HelloHandshake) {

@@ -551,7 +551,7 @@ int cmd_client(int argc, char** argv) {
 
   const auto desc_for = [&](std::size_t k) {
     api::QueryDesc d;
-    d.kind = static_cast<api::QueryKind>(k % 7);
+    d.kind = static_cast<api::QueryKind>(k % 8);
     d.app = static_cast<sdf::AppId>(
         k % systems[k % systems.size()].app_count());
     d.sim.horizon = 20'000;  // keep Simulate queries smoke-sized
