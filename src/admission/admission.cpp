@@ -9,6 +9,7 @@
 
 #include "sdf/algorithms.h"
 #include "sdf/zobrist.h"
+#include "util/contracts.h"
 
 namespace procon::admission {
 
@@ -111,11 +112,12 @@ void AdmissionController::totals_with(std::span<const platform::NodeId> nodes,
   }
 }
 
-double AdmissionController::predict_period(
+PROCON_WARM_PATH double AdmissionController::predict_period(
     std::uint64_t graph_comp, const sdf::Graph& graph,
     std::span<const platform::NodeId> nodes,
     std::span<const prob::ActorLoad> loads, analysis::ThroughputEngine& engine,
     std::span<const Composite> node_totals) const {
+  PROCON_ASSERT_NO_ALLOC("AdmissionController::predict_period");
   // Transposition probe: the period is a pure function of the graph
   // structure (loads derive from it deterministically), the node
   // assignment, and the composites on the assigned nodes — absorb exactly
@@ -264,10 +266,10 @@ WhatIfReport AdmissionController::what_if_admit(
   return out;
 }
 
-void AdmissionController::what_if_admit(const sdf::Graph& app,
-                                        std::span<const platform::NodeId> nodes,
-                                        const QoS& qos, WhatIfReport& out,
-                                        const WhatIfOptions& opts) {
+PROCON_WARM_PATH void AdmissionController::what_if_admit(
+    const sdf::Graph& app, std::span<const platform::NodeId> nodes,
+    const QoS& qos, WhatIfReport& out, const WhatIfOptions& opts) {
+  PROCON_ASSERT_NO_ALLOC("AdmissionController::what_if_admit");
   out.admissible = false;
   out.reason.clear();
   out.predicted_period = 0.0;
@@ -291,6 +293,8 @@ void AdmissionController::what_if_admit(const sdf::Graph& app,
   store_.append_app(app, nodes);
   try {
     platform::UseCase uc = active_use_case();
+    // lint:allow(warm-container-construct): with_estimates report path; the
+    // zero-alloc contract covers verdict-only probes, which return above.
     std::vector<analysis::ThroughputEngine*> engines;
     engines.reserve(uc.size() + 1);
     for (const sdf::AppId h : uc) engines.push_back(apps_[h].engine.get());

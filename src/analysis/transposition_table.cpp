@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.h"
+
 namespace procon::analysis {
 
 namespace {
@@ -69,7 +71,9 @@ std::size_t TranspositionTable::capacity() const noexcept {
   return shards_.empty() ? 0 : shards_.size() * shards_.front().entries.size();
 }
 
-bool TranspositionTable::lookup(const TTKey& key, TTValue& out) noexcept {
+PROCON_WARM_PATH bool TranspositionTable::lookup(const TTKey& key,
+                                                 TTValue& out) noexcept {
+  PROCON_ASSERT_NO_ALLOC("TranspositionTable::lookup");
   Shard& s = shard_of(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   Entry* bucket = s.entries.data() + bucket_of(key);
@@ -90,7 +94,9 @@ bool TranspositionTable::lookup(const TTKey& key, TTValue& out) noexcept {
   return false;
 }
 
-void TranspositionTable::store(const TTKey& key, const TTValue& value) noexcept {
+PROCON_WARM_PATH void TranspositionTable::store(const TTKey& key,
+                                                const TTValue& value) noexcept {
+  PROCON_ASSERT_NO_ALLOC("TranspositionTable::store");
   Shard& s = shard_of(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   Entry* bucket = s.entries.data() + bucket_of(key);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace procon::dse {
@@ -292,7 +293,9 @@ void MappingArms::ensure_isolation() {
   isolation_ready_ = true;
 }
 
-double MappingArms::pull(std::size_t arm, std::size_t rung, std::size_t worker) {
+PROCON_WARM_PATH double MappingArms::pull(std::size_t arm, std::size_t rung,
+                                          std::size_t worker) {
+  PROCON_ASSERT_NO_ALLOC("MappingArms::pull");
   if (ArmSource::is_estimator_rung(racer_, rung)) {
     AnalysisWorkspace& ws = workspaces_[worker];
     ws.sys.set_mapping(candidates_[arm]);

@@ -101,7 +101,7 @@ class AnalysisServer {
   /// disconnecting poll loop shuts the socket down (wakes writers) but the
   /// fd closes only when the last writer drops its reference.
   struct Connection {
-    explicit Connection(int fd) : fd(fd) {}
+    explicit Connection(int socket_fd) : fd(socket_fd) {}
     ~Connection();
     int fd = -1;
     std::vector<std::uint8_t> rx;   ///< receive reassembly buffer

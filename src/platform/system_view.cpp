@@ -5,6 +5,7 @@
 
 #include "sdf/algorithms.h"
 #include "sdf/zobrist.h"
+#include "util/contracts.h"
 
 namespace procon::platform {
 
@@ -25,7 +26,9 @@ SystemView::SystemView(const System& sys, UseCase use_case)
   rebind(sys, uc_);
 }
 
-void SystemView::rebind(const System& sys, std::span<const sdf::AppId> use_case) {
+PROCON_WARM_PATH void SystemView::rebind(const System& sys,
+                                         std::span<const sdf::AppId> use_case) {
+  PROCON_ASSERT_NO_ALLOC("SystemView::rebind");
   sys_ = &sys;
   // Self-assignment-safe: the constructor rebinds from its own uc_.
   if (use_case.data() != uc_.data() || use_case.size() != uc_.size()) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "prob/monte_carlo.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -151,10 +152,11 @@ std::vector<AppEstimate> ContentionEstimator::estimate_impl(
   return out;
 }
 
-void ContentionEstimator::estimate_into(
+PROCON_WARM_PATH void ContentionEstimator::estimate_into(
     const platform::SystemView& view, std::span<const sdf::ExecTimeModel> models,
     std::span<analysis::ThroughputEngine* const> engines, EstimatorWorkspace& ws,
     std::span<AppEstimate> out, util::ThreadPool* pool) const {
+  PROCON_ASSERT_NO_ALLOC("ContentionEstimator::estimate_into");
   const std::size_t napps = view.app_count();
   if (!models.empty() && models.size() != napps) {
     throw sdf::GraphError("estimate: execution-time model count mismatch");

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sdf/repetition.h"
+#include "util/contracts.h"
 
 namespace procon::sim {
 
@@ -204,9 +205,10 @@ void SimEngine::install_rings(const platform::UseCase& uc) {
   ring_index_.emplace(uc, slot);
 }
 
-void SimEngine::reset() { reset(full_uc_); }
+PROCON_WARM_PATH void SimEngine::reset() { reset(full_uc_); }
 
-void SimEngine::reset(const platform::UseCase& uc) {
+PROCON_WARM_PATH void SimEngine::reset(const platform::UseCase& uc) {
+  PROCON_ASSERT_NO_ALLOC("SimEngine::reset");
   std::fill(active_index_.begin(), active_index_.end(), kInactive);
   for (std::uint32_t j = 0; j < uc.size(); ++j) {
     if (uc[j] >= app_count()) {
@@ -281,7 +283,8 @@ SimResult SimEngine::run(const SimOptions& opts) {
   return run_view(opts).materialise();
 }
 
-SimResultView SimEngine::run_view(const SimOptions& opts) {
+PROCON_WARM_PATH SimResultView SimEngine::run_view(const SimOptions& opts) {
+  PROCON_ASSERT_NO_ALLOC("SimEngine::run_view");
   if (opts.horizon <= 0) {
     throw std::invalid_argument("simulate: horizon must be > 0");
   }

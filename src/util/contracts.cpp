@@ -1,0 +1,62 @@
+#include "util/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace procon::util::contracts {
+namespace {
+
+std::atomic<AllocCounterFn>& counter_slot() noexcept {
+  static std::atomic<AllocCounterFn> fn{nullptr};
+  return fn;
+}
+
+thread_local bool t_armed = false;
+
+}  // namespace
+
+void set_alloc_counter(AllocCounterFn fn) noexcept {
+  counter_slot().store(fn, std::memory_order_release);
+}
+
+AllocCounterFn alloc_counter() noexcept {
+  return counter_slot().load(std::memory_order_acquire);
+}
+
+bool armed() noexcept { return t_armed; }
+
+ArmGuard::ArmGuard() noexcept : prev_(t_armed) { t_armed = true; }
+ArmGuard::~ArmGuard() { t_armed = prev_; }
+
+NoAllocScope::NoAllocScope(const char* scope, const char* file,
+                           int line) noexcept
+    : scope_(scope), file_(file), line_(line) {
+  const AllocCounterFn fn = alloc_counter();
+  if (fn != nullptr && t_armed) {
+    active_ = true;
+    uncaught_ = std::uncaught_exceptions();
+    start_ = fn();
+  }
+}
+
+NoAllocScope::~NoAllocScope() {
+  if (!active_) return;
+  // An in-flight exception may legitimately allocate (what()); the contract
+  // covers the successful warm path only.
+  if (std::uncaught_exceptions() != uncaught_) return;
+  const AllocCounterFn fn = alloc_counter();
+  if (fn == nullptr) return;
+  const std::uint64_t now = fn();
+  if (now != start_) {
+    std::fprintf(stderr,
+                 "PROCON_ASSERT_NO_ALLOC violated: scope '%s' performed "
+                 "%llu allocation(s) while armed (%s:%d)\n",
+                 scope_, static_cast<unsigned long long>(now - start_),
+                 file_, line_);
+    std::abort();
+  }
+}
+
+}  // namespace procon::util::contracts

@@ -1,0 +1,95 @@
+// Source-level contract annotations and their runtime complement.
+//
+// PROCON_WARM_PATH marks a function definition as one of the documented
+// zero-heap-allocation warm paths (docs/ARCHITECTURE.md "Contract
+// enforcement"): after a shape has been seen once, re-serving it must not
+// touch the allocator. The macro expands to nothing — it exists so
+// tools/lint/procon_lint can find the annotated bodies and reject local
+// container construction, `new`, std::function and unreserved push_back at
+// CI time, before a runtime test has to catch the regression.
+//
+// PROCON_ASSERT_NO_ALLOC(scope) is the runtime complement for Debug builds:
+// an RAII guard that snapshots an allocation counter on entry and aborts
+// with the scope name and call site if the count moved by scope exit. It is
+// inert unless BOTH hold:
+//
+//  * a counter was installed with set_alloc_counter() — test binaries that
+//    include util/alloc_probe.h (which replaces ::operator new) install
+//    &alloc_probe::allocations at startup; the library itself never
+//    dictates the allocator of binaries linking it, so this stays a
+//    function-pointer seam;
+//  * the calling thread is inside an ArmGuard — warm paths are only
+//    allocation-free for *previously-seen* shapes, so the steady-state
+//    tests arm exactly around their warm brackets and the cold first pass
+//    stays exempt.
+//
+// In Release (NDEBUG) builds the macro compiles away entirely.
+#pragma once
+
+#include <cstdint>
+
+/// Marks a function definition as a documented allocation-free warm path.
+/// procon_lint checks the annotated body (rules warm-*).
+#define PROCON_WARM_PATH
+
+namespace procon::util::contracts {
+
+/// Snapshot function for the process-wide allocation count. The only
+/// expected implementation is &alloc_probe::allocations from a binary that
+/// included util/alloc_probe.h.
+using AllocCounterFn = std::uint64_t (*)();
+
+/// Installs (or clears, with nullptr) the allocation counter. Thread-safe;
+/// typically called once at test-binary startup.
+void set_alloc_counter(AllocCounterFn fn) noexcept;
+
+/// The installed counter, or nullptr.
+[[nodiscard]] AllocCounterFn alloc_counter() noexcept;
+
+/// True while the calling thread is inside an ArmGuard.
+[[nodiscard]] bool armed() noexcept;
+
+/// Arms PROCON_ASSERT_NO_ALLOC scopes on the calling thread for the guard's
+/// lifetime. Nestable; restores the previous state on destruction.
+class ArmGuard {
+ public:
+  ArmGuard() noexcept;
+  ~ArmGuard();
+  ArmGuard(const ArmGuard&) = delete;
+  ArmGuard& operator=(const ArmGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// RAII body of PROCON_ASSERT_NO_ALLOC. Public only for the macro; the
+/// constructor and destructor never allocate.
+class NoAllocScope {
+ public:
+  NoAllocScope(const char* scope, const char* file, int line) noexcept;
+  ~NoAllocScope();
+  NoAllocScope(const NoAllocScope&) = delete;
+  NoAllocScope& operator=(const NoAllocScope&) = delete;
+
+ private:
+  const char* scope_;
+  const char* file_;
+  int line_;
+  std::uint64_t start_ = 0;
+  int uncaught_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace procon::util::contracts
+
+#if !defined(NDEBUG)
+#define PROCON_DETAIL_NO_ALLOC_CAT2(a, b) a##b
+#define PROCON_DETAIL_NO_ALLOC_CAT(a, b) PROCON_DETAIL_NO_ALLOC_CAT2(a, b)
+/// Debug-build self-check: aborts at this call site if the enclosing scope
+/// allocates while a counter is installed and the thread is armed.
+#define PROCON_ASSERT_NO_ALLOC(scope)                                     \
+  ::procon::util::contracts::NoAllocScope PROCON_DETAIL_NO_ALLOC_CAT(    \
+      procon_no_alloc_scope_, __COUNTER__)(scope, __FILE__, __LINE__)
+#else
+#define PROCON_ASSERT_NO_ALLOC(scope) ((void)0)
+#endif

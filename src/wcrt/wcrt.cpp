@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "analysis/engine.h"
+#include "util/contracts.h"
 
 namespace procon::wcrt {
 
@@ -50,10 +51,11 @@ std::vector<AppBound> worst_case_bounds(
   return out;
 }
 
-void worst_case_bounds_into(const platform::SystemView& view,
-                            const WcrtOptions& opts,
-                            std::span<analysis::ThroughputEngine* const> engines,
-                            WcrtWorkspace& ws, std::span<AppBound> out) {
+PROCON_WARM_PATH void worst_case_bounds_into(
+    const platform::SystemView& view, const WcrtOptions& opts,
+    std::span<analysis::ThroughputEngine* const> engines, WcrtWorkspace& ws,
+    std::span<AppBound> out) {
+  PROCON_ASSERT_NO_ALLOC("wcrt::worst_case_bounds_into");
   const std::size_t napps = view.app_count();
   if (engines.size() != napps) {
     throw sdf::GraphError("worst_case_bounds: engine count mismatch");

@@ -1,0 +1,20 @@
+// Fixture: lint:allow escape semantics — same-line and preceding-line
+// forms suppress, the justification is mandatory, unknown rule ids are
+// themselves findings, and meta findings cannot be suppressed.
+// NOT compiled — linted by test_lint.
+#include <cstdlib>
+
+namespace procon::sim {
+
+int seeded() { return rand(); }  // lint:allow(det-rand): fixture replays a recorded seed
+
+// lint:allow(det-rand): escape on its own line covers the next code line
+int next_line() { return rand(); }
+
+int unjustified() { return rand(); }  // lint:allow(det-rand)
+
+int unknown() { return 0; }  // lint:allow(not-a-rule): no such rule id
+
+int unsuppressed() { return rand(); }  // line 18: det-rand
+
+}  // namespace procon::sim

@@ -1,0 +1,33 @@
+// Fixture: code written to the repo contracts — ordered iteration mirrors,
+// grow-only member arenas, guarded lookups — must produce zero findings.
+// NOT compiled — linted by test_lint.
+#define PROCON_WARM_PATH
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace procon::analysis {
+
+struct Table {
+  std::unordered_map<std::uint64_t, double> by_key_;
+  std::vector<std::uint64_t> keys_;  // sorted mirror for deterministic walks
+  std::vector<double> scratch_;
+
+  double lookup(std::uint64_t k) const {
+    const auto it = by_key_.find(k);
+    return it == by_key_.end() ? 0.0 : it->second;
+  }
+
+  PROCON_WARM_PATH double sum_in_order() const {
+    double s = 0.0;
+    for (const std::uint64_t k : keys_) s += by_key_.at(k);
+    return s;
+  }
+
+  PROCON_WARM_PATH void accumulate(const double* xs, std::size_t n) {
+    if (scratch_.size() < n) scratch_.resize(n);  // grow-only arena
+    for (std::size_t i = 0; i < n; ++i) scratch_[i] += xs[i];
+  }
+};
+
+}  // namespace procon::analysis

@@ -1,0 +1,28 @@
+// Fixture: codec-unguarded-size — a size decoded from the wire must flow
+// through get_count()/take() before it sizes an allocation. The test points
+// Options::codec_path at this file to activate the family.
+// NOT compiled — linted by test_lint.
+#include <cstdint>
+#include <vector>
+
+namespace procon::net {
+
+struct WireReader {
+  std::uint32_t u32();
+  std::uint64_t u64();
+};
+std::size_t get_count(WireReader& r, std::size_t min_bytes);
+
+void bad_decode(WireReader& r, std::vector<int>& out) {
+  std::uint32_t n = r.u32();             // taints n
+  out.resize(n);                         // line 18: codec-unguarded-size
+  std::vector<int> tmp(r.u64());         // line 19: codec-unguarded-size
+  out.reserve(tmp.size());               // tmp's size is local: fine
+}
+
+void good_decode(WireReader& r, std::vector<int>& out) {
+  std::size_t n = get_count(r, 4);       // guard sanitises n
+  out.resize(n);                         // guarded: fine
+}
+
+}  // namespace procon::net

@@ -1,0 +1,13 @@
+// Fixture: det-pointer-hash fires on pointer-keyed hashing in
+// result-producing namespaces. NOT compiled — linted by test_lint.
+#include <functional>
+#include <unordered_map>
+
+namespace procon::wcrt {
+struct Engine {};
+std::unordered_map<Engine*, int> by_engine;     // line 8: det-pointer-hash
+std::size_t bad(Engine* e) {
+  return std::hash<Engine*>{}(e);               // line 10: det-pointer-hash
+}
+std::unordered_map<int, Engine*> fine_values;   // pointer value, not key
+}  // namespace procon::wcrt

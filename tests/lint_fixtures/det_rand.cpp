@@ -1,0 +1,19 @@
+// Fixture: det-rand must fire on libc PRNG calls in result-producing
+// namespaces and stay silent elsewhere. NOT compiled — linted by test_lint.
+#include <cstdlib>
+
+namespace procon::analysis {
+int bad() { return rand(); }            // line 6: det-rand
+void worse(unsigned s) { srand(s); }    // line 7: det-rand
+}  // namespace procon::analysis
+
+namespace procon::gen {
+int fine() { return rand(); }           // gen is not result-producing
+struct Rng {
+  int rand() { return 4; }              // someone's API, not libc
+};
+}  // namespace procon::gen
+
+namespace procon::sim {
+int ok(gen::Rng& r) { return r.rand(); }  // member call: exempt
+}  // namespace procon::sim

@@ -1,0 +1,17 @@
+// Fixture: det-random-device fires on entropy sources in result-producing
+// namespaces. NOT compiled — linted by test_lint.
+#include <random>
+
+namespace procon::prob {
+unsigned bad() {
+  std::random_device rd;                // line 7: det-random-device
+  return rd();
+}
+}  // namespace procon::prob
+
+namespace procon::testing {
+unsigned fine() {
+  std::random_device rd;                // test helpers may seed freely
+  return rd();
+}
+}  // namespace procon::testing

@@ -1,0 +1,30 @@
+// Fixture: det-unordered-iter fires on hash-order iteration in
+// result-producing namespaces. NOT compiled — linted by test_lint.
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace procon::analysis {
+struct Cache {
+  std::unordered_map<int, double> table_;
+  std::vector<double> mirror_;
+  double bad_range_for() const {
+    double s = 0.0;
+    for (const auto& [k, v] : table_) s += v;      // line 13: det-unordered-iter
+    return s;
+  }
+  double bad_iterators() const {
+    double s = 0.0;
+    for (auto it = table_.begin(); it != table_.end(); ++it) {  // line 18
+      s += it->second;
+    }
+    return s;
+  }
+  double fine_lookup(int k) const { return table_.at(k); }  // lookups are fine
+  double fine_mirror() const {
+    double s = 0.0;
+    for (const double v : mirror_) s += v;         // ordered mirror: fine
+    return s;
+  }
+};
+}  // namespace procon::analysis

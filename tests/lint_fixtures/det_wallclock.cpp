@@ -1,0 +1,18 @@
+// Fixture: det-wallclock fires on wall-clock reads in result-producing
+// namespaces. NOT compiled — linted by test_lint.
+#include <chrono>
+#include <ctime>
+
+namespace procon::dse {
+long bad_chrono() {
+  auto t = std::chrono::steady_clock::now();   // line 8: det-wallclock
+  return t.time_since_epoch().count();
+}
+long bad_ctime() { return std::time(nullptr); }  // line 11: det-wallclock
+}  // namespace procon::dse
+
+namespace procon::bench {
+long fine() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace procon::bench

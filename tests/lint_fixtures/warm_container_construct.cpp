@@ -1,0 +1,26 @@
+// Fixture: warm-container-construct fires on body-local containers in a
+// PROCON_WARM_PATH body; the member/workspace arena idiom stays silent.
+// NOT compiled — linted by test_lint.
+#define PROCON_WARM_PATH
+#include <string>
+#include <vector>
+
+struct Workspace {
+  std::vector<double> scratch;
+};
+
+struct Engine {
+  Workspace ws_;
+
+  PROCON_WARM_PATH double bad(int n) {
+    std::vector<double> tmp(n, 0.0);       // line 16: warm-container-construct
+    std::string label;                     // line 17: warm-container-construct
+    return tmp.empty() ? 0.0 : static_cast<double>(label.size());
+  }
+
+  PROCON_WARM_PATH double good(int n) {
+    std::vector<double>& s = ws_.scratch;  // reference binding: fine
+    if (static_cast<int>(s.size()) < n) s.resize(n);  // grow-only arena
+    return s.empty() ? 0.0 : s.front();
+  }
+};

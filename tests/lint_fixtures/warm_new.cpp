@@ -1,0 +1,13 @@
+// Fixture: warm-new fires on `new` inside a PROCON_WARM_PATH body and
+// nowhere else. NOT compiled — linted by test_lint.
+#define PROCON_WARM_PATH
+
+PROCON_WARM_PATH int* warm_alloc(int v) {
+  return new int(v);                    // line 6: warm-new
+}
+
+PROCON_WARM_PATH void declared_only(int v);  // declarations are skipped
+
+int* cold_alloc(int v) {
+  return new int(v);                    // unannotated: fine
+}

@@ -1,0 +1,15 @@
+// Fixture: warm-push-back fires on push_back/emplace_back to an unreserved
+// body-local; a reserve() anywhere in the body sanctions the target. The
+// locals themselves also trip warm-container-construct (asserted too).
+// NOT compiled — linted by test_lint.
+#define PROCON_WARM_PATH
+#include <vector>
+
+PROCON_WARM_PATH double collect(int n) {
+  std::vector<double> tmp;               // line 9: warm-container-construct
+  tmp.push_back(1.0);                    // line 10: warm-push-back
+  std::vector<double> ok;                // line 11: warm-container-construct
+  ok.reserve(static_cast<std::size_t>(n));
+  ok.push_back(2.0);                     // reserved target: fine
+  return tmp.front() + ok.front();
+}

@@ -1,0 +1,13 @@
+// Fixture: warm-std-function fires on std::function inside a
+// PROCON_WARM_PATH body. NOT compiled — linted by test_lint.
+#define PROCON_WARM_PATH
+#include <functional>
+
+PROCON_WARM_PATH double warm_apply(double x) {
+  std::function<double(double)> f = [](double v) { return v * 2.0; };  // line 7
+  return f(x);
+}
+
+double cold_apply(double x, const std::function<double(double)>& f) {
+  return f(x);                           // unannotated: fine
+}

@@ -111,12 +111,15 @@ TEST(Cluster, RoutedQueriesMatchDirectOracleBitwise) {
     EXPECT_EQ(payload_bytes(over_wire), payload_bytes(local)) << "query " << k;
   }
 
-  // Tenants actually spread: with 4 distinct fingerprints on 2 shards it is
-  // astronomically unlikely (and with this fixed fixture, false) that all
-  // landed on one endpoint.
-  std::set<std::string> homes;
-  for (const TenantId t : routed) homes.insert(cluster.tenant_endpoint(t));
-  EXPECT_GT(homes.size(), 1u);
+  // Every tenant's recorded home agrees with the ring. (Which shard that
+  // is depends on the servers' ephemeral port numbers — the endpoint
+  // strings seed the ring — so asserting the tenants *spread* would be
+  // run-dependent; ring balance is covered by
+  // Router.BalancesAndMovesFewKeysOnGrowth above.)
+  for (std::size_t t = 0; t < systems.size(); ++t) {
+    EXPECT_EQ(cluster.tenant_endpoint(routed[t]),
+              cluster.router().endpoint_for(systems[t].fingerprint()));
+  }
 
   // The shards' wire-visible counters account for every routed submit.
   std::uint64_t submitted = 0;

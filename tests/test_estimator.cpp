@@ -56,8 +56,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllMethods, PaperExample,
     ::testing::Values(Method::Exact, Method::SecondOrder, Method::FourthOrder,
                       Method::Composability, Method::CompositionInverse),
-    [](const ::testing::TestParamInfo<Method>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<Method>& param_info) {
+      switch (param_info.param) {
         case Method::Exact: return "Exact";
         case Method::SecondOrder: return "SecondOrder";
         case Method::FourthOrder: return "FourthOrder";

@@ -19,6 +19,10 @@
 //  * the SimEngine ring-cache LRU bound evicts and rebuilds identically;
 //  * a warm dse::Racer race (tier-(a) pulls in the persistent workspaces,
 //    grow-only racer arenas) performs ZERO heap allocations.
+//
+// Each warm bracket is additionally armed (util/contracts.h ArmGuard), so
+// the PROCON_ASSERT_NO_ALLOC scopes inside the library's annotated warm
+// paths abort at the offending call site in Debug builds.
 #include "util/alloc_probe.h"  // FIRST: replaces global new/delete
 
 #include <gtest/gtest.h>
@@ -32,10 +36,20 @@
 #include "gen/use_cases.h"
 #include "helpers.h"
 #include "sim/sim_engine.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace procon {
 namespace {
+
+// Hand the probe's counter to the library's PROCON_ASSERT_NO_ALLOC scopes:
+// inside the ArmGuard brackets below, an allocating warm path aborts at its
+// own call site (scope name + file:line) instead of only failing the
+// bracket-level EXPECT afterwards. Cold passes stay unarmed and exempt.
+const bool kContractScopesWired = [] {
+  util::contracts::set_alloc_counter(&util::alloc_probe::allocations);
+  return true;
+}();
 
 using admission::AdmissionController;
 using admission::QoS;
@@ -101,6 +115,7 @@ TEST(SteadyStateAlloc, WarmSimQueriesAreAllocationFree) {
   // Second pass over the same list: every query must be allocation-free,
   // and the ring cache must not grow.
   for (const auto& uc : use_cases) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     engine.reset(uc);
     const sim::SimResultView view = engine.run_view(opts);
@@ -132,6 +147,7 @@ TEST(SteadyStateAlloc, WarmRoutedSimQueriesAreAllocationFree) {
     (void)engine.run_view(opts);
   }
   for (const auto& uc : use_cases) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     engine.reset(uc);
     const sim::SimResultView view = engine.run_view(opts);
@@ -159,6 +175,7 @@ TEST(SteadyStateAlloc, WarmLinkAwareContentionViewIsAllocationFree) {
 
   const auto oracle = wb.contention();
   for (int rep = 0; rep < 3; ++rep) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     const auto& report = wb.contention_view();
     const std::uint64_t after = allocations();
@@ -170,6 +187,7 @@ TEST(SteadyStateAlloc, WarmLinkAwareContentionViewIsAllocationFree) {
     }
   }
   for (const auto& uc : use_cases) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     const auto& report = wb.contention_view(uc);
     const std::uint64_t after = allocations();
@@ -220,6 +238,7 @@ TEST(SteadyStateAlloc, CachedWhatIfVerdictIsAllocationFree) {
   EXPECT_EQ(ctrl.candidate_cache_size(), 2u);  // admitted app + candidate
 
   for (int rep = 0; rep < 3; ++rep) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     ctrl.what_if_admit(b, nodes_b, QoS{400.0}, out, verdict_only);
     const std::uint64_t after = allocations();
@@ -291,6 +310,7 @@ TEST(SteadyStateAlloc, WarmContentionViewIsAllocationFree) {
 
   const auto oracle = wb.contention();  // owning copy, same numbers
   for (int rep = 0; rep < 3; ++rep) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     const auto& report = wb.contention_view();
     const std::uint64_t after = allocations();
@@ -304,6 +324,7 @@ TEST(SteadyStateAlloc, WarmContentionViewIsAllocationFree) {
   }
   for (const auto& uc : use_cases) {
     const auto owning = wb.contention(uc);
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     const auto& report = wb.contention_view(uc);
     const std::uint64_t after = allocations();
@@ -361,7 +382,10 @@ TEST(SteadyStateAlloc, WarmStreamingSweepIsAllocationFree) {
 
   ProbeSink probe(use_cases.size());
   const std::uint64_t before = allocations();
-  const api::SweepSummary summary = wb.sweep_use_cases(use_cases, opts, probe);
+  const api::SweepSummary summary = [&] {
+    const util::contracts::ArmGuard armed;
+    return wb.sweep_use_cases(use_cases, opts, probe);
+  }();
   const std::uint64_t after = allocations();
   EXPECT_EQ(after - before, 0u)
       << "warm streaming sweep of a previously-seen use-case list allocated";
@@ -415,6 +439,7 @@ TEST(SteadyStateAlloc, RingCacheLruEvictsAndRebuildsIdentically) {
     (void)snug.run_view(opts);
   }
   for (const auto& uc : pair) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     snug.reset(uc);
     (void)snug.run_view(opts);
@@ -456,6 +481,7 @@ TEST(SteadyStateAlloc, WarmRacerRaceIsAllocationFree) {
       racer.race(ropts, candidates.size(), arms, outcomes);
 
   for (int rep = 0; rep < 3; ++rep) {
+    const util::contracts::ArmGuard armed;
     const std::uint64_t before = allocations();
     arms.bind(candidates);
     const std::size_t warm =

@@ -1,0 +1,219 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace procon::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first within each leading character.
+// `>>` is deliberately kept as one token; the lint matcher treats it as two
+// closing angles when it walks template argument lists.
+constexpr std::string_view kOps3[] = {"...", "<=>", "->*", "<<=", ">>="};
+constexpr std::string_view kOps2[] = {"::", "->", "++", "--", "<<", ">>",
+                                      "<=", ">=", "==", "!=", "&&", "||",
+                                      "+=", "-=", "*=", "/=", "%=", "&=",
+                                      "|=", "^=", "##"};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto advance_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+  auto emit = [&](TokKind kind, std::size_t begin, std::size_t end, int at) {
+    out.push_back(Token{kind, src.substr(begin, end - begin), at});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: only when '#' is the first non-space character
+    // of the line. Consume the whole logical line, merging \-continuations.
+    if (c == '#') {
+      bool line_start = true;
+      for (std::size_t k = i; k-- > 0;) {
+        if (src[k] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(src[k]))) {
+          line_start = false;
+          break;
+        }
+      }
+      if (line_start) {
+        const std::size_t begin = i;
+        const int at = line;
+        while (i < n) {
+          if (src[i] == '\n') {
+            // A backslash (possibly followed by spaces) continues the line.
+            std::size_t k = i;
+            bool continued = false;
+            while (k-- > begin) {
+              if (src[k] == '\\') {
+                continued = true;
+                break;
+              }
+              if (!std::isspace(static_cast<unsigned char>(src[k]))) break;
+            }
+            if (!continued) break;
+            ++line;
+          }
+          ++i;
+        }
+        emit(TokKind::Preprocessor, begin, i, at);
+        continue;
+      }
+      // '#' mid-line (token-paste in macros already swallowed above): fall
+      // through to punctuation.
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && (src[i + 1] == '/' || src[i + 1] == '*')) {
+      const std::size_t begin = i;
+      const int at = line;
+      if (src[i + 1] == '/') {
+        while (i < n && src[i] != '\n') ++i;
+      } else {
+        i += 2;
+        while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+          if (src[i] == '\n') ++line;
+          ++i;
+        }
+        i = i + 1 < n ? i + 2 : n;
+      }
+      emit(TokKind::Comment, begin, i, at);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefix (u8R, uR, UR, LR).
+    {
+      std::size_t r = i;
+      if (r < n && (src[r] == 'u' || src[r] == 'U' || src[r] == 'L')) {
+        if (src[r] == 'u' && r + 1 < n && src[r + 1] == '8') ++r;
+        ++r;
+      }
+      if (r < n && src[r] == 'R' && r + 1 < n && src[r + 1] == '"' &&
+          (r == i || ident_start(src[i]))) {
+        const std::size_t begin = i;
+        const int at = line;
+        std::size_t d = r + 2;
+        while (d < n && src[d] != '(' && src[d] != '\n') ++d;
+        const std::string_view delim = src.substr(r + 2, d - (r + 2));
+        std::string close = ")";
+        close.append(delim);
+        close.push_back('"');
+        const std::size_t end = src.find(close, d);
+        i = end == std::string_view::npos ? n : end + close.size();
+        advance_lines(src.substr(begin, i - begin));
+        emit(TokKind::String, begin, i, at);
+        continue;
+      }
+    }
+
+    // String / char literal (with optional encoding prefix on strings).
+    if (c == '"' || c == '\'' ||
+        ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
+         (src[i + 1] == '"' || src[i + 1] == '\''))) {
+      std::size_t begin = i;
+      const int at = line;
+      if (c != '"' && c != '\'') {
+        ++i;
+        if (i < n && src[i] == '8') ++i;  // u8"..."
+      }
+      if (i < n && (src[i] == '"' || src[i] == '\'')) {
+        const char quote = src[i];
+        ++i;
+        while (i < n && src[i] != quote) {
+          if (src[i] == '\\' && i + 1 < n) ++i;
+          if (src[i] == '\n') ++line;  // unterminated; keep line count sane
+          ++i;
+        }
+        if (i < n) ++i;  // closing quote
+        emit(quote == '"' ? TokKind::String : TokKind::CharLit, begin, i, at);
+        continue;
+      }
+      i = begin;  // lone u/U/L identifier; fall through
+    }
+
+    if (ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < n && ident_char(src[i])) ++i;
+      emit(TokKind::Identifier, begin, i, line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t begin = i;
+      // pp-number-ish scan: digits, letters, quotes-as-separators, and
+      // exponent signs. Good enough to keep 1'000ull or 1e-9 one token.
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > begin &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      emit(TokKind::Number, begin, i, line);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    {
+      bool matched = false;
+      for (std::string_view op : kOps3) {
+        if (src.compare(i, op.size(), op) == 0) {
+          emit(TokKind::Punct, i, i + op.size(), line);
+          i += op.size();
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      for (std::string_view op : kOps2) {
+        if (src.compare(i, op.size(), op) == 0) {
+          emit(TokKind::Punct, i, i + op.size(), line);
+          i += op.size();
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      emit(TokKind::Punct, i, i + 1, line);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace procon::lint

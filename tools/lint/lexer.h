@@ -1,0 +1,38 @@
+// Minimal C++ tokenizer for procon_lint.
+//
+// procon_lint is a repo-specific contract checker, not a compiler: it needs
+// identifiers, punctuation and line numbers, and it needs comments kept as
+// tokens (the `// lint:allow(rule): why` escapes live there). Preprocessor
+// directives are swallowed whole (one token per logical line, continuations
+// included) so a `#define PROCON_WARM_PATH` never looks like an annotated
+// function. String, character and raw-string literals are single tokens, so
+// braces or keywords inside them can never confuse the matcher.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace procon::lint {
+
+enum class TokKind {
+  Identifier,    ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,        ///< integer / float literal (incl. hex and digit separators)
+  String,        ///< "..." or R"delim(...)delim", prefixes included
+  CharLit,       ///< '...'
+  Punct,         ///< operator / punctuation, longest-match over a small table
+  Comment,       ///< // to end of line, or /* ... */ (delimiters included)
+  Preprocessor,  ///< a whole # directive line, backslash continuations merged
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  ///< view into the source buffer passed to tokenize()
+  int line;               ///< 1-based line of the token's first character
+};
+
+/// Tokenizes C++ source. Never throws on malformed input: an unterminated
+/// literal or comment simply becomes a token running to end of file. The
+/// returned views point into `src`, which must outlive the result.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace procon::lint
